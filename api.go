@@ -1,0 +1,130 @@
+package contractshard
+
+import (
+	"contractshard/internal/contract"
+	"contractshard/internal/experiments"
+	"contractshard/internal/game/replicator"
+	"contractshard/internal/merge"
+	"contractshard/internal/security"
+	"contractshard/internal/txsel"
+	"contractshard/internal/types"
+	"contractshard/internal/unify"
+)
+
+// --- Contracts -------------------------------------------------------------
+
+// UnconditionalTransfer builds the contract the paper's evaluation registers
+// (Sec. VI-A): forward whatever value a call escrows straight to dest.
+func UnconditionalTransfer(dest Address) []byte {
+	return contract.UnconditionalTransfer(dest)
+}
+
+// ConditionalTransfer builds the Sec. II-A example: transfer the escrowed
+// value to dest only while dest's balance is strictly below threshold.
+func ConditionalTransfer(dest Address, threshold uint64) []byte {
+	return contract.ConditionalTransfer(dest, threshold)
+}
+
+// TxInclusionProof proves a transaction's commitment under a block header.
+type TxInclusionProof = types.TxInclusionProof
+
+// VerifyTxInclusion checks an inclusion proof against a header's TxRoot.
+func VerifyTxInclusion(root Hash, txHash Hash, p *TxInclusionProof) bool {
+	return types.VerifyTxProof(root, txHash, p)
+}
+
+// SymmetricMergeEquilibria returns the analytic symmetric Nash equilibria
+// of the merging game with n equal-size players (Sec. V-A).
+func SymmetricMergeEquilibria(n, size int, reward, cost float64, L int) ([]float64, error) {
+	return replicator.SymmetricEquilibria(n, size, reward, cost, L)
+}
+
+// --- Inter-shard merging (Sec. IV-A, V) -------------------------------------
+
+// MergeShardInfo describes one small shard entering the merge.
+type MergeShardInfo = merge.ShardInfo
+
+// MergeConfig parameterizes Algorithm 1; see merge.Config.
+type MergeConfig = merge.Config
+
+// MergeResult is the merge plan Algorithm 1 produces.
+type MergeResult = merge.Result
+
+// MergedShard is one newly formed shard in a merge plan.
+type MergedShard = merge.NewShard
+
+// MergeShards runs the inter-shard merging algorithm: small shards play the
+// evolutionary cooperative game (Algorithm 3) round after round until the
+// remainder cannot reach the bound L.
+func MergeShards(cfg MergeConfig) (*MergeResult, error) { return merge.Run(cfg) }
+
+// OptimalNewShards is the Fig. 5(a) yardstick: total transactions over L.
+func OptimalNewShards(sizes []int, L int) int { return merge.Optimal(sizes, L) }
+
+// --- Intra-shard selection (Sec. IV-B) --------------------------------------
+
+// SelectionParams parameterizes the transaction-selection computation.
+type SelectionParams = txsel.Params
+
+// SelectionSets is the per-miner assignment the congestion game produces.
+type SelectionSets = txsel.Sets
+
+// SelectTransactionSets runs the intra-shard congestion game (Algorithm 2)
+// and expands its equilibrium into block-sized per-miner transaction sets.
+func SelectTransactionSets(p SelectionParams) (*SelectionSets, error) { return txsel.Select(p) }
+
+// VerifySelectedBlock checks that a block only contains transactions the
+// unified selection assigned to its producer (Sec. IV-C).
+func VerifySelectedBlock(sets *SelectionSets, miner int, blockTxs []int) error {
+	return txsel.VerifyBlock(sets, miner, blockTxs)
+}
+
+// --- Parameter unification (Sec. IV-C) --------------------------------------
+
+// UnifiedParams are the leader-broadcast inputs every miner replays locally.
+type UnifiedParams = unify.Params
+
+// VerifyMergePlan replays Algorithm 1 from unified parameters and rejects
+// deviating merge claims.
+func VerifyMergePlan(p *UnifiedParams, claimed *MergeResult) error {
+	return unify.VerifyMergePlan(p, claimed)
+}
+
+// VerifyBlockSelection replays Algorithm 2 from unified parameters and
+// rejects blocks holding transactions outside their producer's assignment.
+func VerifyBlockSelection(p *UnifiedParams, miner int, blockTxs []int) error {
+	return unify.VerifyBlockSelection(p, miner, blockTxs)
+}
+
+// --- Security model (Sec. III-B, IV-D) --------------------------------------
+
+// ShardSafety returns the probability that a shard of n miners sampled with
+// adversary fraction f has an honest majority (Fig. 1(d)).
+func ShardSafety(n int, f float64) float64 { return security.ShardSafety(n, f) }
+
+// InterShardCorruption evaluates Eq. (3); l < 0 selects the l→∞ limit.
+func InterShardCorruption(f float64, l, newShardMiners int) (float64, error) {
+	return security.InterShardCorruption(f, l, newShardMiners)
+}
+
+// IntraShardCorruption evaluates Eq. (6); l < 0 selects the l→∞ limit.
+func IntraShardCorruption(f float64, l, minersPerTx, totalFees int) (float64, error) {
+	return security.IntraShardCorruption(f, l, minersPerTx, totalFees)
+}
+
+// --- Evaluation harness ------------------------------------------------------
+
+// ExperimentOptions tune an experiment run.
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is a regenerated table or figure.
+type ExperimentResult = experiments.Result
+
+// RunExperiment regenerates one of the paper's tables or figures; see
+// ExperimentIDs for the catalogue and EXPERIMENTS.md for the mapping.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Run(id, opts)
+}
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []string { return experiments.IDs() }

@@ -1,0 +1,73 @@
+package contractshard_test
+
+// Godoc examples for the public API — runnable documentation that go test
+// verifies.
+
+import (
+	"fmt"
+
+	contractshard "contractshard"
+)
+
+// ExampleSystem shows the end-to-end path: register a contract, submit a
+// call from a single-contract sender, mine its shard, and prove inclusion.
+func ExampleSystem() {
+	alice := contractshard.KeypairFromSeed("ex-alice")
+	sys, _ := contractshard.NewSystem(contractshard.SystemConfig{
+		GenesisAlloc: map[contractshard.Address]uint64{alice.Address(): 1000},
+	})
+	var caddr, dest contractshard.Address
+	caddr[19], dest[19] = 0xC1, 0xDD
+
+	shard, _ := sys.RegisterContract(caddr, contractshard.UnconditionalTransfer(dest))
+	_, tx, _ := sys.SubmitCall(alice, caddr, 100, 2, []byte{1})
+	var miner contractshard.Address
+	miner[19] = 0xA1
+	block, _ := sys.MineShard(shard, miner)
+
+	proof, header, _ := sys.ProveInclusion(shard, tx.Hash())
+	fmt.Println(len(block.Txs), contractshard.VerifyTxInclusion(header.TxRoot, tx.Hash(), proof))
+	// Output: 1 true
+}
+
+// ExampleMergeShards runs the inter-shard merging game on two small shards
+// that together clear the bound.
+func ExampleMergeShards() {
+	res, _ := contractshard.MergeShards(contractshard.MergeConfig{
+		Shards: []contractshard.MergeShardInfo{{ID: 1, Size: 6}, {ID: 2, Size: 7}},
+		L:      10, Reward: 20, CostPerShard: 1, Seed: 3,
+	})
+	fmt.Println(len(res.NewShards), res.NewShards[0].Size)
+	// Output: 1 13
+}
+
+// ExampleSelectTransactionSets spreads two miners over distinct
+// transactions via the congestion game.
+func ExampleSelectTransactionSets() {
+	sets, _ := contractshard.SelectTransactionSets(contractshard.SelectionParams{
+		Fees:   []uint64{10, 9},
+		Miners: 2,
+	})
+	fmt.Println(sets.DistinctFirstRound)
+	// Output: 2
+}
+
+// ExampleShardSafety evaluates the Fig. 1(d) headline.
+func ExampleShardSafety() {
+	fmt.Printf("%.2f\n", contractshard.ShardSafety(30, 1.0/3.0))
+	// Output: 0.98
+}
+
+// ExampleSymmetricMergeEquilibria recovers the free-rider equilibria of the
+// Sec. V example by hand: p² − p + 0.2 = 0.
+func ExampleSymmetricMergeEquilibria() {
+	eq, _ := contractshard.SymmetricMergeEquilibria(3, 6, 10, 4, 12)
+	for _, p := range eq {
+		if p > 0.01 && p < 0.99 {
+			fmt.Printf("%.3f\n", p)
+		}
+	}
+	// Output:
+	// 0.276
+	// 0.724
+}

@@ -1,0 +1,350 @@
+package contractshard
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Sec. VI). Each iteration regenerates the experiment at
+// reduced (Quick) scale — the full-scale runs live behind `cmd/shardbench`
+// and EXPERIMENTS.md records their headline numbers against the paper's.
+// The reported headline is attached to each benchmark via b.ReportMetric so
+// `go test -bench` output doubles as a miniature reproduction table.
+//
+// A second group benchmarks the substrate hot paths (VM execution, block
+// building, Merkle tries, the two game engines) so regressions in the
+// underlying systems are visible independently of the experiment wrappers.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"contractshard/internal/chain"
+	"contractshard/internal/contract"
+	"contractshard/internal/crypto"
+	"contractshard/internal/experiments"
+	"contractshard/internal/game/congestion"
+	"contractshard/internal/game/replicator"
+	"contractshard/internal/merge"
+	"contractshard/internal/sim"
+	"contractshard/internal/state"
+	"contractshard/internal/trie"
+	"contractshard/internal/types"
+)
+
+// benchExperiment runs one registered experiment per iteration and reports
+// the named summary metric.
+func benchExperiment(b *testing.B, id, metric, unit string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Options{Seed: int64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			if v, ok := res.Summary[metric]; ok {
+				b.ReportMetric(v, unit)
+			}
+		}
+	}
+}
+
+// --- One benchmark per table/figure -----------------------------------------
+
+// BenchmarkTableI_ConfirmationTime regenerates Table I: confirmation time of
+// 20 transactions saturating beyond four miners.
+func BenchmarkTableI_ConfirmationTime(b *testing.B) {
+	benchExperiment(b, "table1", "time_7", "sec@7miners")
+}
+
+// BenchmarkFig1d_ShardSafety regenerates Fig 1(d): the shard-safety curve.
+func BenchmarkFig1d_ShardSafety(b *testing.B) {
+	benchExperiment(b, "fig1d", "safety_30_at_33pct", "safety@30")
+}
+
+// BenchmarkFig3a_ShardingThroughput regenerates Fig 3(a): near-linear
+// throughput improvement, ≈7x at nine shards (paper: 7.2x).
+func BenchmarkFig3a_ShardingThroughput(b *testing.B) {
+	benchExperiment(b, "fig3a", "improvement_9", "x@9shards")
+}
+
+// BenchmarkFig3b_EmptyBlocksBalanced regenerates Fig 3(b): evenly loaded
+// shards mine almost no empty blocks.
+func BenchmarkFig3b_EmptyBlocksBalanced(b *testing.B) {
+	benchExperiment(b, "fig3b", "max_sharding_empty", "empty-blocks")
+}
+
+// BenchmarkFig3c_MergingEmptyBlocks regenerates Fig 3(c): the merge removes
+// most small-shard empty blocks (paper: 90%).
+func BenchmarkFig3c_MergingEmptyBlocks(b *testing.B) {
+	benchExperiment(b, "fig3c", "reduction", "fraction")
+}
+
+// BenchmarkFig3d_MergingThroughput regenerates Fig 3(d): the merge costs a
+// modest throughput loss (paper: 14%).
+func BenchmarkFig3d_MergingThroughput(b *testing.B) {
+	benchExperiment(b, "fig3d", "loss", "fraction")
+}
+
+// BenchmarkFig3e_MergingVsRandom regenerates Fig 3(e): game-driven merging
+// beats the 0.5-coin baseline on throughput (paper: +11%).
+func BenchmarkFig3e_MergingVsRandom(b *testing.B) {
+	benchExperiment(b, "fig3e", "gain", "fraction")
+}
+
+// BenchmarkFig3f_EmptyVsRandom regenerates Fig 3(f): empty blocks under both
+// mergers stay comparable (paper: ours 4% fewer).
+func BenchmarkFig3f_EmptyVsRandom(b *testing.B) {
+	benchExperiment(b, "fig3f", "ours_avg", "empty/shard")
+}
+
+// BenchmarkFig3g_NewShards regenerates Fig 3(g): the game forms more new
+// shards than random merging (paper: +59%).
+func BenchmarkFig3g_NewShards(b *testing.B) {
+	benchExperiment(b, "fig3g", "gain", "fraction")
+}
+
+// BenchmarkFig3h_TxSelection regenerates Fig 3(h): selection improvement
+// grows with miner count (paper: 300% average).
+func BenchmarkFig3h_TxSelection(b *testing.B) {
+	benchExperiment(b, "fig3h", "improvement_avg", "x")
+}
+
+// BenchmarkFig4a_VsChainSpace regenerates Fig 4(a): both systems scale
+// near-linearly; ours is not worse.
+func BenchmarkFig4a_VsChainSpace(b *testing.B) {
+	benchExperiment(b, "fig4a", "ours_9", "x@9shards")
+}
+
+// BenchmarkFig4b_CommVsTxs regenerates Fig 4(b): validation communication is
+// zero for ours and linear for ChainSpace.
+func BenchmarkFig4b_CommVsTxs(b *testing.B) {
+	benchExperiment(b, "fig4b", "chainspace_max", "msgs/shard")
+}
+
+// BenchmarkFig4c_CommVsSmallShards regenerates Fig 4(c): the merge protocol
+// costs a constant two messages per shard.
+func BenchmarkFig4c_CommVsSmallShards(b *testing.B) {
+	benchExperiment(b, "fig4c", "comm_6", "msgs/shard")
+}
+
+// BenchmarkFig5a_LargeScaleMerging regenerates Fig 5(a): merging lands near
+// the optimal shard count at scale (paper: 80%).
+func BenchmarkFig5a_LargeScaleMerging(b *testing.B) {
+	benchExperiment(b, "fig5a", "fraction_of_optimal", "fraction")
+}
+
+// BenchmarkFig5b_LargeScaleSelection regenerates Fig 5(b): selection covers
+// about half the optimal distinct-set count (paper: ≈50%).
+func BenchmarkFig5b_LargeScaleSelection(b *testing.B) {
+	benchExperiment(b, "fig5b", "fraction_of_optimal", "fraction")
+}
+
+// BenchmarkSecurity_InterShard regenerates the Eq. (3) headline: 8e-6
+// corruption probability under a 25% adversary.
+func BenchmarkSecurity_InterShard(b *testing.B) {
+	benchExperiment(b, "sec-inter", "corruption_at_implied_n", "prob")
+}
+
+// BenchmarkSecurity_IntraShard regenerates the Eq. (6) headline: 7e-7
+// corruption probability under a 25% adversary and 200 fees.
+func BenchmarkSecurity_IntraShard(b *testing.B) {
+	benchExperiment(b, "sec-intra", "corruption_at_implied_v", "prob")
+}
+
+// BenchmarkAblation_ConflictWindow sweeps the simulator's duplicate-block
+// conflict window, the main timing calibration constant.
+func BenchmarkAblation_ConflictWindow(b *testing.B) {
+	benchExperiment(b, "abl-conflict", "improvement_w1.2", "x@calibrated")
+}
+
+// BenchmarkAblation_SelectionEpoch sweeps the parameter-unification refresh
+// cadence of the selection game.
+func BenchmarkAblation_SelectionEpoch(b *testing.B) {
+	benchExperiment(b, "abl-epoch", "improvement_e1.5", "x@default")
+}
+
+// BenchmarkAblation_MergeBound sweeps the merge bound L.
+func BenchmarkAblation_MergeBound(b *testing.B) {
+	benchExperiment(b, "abl-bound", "new_shards_L6", "shards")
+}
+
+// BenchmarkPrototypeSubstrate runs the sharding speedup on the real chain
+// substrate (signed txs, routing, VM, PoW) instead of the simulator.
+func BenchmarkPrototypeSubstrate(b *testing.B) {
+	benchExperiment(b, "proto", "speedup_8", "x@8shards")
+}
+
+// BenchmarkStorageFootprint measures per-miner state reduction.
+func BenchmarkStorageFootprint(b *testing.B) {
+	benchExperiment(b, "storage", "reduction", "fraction")
+}
+
+// BenchmarkSteadyStateLatency measures sustained-arrival confirmation
+// latency across shard counts (extension experiment).
+func BenchmarkSteadyStateLatency(b *testing.B) {
+	benchExperiment(b, "ext-steady", "mean_latency_9", "sec@9shards")
+}
+
+// BenchmarkTraceShardability measures the shardable fraction of trace-like
+// workloads (extension experiment).
+func BenchmarkTraceShardability(b *testing.B) {
+	benchExperiment(b, "ext-trace", "shardable_d0", "fraction")
+}
+
+// BenchmarkFullSystemComposition measures merging + selection composed on a
+// skewed workload (extension experiment).
+func BenchmarkFullSystemComposition(b *testing.B) {
+	benchExperiment(b, "ext-full", "gain", "fraction")
+}
+
+// --- Substrate micro-benchmarks ----------------------------------------------
+
+func BenchmarkVMUnconditionalTransfer(b *testing.B) {
+	st := state.New()
+	caddr := types.BytesToAddress([]byte{0xC1})
+	dest := types.BytesToAddress([]byte{0xDD})
+	code := contract.UnconditionalTransfer(dest)
+	if err := st.AddBalance(caddr, uint64(b.N)+1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := contract.Execute(&contract.Context{
+			State: st, Contract: caddr, Value: 1, Gas: 1000,
+		}, code); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlockBuildAndValidate(b *testing.B) {
+	alice := crypto.KeypairFromSeed("bench-alice")
+	cfg := chain.DefaultConfig(1)
+	cfg.Difficulty = 16
+	c, err := chain.New(cfg, map[types.Address]uint64{alice.Address(): 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	miner := types.BytesToAddress([]byte{0xA1})
+	nonce := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txs := make([]*types.Transaction, 10)
+		for j := range txs {
+			tx := &types.Transaction{
+				Nonce: nonce, From: alice.Address(),
+				To: types.BytesToAddress([]byte{2}), Value: 1, Fee: 1,
+			}
+			if err := crypto.SignTx(tx, alice); err != nil {
+				b.Fatal(err)
+			}
+			txs[j] = tx
+			nonce++
+		}
+		block, _, err := c.BuildBlock(miner, txs, uint64(i+1)*1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AddBlock(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrieInsert(b *testing.B) {
+	var tr trie.Trie
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("account-%04d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i%len(keys)], []byte{byte(i), byte(i >> 8)})
+	}
+}
+
+func BenchmarkTrieHash(b *testing.B) {
+	var tr trie.Trie
+	for i := 0; i < 1024; i++ {
+		tr.Put([]byte(fmt.Sprintf("account-%04d", i)), []byte{byte(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put([]byte("hot-key"), []byte{byte(i)}) // invalidate the cache
+		_ = tr.Hash()
+	}
+}
+
+func BenchmarkReplicatorGame(b *testing.B) {
+	sizes := make([]int, 50)
+	for i := range sizes {
+		sizes[i] = 1 + i%9
+	}
+	costs := make([]float64, len(sizes))
+	for i := range costs {
+		costs[i] = 1
+	}
+	g, err := replicator.New(replicator.Config{
+		Sizes: sizes, L: 50, Reward: 20, Costs: costs, MaxSlots: 50,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		_ = g.Run(rng)
+	}
+}
+
+func BenchmarkCongestionGame(b *testing.B) {
+	fees := make([]uint64, 200)
+	rng := rand.New(rand.NewSource(1))
+	for i := range fees {
+		fees[i] = uint64(rng.Intn(100) + 1)
+	}
+	g, err := congestion.New(fees, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial := make([]int, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Run(initial, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeAlgorithm1(b *testing.B) {
+	infos := make([]merge.ShardInfo, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range infos {
+		infos[i] = merge.ShardInfo{ID: types.ShardID(i + 1), Size: 1 + rng.Intn(9)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merge.Run(merge.Config{
+			Shards: infos, L: 50, Reward: 20, CostPerShard: 1,
+			Seed: int64(i), MaxSlots: 20, Subslots: 8, Eta: 0.02,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorNineShards(b *testing.B) {
+	fees := make([]uint64, 200)
+	for i := range fees {
+		fees[i] = uint64(i%17 + 1)
+	}
+	plans := make([]sim.ShardPlan, 9)
+	for s := range plans {
+		lo, hi := s*200/9, (s+1)*200/9
+		plans[s] = sim.ShardPlan{ID: types.ShardID(s), Miners: 1, Fees: fees[lo:hi]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{Seed: int64(i)}, plans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command secanalysis prints the paper's analytic security model
+// (Sec. III-B and IV-D): the Fig. 1(d) shard-safety curve and the
+// Eq. (3)–(6) corruption probabilities for configurable adversary power.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"contractshard/internal/metrics"
+	"contractshard/internal/security"
+)
+
+func main() {
+	var (
+		f     = flag.Float64("f", 0.25, "adversary computation fraction")
+		fees  = flag.Int("fees", 200, "total transaction fees N for Eq. (4)/(6)")
+		leads = flag.Int("l", -1, "consecutive adversarial leaderships (-1 = limit)")
+	)
+	flag.Parse()
+	if *f < 0 || *f >= 1 {
+		fmt.Fprintln(os.Stderr, "adversary fraction must be in [0,1)")
+		os.Exit(2)
+	}
+
+	fig := metrics.Figure{
+		Title:  "Fig 1(d): shard safety vs miners per shard",
+		XLabel: "miners", YLabel: "safety",
+	}
+	for _, adv := range []float64{0.25, 1.0 / 3.0, *f} {
+		s := metrics.Series{Name: fmt.Sprintf("f=%.3f", adv)}
+		for _, p := range security.SafetyCurve(20, 100, 10, adv) {
+			s.X = append(s.X, float64(p.Miners))
+			s.Y = append(s.Y, p.Safety)
+		}
+		fig.Add(s)
+	}
+	fmt.Println(fig.String())
+
+	tbl := metrics.Table{
+		Title:   fmt.Sprintf("Corruption probabilities at f=%.3f (l=%d, N=%d fees)", *f, *leads, *fees),
+		Headers: []string{"Miners/validators", "Eq.(3) inter-shard", "Eq.(6) intra-shard"},
+	}
+	for _, n := range []int{20, 30, 40, 50, 60, 80, 100} {
+		inter, err := security.InterShardCorruption(*f, *leads, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		intra, err := security.IntraShardCorruption(*f, *leads, n, *fees)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tbl.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.3g", inter), fmt.Sprintf("%.3g", intra))
+	}
+	fmt.Println(tbl.String())
+
+	if n, err := security.MinersForInterShardTarget(0.25, 8e-6, 500); err == nil {
+		fmt.Printf("Paper headline: Eq.(3) reaches 8e-6 at f=0.25 with a new shard of %d miners.\n", n)
+	}
+}

@@ -1,0 +1,73 @@
+// Command shardbench regenerates the paper's evaluation: every table and
+// figure of "On Sharding Open Blockchains with Smart Contracts" (ICDE 2020)
+// has a runner, and this tool prints the reproduced rows and series.
+//
+// Usage:
+//
+//	shardbench -list               # catalogue of experiments
+//	shardbench -exp fig3a          # one experiment
+//	shardbench -exp all            # everything (default)
+//	shardbench -exp fig3c -reps 20 # more repetitions
+//	shardbench -quick              # reduced workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"contractshard/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id or 'all'")
+		seed  = flag.Int64("seed", 1, "random seed")
+		reps  = flag.Int("reps", 0, "override repetition count (0 = experiment default)")
+		quick = flag.Bool("quick", false, "reduced workload sizes")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Reps: *reps, Quick: *quick}
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (%.2fs)\n\n", res.ID, r.Title, time.Since(start).Seconds())
+		fmt.Println(res.Output)
+		keys := make([]string, 0, len(res.Summary))
+		for k := range res.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-28s %.6g\n", k, res.Summary[k])
+		}
+		fmt.Println()
+	}
+}

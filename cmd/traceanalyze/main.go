@@ -1,0 +1,77 @@
+// Command traceanalyze inspects a transaction workload through the paper's
+// lens: how many senders fall into each Fig. 1 class, what fraction of the
+// traffic contract-centric sharding can parallelize, and the Amdahl bound
+// that fraction implies.
+//
+// Feed it a CSV dump of real transactions (sender,to,is_contract,fee — e.g.
+// exported from the public BigQuery Ethereum dataset the paper cites), or
+// let it generate a synthetic Zipf trace:
+//
+//	traceanalyze -csv transactions.csv
+//	traceanalyze -txs 50000 -users 2000 -contracts 100 -direct 0.2 -multi 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"contractshard/internal/metrics"
+	"contractshard/internal/workload"
+)
+
+func main() {
+	var (
+		csvPath   = flag.String("csv", "", "CSV trace (sender,to,is_contract,fee); empty = synthetic")
+		users     = flag.Int("users", 1000, "synthetic: users")
+		contracts = flag.Int("contracts", 50, "synthetic: contracts")
+		txs       = flag.Int("txs", 20000, "synthetic: transactions")
+		direct    = flag.Float64("direct", 0.1, "synthetic: direct-transfer fraction")
+		multi     = flag.Float64("multi", 0.2, "synthetic: multi-contract user fraction")
+		seed      = flag.Int64("seed", 1, "synthetic: random seed")
+	)
+	flag.Parse()
+
+	var events []workload.TraceEvent
+	var err error
+	if *csvPath != "" {
+		f, ferr := os.Open(*csvPath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events, err = workload.LoadCSVTrace(f)
+	} else {
+		events, err = workload.Trace(rand.New(rand.NewSource(*seed)), workload.TraceConfig{
+			Users: *users, Contracts: *contracts, Txs: *txs,
+			DirectFraction: *direct, MultiFraction: *multi,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	stats := workload.AnalyzeTrace(events)
+	tbl := metrics.Table{
+		Title:   "Workload through the contract-centric sharding lens (Fig. 1 classes)",
+		Headers: []string{"Metric", "Value"},
+	}
+	tbl.AddRow("transactions", fmt.Sprintf("%d", stats.Events))
+	tbl.AddRow("contract calls", fmt.Sprintf("%d", stats.ContractEvents))
+	tbl.AddRow("senders", fmt.Sprintf("%d", stats.Senders))
+	tbl.AddRow("  single-contract senders", fmt.Sprintf("%d", stats.SingleContract))
+	tbl.AddRow("  multi-contract senders", fmt.Sprintf("%d", stats.MultiContract))
+	tbl.AddRow("  direct-transfer senders", fmt.Sprintf("%d", stats.DirectSenders))
+	tbl.AddRow("shardable transactions", fmt.Sprintf("%d", stats.ShardableEvents))
+	f := stats.ShardableFraction()
+	tbl.AddRow("shardable fraction", fmt.Sprintf("%.3f", f))
+	if f < 1 {
+		tbl.AddRow("Amdahl speedup bound", fmt.Sprintf("%.1fx", 1/(1-f)))
+	} else {
+		tbl.AddRow("Amdahl speedup bound", "unbounded")
+	}
+	fmt.Println(tbl.String())
+}

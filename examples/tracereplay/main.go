@@ -1,0 +1,89 @@
+// Tracereplay: load a transaction trace (CSV, or a bundled sample), analyze
+// its sender classes through the paper's Fig. 1 lens, and replay it through
+// the contract-centric router to see where every transaction would confirm.
+//
+//	go run ./examples/tracereplay                  # bundled sample
+//	go run ./examples/tracereplay -csv dump.csv    # your own trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"contractshard/internal/callgraph"
+	"contractshard/internal/sharding"
+	"contractshard/internal/types"
+	"contractshard/internal/workload"
+)
+
+// sample is a miniature dump in the loader's format:
+// sender,to,is_contract,fee. Senders 01/02 stick to one contract each,
+// 03 spans two, 04 also pays a user directly — the three Fig. 1 classes.
+const sample = `sender,to,is_contract,fee
+0x01,0xc1,1,12
+0x01,0xc1,1,9
+0x02,0xc2,1,15
+0x02,0xc2,1,11
+0x03,0xc1,1,8
+0x03,0xc2,1,7
+0x04,0xc1,1,10
+0x04,0x99,0,5
+0x01,0xc1,1,14
+0x02,0xc2,1,6
+`
+
+func main() {
+	csvPath := flag.String("csv", "", "CSV trace path (empty = bundled sample)")
+	flag.Parse()
+
+	var events []workload.TraceEvent
+	var err error
+	if *csvPath != "" {
+		f, ferr := os.Open(*csvPath)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		defer f.Close()
+		events, err = workload.LoadCSVTrace(f)
+	} else {
+		events, err = workload.LoadCSVTrace(strings.NewReader(sample))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := workload.AnalyzeTrace(events)
+	fmt.Printf("trace: %d txs from %d senders — %d single-contract, %d multi-contract, %d direct\n",
+		stats.Events, stats.Senders, stats.SingleContract, stats.MultiContract, stats.DirectSenders)
+	fmt.Printf("shardable fraction: %.2f\n\n", stats.ShardableFraction())
+
+	// Replay through the router: contracts register shards lazily on first
+	// sight, the call graph learns each sender as transactions stream in.
+	dir := sharding.NewDirectory()
+	graph := callgraph.New()
+	perShard := map[types.ShardID]int{}
+	for _, ev := range events {
+		tx := &types.Transaction{From: ev.Sender, Fee: ev.Fee}
+		if ev.Direct {
+			tx.To = ev.To
+		} else {
+			tx.To = ev.Contract
+			tx.Data = []byte{1}
+			dir.Register(ev.Contract) // idempotent
+		}
+		shard := sharding.RouteTx(tx, graph, dir)
+		graph.ObserveTx(tx, !ev.Direct)
+		perShard[shard]++
+	}
+
+	fmt.Println("routing outcome:")
+	for _, id := range dir.ShardIDs() {
+		fmt.Printf("  %-10s %d txs\n", id, perShard[id])
+	}
+	maxShardLoad := float64(perShard[types.MaxShard]) / float64(stats.Events)
+	fmt.Printf("\nMaxShard carries %.0f%% of the traffic; the rest confirms in parallel shards.\n",
+		maxShardLoad*100)
+}

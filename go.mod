@@ -1,0 +1,3 @@
+module contractshard
+
+go 1.22

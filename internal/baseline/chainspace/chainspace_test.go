@@ -1,0 +1,117 @@
+package chainspace
+
+import (
+	"math/rand"
+	"testing"
+
+	"contractshard/internal/sim"
+	"contractshard/internal/workload"
+)
+
+func TestSimulateCommValidation(t *testing.T) {
+	if _, err := SimulateComm(Config{Shards: 0}, nil); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}
+
+func TestSingleInputTxsMostlyLocal(t *testing.T) {
+	// 1-input txs touch two shards only when the input shard differs from
+	// the coordinator; with many shards that's common, but with one shard
+	// everything is local.
+	txs := workload.MultiInputTxs(rand.New(rand.NewSource(1)), 1000, 1, 10)
+	res, err := SimulateComm(Config{Shards: 1, Seed: 2}, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMessages != 0 {
+		t.Fatalf("single shard produced %d cross-shard messages", res.TotalMessages)
+	}
+}
+
+func TestCommLinearInTxCount(t *testing.T) {
+	// Fig. 4(b): communication grows linearly with the number of 3-input
+	// transactions.
+	gen := func(n int) []workload.MultiInputTx {
+		return workload.MultiInputTxs(rand.New(rand.NewSource(7)), n, 3, 10)
+	}
+	r1, err := SimulateComm(Config{Shards: 9, Seed: 3}, gen(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SimulateComm(Config{Shards: 9, Seed: 3}, gen(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalMessages == 0 {
+		t.Fatal("3-input txs over 9 shards must communicate")
+	}
+	ratio := float64(r2.TotalMessages) / float64(r1.TotalMessages)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4x txs gave %.2fx messages, want ≈4x", ratio)
+	}
+	if r2.PerShardMean <= r1.PerShardMean {
+		t.Fatal("per-shard mean must grow with tx count")
+	}
+}
+
+func TestCommAccountingConsistent(t *testing.T) {
+	txs := workload.MultiInputTxs(rand.New(rand.NewSource(5)), 500, 3, 10)
+	res, err := SimulateComm(Config{Shards: 5, Seed: 9}, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, c := range res.PerShard {
+		sum += c
+	}
+	if sum != res.TotalMessages {
+		t.Fatalf("per-shard sum %d != total %d", sum, res.TotalMessages)
+	}
+	// Each 3-input tx touches at most 4 shards: ≤ 9 messages each.
+	if res.TotalMessages > 9*500 {
+		t.Fatalf("message count %d exceeds the per-tx bound", res.TotalMessages)
+	}
+}
+
+func TestCommDeterministic(t *testing.T) {
+	txs := workload.MultiInputTxs(rand.New(rand.NewSource(5)), 200, 3, 10)
+	a, _ := SimulateComm(Config{Shards: 9, Seed: 1}, txs)
+	b, _ := SimulateComm(Config{Shards: 9, Seed: 1}, txs)
+	if a.TotalMessages != b.TotalMessages {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestSimulateThroughputParallelizes(t *testing.T) {
+	fees := make([]uint64, 900)
+	for i := range fees {
+		fees[i] = uint64(i%13 + 1)
+	}
+	simCfg := sim.Config{Seed: 4}
+	one, err := SimulateThroughput(simCfg, Config{Shards: 1, Seed: 2}, fees, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nine, err := SimulateThroughput(simCfg, Config{Shards: 9, Seed: 2}, fees, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := one.MakespanSec / nine.MakespanSec
+	if imp < 4 {
+		t.Fatalf("random sharding improvement %.2f, want clearly parallel", imp)
+	}
+	// Every tx placed exactly once.
+	total := 0
+	for _, s := range nine.Shards {
+		total += s.Injected
+	}
+	if total != 900 {
+		t.Fatalf("placement lost txs: %d", total)
+	}
+}
+
+func TestSimulateThroughputValidation(t *testing.T) {
+	if _, err := SimulateThroughput(sim.Config{}, Config{Shards: 0}, nil, 1); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

@@ -1,0 +1,48 @@
+// Package ethereum is the non-sharding comparison baseline (Sec. VI-A):
+// every miner validates the same fee-ordered transaction queue on a single
+// chain. Its waiting time WE is the numerator of every throughput-
+// improvement number in the paper.
+package ethereum
+
+import (
+	"contractshard/internal/sim"
+)
+
+// Baseline wraps the simulator's single-chain mode.
+type Baseline struct {
+	Cfg    sim.Config
+	Miners int
+}
+
+// Run confirms the fees on one chain and returns the simulation result.
+func (b Baseline) Run(fees []uint64) (*sim.Result, error) {
+	return sim.Ethereum(b.Cfg, b.Miners, fees)
+}
+
+// WaitingTime returns WE: the time until every transaction confirms.
+func (b Baseline) WaitingTime(fees []uint64) (float64, error) {
+	r, err := b.Run(fees)
+	if err != nil {
+		return 0, err
+	}
+	return r.MakespanSec, nil
+}
+
+// MeanConfirmationTime averages the waiting time over reps independent
+// seeds — the measurement behind Table I.
+func (b Baseline) MeanConfirmationTime(fees []uint64, reps int) (float64, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	sum := 0.0
+	for i := 0; i < reps; i++ {
+		cfg := b.Cfg
+		cfg.Seed = b.Cfg.Seed + int64(i)*7919
+		r, err := sim.Ethereum(cfg, b.Miners, fees)
+		if err != nil {
+			return 0, err
+		}
+		sum += r.MakespanSec
+	}
+	return sum / float64(reps), nil
+}

@@ -1,0 +1,103 @@
+// Package randmerge is the randomized merging baseline of Sec. VI-C2:
+// instead of playing the replicator game, every small shard independently
+// decides to merge with probability 0.5. The first coin-flip coalition that
+// reaches the size bound becomes a new shard and the process repeats on the
+// rest. Compared with the game-driven Algorithm 1 this tends to form fewer,
+// larger shards (Fig. 3(g): 59% fewer new shards) and correspondingly less
+// parallelism (Fig. 3(e)) with slightly more empty blocks (Fig. 3(f)).
+package randmerge
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"contractshard/internal/merge"
+)
+
+// Config parameterizes the randomized baseline.
+type Config struct {
+	Shards []merge.ShardInfo
+	L      int
+	// P is the per-shard merge probability; defaults to the paper's 0.5.
+	P float64
+	// Seed drives the coin flips.
+	Seed int64
+	// AttemptsPerRound bounds re-flips when a coalition misses the bound;
+	// defaults to 3, matching the game baseline's retry budget.
+	AttemptsPerRound int
+}
+
+// ErrBadL rejects non-positive bounds.
+var ErrBadL = errors.New("randmerge: L must be positive")
+
+// Run executes the randomized merging and returns a plan in the same shape
+// as the game-driven merger, so experiments can compare them directly.
+func Run(cfg Config) (*merge.Result, error) {
+	if cfg.L <= 0 {
+		return nil, ErrBadL
+	}
+	p := cfg.P
+	if p <= 0 || p > 1 {
+		p = 0.5
+	}
+	attempts := cfg.AttemptsPerRound
+	if attempts <= 0 {
+		attempts = 3
+	}
+
+	remaining := append([]merge.ShardInfo(nil), cfg.Shards...)
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i].ID < remaining[j].ID })
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &merge.Result{}
+
+	for len(remaining) > 0 && total(remaining) >= cfg.L {
+		coalition := flipCoalition(rng, remaining, p, cfg.L, attempts)
+		if coalition == nil {
+			break
+		}
+		res.Rounds++
+		ns := merge.NewShard{}
+		member := make(map[int]bool, len(coalition))
+		for _, idx := range coalition {
+			ns.Members = append(ns.Members, remaining[idx].ID)
+			ns.Size += remaining[idx].Size
+			member[idx] = true
+		}
+		res.NewShards = append(res.NewShards, ns)
+		next := remaining[:0]
+		for i, s := range remaining {
+			if !member[i] {
+				next = append(next, s)
+			}
+		}
+		remaining = next
+	}
+	res.Remaining = remaining
+	return res, nil
+}
+
+func flipCoalition(rng *rand.Rand, shards []merge.ShardInfo, p float64, L, attempts int) []int {
+	for a := 0; a < attempts; a++ {
+		var coalition []int
+		size := 0
+		for i, s := range shards {
+			if rng.Float64() < p {
+				coalition = append(coalition, i)
+				size += s.Size
+			}
+		}
+		if size >= L {
+			return coalition
+		}
+	}
+	return nil
+}
+
+func total(shards []merge.ShardInfo) int {
+	t := 0
+	for _, s := range shards {
+		t += s.Size
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+package randmerge
+
+import (
+	"errors"
+	"testing"
+
+	"contractshard/internal/merge"
+	"contractshard/internal/types"
+)
+
+func shards(sizes ...int) []merge.ShardInfo {
+	out := make([]merge.ShardInfo, len(sizes))
+	for i, s := range sizes {
+		out[i] = merge.ShardInfo{ID: types.ShardID(i + 1), Size: s}
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Shards: shards(5, 5), L: 0}); !errors.Is(err, ErrBadL) {
+		t.Fatalf("bad L: %v", err)
+	}
+}
+
+func TestFormsShards(t *testing.T) {
+	res, err := Run(Config{Shards: shards(4, 5, 6, 3, 7, 2), L: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no shards formed despite abundant transactions")
+	}
+	for _, ns := range res.NewShards {
+		if ns.Size < 10 {
+			t.Fatalf("shard below bound: %+v", ns)
+		}
+	}
+}
+
+func TestConservation(t *testing.T) {
+	in := shards(4, 5, 6, 3, 7, 2, 8)
+	res, err := Run(Config{Shards: in, L: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[types.ShardID]int{}
+	for _, ns := range res.NewShards {
+		for _, id := range ns.Members {
+			seen[id]++
+		}
+	}
+	for _, s := range res.Remaining {
+		seen[s.ID]++
+	}
+	if len(seen) != len(in) {
+		t.Fatalf("accounted %d of %d shards", len(seen), len(in))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("shard %v appears %d times", id, n)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Shards: shards(4, 5, 6, 3, 7), L: 10, Seed: 9}
+	a, _ := Run(cfg)
+	b, _ := Run(cfg)
+	if a.Rounds != b.Rounds || len(a.NewShards) != len(b.NewShards) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestInsufficientTotal(t *testing.T) {
+	res, err := Run(Config{Shards: shards(2, 3), L: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || len(res.Remaining) != 2 {
+		t.Fatalf("merged below total bound: %+v", res)
+	}
+}
+
+func TestCoalitionsLargerThanGameDriven(t *testing.T) {
+	// The structural difference behind Fig. 3(g): random 0.5-coin coalitions
+	// grab about half of all shards at once, so across many inputs the
+	// random baseline forms fewer new shards than the game-driven merger.
+	randTotal, gameTotal := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		sizes := []int{4, 5, 6, 3, 7, 2, 8, 5, 4, 6, 3, 5}
+		r, err := Run(Config{Shards: shards(sizes...), L: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		randTotal += len(r.NewShards)
+		g, err := merge.Run(merge.Config{
+			Shards: shards(sizes...), L: 10, Reward: 20, CostPerShard: 1, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gameTotal += len(g.NewShards)
+	}
+	if randTotal >= gameTotal {
+		t.Fatalf("random merging produced %d shards vs game's %d; expected fewer", randTotal, gameTotal)
+	}
+}

@@ -1,0 +1,176 @@
+// Package callgraph maintains the call graph between users and smart
+// contracts that miners consult to decide whether a sender belongs to a
+// contract shard. The paper observes (Sec. III-C) that instead of querying
+// the MaxShard's full history, miners can keep this graph locally: a sender
+// who has only ever invoked one contract — and never transacted with a user
+// directly — is a single-contract sender whose transactions are validatable
+// entirely inside that contract's shard (the data-irrelevancy property of
+// Sec. II-C, illustrated by users A, C and F in Fig. 1).
+package callgraph
+
+import (
+	"sort"
+	"sync"
+
+	"contractshard/internal/types"
+)
+
+// Kind classifies a sender.
+type Kind uint8
+
+// Sender classifications, mirroring Fig. 1's three sender types.
+const (
+	// KindUnknown: the sender has no recorded activity yet. New senders are
+	// routed like single-contract senders of the contract they first invoke.
+	KindUnknown Kind = iota
+	// KindSingleContract: participates in exactly one contract and has no
+	// direct transfers (user A in Fig. 1(a)) — shardable.
+	KindSingleContract
+	// KindMultiContract: participates in two or more contracts (user C in
+	// Fig. 1(b)) — must be handled by the MaxShard.
+	KindMultiContract
+	// KindDirect: has transacted with a user directly (user F in Fig. 1(c))
+	// — must be handled by the MaxShard.
+	KindDirect
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSingleContract:
+		return "single-contract"
+	case KindMultiContract:
+		return "multi-contract"
+	case KindDirect:
+		return "direct"
+	default:
+		return "unknown"
+	}
+}
+
+// Classification is the result of classifying a sender.
+type Classification struct {
+	Kind Kind
+	// Contract is the sole contract for KindSingleContract senders.
+	Contract types.Address
+}
+
+// Shardable reports whether the sender's transactions can be confirmed
+// inside a single contract shard.
+func (c Classification) Shardable() bool { return c.Kind == KindSingleContract }
+
+// Graph tracks user↔contract participation. It is safe for concurrent use.
+type Graph struct {
+	mu sync.RWMutex
+	// contracts[user] is the set of contracts the user has invoked.
+	contracts map[types.Address]map[types.Address]struct{}
+	// direct[user] marks users who have sent a direct (non-contract) transfer.
+	direct map[types.Address]struct{}
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{
+		contracts: make(map[types.Address]map[types.Address]struct{}),
+		direct:    make(map[types.Address]struct{}),
+	}
+}
+
+// ObserveContractCall records that sender invoked the contract.
+func (g *Graph) ObserveContractCall(sender, contract types.Address) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set, ok := g.contracts[sender]
+	if !ok {
+		set = make(map[types.Address]struct{})
+		g.contracts[sender] = set
+	}
+	set[contract] = struct{}{}
+}
+
+// ObserveDirectTransfer records that sender transacted with a user directly.
+func (g *Graph) ObserveDirectTransfer(sender types.Address) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.direct[sender] = struct{}{}
+}
+
+// ObserveTx routes a transaction into the graph. isContract tells whether
+// tx.To is a contract account; the caller knows this from its state or from
+// the contract registry it mines against.
+func (g *Graph) ObserveTx(tx *types.Transaction, isContract bool) {
+	if isContract {
+		g.ObserveContractCall(tx.From, tx.To)
+	} else {
+		g.ObserveDirectTransfer(tx.From)
+	}
+}
+
+// Classify returns the sender's classification. Direct activity dominates:
+// once a user has transferred directly, no contract shard can validate its
+// transactions alone, regardless of contract count.
+func (g *Graph) Classify(sender types.Address) Classification {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.direct[sender]; ok {
+		return Classification{Kind: KindDirect}
+	}
+	set := g.contracts[sender]
+	switch len(set) {
+	case 0:
+		return Classification{Kind: KindUnknown}
+	case 1:
+		for c := range set {
+			return Classification{Kind: KindSingleContract, Contract: c}
+		}
+		panic("unreachable")
+	default:
+		return Classification{Kind: KindMultiContract}
+	}
+}
+
+// Contracts returns the contracts the sender participates in, sorted.
+func (g *Graph) Contracts(sender types.Address) []types.Address {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	set := g.contracts[sender]
+	out := make([]types.Address, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Users returns the number of users with any recorded activity.
+func (g *Graph) Users() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[types.Address]struct{}, len(g.contracts)+len(g.direct))
+	for u := range g.contracts {
+		seen[u] = struct{}{}
+	}
+	for u := range g.direct {
+		seen[u] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Snapshot deep-copies the graph, used when handing a consistent view to the
+// sharding assignment.
+func (g *Graph) Snapshot() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := New()
+	for u, set := range g.contracts {
+		ns := make(map[types.Address]struct{}, len(set))
+		for c := range set {
+			ns[c] = struct{}{}
+		}
+		out.contracts[u] = ns
+	}
+	for u := range g.direct {
+		out.direct[u] = struct{}{}
+	}
+	return out
+}

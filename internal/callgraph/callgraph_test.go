@@ -1,0 +1,149 @@
+package callgraph
+
+import (
+	"sync"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func a(b byte) types.Address { return types.BytesToAddress([]byte{b}) }
+
+func TestClassifyUnknown(t *testing.T) {
+	g := New()
+	c := g.Classify(a(1))
+	if c.Kind != KindUnknown || c.Shardable() {
+		t.Fatalf("fresh sender: %+v", c)
+	}
+}
+
+func TestClassifySingleContract(t *testing.T) {
+	// User A in Fig. 1(a): one contract, no direct transfers.
+	g := New()
+	g.ObserveContractCall(a(1), a(0xC1))
+	g.ObserveContractCall(a(1), a(0xC1)) // repeat invocations don't change it
+	c := g.Classify(a(1))
+	if c.Kind != KindSingleContract || c.Contract != a(0xC1) {
+		t.Fatalf("single-contract sender: %+v", c)
+	}
+	if !c.Shardable() {
+		t.Fatal("single-contract sender must be shardable")
+	}
+}
+
+func TestClassifyMultiContract(t *testing.T) {
+	// User C in Fig. 1(b): two contracts.
+	g := New()
+	g.ObserveContractCall(a(1), a(0xC1))
+	g.ObserveContractCall(a(1), a(0xC2))
+	c := g.Classify(a(1))
+	if c.Kind != KindMultiContract || c.Shardable() {
+		t.Fatalf("multi-contract sender: %+v", c)
+	}
+}
+
+func TestClassifyDirectDominates(t *testing.T) {
+	// User F in Fig. 1(c): contract call plus a direct transfer.
+	g := New()
+	g.ObserveContractCall(a(1), a(0xC1))
+	g.ObserveDirectTransfer(a(1))
+	c := g.Classify(a(1))
+	if c.Kind != KindDirect || c.Shardable() {
+		t.Fatalf("direct sender: %+v", c)
+	}
+	// Order must not matter.
+	g2 := New()
+	g2.ObserveDirectTransfer(a(2))
+	g2.ObserveContractCall(a(2), a(0xC1))
+	if g2.Classify(a(2)).Kind != KindDirect {
+		t.Fatal("direct-then-contract misclassified")
+	}
+}
+
+func TestObserveTx(t *testing.T) {
+	g := New()
+	tx1 := &types.Transaction{From: a(1), To: a(0xC1), Data: []byte{1}}
+	g.ObserveTx(tx1, true)
+	tx2 := &types.Transaction{From: a(2), To: a(3)}
+	g.ObserveTx(tx2, false)
+	if g.Classify(a(1)).Kind != KindSingleContract {
+		t.Fatal("contract tx not recorded")
+	}
+	if g.Classify(a(2)).Kind != KindDirect {
+		t.Fatal("direct tx not recorded")
+	}
+}
+
+func TestContractsSorted(t *testing.T) {
+	g := New()
+	g.ObserveContractCall(a(1), a(9))
+	g.ObserveContractCall(a(1), a(3))
+	g.ObserveContractCall(a(1), a(7))
+	got := g.Contracts(a(1))
+	if len(got) != 3 || got[0] != a(3) || got[1] != a(7) || got[2] != a(9) {
+		t.Fatalf("contracts: %v", got)
+	}
+	if len(g.Contracts(a(99))) != 0 {
+		t.Fatal("unknown user should have no contracts")
+	}
+}
+
+func TestUsers(t *testing.T) {
+	g := New()
+	g.ObserveContractCall(a(1), a(0xC1))
+	g.ObserveDirectTransfer(a(2))
+	g.ObserveDirectTransfer(a(1)) // same user in both maps counts once
+	if got := g.Users(); got != 2 {
+		t.Fatalf("users %d", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	g := New()
+	g.ObserveContractCall(a(1), a(0xC1))
+	snap := g.Snapshot()
+	g.ObserveContractCall(a(1), a(0xC2))
+	g.ObserveDirectTransfer(a(3))
+	if snap.Classify(a(1)).Kind != KindSingleContract {
+		t.Fatal("snapshot saw later writes")
+	}
+	if snap.Users() != 1 {
+		t.Fatal("snapshot users wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindUnknown: "unknown", KindSingleContract: "single-contract",
+		KindMultiContract: "multi-contract", KindDirect: "direct",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d: %s", k, k.String())
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	g := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.ObserveContractCall(a(byte(j%10)), a(byte(0xC0+i%3)))
+				_ = g.Classify(a(byte(j % 10)))
+				if j%10 == 0 {
+					_ = g.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for u := 0; u < 10; u++ {
+		if g.Classify(a(byte(u))).Kind != KindMultiContract {
+			t.Fatal("expected multi-contract after concurrent writes")
+		}
+	}
+}

@@ -1,0 +1,565 @@
+// Package chain implements the per-shard blockchain: block validation,
+// transaction execution, fork choice and the ledger each miner keeps.
+//
+// In the paper's design every shard runs an ordinary PoW chain — the
+// consensus inside a shard is untouched go-Ethereum (Sec. VI-A) — and all
+// sharding logic (which transactions a chain accepts, which miners may
+// extend it) layers on top. This package therefore mirrors a simplified
+// geth: headers carry a ShardID, a block credits its coinbase the block
+// reward plus the fees of the transactions it confirms, and an empty block
+// still earns the block reward, which is exactly the incentive that makes
+// small shards waste mining power on empty blocks (Sec. III-D).
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"contractshard/internal/contract"
+	"contractshard/internal/crypto"
+	"contractshard/internal/mempool"
+	"contractshard/internal/pow"
+	"contractshard/internal/state"
+	"contractshard/internal/types"
+)
+
+// Validation errors.
+var (
+	ErrUnknownParent    = errors.New("chain: unknown parent block")
+	ErrKnownBlock       = errors.New("chain: block already known")
+	ErrBadNumber        = errors.New("chain: block number does not follow parent")
+	ErrWrongShard       = errors.New("chain: block belongs to another shard")
+	ErrBadSeal          = errors.New("chain: invalid proof of work")
+	ErrBadDifficulty    = errors.New("chain: wrong difficulty")
+	ErrBadStateRoot     = errors.New("chain: state root mismatch")
+	ErrBadTxRoot        = errors.New("chain: transaction root mismatch")
+	ErrBadGasUsed       = errors.New("chain: gas used mismatch")
+	ErrGasLimit         = errors.New("chain: block exceeds gas limit")
+	ErrTooManyTxs       = errors.New("chain: block exceeds transaction count limit")
+	ErrInvalidTx        = errors.New("chain: block contains an invalid transaction")
+	ErrBadSignature     = errors.New("chain: bad transaction signature")
+	ErrBadNonce         = errors.New("chain: bad transaction nonce")
+	ErrInsufficient     = errors.New("chain: insufficient balance for value plus fee")
+	ErrNonMonotonicTime = errors.New("chain: block time before parent")
+)
+
+// Config fixes a shard chain's consensus parameters. The defaults mirror the
+// paper's testbed: gas limit 0x300000 holding at most ten transactions per
+// block (Sec. VI-A).
+type Config struct {
+	ShardID types.ShardID
+	// Difficulty is the fixed PoW difficulty when TargetInterval is zero,
+	// or the genesis difficulty when retargeting is enabled.
+	Difficulty uint64
+	// TargetInterval, in seconds, enables difficulty retargeting toward the
+	// given block interval when positive.
+	TargetInterval float64
+	GasLimit       uint64
+	MaxBlockTxs    int
+	BlockReward    uint64
+	// GasPerTx is the execution budget granted to a contract call when the
+	// transaction does not set one.
+	GasPerTx uint64
+}
+
+// DefaultConfig returns the paper's testbed parameters for a shard.
+func DefaultConfig(shard types.ShardID) Config {
+	return Config{
+		ShardID:     shard,
+		Difficulty:  pow.DifficultySlow,
+		GasLimit:    0x300000,
+		MaxBlockTxs: 10,
+		BlockReward: 2_000_000, // 2 ETH in simulation units
+		GasPerTx:    0x300000 / 10,
+	}
+}
+
+type blockEntry struct {
+	block    *types.Block
+	state    *state.State // post-state
+	td       uint64       // total difficulty up to and including this block
+	receipts []*types.Receipt
+}
+
+// Chain is one shard's ledger. It is safe for concurrent use.
+type Chain struct {
+	mu      sync.RWMutex
+	cfg     Config
+	blocks  map[types.Hash]*blockEntry
+	head    types.Hash
+	genesis types.Hash
+}
+
+// New creates a chain whose genesis state holds the given balances.
+func New(cfg Config, alloc map[types.Address]uint64) (*Chain, error) {
+	if cfg.GasLimit == 0 {
+		cfg.GasLimit = 0x300000
+	}
+	if cfg.MaxBlockTxs <= 0 {
+		cfg.MaxBlockTxs = 10
+	}
+	if cfg.Difficulty == 0 {
+		cfg.Difficulty = pow.MinDifficulty
+	}
+	if cfg.GasPerTx == 0 {
+		cfg.GasPerTx = cfg.GasLimit / uint64(cfg.MaxBlockTxs)
+	}
+	st := state.New()
+	for addr, bal := range alloc {
+		if err := st.AddBalance(addr, bal); err != nil {
+			return nil, fmt.Errorf("chain: genesis alloc: %w", err)
+		}
+	}
+	st.DiscardJournal()
+	genesis := &types.Block{Header: &types.Header{
+		Number:     0,
+		Difficulty: cfg.Difficulty,
+		StateRoot:  st.Root(),
+		ShardID:    cfg.ShardID,
+		GasLimit:   cfg.GasLimit,
+	}}
+	c := &Chain{
+		cfg:    cfg,
+		blocks: make(map[types.Hash]*blockEntry),
+	}
+	h := genesis.Hash()
+	c.blocks[h] = &blockEntry{block: genesis, state: st, td: cfg.Difficulty}
+	c.head = h
+	c.genesis = h
+	return c, nil
+}
+
+// NewWithContracts creates a chain whose genesis state additionally has the
+// given contract code pre-deployed, the way the paper's evaluation registers
+// its transfer contracts before injecting transactions (Sec. VI-A).
+func NewWithContracts(cfg Config, alloc map[types.Address]uint64, code map[types.Address][]byte) (*Chain, error) {
+	c, err := New(cfg, alloc)
+	if err != nil {
+		return nil, err
+	}
+	entry := c.blocks[c.genesis]
+	for addr, bytecode := range code {
+		entry.state.SetCode(addr, bytecode)
+	}
+	entry.state.DiscardJournal()
+	entry.block.Header.StateRoot = entry.state.Root()
+	// Re-key the genesis entry since its hash changed with the state root.
+	delete(c.blocks, c.genesis)
+	h := entry.block.Hash()
+	c.blocks[h] = entry
+	c.genesis = h
+	c.head = h
+	return c, nil
+}
+
+// sealHeader runs the PoW search with a budget scaled to the difficulty.
+func sealHeader(h *types.Header) error { return pow.Seal(h, sealBudget(h.Difficulty)) }
+
+// Config returns the chain's configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+// Genesis returns the genesis block.
+func (c *Chain) Genesis() *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[c.genesis].block
+}
+
+// Head returns the current head block.
+func (c *Chain) Head() *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[c.head].block
+}
+
+// Height returns the head block number.
+func (c *Chain) Height() uint64 { return c.Head().Number() }
+
+// GetBlock returns a block by hash, or nil.
+func (c *Chain) GetBlock(h types.Hash) *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e, ok := c.blocks[h]; ok {
+		return e.block
+	}
+	return nil
+}
+
+// HasBlock reports whether the chain knows the block.
+func (c *Chain) HasBlock(h types.Hash) bool { return c.GetBlock(h) != nil }
+
+// StateAt returns a copy of the post-state of the block with hash h, or nil
+// when the block is unknown. Mutating the copy does not affect the chain.
+func (c *Chain) StateAt(h types.Hash) *state.State {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e, ok := c.blocks[h]; ok {
+		return e.state.Copy()
+	}
+	return nil
+}
+
+// HeadState returns a copy of the state at the head block.
+func (c *Chain) HeadState() *state.State {
+	c.mu.RLock()
+	h := c.head
+	c.mu.RUnlock()
+	return c.StateAt(h)
+}
+
+// CanonicalBlocks returns the canonical chain from genesis to head.
+func (c *Chain) CanonicalBlocks() []*types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var rev []*types.Block
+	for h := c.head; ; {
+		e := c.blocks[h]
+		rev = append(rev, e.block)
+		if e.block.Number() == 0 {
+			break
+		}
+		h = e.block.Header.ParentHash
+	}
+	out := make([]*types.Block, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// EmptyBlockCount counts canonical blocks that confirm no transactions,
+// excluding genesis. This is the waste metric of Fig. 3(b), 3(c), 3(f).
+func (c *Chain) EmptyBlockCount() int {
+	n := 0
+	for _, b := range c.CanonicalBlocks() {
+		if b.Number() > 0 && b.IsEmpty() {
+			n++
+		}
+	}
+	return n
+}
+
+// ConfirmedTxCount counts transactions confirmed on the canonical chain.
+func (c *Chain) ConfirmedTxCount() int {
+	n := 0
+	for _, b := range c.CanonicalBlocks() {
+		n += len(b.Txs)
+	}
+	return n
+}
+
+// expectedDifficulty returns the difficulty a child of parent must declare.
+func (c *Chain) expectedDifficulty(parent *types.Header, childTime uint64) uint64 {
+	if c.cfg.TargetInterval <= 0 {
+		return c.cfg.Difficulty
+	}
+	interval := float64(childTime-parent.Time) / 1000.0
+	return pow.Retarget(parent.Difficulty, interval, c.cfg.TargetInterval)
+}
+
+// AddBlock validates the block against its parent and stores it, updating
+// the head when the block extends the heaviest chain. Sibling blocks are
+// retained so a later heavier branch can win (longest-chain fork choice).
+func (c *Chain) AddBlock(b *types.Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	h := b.Hash()
+	if _, ok := c.blocks[h]; ok {
+		return fmt.Errorf("%w: %s", ErrKnownBlock, h)
+	}
+	parent, ok := c.blocks[b.Header.ParentHash]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownParent, b.Header.ParentHash)
+	}
+	ph := parent.block.Header
+	if b.Number() != ph.Number+1 {
+		return fmt.Errorf("%w: %d after %d", ErrBadNumber, b.Number(), ph.Number)
+	}
+	if b.ShardID() != c.cfg.ShardID {
+		return fmt.Errorf("%w: got %s want %s", ErrWrongShard, b.ShardID(), c.cfg.ShardID)
+	}
+	if b.Header.Time < ph.Time {
+		return fmt.Errorf("%w: %d < %d", ErrNonMonotonicTime, b.Header.Time, ph.Time)
+	}
+	if want := c.expectedDifficulty(ph, b.Header.Time); b.Header.Difficulty != want {
+		return fmt.Errorf("%w: got %d want %d", ErrBadDifficulty, b.Header.Difficulty, want)
+	}
+	if !pow.Verify(b.Header) {
+		return ErrBadSeal
+	}
+	if got := types.TxRoot(b.Txs); got != b.Header.TxRoot {
+		return fmt.Errorf("%w: got %s", ErrBadTxRoot, got)
+	}
+	if len(b.Txs) > c.cfg.MaxBlockTxs {
+		return fmt.Errorf("%w: %d txs", ErrTooManyTxs, len(b.Txs))
+	}
+
+	// Re-execute the body on the parent state.
+	st := parent.state.Copy()
+	receipts, gasUsed, err := c.process(st, b.Txs, b.Header.Coinbase)
+	if err != nil {
+		return err
+	}
+	for _, r := range receipts {
+		if r.Status == types.ReceiptInvalid {
+			return fmt.Errorf("%w: %s (%s)", ErrInvalidTx, r.TxHash, r.Err)
+		}
+	}
+	if gasUsed > c.cfg.GasLimit {
+		return fmt.Errorf("%w: %d > %d", ErrGasLimit, gasUsed, c.cfg.GasLimit)
+	}
+	if gasUsed != b.Header.GasUsed {
+		return fmt.Errorf("%w: got %d declared %d", ErrBadGasUsed, gasUsed, b.Header.GasUsed)
+	}
+	if root := st.Root(); root != b.Header.StateRoot {
+		return fmt.Errorf("%w: got %s declared %s", ErrBadStateRoot, root, b.Header.StateRoot)
+	}
+	st.DiscardJournal()
+
+	for _, r := range receipts {
+		r.BlockHash = h
+		r.BlockNum = b.Number()
+	}
+	entry := &blockEntry{block: b, state: st, td: parent.td + b.Header.Difficulty, receipts: receipts}
+	c.blocks[h] = entry
+
+	cur := c.blocks[c.head]
+	if entry.td > cur.td || (entry.td == cur.td && h.Compare(c.head) < 0) {
+		c.head = h
+	}
+	return nil
+}
+
+// process applies txs in order to st, crediting the coinbase with the block
+// reward and all fees. It returns the per-transaction receipts.
+func (c *Chain) process(st *state.State, txs []*types.Transaction, coinbase types.Address) ([]*types.Receipt, uint64, error) {
+	if err := st.AddBalance(coinbase, c.cfg.BlockReward); err != nil {
+		return nil, 0, err
+	}
+	var receipts []*types.Receipt
+	var gasUsed uint64
+	for _, tx := range txs {
+		r := c.applyTransaction(st, tx, coinbase)
+		gasUsed += r.GasUsed
+		receipts = append(receipts, r)
+	}
+	return receipts, gasUsed, nil
+}
+
+// applyTransaction executes one transaction. Invalid transactions leave the
+// state untouched and yield a ReceiptInvalid; reverted contract calls keep
+// the fee and nonce change but roll everything else back.
+func (c *Chain) applyTransaction(st *state.State, tx *types.Transaction, coinbase types.Address) *types.Receipt {
+	r := &types.Receipt{TxHash: tx.Hash(), Shard: c.cfg.ShardID}
+	invalid := func(err error) *types.Receipt {
+		r.Status = types.ReceiptInvalid
+		r.Err = err.Error()
+		return r
+	}
+	if err := crypto.VerifyTx(tx); err != nil {
+		return invalid(fmt.Errorf("%w: %v", ErrBadSignature, err))
+	}
+	if got := st.GetNonce(tx.From); got != tx.Nonce {
+		return invalid(fmt.Errorf("%w: state %d tx %d", ErrBadNonce, got, tx.Nonce))
+	}
+	if bal := st.GetBalance(tx.From); bal < tx.Value+tx.Fee {
+		return invalid(fmt.Errorf("%w: balance %d, needs %d", ErrInsufficient, bal, tx.Value+tx.Fee))
+	}
+
+	st.SetNonce(tx.From, tx.Nonce+1)
+	if err := st.SubBalance(tx.From, tx.Fee); err != nil {
+		return invalid(err)
+	}
+	if err := st.AddBalance(coinbase, tx.Fee); err != nil {
+		return invalid(err)
+	}
+	r.FeePaid = tx.Fee
+
+	snap := st.Snapshot()
+	fail := func(err error) *types.Receipt {
+		// Revert everything after the fee payment; the fee is burned into
+		// the coinbase exactly as in Ethereum.
+		if rerr := st.RevertToSnapshot(snap); rerr != nil {
+			r.Err = rerr.Error()
+		} else {
+			r.Err = err.Error()
+		}
+		r.Status = types.ReceiptReverted
+		return r
+	}
+
+	if err := st.Transfer(tx.From, tx.To, tx.Value); err != nil {
+		return fail(err)
+	}
+	if code := st.GetCode(tx.To); len(code) > 0 {
+		gas := tx.Gas
+		if gas == 0 {
+			gas = c.cfg.GasPerTx
+		}
+		res, err := contract.Execute(&contract.Context{
+			State:    st,
+			Contract: tx.To,
+			Caller:   tx.From,
+			Value:    tx.Value,
+			Data:     tx.Data,
+			Gas:      gas,
+		}, code)
+		if res != nil {
+			r.GasUsed = res.GasUsed
+		}
+		if err != nil {
+			return fail(err)
+		}
+		r.ContractOK = true
+	}
+	r.Status = types.ReceiptSuccess
+	return r
+}
+
+// BuildBlock assembles, executes and seals a block on top of the current
+// head containing the given transactions (already filtered and ordered by
+// the caller). Invalid transactions are skipped, mirroring a miner dropping
+// unprocessable entries from its pool. timeMillis is the block timestamp.
+func (c *Chain) BuildBlock(coinbase types.Address, txs []*types.Transaction, timeMillis uint64) (*types.Block, []*types.Receipt, error) {
+	return c.BuildBlockWithProof(coinbase, nil, txs, timeMillis)
+}
+
+// BuildBlockWithProof is BuildBlock with a shard-membership proof embedded
+// in the header (the miner's public key, Sec. III-B/C); the proof is sealed
+// under the PoW so it cannot be swapped after mining.
+func (c *Chain) BuildBlockWithProof(coinbase types.Address, proof []byte, txs []*types.Transaction, timeMillis uint64) (*types.Block, []*types.Receipt, error) {
+	c.mu.RLock()
+	headEntry := c.blocks[c.head]
+	c.mu.RUnlock()
+
+	parent := headEntry.block.Header
+	if timeMillis < parent.Time {
+		timeMillis = parent.Time
+	}
+	st := headEntry.state.Copy()
+
+	// Dry-run to drop invalid transactions and respect block limits.
+	if err := st.AddBalance(coinbase, c.cfg.BlockReward); err != nil {
+		return nil, nil, err
+	}
+	var included []*types.Transaction
+	var receipts []*types.Receipt
+	var gasUsed uint64
+	for _, tx := range txs {
+		if len(included) >= c.cfg.MaxBlockTxs {
+			break
+		}
+		snap := st.Snapshot()
+		r := c.applyTransaction(st, tx, coinbase)
+		if r.Status == types.ReceiptInvalid {
+			if err := st.RevertToSnapshot(snap); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if gasUsed+r.GasUsed > c.cfg.GasLimit {
+			if err := st.RevertToSnapshot(snap); err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+		gasUsed += r.GasUsed
+		included = append(included, tx)
+		receipts = append(receipts, r)
+	}
+	st.DiscardJournal()
+
+	header := &types.Header{
+		ParentHash: headEntry.block.Hash(),
+		Number:     parent.Number + 1,
+		Time:       timeMillis,
+		Difficulty: c.expectedDifficulty(parent, timeMillis),
+		Coinbase:   coinbase,
+		StateRoot:  st.Root(),
+		ShardID:    c.cfg.ShardID,
+		GasLimit:   c.cfg.GasLimit,
+		GasUsed:    gasUsed,
+		MinerProof: proof,
+	}
+	block := types.NewBlock(header, included)
+	if err := pow.Seal(header, sealBudget(header.Difficulty)); err != nil {
+		return nil, nil, err
+	}
+	for _, r := range receipts {
+		r.BlockHash = block.Hash()
+		r.BlockNum = header.Number
+	}
+	return block, receipts, nil
+}
+
+// sealBudget bounds the nonce search generously relative to difficulty.
+func sealBudget(difficulty uint64) uint64 {
+	const margin = 64
+	if difficulty > (1<<63)/margin {
+		return 1 << 63
+	}
+	budget := difficulty * margin
+	if budget < 1<<16 {
+		budget = 1 << 16
+	}
+	return budget
+}
+
+// MineNext is a convenience for tests and examples: select up to
+// MaxBlockTxs highest-fee transactions from the pool that pass keep, build
+// and add the block, and remove confirmed transactions from the pool.
+func (c *Chain) MineNext(coinbase types.Address, pool *mempool.Pool, keep func(*types.Transaction) bool, timeMillis uint64) (*types.Block, error) {
+	var candidates []*types.Transaction
+	if keep == nil {
+		candidates = pool.Pending()
+	} else {
+		candidates = pool.Filter(keep)
+	}
+	block, _, err := c.BuildBlock(coinbase, candidates, timeMillis)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.AddBlock(block); err != nil {
+		return nil, err
+	}
+	pool.RemoveTxs(block.Txs)
+	return block, nil
+}
+
+// GetReceipt returns the execution receipt of a transaction on the
+// canonical chain, or nil when the transaction is unknown. Receipts come
+// from the chain's own re-execution during AddBlock, so they reflect what
+// this node verified, not what a producer claimed.
+func (c *Chain) GetReceipt(txHash types.Hash) *types.Receipt {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for h := c.head; ; {
+		e := c.blocks[h]
+		for i, tx := range e.block.Txs {
+			if tx.Hash() == txHash {
+				if i < len(e.receipts) {
+					return e.receipts[i]
+				}
+				return nil
+			}
+		}
+		if e.block.Number() == 0 {
+			return nil
+		}
+		h = e.block.Header.ParentHash
+	}
+}
+
+// BlockReceipts returns the receipts of a canonical-or-side block by hash.
+func (c *Chain) BlockReceipts(blockHash types.Hash) []*types.Receipt {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e, ok := c.blocks[blockHash]; ok {
+		out := make([]*types.Receipt, len(e.receipts))
+		copy(out, e.receipts)
+		return out
+	}
+	return nil
+}

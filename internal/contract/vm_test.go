@@ -1,0 +1,318 @@
+package contract
+
+import (
+	"errors"
+	"testing"
+
+	"contractshard/internal/state"
+	"contractshard/internal/types"
+)
+
+func addr(b byte) types.Address { return types.BytesToAddress([]byte{b}) }
+
+func run(t *testing.T, st *state.State, code []byte, ctx *Context) (*Result, error) {
+	t.Helper()
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	if ctx.State == nil {
+		ctx.State = st
+	}
+	if ctx.Gas == 0 {
+		ctx.Gas = 10000
+	}
+	if ctx.Contract.IsZero() {
+		ctx.Contract = addr(0xCC)
+	}
+	return Execute(ctx, code)
+}
+
+func TestWordConversions(t *testing.T) {
+	if WordFromU64(42).U64() != 42 {
+		t.Fatal("u64 round trip")
+	}
+	a := addr(7)
+	if WordFromAddr(a).Addr() != a {
+		t.Fatal("addr round trip")
+	}
+	if !WordFromBool(false).IsZero() || WordFromBool(true).U64() != 1 {
+		t.Fatal("bool words")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want uint64
+	}{
+		{"add", NewProgram().PushU64(2).PushU64(3).Op(ADD), 5},
+		{"sub", NewProgram().PushU64(10).PushU64(3).Op(SUB), 7},
+		{"mul", NewProgram().PushU64(6).PushU64(7).Op(MUL), 42},
+		{"div", NewProgram().PushU64(20).PushU64(5).Op(DIV), 4},
+		{"div0", NewProgram().PushU64(20).PushU64(0).Op(DIV), 0},
+		{"mod", NewProgram().PushU64(17).PushU64(5).Op(MOD), 2},
+		{"mod0", NewProgram().PushU64(17).PushU64(0).Op(MOD), 0},
+		{"lt-true", NewProgram().PushU64(1).PushU64(2).Op(LT), 1},
+		{"lt-false", NewProgram().PushU64(2).PushU64(1).Op(LT), 0},
+		{"gt-true", NewProgram().PushU64(2).PushU64(1).Op(GT), 1},
+		{"eq", NewProgram().PushU64(4).PushU64(4).Op(EQ), 1},
+		{"iszero", NewProgram().PushU64(0).Op(ISZERO), 1},
+		{"and", NewProgram().PushU64(1).PushU64(1).Op(AND), 1},
+		{"and-false", NewProgram().PushU64(1).PushU64(0).Op(AND), 0},
+		{"or", NewProgram().PushU64(0).PushU64(1).Op(OR), 1},
+		{"not", NewProgram().PushU64(5).Op(NOT), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Store the result to slot 1 so we can observe it.
+			code := c.prog.PushU64(1).Op(SWAP).Op(SSTORE).Op(STOP).MustAssemble()
+			st := state.New()
+			if _, err := run(t, st, code, nil); err != nil {
+				t.Fatal(err)
+			}
+			got := st.GetStorage(addr(0xCC), WordFromU64(1).Bytes())
+			var w Word
+			copy(w[32-len(got):], got)
+			if w.U64() != c.want {
+				t.Fatalf("got %d want %d", w.U64(), c.want)
+			}
+		})
+	}
+}
+
+func TestStackErrors(t *testing.T) {
+	st := state.New()
+	if _, err := run(t, st, NewProgram().Op(ADD).MustAssemble(), nil); !errors.Is(err, ErrStackUnderflow) {
+		t.Fatalf("underflow: %v", err)
+	}
+	if _, err := run(t, st, NewProgram().Op(POP).MustAssemble(), nil); !errors.Is(err, ErrStackUnderflow) {
+		t.Fatalf("pop underflow: %v", err)
+	}
+	if _, err := run(t, st, NewProgram().Op(SWAP).MustAssemble(), nil); !errors.Is(err, ErrStackUnderflow) {
+		t.Fatalf("swap underflow: %v", err)
+	}
+	// Overflow: an infinite push loop will hit the stack cap (or gas; give
+	// plenty of gas so the stack cap hits first).
+	loop := NewProgram().Label("top").PushU64(1).PushLabel("top").Op(JUMP).MustAssemble()
+	if _, err := Execute(&Context{State: st, Contract: addr(1), Gas: 100000}, loop); !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("overflow: %v", err)
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	st := state.New()
+	loop := NewProgram().Label("top").PushLabel("top").Op(JUMP).MustAssemble()
+	res, err := Execute(&Context{State: st, Contract: addr(1), Gas: 50}, loop)
+	if !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("want out of gas, got %v", err)
+	}
+	if res.GasUsed != 50 {
+		t.Fatalf("gas used %d, want full budget", res.GasUsed)
+	}
+}
+
+func TestBadOpcodeAndTruncatedPush(t *testing.T) {
+	st := state.New()
+	if _, err := run(t, st, []byte{0xEE}, nil); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("bad opcode: %v", err)
+	}
+	if _, err := run(t, st, []byte{byte(PUSH)}, nil); !errors.Is(err, ErrTruncatedPush) {
+		t.Fatalf("truncated push header: %v", err)
+	}
+	if _, err := run(t, st, []byte{byte(PUSH), 8, 1, 2}, nil); !errors.Is(err, ErrTruncatedPush) {
+		t.Fatalf("truncated push body: %v", err)
+	}
+	if _, err := run(t, st, []byte{byte(PUSH), 33}, nil); !errors.Is(err, ErrTruncatedPush) {
+		t.Fatalf("oversized push: %v", err)
+	}
+}
+
+func TestBadJump(t *testing.T) {
+	st := state.New()
+	code := NewProgram().PushU64(9999).Op(JUMP).MustAssemble()
+	if _, err := run(t, st, code, nil); !errors.Is(err, ErrBadJump) {
+		t.Fatalf("bad jump: %v", err)
+	}
+	code = NewProgram().PushU64(9999).PushU64(1).Op(JUMPI).MustAssemble()
+	if _, err := run(t, st, code, nil); !errors.Is(err, ErrBadJump) {
+		t.Fatalf("bad jumpi: %v", err)
+	}
+	// JUMPI with a false condition never takes the bad destination.
+	code = NewProgram().PushU64(9999).PushU64(0).Op(JUMPI).Op(STOP).MustAssemble()
+	if _, err := run(t, st, code, nil); err != nil {
+		t.Fatalf("untaken jumpi: %v", err)
+	}
+}
+
+func TestEnvironmentOpcodes(t *testing.T) {
+	st := state.New()
+	caller, contractAddr := addr(0xAA), addr(0xCC)
+	if err := st.AddBalance(addr(0xBB), 77); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddBalance(contractAddr, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Store CALLER, CALLVALUE, BALANCE(0xBB), SELFBALANCE, ADDRESS,
+	// CALLDATASIZE into slots 1..6.
+	prog := NewProgram().
+		Op(CALLER).PushU64(1).Op(SWAP).Op(SSTORE).
+		Op(CALLVALUE).PushU64(2).Op(SWAP).Op(SSTORE).
+		PushAddr(addr(0xBB)).Op(BALANCE).PushU64(3).Op(SWAP).Op(SSTORE).
+		Op(SELFBALANCE).PushU64(4).Op(SWAP).Op(SSTORE).
+		Op(ADDRESS).PushU64(5).Op(SWAP).Op(SSTORE).
+		Op(CALLDATASIZE).PushU64(6).Op(SWAP).Op(SSTORE).
+		Op(STOP)
+	ctx := &Context{State: st, Contract: contractAddr, Caller: caller, Value: 12, Data: []byte{1, 2, 3}, Gas: 10000}
+	if _, err := Execute(ctx, prog.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	slot := func(n uint64) Word {
+		var w Word
+		v := st.GetStorage(contractAddr, WordFromU64(n).Bytes())
+		copy(w[32-len(v):], v)
+		return w
+	}
+	if slot(1).Addr() != caller {
+		t.Fatal("CALLER wrong")
+	}
+	if slot(2).U64() != 12 {
+		t.Fatal("CALLVALUE wrong")
+	}
+	if slot(3).U64() != 77 {
+		t.Fatal("BALANCE wrong")
+	}
+	if slot(4).U64() != 5 {
+		t.Fatal("SELFBALANCE wrong")
+	}
+	if slot(5).Addr() != contractAddr {
+		t.Fatal("ADDRESS wrong")
+	}
+	if slot(6).U64() != 3 {
+		t.Fatal("CALLDATASIZE wrong")
+	}
+}
+
+func TestCalldataLoad(t *testing.T) {
+	st := state.New()
+	data := make([]byte, 40)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	prog := NewProgram().PushU64(20).Op(CALLDATALOAD).PushU64(1).Op(SWAP).Op(SSTORE).Op(STOP)
+	ctx := &Context{State: st, Contract: addr(0xCC), Data: data, Gas: 1000}
+	if _, err := Execute(ctx, prog.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	got := st.GetStorage(addr(0xCC), WordFromU64(1).Bytes())
+	// Bytes 20..39 of data, then zero padding out to 32.
+	if got[0] != 21 || got[19] != 40 || got[20] != 0 || got[31] != 0 {
+		t.Fatalf("calldataload window wrong: % x", got)
+	}
+}
+
+func TestUnconditionalTransfer(t *testing.T) {
+	st := state.New()
+	dest, contractAddr := addr(0xDD), addr(0xCC)
+	// Simulate the chain's escrow: the tx credited 30 to the contract.
+	if err := st.AddBalance(contractAddr, 30); err != nil {
+		t.Fatal(err)
+	}
+	code := UnconditionalTransfer(dest)
+	res, err := Execute(&Context{State: st, Contract: contractAddr, Value: 30, Gas: 1000}, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reverted {
+		t.Fatal("should not revert")
+	}
+	if st.GetBalance(dest) != 30 || st.GetBalance(contractAddr) != 0 {
+		t.Fatalf("transfer wrong: dest=%d contract=%d", st.GetBalance(dest), st.GetBalance(contractAddr))
+	}
+}
+
+func TestConditionalTransfer(t *testing.T) {
+	dest := addr(0xDD)
+	code := ConditionalTransfer(dest, 10)
+
+	// Case 1: dest balance below threshold — transfer happens.
+	st := state.New()
+	if err := st.AddBalance(addr(0xCC), 7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(&Context{State: st, Contract: addr(0xCC), Value: 7, Gas: 1000}, code)
+	if err != nil || res.Reverted {
+		t.Fatalf("expected success: %v %+v", err, res)
+	}
+	if st.GetBalance(dest) != 7 {
+		t.Fatalf("dest got %d", st.GetBalance(dest))
+	}
+
+	// Case 2: dest balance at/above threshold — reverts.
+	st = state.New()
+	if err := st.AddBalance(dest, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddBalance(addr(0xCC), 7); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Execute(&Context{State: st, Contract: addr(0xCC), Value: 7, Gas: 1000}, code)
+	if !errors.Is(err, ErrReverted) || !res.Reverted {
+		t.Fatalf("expected revert: %v %+v", err, res)
+	}
+}
+
+func TestTransferInsufficientReverts(t *testing.T) {
+	st := state.New()
+	code := UnconditionalTransfer(addr(0xDD))
+	// Contract has no balance; value claims 30.
+	res, err := Execute(&Context{State: st, Contract: addr(0xCC), Value: 30, Gas: 1000}, code)
+	if !errors.Is(err, ErrReverted) || !res.Reverted {
+		t.Fatalf("expected revert on underfunded transfer: %v", err)
+	}
+}
+
+func TestCounterContractPersistence(t *testing.T) {
+	st := state.New()
+	code := CounterContract()
+	for i := 1; i <= 3; i++ {
+		if _, err := Execute(&Context{State: st, Contract: addr(0xCC), Gas: 1000}, code); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := st.GetStorage(addr(0xCC), make([]byte, 32))
+	var w Word
+	copy(w[32-len(v):], v)
+	if w.U64() != 3 {
+		t.Fatalf("counter = %d, want 3", w.U64())
+	}
+}
+
+func TestAssemblerUndefinedLabel(t *testing.T) {
+	if _, err := NewProgram().PushLabel("nowhere").Op(JUMP).Assemble(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if STOP.String() != "STOP" || TRANSFER.String() != "TRANSFER" {
+		t.Fatal("op names wrong")
+	}
+	if Op(0xEE).String() == "" {
+		t.Fatal("invalid op should still render")
+	}
+}
+
+func TestGasAccounting(t *testing.T) {
+	st := state.New()
+	code := NewProgram().PushU64(1).PushU64(2).Op(ADD).Op(POP).Op(STOP).MustAssemble()
+	res, err := run(t, st, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 pushes + add + pop + stop = 5 ops at cost 1.
+	if res.GasUsed != 5 {
+		t.Fatalf("gas used %d, want 5", res.GasUsed)
+	}
+}

@@ -1,0 +1,135 @@
+// Package crypto provides the key management, signing and Merkle commitment
+// primitives the sharding system needs: ed25519 account keys (standing in
+// for go-Ethereum's secp256k1, which is outside the standard library),
+// transaction signing, and generic Merkle trees with inclusion proofs.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"contractshard/internal/types"
+)
+
+// Keypair holds an account's signing keys.
+type Keypair struct {
+	Public  ed25519.PublicKey
+	Private ed25519.PrivateKey
+}
+
+// GenerateKeypair creates a fresh random keypair.
+func GenerateKeypair() (*Keypair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: generate keypair: %w", err)
+	}
+	return &Keypair{Public: pub, Private: priv}, nil
+}
+
+// DeterministicKeypair derives a keypair from a seed stream. It is used by
+// tests and simulations that need reproducible identities.
+func DeterministicKeypair(r io.Reader) (*Keypair, error) {
+	pub, priv, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: deterministic keypair: %w", err)
+	}
+	return &Keypair{Public: pub, Private: priv}, nil
+}
+
+// KeypairFromSeed derives a keypair from a 32-byte seed expansion of the
+// given label, for reproducible fixtures.
+func KeypairFromSeed(label string) *Keypair {
+	seed := sha256.Sum256([]byte("contractshard/seed/" + label))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Keypair{Public: priv.Public().(ed25519.PublicKey), Private: priv}
+}
+
+// Address derives the account address from the public key: the low 20 bytes
+// of the key's hash, mirroring Ethereum's address derivation.
+func (k *Keypair) Address() types.Address {
+	return PubkeyToAddress(k.Public)
+}
+
+// PubkeyToAddress maps a public key to its account address.
+func PubkeyToAddress(pub ed25519.PublicKey) types.Address {
+	h := sha256.Sum256(pub)
+	return types.BytesToAddress(h[12:])
+}
+
+// Errors returned by signature checks.
+var (
+	ErrBadSignature = errors.New("crypto: invalid signature")
+	ErrWrongSender  = errors.New("crypto: public key does not match sender address")
+)
+
+// SignTx signs the transaction in place, filling PubKey and Sig. The
+// transaction's From must equal the keypair's address.
+func SignTx(tx *types.Transaction, k *Keypair) error {
+	if tx.From != k.Address() {
+		return fmt.Errorf("%w: from=%s key=%s", ErrWrongSender, tx.From, k.Address())
+	}
+	digest := tx.SigHash()
+	tx.PubKey = append([]byte(nil), k.Public...)
+	tx.Sig = ed25519.Sign(k.Private, digest[:])
+	return nil
+}
+
+// VerifyTx checks the transaction signature and that the embedded public key
+// matches the declared sender.
+func VerifyTx(tx *types.Transaction) error {
+	if len(tx.PubKey) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: pubkey size %d", ErrBadSignature, len(tx.PubKey))
+	}
+	pub := ed25519.PublicKey(tx.PubKey)
+	if PubkeyToAddress(pub) != tx.From {
+		return fmt.Errorf("%w: pubkey is %s", ErrWrongSender, PubkeyToAddress(pub))
+	}
+	digest := tx.SigHash()
+	if !ed25519.Verify(pub, digest[:], tx.Sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Sign signs an arbitrary message under a domain label, so signatures from
+// different protocols can never be replayed against each other.
+func Sign(k *Keypair, domain string, msg []byte) []byte {
+	return ed25519.Sign(k.Private, domainDigest(domain, msg))
+}
+
+// Verify checks a domain-separated signature.
+func Verify(pub ed25519.PublicKey, domain string, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(pub, domainDigest(domain, msg), sig)
+}
+
+func domainDigest(domain string, msg []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("contractshard/sig/"))
+	h.Write([]byte(domain))
+	h.Write([]byte{0})
+	h.Write(msg)
+	return h.Sum(nil)
+}
+
+// HashBytes hashes arbitrary bytes into a types.Hash.
+func HashBytes(parts ...[]byte) types.Hash {
+	h := sha256.New()
+	for _, p := range parts {
+		var lenBuf [8]byte
+		for i := 0; i < 8; i++ {
+			lenBuf[7-i] = byte(len(p) >> (8 * i))
+		}
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}

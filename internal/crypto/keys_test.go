@@ -1,0 +1,130 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func TestGenerateKeypair(t *testing.T) {
+	k1, err := GenerateKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Address() == k2.Address() {
+		t.Fatal("two random keypairs share an address")
+	}
+	if k1.Address().IsZero() {
+		t.Fatal("address should not be zero")
+	}
+}
+
+func TestKeypairFromSeedDeterministic(t *testing.T) {
+	a := KeypairFromSeed("alice")
+	b := KeypairFromSeed("alice")
+	c := KeypairFromSeed("bob")
+	if a.Address() != b.Address() {
+		t.Fatal("same seed produced different keys")
+	}
+	if a.Address() == c.Address() {
+		t.Fatal("different seeds produced the same key")
+	}
+}
+
+func signedTx(t *testing.T, k *Keypair) *types.Transaction {
+	t.Helper()
+	tx := &types.Transaction{
+		Nonce: 1,
+		From:  k.Address(),
+		To:    types.BytesToAddress([]byte{2}),
+		Value: 10,
+		Fee:   1,
+		Gas:   21000,
+	}
+	if err := SignTx(tx, k); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestSignVerifyTx(t *testing.T) {
+	k := KeypairFromSeed("signer")
+	tx := signedTx(t, k)
+	if err := VerifyTx(tx); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+}
+
+func TestSignTxWrongSender(t *testing.T) {
+	k := KeypairFromSeed("signer")
+	tx := &types.Transaction{From: types.BytesToAddress([]byte{0xFF})}
+	if err := SignTx(tx, k); !errors.Is(err, ErrWrongSender) {
+		t.Fatalf("expected ErrWrongSender, got %v", err)
+	}
+}
+
+func TestVerifyTxTampered(t *testing.T) {
+	k := KeypairFromSeed("signer")
+
+	tx := signedTx(t, k)
+	tx.Value++
+	if err := VerifyTx(tx); err == nil {
+		t.Fatal("tampered value accepted")
+	}
+
+	tx = signedTx(t, k)
+	tx.Sig[0] ^= 1
+	if err := VerifyTx(tx); err == nil {
+		t.Fatal("tampered signature accepted")
+	}
+
+	// Swapping in another identity's pubkey must fail the sender check.
+	tx = signedTx(t, k)
+	other := KeypairFromSeed("other")
+	tx.PubKey = other.Public
+	if err := VerifyTx(tx); !errors.Is(err, ErrWrongSender) {
+		t.Fatalf("expected ErrWrongSender, got %v", err)
+	}
+
+	// Garbage pubkey sizes are rejected without panicking.
+	tx = signedTx(t, k)
+	tx.PubKey = []byte{1, 2, 3}
+	if err := VerifyTx(tx); err == nil {
+		t.Fatal("short pubkey accepted")
+	}
+}
+
+func TestDomainSeparatedSign(t *testing.T) {
+	k := KeypairFromSeed("domains")
+	msg := []byte("payload")
+	sig := Sign(k, "vrf", msg)
+	if !Verify(k.Public, "vrf", msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(k.Public, "beacon", msg, sig) {
+		t.Fatal("signature verified under the wrong domain")
+	}
+	if Verify(k.Public, "vrf", []byte("other"), sig) {
+		t.Fatal("signature verified for the wrong message")
+	}
+	if Verify(nil, "vrf", msg, sig) {
+		t.Fatal("nil pubkey accepted")
+	}
+}
+
+func TestHashBytesInjectiveFraming(t *testing.T) {
+	// ("ab","c") and ("a","bc") must hash differently: length framing.
+	h1 := HashBytes([]byte("ab"), []byte("c"))
+	h2 := HashBytes([]byte("a"), []byte("bc"))
+	if h1 == h2 {
+		t.Fatal("HashBytes framing is ambiguous")
+	}
+	if HashBytes([]byte("x")) != HashBytes([]byte("x")) {
+		t.Fatal("HashBytes not deterministic")
+	}
+}

@@ -1,0 +1,138 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"contractshard/internal/types"
+)
+
+// MerkleTree is a binary Merkle tree over arbitrary leaf byte strings. It is
+// used wherever the system commits to a set and later proves membership:
+// the randomness beacon's commitment transcript and shard membership proofs.
+//
+// Leaves and interior nodes are hashed under distinct prefixes so a leaf can
+// never be confused with an interior node (second-preimage hardening), and
+// the leaf count is mixed into the root so trees of different sizes cannot
+// collide through odd-node promotion.
+type MerkleTree struct {
+	levels [][]types.Hash // levels[0] is the leaf level
+	count  int
+}
+
+var (
+	leafPrefix = []byte{0x00}
+	nodePrefix = []byte{0x01}
+)
+
+// ErrEmptyTree is returned when building a tree with no leaves.
+var ErrEmptyTree = errors.New("crypto: merkle tree needs at least one leaf")
+
+// NewMerkleTree builds a tree over the given leaves.
+func NewMerkleTree(leaves [][]byte) (*MerkleTree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmptyTree
+	}
+	level := make([]types.Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = hashLeaf(leaf)
+	}
+	t := &MerkleTree{count: len(leaves)}
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]types.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, hashNode(level[i], level[i]))
+			} else {
+				next = append(next, hashNode(level[i], level[i+1]))
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Root returns the tree's root commitment.
+func (t *MerkleTree) Root() types.Hash {
+	top := t.levels[len(t.levels)-1][0]
+	e := types.NewEncoder()
+	e.WriteUint64(uint64(t.count))
+	e.WriteHash(top)
+	return sha256.Sum256(e.Bytes())
+}
+
+// Count returns the number of leaves.
+func (t *MerkleTree) Count() int { return t.count }
+
+// ProofStep is one sibling on a Merkle path.
+type ProofStep struct {
+	Sibling types.Hash
+	// Left reports whether the sibling sits to the left of the path node.
+	Left bool
+}
+
+// Proof is a Merkle inclusion proof for the leaf at Index.
+type Proof struct {
+	Index int
+	Count int
+	Steps []ProofStep
+}
+
+// Prove returns the inclusion proof for leaf index i.
+func (t *MerkleTree) Prove(i int) (*Proof, error) {
+	if i < 0 || i >= t.count {
+		return nil, fmt.Errorf("crypto: merkle proof index %d out of range [0,%d)", i, t.count)
+	}
+	p := &Proof{Index: i, Count: t.count}
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx // odd node pairs with itself
+		}
+		p.Steps = append(p.Steps, ProofStep{Sibling: level[sib], Left: sib < idx})
+		idx /= 2
+	}
+	return p, nil
+}
+
+// VerifyProof checks that leaf sits at proof.Index under root.
+func VerifyProof(root types.Hash, leaf []byte, proof *Proof) bool {
+	if proof == nil || proof.Count <= 0 || proof.Index < 0 || proof.Index >= proof.Count {
+		return false
+	}
+	h := hashLeaf(leaf)
+	for _, step := range proof.Steps {
+		if step.Left {
+			h = hashNode(step.Sibling, h)
+		} else {
+			h = hashNode(h, step.Sibling)
+		}
+	}
+	e := types.NewEncoder()
+	e.WriteUint64(uint64(proof.Count))
+	e.WriteHash(h)
+	return types.Hash(sha256.Sum256(e.Bytes())) == root
+}
+
+func hashLeaf(b []byte) types.Hash {
+	h := sha256.New()
+	h.Write(leafPrefix)
+	h.Write(b)
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func hashNode(l, r types.Hash) types.Hash {
+	h := sha256.New()
+	h.Write(nodePrefix)
+	h.Write(l[:])
+	h.Write(r[:])
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,127 @@
+package crypto
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leavesOf(n int) [][]byte {
+	ls := make([][]byte, n)
+	for i := range ls {
+		ls[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return ls
+}
+
+func TestMerkleEmpty(t *testing.T) {
+	if _, err := NewMerkleTree(nil); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestMerkleProveVerifyAllSizes(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		leaves := leavesOf(n)
+		tree, err := NewMerkleTree(leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := tree.Root()
+		if tree.Count() != n {
+			t.Fatalf("count: got %d want %d", tree.Count(), n)
+		}
+		for i := 0; i < n; i++ {
+			p, err := tree.Prove(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !VerifyProof(root, leaves[i], p) {
+				t.Fatalf("n=%d: proof for leaf %d rejected", n, i)
+			}
+			// The proof must not verify a different leaf.
+			if n > 1 {
+				other := leaves[(i+1)%n]
+				if VerifyProof(root, other, p) {
+					t.Fatalf("n=%d: proof for leaf %d verified wrong leaf", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMerkleProofOutOfRange(t *testing.T) {
+	tree, _ := NewMerkleTree(leavesOf(4))
+	if _, err := tree.Prove(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tree.Prove(4); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestMerkleVerifyRejectsNilAndBadProof(t *testing.T) {
+	tree, _ := NewMerkleTree(leavesOf(4))
+	root := tree.Root()
+	if VerifyProof(root, []byte("leaf-0"), nil) {
+		t.Fatal("nil proof accepted")
+	}
+	p, _ := tree.Prove(0)
+	p.Steps[0].Sibling[0] ^= 1
+	if VerifyProof(root, []byte("leaf-0"), p) {
+		t.Fatal("corrupted proof accepted")
+	}
+}
+
+func TestMerkleSizeCommitment(t *testing.T) {
+	// Trees over [x,x,x] and [x,x,x,x] must have distinct roots even though
+	// odd-node promotion makes their top interior hashes equal.
+	same := [][]byte{[]byte("x"), []byte("x"), []byte("x")}
+	t3, _ := NewMerkleTree(same)
+	t4, _ := NewMerkleTree(append(same, []byte("x")))
+	if t3.Root() == t4.Root() {
+		t.Fatal("trees of different sizes collide")
+	}
+}
+
+func TestMerkleLeafNodeDomainSeparation(t *testing.T) {
+	// A single leaf equal to an encoded interior node must not produce the
+	// same root as the two-leaf tree it mimics.
+	two, _ := NewMerkleTree([][]byte{[]byte("a"), []byte("b")})
+	inner := hashNode(hashLeaf([]byte("a")), hashLeaf([]byte("b")))
+	one, _ := NewMerkleTree([][]byte{inner.Bytes()})
+	if two.Root() == one.Root() {
+		t.Fatal("leaf/node domain separation broken")
+	}
+}
+
+// Property: for random leaf sets, every generated proof verifies and roots
+// are deterministic.
+func TestMerkleProperty(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		tree, err := NewMerkleTree(raw)
+		if err != nil {
+			return false
+		}
+		tree2, _ := NewMerkleTree(raw)
+		if tree.Root() != tree2.Root() {
+			return false
+		}
+		for i := range raw {
+			p, err := tree.Prove(i)
+			if err != nil || !VerifyProof(tree.Root(), raw[i], p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

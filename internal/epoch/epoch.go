@@ -1,0 +1,239 @@
+// Package epoch orchestrates one reconfiguration epoch of the sharding
+// system (Sec. III-B): the miners run a commit–reveal randomness round, a
+// verifiable leader is elected by VRF over the beacon output, the leader
+// collects per-shard transaction counts from the MaxShard and broadcasts the
+// fractions, and every miner derives — and can prove — its shard assignment
+// from public data alone.
+//
+// The whole epoch is replayable: Outcome carries everything a third party
+// needs to re-verify the leader election and every miner's assignment.
+package epoch
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sort"
+
+	"contractshard/internal/crypto"
+	"contractshard/internal/randbeacon"
+	"contractshard/internal/sharding"
+	"contractshard/internal/types"
+	"contractshard/internal/vrf"
+)
+
+// Participant is one miner taking part in the epoch.
+type Participant struct {
+	Key *crypto.Keypair
+	// Seed is the secret the miner commits to in the beacon round.
+	Seed []byte
+	// Withhold simulates a malicious participant that commits but refuses
+	// to reveal — the only way to bias a commit-reveal beacon. The epoch
+	// excludes such participants and restarts the beacon without them; they
+	// receive no shard assignment.
+	Withhold bool
+}
+
+// Outcome is the verifiable result of an epoch.
+type Outcome struct {
+	Epoch      uint64
+	Randomness types.Hash
+	Transcript *randbeacon.Transcript
+	// Leader indexes the honest participants (Candidates); its VRF
+	// credentials are attached so anyone can re-run the election.
+	Leader      int
+	Candidates  []vrf.Candidate
+	Fractions   []sharding.Fraction
+	Assignments map[string]types.ShardID // keyed by public key bytes
+	// Excluded lists the public keys of withholders dropped from the epoch.
+	Excluded []ed25519.PublicKey
+}
+
+// Errors.
+var (
+	ErrNoParticipants = errors.New("epoch: no participants")
+	ErrNoLeader       = errors.New("epoch: leader election failed")
+)
+
+// Run executes one epoch among the participants, assigning each miner a
+// shard weighted by the per-shard transaction counts.
+func Run(epochNum uint64, participants []Participant, txCounts map[types.ShardID]int) (*Outcome, error) {
+	if len(participants) == 0 {
+		return nil, ErrNoParticipants
+	}
+
+	// 1. Randomness beacon: every participant commits; withholders refuse
+	// to reveal and are publicly identified, then the round restarts
+	// without them (the commit-reveal fallback). Their bias attempt only
+	// costs them their own participation.
+	session := randbeacon.NewSession(epochNum, pubsOf(participants))
+	for _, p := range participants {
+		c := randbeacon.Commitment(epochNum, p.Key.Public, p.Seed)
+		if err := session.AddCommit(p.Key.Public, c); err != nil {
+			return nil, fmt.Errorf("epoch: commit: %w", err)
+		}
+	}
+	for _, p := range participants {
+		if p.Withhold {
+			continue
+		}
+		if err := session.AddReveal(p.Key.Public, p.Seed); err != nil {
+			return nil, fmt.Errorf("epoch: reveal: %w", err)
+		}
+	}
+	var excluded []ed25519.PublicKey
+	if w := session.Withholders(); len(w) > 0 {
+		excluded = w
+		honest := participants[:0:0]
+		drop := make(map[string]bool, len(w))
+		for _, pub := range w {
+			drop[string(pub)] = true
+		}
+		for _, p := range participants {
+			if !drop[string(p.Key.Public)] {
+				honest = append(honest, p)
+			}
+		}
+		participants = honest
+		if len(participants) == 0 {
+			return nil, ErrNoParticipants
+		}
+		session = randbeacon.NewSession(epochNum, pubsOf(participants))
+		for _, p := range participants {
+			c := randbeacon.Commitment(epochNum, p.Key.Public, p.Seed)
+			if err := session.AddCommit(p.Key.Public, c); err != nil {
+				return nil, fmt.Errorf("epoch: recommit: %w", err)
+			}
+		}
+		for _, p := range participants {
+			if err := session.AddReveal(p.Key.Public, p.Seed); err != nil {
+				return nil, fmt.Errorf("epoch: re-reveal: %w", err)
+			}
+		}
+	}
+	transcript, err := session.Transcript()
+	if err != nil {
+		return nil, fmt.Errorf("epoch: beacon: %w", err)
+	}
+
+	// 2. VRF leader election over the beacon output (Sec. III-B).
+	input := electionInput(epochNum, transcript.Value)
+	candidates := make([]vrf.Candidate, len(participants))
+	for i, p := range participants {
+		out, proof := vrf.Evaluate(p.Key, input)
+		candidates[i] = vrf.Candidate{Pub: p.Key.Public, Output: out, Proof: proof}
+	}
+	leader := vrf.ElectLeader(input, candidates)
+	if leader < 0 {
+		return nil, ErrNoLeader
+	}
+
+	// 3. The leader broadcasts the per-shard transaction fractions.
+	fractions := sharding.ComputeFractions(txCounts)
+
+	// 4. Every miner derives its shard from public data.
+	assignments := make(map[string]types.ShardID, len(participants))
+	for _, p := range participants {
+		shard, err := sharding.AssignMiner(transcript.Value, p.Key.Public, fractions)
+		if err != nil {
+			return nil, fmt.Errorf("epoch: assign: %w", err)
+		}
+		assignments[string(p.Key.Public)] = shard
+	}
+
+	return &Outcome{
+		Epoch:       epochNum,
+		Randomness:  transcript.Value,
+		Transcript:  transcript,
+		Leader:      leader,
+		Candidates:  candidates,
+		Fractions:   fractions,
+		Assignments: assignments,
+		Excluded:    excluded,
+	}, nil
+}
+
+func pubsOf(participants []Participant) []ed25519.PublicKey {
+	pubs := make([]ed25519.PublicKey, len(participants))
+	for i, p := range participants {
+		pubs[i] = p.Key.Public
+	}
+	return pubs
+}
+
+func electionInput(epochNum uint64, randomness types.Hash) []byte {
+	e := types.NewEncoder()
+	e.WriteBytes([]byte("epoch/election/v1"))
+	e.WriteUint64(epochNum)
+	e.WriteHash(randomness)
+	return e.Bytes()
+}
+
+// Verify re-checks an epoch outcome from scratch: the beacon transcript, the
+// leader election and every assignment — the audit any non-participating
+// miner runs before trusting the new configuration.
+func Verify(o *Outcome) error {
+	if o == nil {
+		return errors.New("epoch: nil outcome")
+	}
+	if !randbeacon.VerifyTranscript(o.Transcript) {
+		return errors.New("epoch: beacon transcript invalid")
+	}
+	if o.Transcript.Value != o.Randomness {
+		return errors.New("epoch: randomness does not match transcript")
+	}
+	input := electionInput(o.Epoch, o.Randomness)
+	if got := vrf.ElectLeader(input, o.Candidates); got != o.Leader {
+		return fmt.Errorf("epoch: leader election replays to %d, outcome claims %d", got, o.Leader)
+	}
+	sum := 0
+	for _, f := range o.Fractions {
+		sum += f.Percent
+	}
+	if sum != 100 {
+		return fmt.Errorf("epoch: fractions sum to %d", sum)
+	}
+	for pub, claimed := range o.Assignments {
+		shard, err := sharding.AssignMiner(o.Randomness, ed25519.PublicKey(pub), o.Fractions)
+		if err != nil {
+			return err
+		}
+		if shard != claimed {
+			return fmt.Errorf("epoch: assignment for %x replays to %s, outcome claims %s",
+				pub[:4], shard, claimed)
+		}
+	}
+	return nil
+}
+
+// ShardOf returns the outcome's assignment for a miner.
+func (o *Outcome) ShardOf(pub ed25519.PublicKey) (types.ShardID, bool) {
+	s, ok := o.Assignments[string(pub)]
+	return s, ok
+}
+
+// MinersPerShard tallies assignments by shard, sorted by shard id — useful
+// for checking the β-weighted balance.
+func (o *Outcome) MinersPerShard() []struct {
+	Shard  types.ShardID
+	Miners int
+} {
+	counts := map[types.ShardID]int{}
+	for _, s := range o.Assignments {
+		counts[s]++
+	}
+	ids := make([]types.ShardID, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]struct {
+		Shard  types.ShardID
+		Miners int
+	}, len(ids))
+	for i, id := range ids {
+		out[i].Shard = id
+		out[i].Miners = counts[id]
+	}
+	return out
+}

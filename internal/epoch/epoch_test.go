@@ -1,0 +1,192 @@
+package epoch
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"contractshard/internal/crypto"
+	"contractshard/internal/types"
+)
+
+func participants(n int) []Participant {
+	out := make([]Participant, n)
+	for i := range out {
+		out[i] = Participant{
+			Key:  crypto.KeypairFromSeed(fmt.Sprintf("epoch-p-%d", i)),
+			Seed: []byte(fmt.Sprintf("secret-%d", i)),
+		}
+	}
+	return out
+}
+
+func counts() map[types.ShardID]int {
+	return map[types.ShardID]int{0: 50, 1: 30, 2: 20}
+}
+
+func TestRunAndVerify(t *testing.T) {
+	o, err := Run(1, participants(8), counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(o); err != nil {
+		t.Fatalf("honest outcome rejected: %v", err)
+	}
+	if len(o.Assignments) != 8 {
+		t.Fatalf("assignments: %d", len(o.Assignments))
+	}
+	if o.Leader < 0 || o.Leader >= 8 {
+		t.Fatalf("leader index %d", o.Leader)
+	}
+}
+
+func TestNoParticipants(t *testing.T) {
+	if _, err := Run(1, nil, counts()); !errors.Is(err, ErrNoParticipants) {
+		t.Fatalf("empty epoch: %v", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a, err := Run(3, participants(6), counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(3, participants(6), counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Randomness != b.Randomness || a.Leader != b.Leader {
+		t.Fatal("epoch not deterministic")
+	}
+	for pub, s := range a.Assignments {
+		if b.Assignments[pub] != s {
+			t.Fatal("assignments diverged")
+		}
+	}
+}
+
+func TestEpochNumberChangesEverything(t *testing.T) {
+	a, _ := Run(1, participants(6), counts())
+	b, _ := Run(2, participants(6), counts())
+	if a.Randomness == b.Randomness {
+		t.Fatal("randomness identical across epochs")
+	}
+}
+
+func TestAssignmentsRespectFractions(t *testing.T) {
+	// With many miners, per-shard counts should track the tx fractions.
+	o, err := Run(1, participants(2000), counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := o.MinersPerShard()
+	byShard := map[types.ShardID]int{}
+	total := 0
+	for _, e := range per {
+		byShard[e.Shard] = e.Miners
+		total += e.Miners
+	}
+	if total != 2000 {
+		t.Fatalf("total assigned %d", total)
+	}
+	frac0 := float64(byShard[0]) / 2000
+	if frac0 < 0.44 || frac0 > 0.56 {
+		t.Fatalf("MaxShard got %.2f of miners, want ≈0.50", frac0)
+	}
+	frac2 := float64(byShard[2]) / 2000
+	if frac2 < 0.15 || frac2 > 0.25 {
+		t.Fatalf("shard 2 got %.2f of miners, want ≈0.20", frac2)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	o, err := Run(1, participants(5), counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claiming another leader.
+	tampered := *o
+	tampered.Leader = (o.Leader + 1) % 5
+	if err := Verify(&tampered); err == nil {
+		t.Fatal("leader lie accepted")
+	}
+	// Moving a miner to a different shard.
+	tampered = *o
+	tampered.Assignments = map[string]types.ShardID{}
+	for k, v := range o.Assignments {
+		tampered.Assignments[k] = v
+	}
+	for k, v := range tampered.Assignments {
+		tampered.Assignments[k] = v + 1
+		break
+	}
+	if err := Verify(&tampered); err == nil {
+		t.Fatal("assignment lie accepted")
+	}
+	// Corrupting the transcript.
+	tampered = *o
+	tampered.Randomness[0] ^= 1
+	if err := Verify(&tampered); err == nil {
+		t.Fatal("randomness lie accepted")
+	}
+	if err := Verify(nil); err == nil {
+		t.Fatal("nil outcome accepted")
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	ps := participants(4)
+	o, err := Run(1, ps, counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o.ShardOf(ps[0].Key.Public); !ok {
+		t.Fatal("participant missing")
+	}
+	outsider := crypto.KeypairFromSeed("outsider")
+	if _, ok := o.ShardOf(outsider.Public); ok {
+		t.Fatal("outsider has an assignment")
+	}
+}
+
+func TestWithholdersExcludedAndEpochCompletes(t *testing.T) {
+	ps := participants(8)
+	ps[2].Withhold = true
+	ps[5].Withhold = true
+	o, err := Run(4, ps, counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Excluded) != 2 {
+		t.Fatalf("excluded %d, want 2", len(o.Excluded))
+	}
+	if len(o.Assignments) != 6 {
+		t.Fatalf("assignments %d, want 6", len(o.Assignments))
+	}
+	if _, ok := o.ShardOf(ps[2].Key.Public); ok {
+		t.Fatal("withholder received an assignment")
+	}
+	if err := Verify(o); err != nil {
+		t.Fatalf("outcome with exclusions failed verification: %v", err)
+	}
+	// Withholding must actually change the randomness (the restart), and
+	// the withholder cannot have predicted the post-exclusion value from
+	// the pre-exclusion reveals alone — here we just check it differs.
+	honest, err := Run(4, participants(8), counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if honest.Randomness == o.Randomness {
+		t.Fatal("exclusion did not change the beacon output")
+	}
+}
+
+func TestAllWithholdersFails(t *testing.T) {
+	ps := participants(3)
+	for i := range ps {
+		ps[i].Withhold = true
+	}
+	if _, err := Run(1, ps, counts()); err == nil {
+		t.Fatal("epoch with no honest participants completed")
+	}
+}

@@ -1,0 +1,100 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Sec. VI). Each runner regenerates the corresponding
+// result — workload, parameter sweep, baseline and all — and renders the
+// same rows or series the paper reports, plus a Summary of headline numbers
+// that EXPERIMENTS.md tracks against the paper's values.
+//
+// Runners are deterministic in Options.Seed. Options.Quick shrinks the
+// workload so `go test -bench` finishes promptly; the shapes survive, the
+// confidence intervals don't.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tune a run.
+type Options struct {
+	// Seed drives all randomness; 1 by default.
+	Seed int64
+	// Reps overrides the experiment's repetition count when positive.
+	Reps int
+	// Quick shrinks workloads for benchmark iterations.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) reps(def, quick int) int {
+	if o.Reps > 0 {
+		return o.Reps
+	}
+	if o.Quick {
+		return quick
+	}
+	return def
+}
+
+// Result is a completed experiment.
+type Result struct {
+	ID    string
+	Title string
+	// Output is the rendered table/figure, ready to print.
+	Output string
+	// Summary holds the headline numbers, keyed by stable names that
+	// EXPERIMENTS.md references.
+	Summary map[string]float64
+}
+
+// Runner regenerates one table or figure.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Result, error)
+}
+
+var registry []Runner
+
+func register(r Runner) { registry = append(registry, r) }
+
+// All returns every runner in registration order.
+func All() []Runner {
+	out := make([]Runner, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get looks a runner up by id.
+func Get(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) (*Result, error) {
+	r, ok := Get(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r.Run(opts)
+}
+
+// IDs lists the registered experiment ids.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, r := range All() {
+		out = append(out, r.ID)
+	}
+	return out
+}

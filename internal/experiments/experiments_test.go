@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.Output == "" {
+		t.Fatalf("%s: empty output", id)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig1d",
+		"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
+		"fig4a", "fig4b", "fig4c",
+		"fig5a", "fig5b",
+		"sec-inter", "sec-intra",
+		"abl-conflict", "abl-epoch", "abl-bound", "proto", "storage", "ext-steady", "ext-trace", "ext-full",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(IDs()), len(want))
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, ok := Get("table1"); !ok {
+		t.Fatal("Get failed")
+	}
+}
+
+func TestTable1Saturates(t *testing.T) {
+	res := run(t, "table1")
+	// Adding miners beyond four buys little: within 25% either way.
+	sat := res.Summary["saturation_7_over_4"]
+	if sat < 0.75 || sat > 1.25 {
+		t.Fatalf("saturation ratio %.2f, want ≈1", sat)
+	}
+	if res.Summary["time_2"] < res.Summary["time_7"] {
+		t.Fatal("2 miners should not beat 7")
+	}
+}
+
+func TestFig1dHeadline(t *testing.T) {
+	res := run(t, "fig1d")
+	if res.Summary["safety_30_at_33pct"] < 0.95 {
+		t.Fatalf("safety at 30 miners, 33%%: %f", res.Summary["safety_30_at_33pct"])
+	}
+	if res.Summary["safety_30_at_25pct"] < res.Summary["safety_30_at_33pct"] {
+		t.Fatal("25% adversary should be safer than 33%")
+	}
+}
+
+func TestFig3aNearLinear(t *testing.T) {
+	res := run(t, "fig3a")
+	i9 := res.Summary["improvement_9"]
+	if i9 < 5 || i9 > 9.5 {
+		t.Fatalf("improvement at 9 shards %.2f, paper reports 7.2", i9)
+	}
+	if res.Summary["improvement_3"] >= i9 {
+		t.Fatal("improvement must grow with shards")
+	}
+}
+
+func TestFig3bFewEmptyBlocks(t *testing.T) {
+	res := run(t, "fig3b")
+	if res.Summary["max_sharding_empty"] > 10 {
+		t.Fatalf("balanced shards mined %.1f empty blocks, paper reports 0-5",
+			res.Summary["max_sharding_empty"])
+	}
+}
+
+func TestFig3cLargeReduction(t *testing.T) {
+	res := run(t, "fig3c")
+	if res.Summary["reduction"] < 0.6 {
+		t.Fatalf("empty-block reduction %.2f, paper reports 0.90", res.Summary["reduction"])
+	}
+	if res.Summary["empty_before_avg"] < 50 {
+		t.Fatalf("before-merge empties %.1f, paper reports ≈152", res.Summary["empty_before_avg"])
+	}
+}
+
+func TestFig3dModestLoss(t *testing.T) {
+	res := run(t, "fig3d")
+	loss := res.Summary["loss"]
+	if loss < 0 || loss > 0.5 {
+		t.Fatalf("throughput loss %.2f, paper reports 0.14", loss)
+	}
+}
+
+func TestFig3eOursBeatsRandom(t *testing.T) {
+	res := run(t, "fig3e")
+	if res.Summary["ours_avg"] < res.Summary["random_avg"]*0.95 {
+		t.Fatalf("ours %.2f vs random %.2f: expected ours >= random",
+			res.Summary["ours_avg"], res.Summary["random_avg"])
+	}
+}
+
+func TestFig3gMoreNewShards(t *testing.T) {
+	res := run(t, "fig3g")
+	if res.Summary["ours_avg"] <= res.Summary["random_avg"] {
+		t.Fatalf("ours %.2f vs random %.2f new shards: expected more",
+			res.Summary["ours_avg"], res.Summary["random_avg"])
+	}
+}
+
+func TestFig3fComparableEmpties(t *testing.T) {
+	res := run(t, "fig3f")
+	// The paper's gap is small (4%); assert ours is not dramatically worse.
+	if res.Summary["ours_avg"] > res.Summary["random_avg"]*1.5 {
+		t.Fatalf("ours %.2f vs random %.2f empties", res.Summary["ours_avg"], res.Summary["random_avg"])
+	}
+}
+
+func TestFig3hSelectionHelps(t *testing.T) {
+	res := run(t, "fig3h")
+	avg := res.Summary["improvement_avg"]
+	if avg < 2 || avg > 6 {
+		t.Fatalf("average improvement %.2f, paper reports ≈3", avg)
+	}
+	if res.Summary["improvement_9"] < res.Summary["improvement_1"] {
+		t.Fatal("improvement must grow with miners")
+	}
+}
+
+func TestFig4aBothParallel(t *testing.T) {
+	res := run(t, "fig4a")
+	if res.Summary["ours_9"] < 4 {
+		t.Fatalf("ours at 9 shards: %.2f", res.Summary["ours_9"])
+	}
+	// The paper's claim: not worse than ChainSpace (within noise).
+	if res.Summary["ours_9"] < res.Summary["chainspace_9"]*0.8 {
+		t.Fatalf("ours %.2f well below ChainSpace %.2f",
+			res.Summary["ours_9"], res.Summary["chainspace_9"])
+	}
+}
+
+func TestFig4bZeroVsLinear(t *testing.T) {
+	res := run(t, "fig4b")
+	if res.Summary["ours_max"] != 0 {
+		t.Fatalf("our validation communication %.1f, must be 0", res.Summary["ours_max"])
+	}
+	if res.Summary["chainspace_max"] <= 0 {
+		t.Fatal("ChainSpace communication should be positive")
+	}
+}
+
+func TestFig4cConstantTwo(t *testing.T) {
+	res := run(t, "fig4c")
+	for n := 0; n <= 6; n++ {
+		key := "comm_" + string(rune('0'+n))
+		if got := res.Summary[key]; got != 2 {
+			t.Fatalf("comm at %d small shards: %.2f, want exactly 2", n, got)
+		}
+	}
+}
+
+func TestFig5aNearOptimal(t *testing.T) {
+	res := run(t, "fig5a")
+	frac := res.Summary["fraction_of_optimal"]
+	if frac < 0.5 || frac > 1 {
+		t.Fatalf("fraction of optimal %.2f, paper reports 0.80", frac)
+	}
+}
+
+func TestFig5bHalfOptimal(t *testing.T) {
+	res := run(t, "fig5b")
+	frac := res.Summary["fraction_of_optimal"]
+	if frac < 0.3 || frac > 0.8 {
+		t.Fatalf("fraction of optimal %.2f, paper reports ≈0.50", frac)
+	}
+}
+
+func TestSecurityHeadlines(t *testing.T) {
+	inter := run(t, "sec-inter")
+	if inter.Summary["miners_for_8e-6_at_25pct"] <= 0 {
+		t.Fatal("implied shard size not found")
+	}
+	if p := inter.Summary["corruption_at_implied_n"]; p > 8e-6 {
+		t.Fatalf("corruption at implied n: %g", p)
+	}
+	intra := run(t, "sec-intra")
+	if intra.Summary["validators_for_7e-7_at_25pct"] <= 0 {
+		t.Fatal("implied validator count not found")
+	}
+	if p := intra.Summary["corruption_at_implied_v"]; p > 7e-7 {
+		t.Fatalf("corruption at implied v: %g", p)
+	}
+}
+
+func TestOutputsRenderable(t *testing.T) {
+	for _, r := range All() {
+		res, err := r.Run(Options{Seed: 2, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if !strings.Contains(res.Output, "\n") {
+			t.Fatalf("%s: output suspiciously short: %q", r.ID, res.Output)
+		}
+		if len(res.Summary) == 0 {
+			t.Fatalf("%s: no summary", r.ID)
+		}
+	}
+}
+
+func TestAblationsAndProto(t *testing.T) {
+	conflict := run(t, "abl-conflict")
+	// The improvement headline must grow with the conflict window (a wider
+	// window wastes more duplicated greedy work) and saturation must hold
+	// (7-miner time within 30% of 4-miner time) at every setting.
+	if conflict.Summary["improvement_w2.0"] <= conflict.Summary["improvement_w0.4"] {
+		t.Fatalf("conflict ablation shape: %v", conflict.Summary)
+	}
+	for _, k := range []string{"saturation_w0.4", "saturation_w1.2", "saturation_w2.0"} {
+		if v := conflict.Summary[k]; v < 0.6 || v > 1.4 {
+			t.Fatalf("%s = %.2f, saturation should hold", k, v)
+		}
+	}
+
+	ep := run(t, "abl-epoch")
+	// Longer refresh epochs cost throughput.
+	if ep.Summary["improvement_e1.0"] <= ep.Summary["improvement_e3.0"] {
+		t.Fatalf("epoch ablation shape: %v", ep.Summary)
+	}
+
+	bound := run(t, "abl-bound")
+	// Small L forms at least as many shards as large L, and large L strands
+	// at least as many leftovers.
+	if bound.Summary["new_shards_L4"] < bound.Summary["new_shards_L16"] {
+		t.Fatalf("bound ablation shards: %v", bound.Summary)
+	}
+	if bound.Summary["leftovers_L16"] < bound.Summary["leftovers_L4"] {
+		t.Fatalf("bound ablation leftovers: %v", bound.Summary)
+	}
+
+	proto := run(t, "proto")
+	// The real substrate must parallelize: 8 contract shards drain at least
+	// 4x faster per transaction than one.
+	if proto.Summary["speedup_8"] < 4 {
+		t.Fatalf("prototype speedup at 8 shards: %v", proto.Summary)
+	}
+	if proto.Summary["speedup_1"] != 1 {
+		t.Fatalf("prototype baseline: %v", proto.Summary)
+	}
+}
+
+func TestStorageReduction(t *testing.T) {
+	res := run(t, "storage")
+	// A shard miner must store far less than a full node; with 8 contracts
+	// the reduction should be large.
+	if res.Summary["reduction"] < 0.5 {
+		t.Fatalf("storage reduction %.2f, expected a large cut", res.Summary["reduction"])
+	}
+	if res.Summary["per_shard_accounts"] >= res.Summary["full_accounts"] {
+		t.Fatal("shard miner stores as much as a full node")
+	}
+}
+
+func TestSteadyStateLatencyDrops(t *testing.T) {
+	res := run(t, "ext-steady")
+	if res.Summary["mean_latency_9"] >= res.Summary["mean_latency_1"] {
+		t.Fatalf("latency did not drop: %v", res.Summary)
+	}
+	// One overloaded shard must show a backlog; nine shards must not.
+	if res.Summary["backlog_1"] < 100 {
+		t.Fatalf("single-shard overload backlog: %v", res.Summary["backlog_1"])
+	}
+	if res.Summary["backlog_9"] > 50 {
+		t.Fatalf("nine-shard backlog: %v", res.Summary["backlog_9"])
+	}
+}
+
+func TestTraceShardability(t *testing.T) {
+	res := run(t, "ext-trace")
+	// With no direct traffic and few multi-contract users, most of the
+	// workload is shardable; direct traffic erodes it monotonically.
+	if res.Summary["shardable_d0"] < 0.75 {
+		t.Fatalf("pure workload shardable: %v", res.Summary["shardable_d0"])
+	}
+	if res.Summary["shardable_d50"] >= res.Summary["shardable_d0"] {
+		t.Fatalf("direct traffic did not erode shardability: %v", res.Summary)
+	}
+}
+
+func TestFullSystemBeatsPlainSharding(t *testing.T) {
+	res := run(t, "ext-full")
+	if res.Summary["full_system"] <= res.Summary["sharding_only"] {
+		t.Fatalf("full system %.2f did not beat plain sharding %.2f",
+			res.Summary["full_system"], res.Summary["sharding_only"])
+	}
+	if res.Summary["gain"] < 0.3 {
+		t.Fatalf("Sec. IV algorithms gained only %.2f on the skewed load", res.Summary["gain"])
+	}
+}

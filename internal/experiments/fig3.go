@@ -1,0 +1,498 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contractshard/internal/baseline/randmerge"
+	"contractshard/internal/merge"
+	"contractshard/internal/metrics"
+	"contractshard/internal/sim"
+	"contractshard/internal/types"
+	"contractshard/internal/workload"
+)
+
+func init() {
+	register(Runner{ID: "fig3a", Title: "Fig 3(a): throughput improvement of sharding separation", Run: runFig3a})
+	register(Runner{ID: "fig3b", Title: "Fig 3(b): empty blocks, Ethereum vs sharding", Run: runFig3b})
+	register(Runner{ID: "fig3c", Title: "Fig 3(c): empty blocks before/after inter-shard merging", Run: runFig3c})
+	register(Runner{ID: "fig3d", Title: "Fig 3(d): throughput improvement before/after merging", Run: runFig3d})
+	register(Runner{ID: "fig3e", Title: "Fig 3(e): merging throughput, ours vs randomized", Run: runFig3e})
+	register(Runner{ID: "fig3f", Title: "Fig 3(f): empty blocks, ours vs randomized merging", Run: runFig3f})
+	register(Runner{ID: "fig3g", Title: "Fig 3(g): new shards, ours vs randomized merging", Run: runFig3g})
+	register(Runner{ID: "fig3h", Title: "Fig 3(h): intra-shard transaction selection throughput", Run: runFig3h})
+}
+
+// The Sec. VI-B1 testbed: 200 transactions, nine miners, one block per
+// miner-minute, ten transactions per block.
+const (
+	fig3TotalTxs = 200
+	fig3Miners   = 9
+)
+
+// uniformPlans splits the fee list evenly over `shards` one-miner shards.
+func uniformPlans(fees []uint64, shards int) []sim.ShardPlan {
+	counts := workload.SplitUniform(len(fees), shards)
+	plans := make([]sim.ShardPlan, shards)
+	off := 0
+	for s, n := range counts {
+		plans[s] = sim.ShardPlan{ID: types.ShardID(s), Miners: 1, Fees: fees[off : off+n]}
+		off += n
+	}
+	return plans
+}
+
+// runFig3a sweeps the shard count from 1 to 9 and reports WE/WS against the
+// nine-miner Ethereum baseline; the paper reaches 7.2x at nine shards.
+func runFig3a(opts Options) (*Result, error) {
+	reps := opts.reps(10, 3)
+	fig := metrics.Figure{
+		Title:  "Fig 3(a): throughput improvement vs number of shards",
+		XLabel: "shards", YLabel: "improvement",
+	}
+	series := metrics.Series{Name: "our sharding"}
+	summary := map[string]float64{}
+	for shards := 1; shards <= 9; shards++ {
+		sum := 0.0
+		for rep := 0; rep < reps; rep++ {
+			seed := opts.seed() + int64(rep)*104729
+			rng := rand.New(rand.NewSource(seed))
+			fees := workload.Fees(rng, fig3TotalTxs, workload.FeeUniform, 100)
+			we, err := sim.Ethereum(sim.Config{Seed: seed}, fig3Miners, fees)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := sim.Run(sim.Config{Seed: seed}, uniformPlans(fees, shards))
+			if err != nil {
+				return nil, err
+			}
+			sum += sim.Improvement(we, ws)
+		}
+		imp := sum / float64(reps)
+		series.X = append(series.X, float64(shards))
+		series.Y = append(series.Y, imp)
+		summary[fmt.Sprintf("improvement_%d", shards)] = imp
+	}
+	fig.Add(series)
+	return &Result{ID: "fig3a", Title: "Fig 3(a)", Output: fig.String(), Summary: summary}, nil
+}
+
+// runFig3b reports total empty blocks over the run window for the
+// non-sharded baseline and the sharded system; with evenly loaded shards
+// both stay near zero (the paper's 0–5 range).
+func runFig3b(opts Options) (*Result, error) {
+	reps := opts.reps(10, 3)
+	fig := metrics.Figure{
+		Title:  "Fig 3(b): empty blocks vs number of shards",
+		XLabel: "shards", YLabel: "empty blocks",
+	}
+	eth := metrics.Series{Name: "Ethereum"}
+	ours := metrics.Series{Name: "Sharding"}
+	summary := map[string]float64{}
+	maxEmpty := 0.0
+	for shards := 1; shards <= 9; shards++ {
+		ethSum, ourSum := 0.0, 0.0
+		for rep := 0; rep < reps; rep++ {
+			seed := opts.seed() + int64(rep)*104729
+			rng := rand.New(rand.NewSource(seed))
+			fees := workload.Fees(rng, fig3TotalTxs, workload.FeeUniform, 100)
+			we, err := sim.Ethereum(sim.Config{Seed: seed}, fig3Miners, fees)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := sim.Run(sim.Config{Seed: seed}, uniformPlans(fees, shards))
+			if err != nil {
+				return nil, err
+			}
+			ethSum += float64(we.TotalEmpty)
+			ourSum += float64(ws.TotalEmpty)
+		}
+		x := float64(shards)
+		eth.X, eth.Y = append(eth.X, x), append(eth.Y, ethSum/float64(reps))
+		ours.X, ours.Y = append(ours.X, x), append(ours.Y, ourSum/float64(reps))
+		if v := ourSum / float64(reps); v > maxEmpty {
+			maxEmpty = v
+		}
+	}
+	fig.Add(eth)
+	fig.Add(ours)
+	summary["max_sharding_empty"] = maxEmpty
+	return &Result{ID: "fig3b", Title: "Fig 3(b)", Output: fig.String(), Summary: summary}, nil
+}
+
+// mergeTestbed is the Sec. VI-C configuration: nine shards of which
+// numSmall are small (1–9 txs), a 212 s observation window, and the faster
+// block cadence that makes empty-block counts visible at that window.
+type mergeTestbed struct {
+	cfg    sim.Config
+	before []sim.ShardPlan // 9 shards, one miner each
+	after  []sim.ShardPlan // small shards merged per the plan
+	plan   *merge.Result
+	small  int
+}
+
+const (
+	mergeWindowSec    = 212
+	mergeBlockSec     = 1.3
+	mergeL            = 6
+	mergeReward       = 20.0
+	mergeCostPerShard = 1.0
+)
+
+// meanDrain is the average per-shard completion time, the throughput
+// denominator of the merging experiments: with shards as parallel
+// confirmation streams, system throughput tracks the mean stream completion,
+// and the serialization cost of fusing small streams into one merged chain
+// shows up here (the paper's 14% loss, Sec. VI-C1) even when a heavy regular
+// shard dominates the makespan.
+func meanDrain(r *sim.Result) float64 {
+	sum, n := 0.0, 0
+	for _, s := range r.Shards {
+		if s.Injected > 0 {
+			sum += s.DrainSec
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func buildMergeTestbed(seed int64, numSmall int, merger func(shards []merge.ShardInfo, seed int64) (*merge.Result, error)) (*mergeTestbed, error) {
+	rng := rand.New(rand.NewSource(seed))
+	counts, err := workload.SmallShardMix(rng, fig3TotalTxs, fig3Miners, numSmall)
+	if err != nil {
+		return nil, err
+	}
+	fees := workload.Fees(rng, fig3TotalTxs, workload.FeeUniform, 100)
+
+	tb := &mergeTestbed{
+		cfg:   sim.Config{Seed: seed, BlockIntervalSec: mergeBlockSec, WindowSec: mergeWindowSec},
+		small: numSmall,
+	}
+	off := 0
+	var smallInfos []merge.ShardInfo
+	shardFees := make(map[types.ShardID][]uint64)
+	for s, n := range counts {
+		id := types.ShardID(s + 1)
+		shardFees[id] = fees[off : off+n]
+		off += n
+		tb.before = append(tb.before, sim.ShardPlan{ID: id, Miners: 1, Fees: shardFees[id]})
+		if s < numSmall {
+			smallInfos = append(smallInfos, merge.ShardInfo{ID: id, Size: n})
+		}
+	}
+
+	plan, err := merger(smallInfos, seed)
+	if err != nil {
+		return nil, err
+	}
+	tb.plan = plan
+
+	// After merging: each new shard holds its members' transactions and one
+	// miner per member; unmerged small shards and regular shards continue
+	// unchanged.
+	merged := make(map[types.ShardID]bool)
+	nextID := types.ShardID(100)
+	for _, ns := range plan.NewShards {
+		var combined []uint64
+		for _, id := range ns.Members {
+			combined = append(combined, shardFees[id]...)
+			merged[id] = true
+		}
+		// The merged shard is one chain whose difficulty retargets to the
+		// combined hash power, and it satisfies the Eq. (1) bound by
+		// construction: its miners always have transactions to validate, so
+		// it contributes no empty blocks — precisely the waste the merge
+		// removes. Unmerged leftovers keep idling in their own shards.
+		tb.after = append(tb.after, sim.ShardPlan{
+			ID: nextID, Miners: len(ns.Members), Fees: combined,
+			Retargeted: true, Sustained: true,
+		})
+		nextID++
+	}
+	for _, p := range tb.before {
+		if !merged[p.ID] {
+			tb.after = append(tb.after, p)
+		}
+	}
+	return tb, nil
+}
+
+func gameMerger(shards []merge.ShardInfo, seed int64) (*merge.Result, error) {
+	return merge.Run(merge.Config{
+		Shards: shards, L: mergeL, Reward: mergeReward,
+		CostPerShard: mergeCostPerShard, Seed: seed,
+	})
+}
+
+func randomMerger(shards []merge.ShardInfo, seed int64) (*merge.Result, error) {
+	return randmerge.Run(randmerge.Config{Shards: shards, L: mergeL, Seed: seed})
+}
+
+// smallEmptyPerShard counts empty blocks among the small and merged shards,
+// normalized per original small shard — the Fig. 3(c)/(f) metric. Regular
+// shards are excluded: they are busy by construction and identical on both
+// sides of the comparison.
+func smallEmptyPerShard(r *sim.Result, numSmall int, smallOrMerged func(types.ShardID) bool) float64 {
+	total := 0
+	for _, s := range r.Shards {
+		if smallOrMerged(s.ID) {
+			total += s.EmptyBlocks
+		}
+	}
+	if numSmall == 0 {
+		return 0
+	}
+	return float64(total) / float64(numSmall)
+}
+
+func isSmallOrMergedID(numSmall int) func(types.ShardID) bool {
+	return func(id types.ShardID) bool {
+		return (id >= 1 && int(id) <= numSmall) || id >= 100
+	}
+}
+
+// mergeSweep runs the Sec. VI-C sweep for a given merger and returns, per
+// number of small shards, the average empty blocks per small shard, the
+// throughput improvement over the nine-miner baseline, and the number of
+// new shards formed.
+type mergePoint struct {
+	emptyBefore, emptyAfter float64
+	impBefore, impAfter     float64
+	newShards               float64
+}
+
+func mergeSweep(opts Options, merger func([]merge.ShardInfo, int64) (*merge.Result, error)) (map[int]mergePoint, error) {
+	reps := opts.reps(10, 3)
+	out := make(map[int]mergePoint)
+	for numSmall := 2; numSmall <= 7; numSmall++ {
+		var pt mergePoint
+		for rep := 0; rep < reps; rep++ {
+			seed := opts.seed() + int64(rep)*7919 + int64(numSmall)*31
+			tb, err := buildMergeTestbed(seed, numSmall, merger)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(seed))
+			allFees := workload.Fees(rng, fig3TotalTxs, workload.FeeUniform, 100)
+			we, err := sim.Ethereum(tb.cfg, fig3Miners, allFees)
+			if err != nil {
+				return nil, err
+			}
+			before, err := sim.Run(tb.cfg, tb.before)
+			if err != nil {
+				return nil, err
+			}
+			after, err := sim.Run(tb.cfg, tb.after)
+			if err != nil {
+				return nil, err
+			}
+			sel := isSmallOrMergedID(numSmall)
+			pt.emptyBefore += smallEmptyPerShard(before, numSmall, sel)
+			pt.emptyAfter += smallEmptyPerShard(after, numSmall, sel)
+			pt.impBefore += we.MakespanSec / meanDrain(before)
+			pt.impAfter += we.MakespanSec / meanDrain(after)
+			pt.newShards += float64(len(tb.plan.NewShards))
+		}
+		f := float64(reps)
+		out[numSmall] = mergePoint{
+			emptyBefore: pt.emptyBefore / f, emptyAfter: pt.emptyAfter / f,
+			impBefore: pt.impBefore / f, impAfter: pt.impAfter / f,
+			newShards: pt.newShards / f,
+		}
+	}
+	return out, nil
+}
+
+func runFig3c(opts Options) (*Result, error) {
+	pts, err := mergeSweep(opts, gameMerger)
+	if err != nil {
+		return nil, err
+	}
+	fig := metrics.Figure{
+		Title:  "Fig 3(c): empty blocks per small shard before/after merging (212 s window)",
+		XLabel: "small shards", YLabel: "empty blocks",
+	}
+	before := metrics.Series{Name: "before merging"}
+	after := metrics.Series{Name: "after merging"}
+	sumB, sumA := 0.0, 0.0
+	for n := 2; n <= 7; n++ {
+		before.X, before.Y = append(before.X, float64(n)), append(before.Y, pts[n].emptyBefore)
+		after.X, after.Y = append(after.X, float64(n)), append(after.Y, pts[n].emptyAfter)
+		sumB += pts[n].emptyBefore
+		sumA += pts[n].emptyAfter
+	}
+	fig.Add(before)
+	fig.Add(after)
+	summary := map[string]float64{
+		"empty_before_avg": sumB / 6,
+		"empty_after_avg":  sumA / 6,
+		"reduction":        1 - sumA/sumB,
+	}
+	return &Result{ID: "fig3c", Title: "Fig 3(c)", Output: fig.String(), Summary: summary}, nil
+}
+
+func runFig3d(opts Options) (*Result, error) {
+	pts, err := mergeSweep(opts, gameMerger)
+	if err != nil {
+		return nil, err
+	}
+	fig := metrics.Figure{
+		Title:  "Fig 3(d): throughput improvement before/after merging",
+		XLabel: "small shards", YLabel: "improvement",
+	}
+	before := metrics.Series{Name: "before merging"}
+	after := metrics.Series{Name: "after merging"}
+	sumB, sumA := 0.0, 0.0
+	for n := 2; n <= 7; n++ {
+		before.X, before.Y = append(before.X, float64(n)), append(before.Y, pts[n].impBefore)
+		after.X, after.Y = append(after.X, float64(n)), append(after.Y, pts[n].impAfter)
+		sumB += pts[n].impBefore
+		sumA += pts[n].impAfter
+	}
+	fig.Add(before)
+	fig.Add(after)
+	summary := map[string]float64{
+		"improvement_before_avg": sumB / 6,
+		"improvement_after_avg":  sumA / 6,
+		"loss":                   1 - sumA/sumB,
+	}
+	return &Result{ID: "fig3d", Title: "Fig 3(d)", Output: fig.String(), Summary: summary}, nil
+}
+
+func runFig3e(opts Options) (*Result, error) {
+	ours, err := mergeSweep(opts, gameMerger)
+	if err != nil {
+		return nil, err
+	}
+	random, err := mergeSweep(opts, randomMerger)
+	if err != nil {
+		return nil, err
+	}
+	fig := metrics.Figure{
+		Title:  "Fig 3(e): throughput improvement, our merging vs randomized merging",
+		XLabel: "small shards", YLabel: "improvement",
+	}
+	a := metrics.Series{Name: "our shard merging"}
+	b := metrics.Series{Name: "randomized shard merging"}
+	sumA, sumB := 0.0, 0.0
+	for n := 2; n <= 7; n++ {
+		a.X, a.Y = append(a.X, float64(n)), append(a.Y, ours[n].impAfter)
+		b.X, b.Y = append(b.X, float64(n)), append(b.Y, random[n].impAfter)
+		sumA += ours[n].impAfter
+		sumB += random[n].impAfter
+	}
+	fig.Add(a)
+	fig.Add(b)
+	summary := map[string]float64{
+		"ours_avg":   sumA / 6,
+		"random_avg": sumB / 6,
+		"gain":       sumA/sumB - 1,
+	}
+	return &Result{ID: "fig3e", Title: "Fig 3(e)", Output: fig.String(), Summary: summary}, nil
+}
+
+func runFig3f(opts Options) (*Result, error) {
+	ours, err := mergeSweep(opts, gameMerger)
+	if err != nil {
+		return nil, err
+	}
+	random, err := mergeSweep(opts, randomMerger)
+	if err != nil {
+		return nil, err
+	}
+	fig := metrics.Figure{
+		Title:  "Fig 3(f): empty blocks per small shard, our merging vs randomized",
+		XLabel: "small shards", YLabel: "empty blocks",
+	}
+	a := metrics.Series{Name: "our shard merging"}
+	b := metrics.Series{Name: "randomized shard merging"}
+	sumA, sumB := 0.0, 0.0
+	for n := 2; n <= 7; n++ {
+		a.X, a.Y = append(a.X, float64(n)), append(a.Y, ours[n].emptyAfter)
+		b.X, b.Y = append(b.X, float64(n)), append(b.Y, random[n].emptyAfter)
+		sumA += ours[n].emptyAfter
+		sumB += random[n].emptyAfter
+	}
+	fig.Add(a)
+	fig.Add(b)
+	summary := map[string]float64{
+		"ours_avg":   sumA / 6,
+		"random_avg": sumB / 6,
+	}
+	return &Result{ID: "fig3f", Title: "Fig 3(f)", Output: fig.String(), Summary: summary}, nil
+}
+
+func runFig3g(opts Options) (*Result, error) {
+	ours, err := mergeSweep(opts, gameMerger)
+	if err != nil {
+		return nil, err
+	}
+	random, err := mergeSweep(opts, randomMerger)
+	if err != nil {
+		return nil, err
+	}
+	fig := metrics.Figure{
+		Title:  "Fig 3(g): number of new shards, our merging vs randomized",
+		XLabel: "small shards", YLabel: "new shards",
+	}
+	a := metrics.Series{Name: "our shard merging"}
+	b := metrics.Series{Name: "randomized shard merging"}
+	sumA, sumB := 0.0, 0.0
+	for n := 2; n <= 7; n++ {
+		a.X, a.Y = append(a.X, float64(n)), append(a.Y, ours[n].newShards)
+		b.X, b.Y = append(b.X, float64(n)), append(b.Y, random[n].newShards)
+		sumA += ours[n].newShards
+		sumB += random[n].newShards
+	}
+	fig.Add(a)
+	fig.Add(b)
+	summary := map[string]float64{
+		"ours_avg":   sumA / 6,
+		"random_avg": sumB / 6,
+		"gain":       sumA/sumB - 1,
+	}
+	return &Result{ID: "fig3g", Title: "Fig 3(g)", Output: fig.String(), Summary: summary}, nil
+}
+
+// runFig3h sweeps miners 1..9 in one 200-transaction shard, comparing the
+// congestion-game selection against the greedy baseline with the same
+// miners; the paper reports a 300% average improvement.
+func runFig3h(opts Options) (*Result, error) {
+	reps := opts.reps(8, 3)
+	fig := metrics.Figure{
+		Title:  "Fig 3(h): throughput improvement of intra-shard transaction selection",
+		XLabel: "miners", YLabel: "improvement",
+	}
+	series := metrics.Series{Name: "tx selection"}
+	summary := map[string]float64{}
+	sum := 0.0
+	for k := 1; k <= 9; k++ {
+		imp := 0.0
+		for rep := 0; rep < reps; rep++ {
+			seed := opts.seed() + int64(rep)*104729 + int64(k)
+			rng := rand.New(rand.NewSource(seed))
+			fees := workload.Fees(rng, fig3TotalTxs, workload.FeeBinomial, 100)
+			we, err := sim.Ethereum(sim.Config{Seed: seed}, k, fees)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := sim.Run(sim.Config{Seed: seed, Selection: sim.GameSets},
+				[]sim.ShardPlan{{ID: 1, Miners: k, Fees: fees}})
+			if err != nil {
+				return nil, err
+			}
+			imp += sim.Improvement(we, ws)
+		}
+		imp /= float64(reps)
+		series.X = append(series.X, float64(k))
+		series.Y = append(series.Y, imp)
+		summary[fmt.Sprintf("improvement_%d", k)] = imp
+		sum += imp
+	}
+	fig.Add(series)
+	summary["improvement_avg"] = sum / 9
+	return &Result{ID: "fig3h", Title: "Fig 3(h)", Output: fig.String(), Summary: summary}, nil
+}

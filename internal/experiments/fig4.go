@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contractshard/internal/baseline/chainspace"
+	"contractshard/internal/callgraph"
+	"contractshard/internal/metrics"
+	"contractshard/internal/p2p"
+	"contractshard/internal/sharding"
+	"contractshard/internal/sim"
+	"contractshard/internal/types"
+	"contractshard/internal/unify"
+	"contractshard/internal/workload"
+)
+
+func init() {
+	register(Runner{ID: "fig4a", Title: "Fig 4(a): throughput improvement, ours vs ChainSpace", Run: runFig4a})
+	register(Runner{ID: "fig4b", Title: "Fig 4(b): communication per shard vs 3-input transactions", Run: runFig4b})
+	register(Runner{ID: "fig4c", Title: "Fig 4(c): communication per shard vs small shards", Run: runFig4c})
+}
+
+// runFig4a compares throughput scaling against ChainSpace under the
+// Sec. VI-B2 configuration: 24000 transactions, 76 confirmed transactions
+// per second per miner (block interval 10/76 s), shards 1..9.
+func runFig4a(opts Options) (*Result, error) {
+	total := 24000
+	if opts.Quick {
+		total = 2400
+	}
+	reps := opts.reps(5, 2)
+	// 76 tx/s with 10-tx blocks: one block every 10/76 seconds.
+	interval := 10.0 / 76.0
+
+	fig := metrics.Figure{
+		Title:  "Fig 4(a): throughput improvement vs number of shards",
+		XLabel: "shards", YLabel: "improvement",
+	}
+	ours := metrics.Series{Name: "our sharding"}
+	cs := metrics.Series{Name: "ChainSpace"}
+	summary := map[string]float64{}
+	for shards := 1; shards <= 9; shards++ {
+		ourSum, csSum := 0.0, 0.0
+		for rep := 0; rep < reps; rep++ {
+			seed := opts.seed() + int64(rep)*104729
+			rng := rand.New(rand.NewSource(seed))
+			fees := workload.Fees(rng, total, workload.FeeUniform, 100)
+			cfg := sim.Config{Seed: seed, BlockIntervalSec: interval}
+			we, err := sim.Ethereum(cfg, fig3Miners, fees)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := sim.Run(cfg, uniformPlans(fees, shards))
+			if err != nil {
+				return nil, err
+			}
+			ourSum += sim.Improvement(we, ws)
+			csRes, err := chainspace.SimulateThroughput(cfg, chainspace.Config{Shards: shards, Seed: seed}, fees, 1)
+			if err != nil {
+				return nil, err
+			}
+			csSum += sim.Improvement(we, csRes)
+		}
+		x := float64(shards)
+		ours.X, ours.Y = append(ours.X, x), append(ours.Y, ourSum/float64(reps))
+		cs.X, cs.Y = append(cs.X, x), append(cs.Y, csSum/float64(reps))
+	}
+	fig.Add(ours)
+	fig.Add(cs)
+	summary["ours_9"] = ours.Y[8]
+	summary["chainspace_9"] = cs.Y[8]
+	return &Result{ID: "fig4a", Title: "Fig 4(a)", Output: fig.String(), Summary: summary}, nil
+}
+
+// runFig4b reproduces the communication comparison: per-shard communication
+// times while validating 0..20000 3-input transactions, averaged over 20
+// repeats. Our design validates every 3-input transaction inside the
+// MaxShard — zero cross-shard messages — while ChainSpace's S-BAC grows
+// linearly.
+func runFig4b(opts Options) (*Result, error) {
+	reps := opts.reps(20, 3)
+	points := []int{0, 5000, 10000, 15000, 20000}
+	if opts.Quick {
+		points = []int{0, 500, 1000, 1500, 2000}
+	}
+	const shards = 9
+
+	fig := metrics.Figure{
+		Title:  "Fig 4(b): communication times per shard vs number of 3-input transactions",
+		XLabel: "3-input txs", YLabel: "communication times",
+	}
+	ours := metrics.Series{Name: "our sharding"}
+	cs := metrics.Series{Name: "ChainSpace"}
+	summary := map[string]float64{}
+	for _, n := range points {
+		csSum := 0.0
+		for rep := 0; rep < reps; rep++ {
+			seed := opts.seed() + int64(rep)*7919
+			rng := rand.New(rand.NewSource(seed))
+			txs := workload.MultiInputTxs(rng, n, 3, 100)
+			res, err := chainspace.SimulateComm(chainspace.Config{Shards: shards, Seed: seed}, txs)
+			if err != nil {
+				return nil, err
+			}
+			csSum += res.PerShardMean
+		}
+		// Our design: a 3-input transaction reads three accounts, so its
+		// sender cannot be a single-contract sender; the router sends every
+		// one of them to the MaxShard, whose miners hold all state. Verify
+		// that claim structurally rather than asserting it.
+		oursComm, err := ourCommFor3Input(n)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(n)
+		ours.X, ours.Y = append(ours.X, x), append(ours.Y, oursComm)
+		cs.X, cs.Y = append(cs.X, x), append(cs.Y, csSum/float64(reps))
+	}
+	fig.Add(ours)
+	fig.Add(cs)
+	summary["ours_max"] = maxOf(ours.Y)
+	summary["chainspace_max"] = maxOf(cs.Y)
+	return &Result{ID: "fig4b", Title: "Fig 4(b)", Output: fig.String(), Summary: summary}, nil
+}
+
+// ourCommFor3Input routes n 3-input transactions through the contract-
+// centric sharding and counts cross-shard validation messages. Multi-input
+// transactions are direct (non-contract) transfers touching several
+// accounts, so the call-graph classifies their senders as direct and the
+// router pins them to the MaxShard — where validation is entirely local.
+func ourCommFor3Input(n int) (float64, error) {
+	graph := callgraph.New()
+	dir := sharding.NewDirectory()
+	dir.Register(types.BytesToAddress([]byte{0xC1}))
+	crossShard := 0
+	for i := 0; i < n; i++ {
+		tx := &types.Transaction{
+			From: types.BytesToAddress([]byte{0x50, byte(i >> 8), byte(i)}),
+			To:   types.BytesToAddress([]byte{0x60, byte(i)}),
+			Inputs: []types.Address{
+				types.BytesToAddress([]byte{0x70, byte(i)}),
+				types.BytesToAddress([]byte{0x71, byte(i)}),
+				types.BytesToAddress([]byte{0x72, byte(i)}),
+			},
+		}
+		graph.ObserveTx(tx, false)
+		shard := sharding.RouteTx(tx, graph, dir)
+		if shard != types.MaxShard {
+			// Would require reading foreign state: count the cross-shard
+			// round it would cost. By construction this never happens.
+			crossShard += 2
+		}
+	}
+	return float64(crossShard), nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// runFig4c measures the merging protocol's communication: seven shards with
+// a varying number of small shards run one parameter-unification round over
+// the in-process network, and the per-shard message count is reported. The
+// paper's result is a constant 2 (one size report up, one broadcast down).
+func runFig4c(opts Options) (*Result, error) {
+	const shards = 7
+	fig := metrics.Figure{
+		Title:  "Fig 4(c): communication times per shard during merging",
+		XLabel: "small shards", YLabel: "communication times",
+	}
+	series := metrics.Series{Name: "our merging (parameter unification)"}
+	summary := map[string]float64{}
+	for numSmall := 0; numSmall <= 6; numSmall++ {
+		net := p2p.NewNetwork()
+		leaderNode := net.MustJoin("leader")
+		leader := unify.NewLeader(leaderNode)
+		reps := make([]*unify.Rep, shards)
+		for s := 0; s < shards; s++ {
+			node := net.MustJoin(p2p.NodeID(fmt.Sprintf("rep-%d", s)))
+			node.SetShard(types.ShardID(s + 1))
+			reps[s] = unify.NewRep(node, types.ShardID(s+1))
+		}
+		// Every shard reports its pending-transaction count (small shards
+		// report small numbers); the leader broadcasts unified parameters.
+		rng := rand.New(rand.NewSource(opts.seed() + int64(numSmall)))
+		for s, r := range reps {
+			size := 3600 + rng.Intn(400)
+			if s < numSmall {
+				size = 1000
+			}
+			if err := r.Report("leader", size); err != nil {
+				return nil, err
+			}
+		}
+		if _, sent := leader.BroadcastParams(unify.Params{
+			Epoch: uint64(numSmall), L: mergeL, Reward: mergeReward,
+			CostPerShard: mergeCostPerShard, MergeSeed: opts.seed(),
+		}); sent != shards {
+			return nil, fmt.Errorf("fig4c: broadcast reached %d of %d", sent, shards)
+		}
+		stats := net.Stats()
+		perShard := float64(stats.Total) / shards
+		series.X = append(series.X, float64(numSmall))
+		series.Y = append(series.Y, perShard)
+		summary[fmt.Sprintf("comm_%d", numSmall)] = perShard
+	}
+	fig.Add(series)
+	return &Result{ID: "fig4c", Title: "Fig 4(c)", Output: fig.String(), Summary: summary}, nil
+}

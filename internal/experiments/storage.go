@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"contractshard/internal/chain"
+	"contractshard/internal/contract"
+	"contractshard/internal/crypto"
+	"contractshard/internal/mempool"
+	"contractshard/internal/metrics"
+	"contractshard/internal/types"
+)
+
+func init() {
+	register(Runner{
+		ID:    "storage",
+		Title: "Storage: per-miner state footprint, sharded vs non-sharded",
+		Run:   runStorage,
+	})
+}
+
+// runStorage quantifies the Related-Work claim that contract-centric
+// sharding cuts per-miner storage: a contract-shard miner stores only the
+// accounts its shard's transactions touch, while a non-sharded (or
+// full-replication sharding) miner stores every account. The workload
+// spreads users evenly over contracts; the metric is live accounts per
+// ledger after everything confirms.
+func runStorage(opts Options) (*Result, error) {
+	usersPerContract := 30
+	if opts.Quick {
+		usersPerContract = 8
+	}
+	contracts := 8
+	dest := types.BytesToAddress([]byte{0xDD})
+
+	// Build the workload once: users[i][j] calls contract i.
+	type callSpec struct {
+		user  *crypto.Keypair
+		caddr types.Address
+	}
+	var calls []callSpec
+	alloc := map[types.Address]uint64{}
+	addrs := make([]types.Address, contracts)
+	code := map[types.Address][]byte{}
+	for i := range addrs {
+		addrs[i] = types.BytesToAddress([]byte{0xC0, byte(i)})
+		code[addrs[i]] = contract.UnconditionalTransfer(dest)
+		for j := 0; j < usersPerContract; j++ {
+			u := crypto.KeypairFromSeed(fmt.Sprintf("st-u-%d-%d", i, j))
+			alloc[u.Address()] = 1 << 20
+			calls = append(calls, callSpec{user: u, caddr: addrs[i]})
+		}
+	}
+
+	signTx := func(c callSpec) (*types.Transaction, error) {
+		tx := &types.Transaction{
+			Nonce: 0, From: c.user.Address(), To: c.caddr,
+			Value: 1, Fee: 1, Data: []byte{1},
+		}
+		return tx, crypto.SignTx(tx, c.user)
+	}
+	drain := func(ch *chain.Chain, pool *mempool.Pool) error {
+		miner := types.BytesToAddress([]byte{0xA1})
+		for r := 1; pool.Size() > 0; r++ {
+			if r > 10000 {
+				return fmt.Errorf("storage: pool stuck")
+			}
+			if _, err := ch.MineNext(miner, pool, nil, uint64(r)*1000); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Non-sharded miner: full allocation, all contracts, every transaction.
+	cfgAll := chain.DefaultConfig(types.MaxShard)
+	cfgAll.Difficulty = 16
+	full, err := chain.NewWithContracts(cfgAll, alloc, code)
+	if err != nil {
+		return nil, err
+	}
+	fullPool := mempool.New(0)
+	for _, c := range calls {
+		tx, err := signTx(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := fullPool.Add(tx); err != nil {
+			return nil, err
+		}
+	}
+	if err := drain(full, fullPool); err != nil {
+		return nil, err
+	}
+	fullAccounts := len(full.HeadState().Accounts())
+
+	// Sharded miner: genesis holds only the shard's users, its contract and
+	// the destination — the state slice the paper says shard miners keep.
+	shardAccounts := 0
+	for i := 0; i < contracts; i++ {
+		shardAlloc := map[types.Address]uint64{}
+		for _, c := range calls {
+			if c.caddr == addrs[i] {
+				shardAlloc[c.user.Address()] = 1 << 20
+			}
+		}
+		cfg := chain.DefaultConfig(types.ShardID(i + 1))
+		cfg.Difficulty = 16
+		ch, err := chain.NewWithContracts(cfg, shardAlloc,
+			map[types.Address][]byte{addrs[i]: code[addrs[i]]})
+		if err != nil {
+			return nil, err
+		}
+		pool := mempool.New(0)
+		for _, c := range calls {
+			if c.caddr != addrs[i] {
+				continue
+			}
+			tx, err := signTx(c)
+			if err != nil {
+				return nil, err
+			}
+			if err := pool.Add(tx); err != nil {
+				return nil, err
+			}
+		}
+		if err := drain(ch, pool); err != nil {
+			return nil, err
+		}
+		shardAccounts += len(ch.HeadState().Accounts())
+	}
+	perShard := float64(shardAccounts) / float64(contracts)
+
+	tbl := metrics.Table{
+		Title:   "Per-miner state footprint (live accounts)",
+		Headers: []string{"Miner", "Accounts stored"},
+	}
+	tbl.AddRow("non-sharded (full state)", fmt.Sprintf("%d", fullAccounts))
+	tbl.AddRow("contract-shard miner (avg)", fmt.Sprintf("%.1f", perShard))
+	reduction := 1 - perShard/float64(fullAccounts)
+	tbl.AddRow("reduction", fmt.Sprintf("%.0f%%", reduction*100))
+
+	return &Result{
+		ID:     "storage",
+		Title:  "Storage footprint",
+		Output: tbl.String(),
+		Summary: map[string]float64{
+			"full_accounts":      float64(fullAccounts),
+			"per_shard_accounts": perShard,
+			"reduction":          reduction,
+		},
+	}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contractshard/internal/metrics"
+	"contractshard/internal/workload"
+)
+
+func init() {
+	register(Runner{
+		ID:    "ext-trace",
+		Title: "Extension: shardable traffic fraction on trace-like workloads",
+		Run:   runTrace,
+	})
+}
+
+// runTrace quantifies the premise of Sec. II-A/II-C on trace-like
+// workloads: contract-centric sharding only parallelizes transactions from
+// single-contract senders, so the achievable speedup is bounded by Amdahl's
+// law over the shardable fraction f: with unbounded shards, 1/(1−f). The
+// sweep varies how much of the traffic is direct transfers and how many
+// users span multiple contracts — the knobs that erode f.
+func runTrace(opts Options) (*Result, error) {
+	txs := 20000
+	if opts.Quick {
+		txs = 4000
+	}
+	fig := metrics.Figure{
+		Title:  "Extension: shardable fraction vs direct-transfer share",
+		XLabel: "direct fraction", YLabel: "value",
+	}
+	lowMulti := metrics.Series{Name: "shardable (10% multi-contract users)"}
+	highMulti := metrics.Series{Name: "shardable (40% multi-contract users)"}
+	bound := metrics.Series{Name: "Amdahl speedup bound (10% multi)"}
+	summary := map[string]float64{}
+
+	for _, direct := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		for i, multi := range []float64{0.1, 0.4} {
+			rng := rand.New(rand.NewSource(opts.seed() + int64(direct*100) + int64(multi*1000)))
+			events, err := workload.Trace(rng, workload.TraceConfig{
+				Users: 500, Contracts: 40, Txs: txs,
+				DirectFraction: direct, MultiFraction: multi,
+			})
+			if err != nil {
+				return nil, err
+			}
+			stats := workload.AnalyzeTrace(events)
+			f := stats.ShardableFraction()
+			if i == 0 {
+				lowMulti.X = append(lowMulti.X, direct)
+				lowMulti.Y = append(lowMulti.Y, f)
+				speedup := 100.0
+				if f < 1 {
+					speedup = 1 / (1 - f)
+				}
+				bound.X = append(bound.X, direct)
+				bound.Y = append(bound.Y, speedup)
+				summary[fmt.Sprintf("shardable_d%.0f", direct*100)] = f
+			} else {
+				highMulti.X = append(highMulti.X, direct)
+				highMulti.Y = append(highMulti.Y, f)
+			}
+		}
+	}
+	fig.Add(lowMulti)
+	fig.Add(highMulti)
+	fig.Add(bound)
+	return &Result{ID: "ext-trace", Title: "Trace shardability", Output: fig.String(), Summary: summary}, nil
+}

@@ -1,0 +1,201 @@
+// Package congestion implements the intra-shard transaction-selection game
+// of Sec. IV-B: miners are players, unvalidated transactions are resources,
+// and a miner picking transaction j alongside n_j other miners expects
+//
+//	U_{i,j} = f_j / (n_j + 1)                             (Eq. 2)
+//
+// — the transaction's fee split across everyone competing for it. The game
+// is a congestion (potential) game, so best-reply dynamics (Algorithm 2)
+// converge to a pure-strategy Nash equilibrium; Rosenthal's potential
+// Φ = Σ_j Σ_{k=1..k_j} f_j/k strictly increases on every improving move,
+// which bounds the iteration count.
+package congestion
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Game is one selection game instance: T transactions with fees, u miners.
+type Game struct {
+	fees   []uint64
+	miners int
+}
+
+// Validation errors.
+var (
+	ErrNoTransactions = errors.New("congestion: no transactions")
+	ErrNoMiners       = errors.New("congestion: no miners")
+	ErrBadAssignment  = errors.New("congestion: assignment out of range")
+)
+
+// New builds a game.
+func New(fees []uint64, miners int) (*Game, error) {
+	if len(fees) == 0 {
+		return nil, ErrNoTransactions
+	}
+	if miners <= 0 {
+		return nil, ErrNoMiners
+	}
+	return &Game{fees: append([]uint64(nil), fees...), miners: miners}, nil
+}
+
+// NumTransactions returns T.
+func (g *Game) NumTransactions() int { return len(g.fees) }
+
+// NumMiners returns u.
+func (g *Game) NumMiners() int { return g.miners }
+
+// Utility returns U for a transaction already chosen by others miners
+// (excluding the deciding miner itself): f_j/(others+1).
+func (g *Game) Utility(tx, others int) float64 {
+	return float64(g.fees[tx]) / float64(others+1)
+}
+
+// counts tallies how many miners currently choose each transaction.
+func (g *Game) counts(assignment []int) ([]int, error) {
+	if len(assignment) != g.miners {
+		return nil, fmt.Errorf("%w: %d entries for %d miners", ErrBadAssignment, len(assignment), g.miners)
+	}
+	c := make([]int, len(g.fees))
+	for _, tx := range assignment {
+		if tx < 0 || tx >= len(g.fees) {
+			return nil, fmt.Errorf("%w: tx index %d", ErrBadAssignment, tx)
+		}
+		c[tx]++
+	}
+	return c, nil
+}
+
+// bestResponse returns the transaction maximizing miner i's utility given
+// the other miners' current choices, breaking ties toward the lowest index
+// so the computation is identical on every node (parameter unification).
+func (g *Game) bestResponse(counts []int, current int) int {
+	best, bestU := current, g.Utility(current, counts[current]-1)
+	for tx := range g.fees {
+		others := counts[tx]
+		if tx == current {
+			others--
+		}
+		u := g.Utility(tx, others)
+		if u > bestU+1e-12 || (abs(u-bestU) <= 1e-12 && tx < best) {
+			best, bestU = tx, u
+		}
+	}
+	return best
+}
+
+// Result reports a converged run.
+type Result struct {
+	// Assignment maps each miner to its chosen transaction index.
+	Assignment []int
+	// Iterations is the number of improving moves performed.
+	Iterations int
+	// Converged reports whether a pure NE was reached within the move budget.
+	Converged bool
+}
+
+// Run executes best-reply dynamics (Algorithm 2) from the given initial
+// assignment — the leader-broadcast "initial transaction set selected by
+// each miner". Miners move in index order, one improving move at a time,
+// until no miner can improve. maxMoves <= 0 selects a budget safely above
+// the potential-function bound.
+func (g *Game) Run(initial []int, maxMoves int) (*Result, error) {
+	counts, err := g.counts(initial)
+	if err != nil {
+		return nil, err
+	}
+	assignment := append([]int(nil), initial...)
+	if maxMoves <= 0 {
+		// Each improving move raises the integer-scaled potential; u*T^2
+		// is the classical bound (Sec. IV-B cites O(uT^2)).
+		maxMoves = g.miners*len(g.fees)*len(g.fees) + g.miners
+	}
+
+	res := &Result{}
+	for moves := 0; moves < maxMoves; moves++ {
+		improved := false
+		for i := 0; i < g.miners; i++ {
+			cur := assignment[i]
+			next := g.bestResponse(counts, cur)
+			if next == cur {
+				continue
+			}
+			// Only strictly improving moves count (Algorithm 2's condition).
+			curU := g.Utility(cur, counts[cur]-1)
+			nextU := g.Utility(next, counts[next])
+			if nextU <= curU+1e-12 {
+				continue
+			}
+			counts[cur]--
+			counts[next]++
+			assignment[i] = next
+			res.Iterations++
+			improved = true
+		}
+		if !improved {
+			res.Converged = true
+			break
+		}
+	}
+	res.Assignment = assignment
+	return res, nil
+}
+
+// IsEquilibrium reports whether no miner can strictly improve by deviating —
+// the pure-strategy Nash condition.
+func (g *Game) IsEquilibrium(assignment []int) (bool, error) {
+	counts, err := g.counts(assignment)
+	if err != nil {
+		return false, err
+	}
+	for i := 0; i < g.miners; i++ {
+		cur := assignment[i]
+		curU := g.Utility(cur, counts[cur]-1)
+		for tx := range g.fees {
+			if tx == cur {
+				continue
+			}
+			if g.Utility(tx, counts[tx]) > curU+1e-12 {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Potential computes Rosenthal's potential Φ = Σ_j Σ_{k=1..k_j} f_j/k.
+// Every strictly improving unilateral move strictly increases Φ, which is
+// the convergence argument for Algorithm 2.
+func (g *Game) Potential(assignment []int) (float64, error) {
+	counts, err := g.counts(assignment)
+	if err != nil {
+		return 0, err
+	}
+	phi := 0.0
+	for tx, k := range counts {
+		for c := 1; c <= k; c++ {
+			phi += float64(g.fees[tx]) / float64(c)
+		}
+	}
+	return phi, nil
+}
+
+// DistinctChoices counts how many different transactions the assignment
+// covers — the "number of transaction sets" metric of Fig. 5(b), which
+// proxies throughput improvement: each distinct choice is a transaction
+// stream confirmed in parallel.
+func DistinctChoices(assignment []int) int {
+	seen := make(map[int]struct{}, len(assignment))
+	for _, tx := range assignment {
+		seen[tx] = struct{}{}
+	}
+	return len(seen)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,240 @@
+package congestion
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, 3); !errors.Is(err, ErrNoTransactions) {
+		t.Fatalf("no txs: %v", err)
+	}
+	if _, err := New([]uint64{1}, 0); !errors.Is(err, ErrNoMiners) {
+		t.Fatalf("no miners: %v", err)
+	}
+	g, err := New([]uint64{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run([]int{0}, 0); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("short assignment: %v", err)
+	}
+	if _, err := g.Run([]int{0, 5}, 0); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("out-of-range: %v", err)
+	}
+}
+
+func TestUtilityFormula(t *testing.T) {
+	g, _ := New([]uint64{100}, 4)
+	// Eq. (2): U = f/(n+1) with n other miners on the same transaction.
+	if got := g.Utility(0, 0); got != 100 {
+		t.Fatalf("alone: %v", got)
+	}
+	if got := g.Utility(0, 3); got != 25 {
+		t.Fatalf("shared: %v", got)
+	}
+}
+
+func TestTwoMinersSpread(t *testing.T) {
+	// Two txs with fees 10 and 9, two miners both starting on the best tx:
+	// splitting 10 gives 5 < 9, so one miner must move to tx 1.
+	g, _ := New([]uint64{10, 9}, 2)
+	res, err := g.Run([]int{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if DistinctChoices(res.Assignment) != 2 {
+		t.Fatalf("miners did not spread: %v", res.Assignment)
+	}
+	ok, err := g.IsEquilibrium(res.Assignment)
+	if err != nil || !ok {
+		t.Fatalf("not an equilibrium: %v %v", res.Assignment, err)
+	}
+}
+
+func TestDominantFeeSerializes(t *testing.T) {
+	// One fee so large that even split u ways it beats everything else:
+	// the equilibrium is everyone on that transaction — the serialization
+	// case the paper blames for Fig. 5(b)'s 50% average loss.
+	g, _ := New([]uint64{1000, 1, 1, 1}, 3)
+	res, err := g.Run([]int{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range res.Assignment {
+		if tx != 0 {
+			t.Fatalf("assignment %v, want all on tx 0", res.Assignment)
+		}
+	}
+	if DistinctChoices(res.Assignment) != 1 {
+		t.Fatal("distinct choices should be 1")
+	}
+}
+
+func TestEqualFeesPerfectSpread(t *testing.T) {
+	// With equal fees and at least as many txs as miners, equilibrium puts
+	// every miner alone: sharing halves the payoff while an empty tx pays full.
+	g, _ := New([]uint64{5, 5, 5, 5, 5}, 4)
+	res, err := g.Run([]int{0, 0, 0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DistinctChoices(res.Assignment) != 4 {
+		t.Fatalf("want 4 distinct, got %v", res.Assignment)
+	}
+	ok, _ := g.IsEquilibrium(res.Assignment)
+	if !ok {
+		t.Fatal("not an equilibrium")
+	}
+}
+
+func TestEquilibriumIsFixedPoint(t *testing.T) {
+	g, _ := New([]uint64{8, 6, 4}, 3)
+	res, err := g.Run([]int{0, 0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := g.Run(res.Assignment, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Iterations != 0 {
+		t.Fatalf("equilibrium moved: %v -> %v", res.Assignment, again.Assignment)
+	}
+}
+
+func TestPotentialMonotonicity(t *testing.T) {
+	// The Rosenthal potential must be strictly higher at the equilibrium
+	// than at any non-equilibrium start (best-reply only increases it).
+	g, _ := New([]uint64{9, 7, 5, 3}, 4)
+	initial := []int{0, 0, 0, 0}
+	phi0, err := g.Potential(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run(initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi1, err := g.Potential(res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 0 && phi1 <= phi0 {
+		t.Fatalf("potential did not increase: %f -> %f", phi0, phi1)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g, _ := New([]uint64{13, 11, 7, 5, 3, 2}, 5)
+	initial := []int{0, 1, 0, 2, 0}
+	a, err := g.Run(initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Run(initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("non-deterministic outcome")
+		}
+	}
+}
+
+func TestInitialAssignmentUntouched(t *testing.T) {
+	g, _ := New([]uint64{10, 9}, 2)
+	initial := []int{0, 0}
+	if _, err := g.Run(initial, 0); err != nil {
+		t.Fatal(err)
+	}
+	if initial[0] != 0 || initial[1] != 0 {
+		t.Fatal("Run mutated its input")
+	}
+}
+
+func TestMoveBudgetRespected(t *testing.T) {
+	g, _ := New([]uint64{10, 9, 8}, 3)
+	res, err := g.Run([]int{0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With budget 1 (one outer pass) we may or may not converge, but the
+	// run must terminate and report honestly.
+	if res.Converged {
+		if ok, _ := g.IsEquilibrium(res.Assignment); !ok {
+			t.Fatal("claimed convergence without equilibrium")
+		}
+	}
+}
+
+// Property: best-reply dynamics always terminate at a pure Nash equilibrium
+// for random fee vectors and random initial assignments.
+func TestAlwaysConvergesToEquilibriumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T := 1 + r.Intn(12)
+		u := 1 + r.Intn(12)
+		fees := make([]uint64, T)
+		for i := range fees {
+			fees[i] = uint64(r.Intn(100) + 1)
+		}
+		initial := make([]int, u)
+		for i := range initial {
+			initial[i] = r.Intn(T)
+		}
+		g, err := New(fees, u)
+		if err != nil {
+			return false
+		}
+		res, err := g.Run(initial, 0)
+		if err != nil || !res.Converged {
+			return false
+		}
+		ok, err := g.IsEquilibrium(res.Assignment)
+		return err == nil && ok
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of distinct choices never exceeds min(u, T) and is at
+// least 1.
+func TestDistinctChoicesBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T := 1 + r.Intn(20)
+		u := 1 + r.Intn(20)
+		fees := make([]uint64, T)
+		for i := range fees {
+			fees[i] = uint64(r.Intn(50) + 1)
+		}
+		initial := make([]int, u)
+		for i := range initial {
+			initial[i] = r.Intn(T)
+		}
+		g, _ := New(fees, u)
+		res, err := g.Run(initial, 0)
+		if err != nil {
+			return false
+		}
+		d := DistinctChoices(res.Assignment)
+		min := u
+		if T < min {
+			min = T
+		}
+		return d >= 1 && d <= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package congestion
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Weighted variant of the selection game. The paper's Eq. (2) assumes
+// homogeneous miners; in a real PoW shard miners differ in hash power, and
+// the expected fee share of miner i on transaction j is proportional to its
+// share of the hash power mining j:
+//
+//	U_{i,j} = f_j · h_i / Σ_{k on j} h_k
+//
+// This is a singleton congestion game with player-specific payoff functions
+// in the sense of Milchtaich (Games and Economic Behavior 1996), which the
+// paper cites [21]: better-reply dynamics still reach a pure-strategy Nash
+// equilibrium even though no exact potential exists.
+type WeightedGame struct {
+	fees    []uint64
+	weights []float64
+}
+
+// Weighted-game errors.
+var (
+	ErrBadWeights = errors.New("congestion: weights must be positive")
+)
+
+// NewWeighted builds a weighted game; weights[i] is miner i's hash power.
+func NewWeighted(fees []uint64, weights []float64) (*WeightedGame, error) {
+	if len(fees) == 0 {
+		return nil, ErrNoTransactions
+	}
+	if len(weights) == 0 {
+		return nil, ErrNoMiners
+	}
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: %f", ErrBadWeights, w)
+		}
+	}
+	return &WeightedGame{
+		fees:    append([]uint64(nil), fees...),
+		weights: append([]float64(nil), weights...),
+	}, nil
+}
+
+// Utility returns miner i's payoff on tx given the total weight of the
+// *other* miners currently on it.
+func (g *WeightedGame) Utility(i, tx int, othersWeight float64) float64 {
+	return float64(g.fees[tx]) * g.weights[i] / (othersWeight + g.weights[i])
+}
+
+// loads sums the weight on each transaction for an assignment.
+func (g *WeightedGame) loads(assignment []int) ([]float64, error) {
+	if len(assignment) != len(g.weights) {
+		return nil, fmt.Errorf("%w: %d entries for %d miners", ErrBadAssignment, len(assignment), len(g.weights))
+	}
+	l := make([]float64, len(g.fees))
+	for i, tx := range assignment {
+		if tx < 0 || tx >= len(g.fees) {
+			return nil, fmt.Errorf("%w: tx index %d", ErrBadAssignment, tx)
+		}
+		l[tx] += g.weights[i]
+	}
+	return l, nil
+}
+
+// Run executes better-reply dynamics until a pure Nash equilibrium. Unlike
+// the unweighted game there is no Rosenthal potential, but Milchtaich's
+// theorem guarantees a best-reply improvement path exists from every state
+// in singleton games; the deterministic sweep below terminates because each
+// move strictly raises the mover's utility and the finite state space
+// cannot cycle under the lowest-index tie-breaking discipline within the
+// move budget (maxMoves guards the theoretical cycling corner).
+func (g *WeightedGame) Run(initial []int, maxMoves int) (*Result, error) {
+	loads, err := g.loads(initial)
+	if err != nil {
+		return nil, err
+	}
+	assignment := append([]int(nil), initial...)
+	if maxMoves <= 0 {
+		maxMoves = len(g.weights)*len(g.fees)*len(g.fees) + len(g.weights)
+	}
+	res := &Result{}
+	for moves := 0; moves < maxMoves; moves++ {
+		improved := false
+		for i := range g.weights {
+			cur := assignment[i]
+			curU := g.Utility(i, cur, loads[cur]-g.weights[i])
+			best, bestU := cur, curU
+			for tx := range g.fees {
+				if tx == cur {
+					continue
+				}
+				if u := g.Utility(i, tx, loads[tx]); u > bestU+1e-12 {
+					best, bestU = tx, u
+				}
+			}
+			if best != cur {
+				loads[cur] -= g.weights[i]
+				loads[best] += g.weights[i]
+				assignment[i] = best
+				res.Iterations++
+				improved = true
+			}
+		}
+		if !improved {
+			res.Converged = true
+			break
+		}
+	}
+	res.Assignment = assignment
+	return res, nil
+}
+
+// IsEquilibrium reports whether no miner can strictly improve.
+func (g *WeightedGame) IsEquilibrium(assignment []int) (bool, error) {
+	loads, err := g.loads(assignment)
+	if err != nil {
+		return false, err
+	}
+	for i := range g.weights {
+		cur := assignment[i]
+		curU := g.Utility(i, cur, loads[cur]-g.weights[i])
+		for tx := range g.fees {
+			if tx == cur {
+				continue
+			}
+			if g.Utility(i, tx, loads[tx]) > curU+1e-12 {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

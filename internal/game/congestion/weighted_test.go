@@ -1,0 +1,122 @@
+package congestion
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(nil, []float64{1}); !errors.Is(err, ErrNoTransactions) {
+		t.Fatalf("no txs: %v", err)
+	}
+	if _, err := NewWeighted([]uint64{1}, nil); !errors.Is(err, ErrNoMiners) {
+		t.Fatalf("no miners: %v", err)
+	}
+	if _, err := NewWeighted([]uint64{1}, []float64{0}); !errors.Is(err, ErrBadWeights) {
+		t.Fatalf("zero weight: %v", err)
+	}
+	g, _ := NewWeighted([]uint64{1, 2}, []float64{1, 1})
+	if _, err := g.Run([]int{0}, 0); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("short assignment: %v", err)
+	}
+	if _, err := g.Run([]int{0, 7}, 0); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("range: %v", err)
+	}
+}
+
+func TestWeightedUtilityFormula(t *testing.T) {
+	g, _ := NewWeighted([]uint64{100}, []float64{3, 1})
+	// Miner 0 (weight 3) alone: full fee.
+	if got := g.Utility(0, 0, 0); got != 100 {
+		t.Fatalf("alone: %v", got)
+	}
+	// Sharing with the weight-1 miner: 75 vs 25 split.
+	if got := g.Utility(0, 0, 1); got != 75 {
+		t.Fatalf("heavy share: %v", got)
+	}
+	if got := g.Utility(1, 0, 3); got != 25 {
+		t.Fatalf("light share: %v", got)
+	}
+}
+
+func TestWeightedEqualWeightsMatchUnweighted(t *testing.T) {
+	fees := []uint64{13, 11, 7, 5, 3}
+	initial := []int{0, 0, 0, 0}
+	uw, _ := New(fees, 4)
+	uwRes, err := uw.Run(initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWeighted(fees, []float64{1, 1, 1, 1})
+	wRes, err := w.Run(initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal weights reduce to the unweighted game; both must reach an
+	// equilibrium with the same distinct-choice count.
+	if !wRes.Converged || !uwRes.Converged {
+		t.Fatal("not converged")
+	}
+	if DistinctChoices(wRes.Assignment) != DistinctChoices(uwRes.Assignment) {
+		t.Fatalf("distinct: weighted %d vs unweighted %d",
+			DistinctChoices(wRes.Assignment), DistinctChoices(uwRes.Assignment))
+	}
+}
+
+func TestWeightedHeavyMinerDisplacesLight(t *testing.T) {
+	// Two txs (100 and 40); a heavy miner (weight 9) and a light one
+	// (weight 1). At equilibrium the heavy miner holds the expensive tx:
+	// sharing would leave the light miner 10% of 100 = 10 < 40 alone.
+	g, _ := NewWeighted([]uint64{100, 40}, []float64{9, 1})
+	res, err := g.Run([]int{1, 0}, 0) // start them swapped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Assignment[0] != 0 || res.Assignment[1] != 1 {
+		t.Fatalf("assignment %v, want heavy on tx0", res.Assignment)
+	}
+	ok, _ := g.IsEquilibrium(res.Assignment)
+	if !ok {
+		t.Fatal("not an equilibrium")
+	}
+}
+
+// Property: better-reply dynamics terminate at a pure Nash equilibrium for
+// random weighted instances — the Milchtaich guarantee.
+func TestWeightedAlwaysReachesEquilibrium(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T := 1 + r.Intn(10)
+		u := 1 + r.Intn(10)
+		fees := make([]uint64, T)
+		for i := range fees {
+			fees[i] = uint64(r.Intn(100) + 1)
+		}
+		weights := make([]float64, u)
+		for i := range weights {
+			weights[i] = 0.5 + r.Float64()*4
+		}
+		initial := make([]int, u)
+		for i := range initial {
+			initial[i] = r.Intn(T)
+		}
+		g, err := NewWeighted(fees, weights)
+		if err != nil {
+			return false
+		}
+		res, err := g.Run(initial, 0)
+		if err != nil || !res.Converged {
+			return false
+		}
+		ok, err := g.IsEquilibrium(res.Assignment)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package replicator
+
+import (
+	"errors"
+	"math"
+)
+
+// Analytic equilibrium of the symmetric merging game — the content the
+// paper defers to its technical report (Sec. V-A). With n players of equal
+// size c, shard reward G, merging cost C and bound L, a symmetric mixed
+// strategy p is a Nash equilibrium when each player is indifferent between
+// merging and staying:
+//
+//	U_Y(p) = G·P[S_{n-1} + c ≥ L] − C   (merge: my own c always counts)
+//	U_N(p) = G·P[S_{n-1}·c ≥ L]          (stay: free-ride on the others)
+//
+// where S_{n-1} ~ Bin(n−1, p) counts the other players who merge. Both
+// probabilities are increasing in p and U_Y(p) − U_N(p) is decreasing
+// (merging helps exactly when my contribution is pivotal, which gets less
+// likely as others join), so interior equilibria are roots of a
+// well-behaved scalar function.
+
+// ErrNoEquilibrium is returned when the sweep finds no indifference root
+// and neither corner is stable.
+var ErrNoEquilibrium = errors.New("replicator: no symmetric equilibrium found")
+
+// binomTail returns P[Bin(n,p) >= k].
+func binomTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	// Stable evaluation via logs.
+	s := 0.0
+	for i := k; i <= n; i++ {
+		s += math.Exp(logChoose(n, i) + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p))
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func logChoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// advantage returns U_Y(p) − U_N(p) for the symmetric game.
+func advantage(n int, size int, G, C float64, L int, p float64) float64 {
+	// Number of other mergers needed for the bound with/without me.
+	needWith := ceilDiv(L-size, size) // S >= (L-c)/c when I merge
+	needWithout := ceilDiv(L, size)   // S >= L/c when I stay
+	if needWith < 0 {
+		needWith = 0
+	}
+	if p <= 0 {
+		// Degenerate: nobody else merges.
+		satWith := 0.0
+		if needWith == 0 {
+			satWith = 1
+		}
+		satWithout := 0.0
+		if needWithout == 0 {
+			satWithout = 1
+		}
+		return G*satWith - C - G*satWithout
+	}
+	if p >= 1 {
+		satWith := 0.0
+		if needWith <= n-1 {
+			satWith = 1
+		}
+		satWithout := 0.0
+		if needWithout <= n-1 {
+			satWithout = 1
+		}
+		return G*satWith - C - G*satWithout
+	}
+	return G*binomTail(n-1, needWith, p) - C - G*binomTail(n-1, needWithout, p)
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// SymmetricEquilibria returns the symmetric Nash equilibria of the merging
+// game with n players of equal size. The result may contain the corners 0
+// and 1 (when stable) and any interior indifference points, ascending.
+func SymmetricEquilibria(n, size int, G, C float64, L int) ([]float64, error) {
+	if n <= 0 || size <= 0 || L <= 0 {
+		return nil, errors.New("replicator: n, size and L must be positive")
+	}
+	var eq []float64
+	// Corner p=0 is an equilibrium when a lone deviator gains nothing:
+	// advantage at p→0 must be <= 0.
+	if advantage(n, size, G, C, L, 0) <= 0 {
+		eq = append(eq, 0)
+	}
+	// Interior roots: scan for sign changes of the advantage and bisect.
+	const steps = 1000
+	prevP := 1e-9
+	prevA := advantage(n, size, G, C, L, prevP)
+	for i := 1; i <= steps; i++ {
+		p := float64(i) / steps
+		if p >= 1 {
+			p = 1 - 1e-9
+		}
+		a := advantage(n, size, G, C, L, p)
+		if (prevA <= 0 && a > 0) || (prevA >= 0 && a < 0) {
+			root := bisect(func(x float64) float64 {
+				return advantage(n, size, G, C, L, x)
+			}, prevP, p)
+			if root > 1e-6 && root < 1-1e-6 {
+				eq = append(eq, root)
+			}
+		}
+		prevP, prevA = p, a
+	}
+	// Corner p=1 is an equilibrium when deviating to "stay" does not pay:
+	// advantage at p→1 must be >= 0.
+	if advantage(n, size, G, C, L, 1) >= 0 {
+		eq = append(eq, 1)
+	}
+	if len(eq) == 0 {
+		return nil, ErrNoEquilibrium
+	}
+	return eq, nil
+}
+
+func bisect(f func(float64) float64, lo, hi float64) float64 {
+	flo := f(lo)
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if (flo <= 0) == (fm <= 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

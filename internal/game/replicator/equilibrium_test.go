@@ -1,0 +1,136 @@
+package replicator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEquilibriumValidation(t *testing.T) {
+	if _, err := SymmetricEquilibria(0, 5, 10, 1, 10); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := SymmetricEquilibria(3, 0, 10, 1, 10); err == nil {
+		t.Fatal("size=0 accepted")
+	}
+	if _, err := SymmetricEquilibria(3, 5, 10, 1, 0); err == nil {
+		t.Fatal("L=0 accepted")
+	}
+}
+
+func TestAllNeededCorner(t *testing.T) {
+	// Three players of 4, L=12: the bound needs everyone, cost below reward.
+	// p=1 must be an equilibrium (a deviator forfeits G−C for 0); p=0 must
+	// also be one (a lone merger pays C for nothing).
+	eq, err := SymmetricEquilibria(3, 4, 20, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has0, has1 := false, false
+	for _, p := range eq {
+		if p == 0 {
+			has0 = true
+		}
+		if p == 1 {
+			has1 = true
+		}
+	}
+	if !has0 || !has1 {
+		t.Fatalf("expected both corners, got %v", eq)
+	}
+}
+
+func TestProhibitiveCostOnlyZero(t *testing.T) {
+	eq, err := SymmetricEquilibria(2, 6, 1, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range eq {
+		if p > 1e-6 {
+			t.Fatalf("cost above reward admits merging equilibrium %v", eq)
+		}
+	}
+}
+
+func TestFreeRiderInteriorEquilibria(t *testing.T) {
+	// The Sec. V free-riding case: 3 players of 6, L=12 (any two suffice),
+	// G=10, C=4. By hand the indifference equation 10(2p−p²)−4 = 10p² gives
+	// p² − p + 0.2 = 0, i.e. p ≈ 0.276 and p ≈ 0.724.
+	eq, err := SymmetricEquilibria(3, 6, 10, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var interior []float64
+	for _, p := range eq {
+		if p > 1e-6 && p < 1-1e-6 {
+			interior = append(interior, p)
+		}
+	}
+	if len(interior) != 2 {
+		t.Fatalf("want 2 interior equilibria, got %v", eq)
+	}
+	want := []float64{0.5 - math.Sqrt(0.05), 0.5 + math.Sqrt(0.05)}
+	for i, p := range interior {
+		if math.Abs(p-want[i]) > 1e-3 {
+			t.Fatalf("interior root %d: got %.4f want %.4f", i, p, want[i])
+		}
+	}
+}
+
+func TestEquilibriaAreIndifferent(t *testing.T) {
+	// Interior equilibria must satisfy the indifference condition.
+	eq, err := SymmetricEquilibria(5, 3, 15, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range eq {
+		if p <= 1e-6 || p >= 1-1e-6 {
+			continue
+		}
+		if adv := advantage(5, 3, 15, 2, 9, p); math.Abs(adv) > 1e-6 {
+			t.Fatalf("equilibrium %.4f has advantage %.2e", p, adv)
+		}
+	}
+}
+
+func TestReplicatorSettlesNearAnEquilibrium(t *testing.T) {
+	// The discretized dynamics must end close to one of the analytic
+	// equilibria in the symmetric free-rider game.
+	const n, size, G, C, L = 3, 6, 10.0, 4.0, 12
+	eq, err := SymmetricEquilibria(n, size, G, C, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{
+		Sizes:    []int{size, size, size},
+		L:        L,
+		Reward:   G,
+		Costs:    []float64{C, C, C},
+		MaxSlots: 600,
+		Subslots: 64,
+		Eta:      0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Run(rand.New(rand.NewSource(17)))
+	// The population ends either at a symmetric point near an equilibrium
+	// or at an asymmetric pure profile (two at 1, one at 0), which is also
+	// a Nash outcome. Accept both shapes.
+	nearSymmetric := false
+	avg := (out.Probs[0] + out.Probs[1] + out.Probs[2]) / 3
+	for _, p := range eq {
+		if math.Abs(avg-p) < 0.15 {
+			nearSymmetric = true
+		}
+	}
+	asymPure := 0
+	for _, p := range out.Probs {
+		if p < 0.1 || p > 0.9 {
+			asymPure++
+		}
+	}
+	if !nearSymmetric && asymPure != 3 {
+		t.Fatalf("dynamics ended at %v, equilibria %v", out.Probs, eq)
+	}
+}

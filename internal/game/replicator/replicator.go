@@ -1,0 +1,247 @@
+// Package replicator implements the evolutionary cooperative merging game of
+// Sec. V: small shards ("players") decide with what probability to merge
+// into a new shard, driven by discretized replicator dynamics (Eq. 11),
+// subslot sampling of utilities (Eq. 12–13) and the payoff table of Eq. (14).
+// Algorithm 3 of the paper is Game.Run.
+//
+// The whole computation is a pure function of its inputs plus the seeded
+// random source, which is what the parameter-unification scheme (Sec. IV-C)
+// relies on: every miner replays the game locally from the leader's
+// broadcast inputs and obtains the identical merging decision.
+package replicator
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Config parameterizes one merging game.
+type Config struct {
+	// Sizes holds the transaction count of each small shard (c_i in Eq. 7).
+	Sizes []int
+	// L is the minimum size of the newly formed shard (Eq. 1).
+	L int
+	// Reward is the shard reward G every participant receives when the new
+	// shard satisfies the bound.
+	Reward float64
+	// Costs holds each player's merging cost C_i; len must equal len(Sizes).
+	// A nil slice means zero costs.
+	Costs []float64
+	// Eta is the replicator step size η (Eq. 10–11); defaults to 0.1.
+	Eta float64
+	// Subslots is M, the samples per slot in Algorithm 3; defaults to 16.
+	Subslots int
+	// MaxSlots bounds the iteration count; defaults to 400.
+	MaxSlots int
+	// InitialProbs are the players' initial merge probabilities — the
+	// "random initial choices" the verifiable leader generates and
+	// broadcasts. A nil slice initializes every player at 0.5.
+	InitialProbs []float64
+	// Epsilon is the convergence threshold on the largest probability
+	// change per slot; defaults to 1e-3.
+	Epsilon float64
+}
+
+// Outcome reports the result of running the game to (approximate)
+// equilibrium.
+type Outcome struct {
+	// Probs is the final mixed strategy of each player.
+	Probs []float64
+	// Merged lists the indices of players that merge: those whose final
+	// strategy commits to merging.
+	Merged []int
+	// MergedSize is the transaction count of the newly formed shard.
+	MergedSize int
+	// Satisfied reports whether the new shard meets the bound L.
+	Satisfied bool
+	// Slots is the number of slots until convergence (or MaxSlots).
+	Slots int
+	// Converged reports whether the stop condition was met before MaxSlots.
+	Converged bool
+}
+
+// Validation errors.
+var (
+	ErrNoPlayers = errors.New("replicator: no players")
+	ErrBadConfig = errors.New("replicator: invalid configuration")
+)
+
+// Game is a configured merging game ready to run.
+type Game struct {
+	cfg   Config
+	costs []float64
+}
+
+// New validates the configuration and builds a game.
+func New(cfg Config) (*Game, error) {
+	if len(cfg.Sizes) == 0 {
+		return nil, ErrNoPlayers
+	}
+	if cfg.L <= 0 {
+		return nil, fmt.Errorf("%w: L must be positive", ErrBadConfig)
+	}
+	if cfg.Costs != nil && len(cfg.Costs) != len(cfg.Sizes) {
+		return nil, fmt.Errorf("%w: %d costs for %d players", ErrBadConfig, len(cfg.Costs), len(cfg.Sizes))
+	}
+	if cfg.InitialProbs != nil && len(cfg.InitialProbs) != len(cfg.Sizes) {
+		return nil, fmt.Errorf("%w: %d initial probs for %d players", ErrBadConfig, len(cfg.InitialProbs), len(cfg.Sizes))
+	}
+	for _, p := range cfg.InitialProbs {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("%w: initial probability %f out of [0,1]", ErrBadConfig, p)
+		}
+	}
+	for _, s := range cfg.Sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("%w: negative shard size", ErrBadConfig)
+		}
+	}
+	if cfg.Eta <= 0 {
+		cfg.Eta = 0.1
+	}
+	if cfg.Subslots <= 0 {
+		cfg.Subslots = 16
+	}
+	if cfg.MaxSlots <= 0 {
+		cfg.MaxSlots = 400
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 1e-3
+	}
+	costs := cfg.Costs
+	if costs == nil {
+		costs = make([]float64, len(cfg.Sizes))
+	}
+	return &Game{cfg: cfg, costs: costs}, nil
+}
+
+// payoff implements Eq. (14): the slot utility of player i given its own
+// action and whether the merged coalition met the bound.
+func (g *Game) payoff(i int, merged, satisfied bool) float64 {
+	switch {
+	case merged && satisfied:
+		return g.cfg.Reward - g.costs[i]
+	case merged && !satisfied:
+		return -g.costs[i]
+	case !merged && satisfied:
+		return g.cfg.Reward
+	default:
+		return 0
+	}
+}
+
+// Run executes Algorithm 3 with the given random source and returns the
+// equilibrium outcome. Identical (Config, seed) pairs produce identical
+// outcomes on every machine.
+func (g *Game) Run(rng *rand.Rand) *Outcome {
+	n := len(g.cfg.Sizes)
+	probs := make([]float64, n)
+	if g.cfg.InitialProbs != nil {
+		copy(probs, g.cfg.InitialProbs)
+	} else {
+		for i := range probs {
+			probs[i] = 0.5
+		}
+	}
+
+	actions := make([]bool, n)
+	// Per-slot accumulators for Eq. (12) and (13).
+	utilSum := make([]float64, n)      // Σ_s U_i(t,s)
+	mergeUtilSum := make([]float64, n) // Σ_s U_i(t,s)·a_i(t,s)
+	mergeCount := make([]int, n)
+
+	out := &Outcome{}
+	stable := 0
+	for slot := 0; slot < g.cfg.MaxSlots; slot++ {
+		for i := range utilSum {
+			utilSum[i], mergeUtilSum[i], mergeCount[i] = 0, 0, 0
+		}
+		for q := 0; q < g.cfg.Subslots; q++ {
+			size := 0
+			for i := 0; i < n; i++ {
+				actions[i] = rng.Float64() < probs[i]
+				if actions[i] {
+					size += g.cfg.Sizes[i]
+				}
+			}
+			satisfied := size >= g.cfg.L
+			for i := 0; i < n; i++ {
+				u := g.payoff(i, actions[i], satisfied)
+				utilSum[i] += u
+				if actions[i] {
+					mergeUtilSum[i] += u
+					mergeCount[i]++
+				}
+			}
+		}
+
+		// Replicator update, Eq. (11), for the "merge" strategy.
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			avg := utilSum[i] / float64(g.cfg.Subslots) // Eq. (13)
+			var mergeAvg float64                        // Eq. (12)
+			if mergeCount[i] > 0 {
+				mergeAvg = mergeUtilSum[i] / float64(mergeCount[i])
+			} else {
+				// The player never sampled "merge" this slot; its estimate
+				// of the merge payoff defaults to the overall average,
+				// leaving the probability unchanged.
+				mergeAvg = avg
+			}
+			delta := g.cfg.Eta * (mergeAvg - avg) * probs[i]
+			next := clamp01(probs[i] + delta)
+			if d := abs(next - probs[i]); d > maxDelta {
+				maxDelta = d
+			}
+			probs[i] = next
+		}
+		out.Slots = slot + 1
+		// Declare convergence only after sustained stability: a single
+		// quiet slot can be a sampling artifact (e.g. a player near x=1
+		// that happened not to explore "stay" in any subslot, making the
+		// merge average coincide with the overall average).
+		if maxDelta < g.cfg.Epsilon {
+			stable++
+			if stable >= 3 && slot >= 4 {
+				out.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+
+	out.Probs = probs
+	// The final coalition is a sample of the equilibrium mixed strategy —
+	// each player tosses its converged coin once more (Algorithm 3's last
+	// subslot). At a mixed equilibrium this produces a coalition whose size
+	// hovers just above L, which is what makes the iterative merger
+	// near-optimal in shard count (Fig. 5(a)); at corner equilibria it
+	// coincides with the deterministic choice.
+	for i, p := range probs {
+		if p > 0 && (p >= 1 || rng.Float64() < p) {
+			out.Merged = append(out.Merged, i)
+			out.MergedSize += g.cfg.Sizes[i]
+		}
+	}
+	out.Satisfied = out.MergedSize >= g.cfg.L
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,207 @@
+package replicator
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func mustGame(t *testing.T, cfg Config) *Game {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{L: 10}); !errors.Is(err, ErrNoPlayers) {
+		t.Fatalf("no players: %v", err)
+	}
+	if _, err := New(Config{Sizes: []int{1}, L: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("L=0: %v", err)
+	}
+	if _, err := New(Config{Sizes: []int{1, 2}, L: 3, Costs: []float64{1}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("cost length: %v", err)
+	}
+	if _, err := New(Config{Sizes: []int{1}, L: 3, InitialProbs: []float64{2}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad initial prob: %v", err)
+	}
+	if _, err := New(Config{Sizes: []int{-1}, L: 3}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative size: %v", err)
+	}
+}
+
+func TestPayoffTable(t *testing.T) {
+	g := mustGame(t, Config{Sizes: []int{5, 5}, L: 10, Reward: 10, Costs: []float64{3, 3}})
+	cases := []struct {
+		merged, satisfied bool
+		want              float64
+	}{
+		{true, true, 7},   // G - C
+		{true, false, -3}, // -C
+		{false, true, 10}, // G
+		{false, false, 0},
+	}
+	for _, c := range cases {
+		if got := g.payoff(0, c.merged, c.satisfied); got != c.want {
+			t.Fatalf("payoff(merged=%v, sat=%v) = %v, want %v", c.merged, c.satisfied, got, c.want)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{Sizes: []int{3, 4, 5, 2}, L: 8, Reward: 10, Costs: []float64{1, 1, 1, 1}}
+	run := func() *Outcome {
+		g := mustGame(t, cfg)
+		return g.Run(rand.New(rand.NewSource(42)))
+	}
+	a, b := run(), run()
+	if len(a.Probs) != len(b.Probs) {
+		t.Fatal("prob lengths differ")
+	}
+	for i := range a.Probs {
+		if a.Probs[i] != b.Probs[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a.Probs[i], b.Probs[i])
+		}
+	}
+	if a.MergedSize != b.MergedSize || a.Satisfied != b.Satisfied {
+		t.Fatal("outcome diverged")
+	}
+}
+
+func TestAllNeededAllMerge(t *testing.T) {
+	// The bound is only reachable if every player joins, and the reward
+	// dwarfs the cost: everyone should converge to merging.
+	g := mustGame(t, Config{
+		Sizes:  []int{4, 4, 4},
+		L:      12,
+		Reward: 20,
+		Costs:  []float64{1, 1, 1},
+	})
+	out := g.Run(rand.New(rand.NewSource(7)))
+	if len(out.Merged) != 3 || !out.Satisfied {
+		t.Fatalf("expected full merge: %+v", out)
+	}
+	for i, p := range out.Probs {
+		if p < 0.9 {
+			t.Fatalf("player %d prob %f, want →1", i, p)
+		}
+	}
+}
+
+func TestCostAboveRewardNobodyMerges(t *testing.T) {
+	g := mustGame(t, Config{
+		Sizes:  []int{10, 10},
+		L:      15,
+		Reward: 1,
+		Costs:  []float64{50, 50},
+	})
+	out := g.Run(rand.New(rand.NewSource(7)))
+	if out.Satisfied {
+		t.Fatalf("merge should not satisfy the bound: %+v", out)
+	}
+	for i, p := range out.Probs {
+		if p > 0.1 {
+			t.Fatalf("player %d prob %f, want →0", i, p)
+		}
+	}
+}
+
+func TestZeroCostMergeIsFree(t *testing.T) {
+	// With zero costs, merging weakly dominates whenever one's own
+	// contribution can tip the bound; probabilities should not collapse to 0.
+	g := mustGame(t, Config{Sizes: []int{6, 6}, L: 10, Reward: 5})
+	out := g.Run(rand.New(rand.NewSource(3)))
+	if !out.Satisfied {
+		t.Fatalf("zero-cost players failed to form a shard: %+v", out)
+	}
+}
+
+func TestFreeRiderPressure(t *testing.T) {
+	// Three players of size 6 with L=12: any two suffice. With meaningful
+	// costs the equilibrium is mixed — probabilities should leave the
+	// interior start but not all three converge to certain merging.
+	g := mustGame(t, Config{
+		Sizes:    []int{6, 6, 6},
+		L:        12,
+		Reward:   10,
+		Costs:    []float64{4, 4, 4},
+		MaxSlots: 300,
+	})
+	out := g.Run(rand.New(rand.NewSource(11)))
+	certain := 0
+	for _, p := range out.Probs {
+		if p > 0.95 {
+			certain++
+		}
+	}
+	if certain == 3 {
+		t.Fatalf("free riding should prevent all three from committing: %v", out.Probs)
+	}
+}
+
+func TestInitialProbsRespected(t *testing.T) {
+	// Players pinned at 0 can never merge: x=0 is absorbing in replicator
+	// dynamics.
+	g := mustGame(t, Config{
+		Sizes:        []int{5, 5, 5},
+		L:            10,
+		Reward:       10,
+		InitialProbs: []float64{0, 0.5, 0.5},
+	})
+	out := g.Run(rand.New(rand.NewSource(5)))
+	if out.Probs[0] != 0 {
+		t.Fatalf("absorbing state left: %f", out.Probs[0])
+	}
+}
+
+func TestOutcomeFieldsConsistent(t *testing.T) {
+	g := mustGame(t, Config{Sizes: []int{5, 7, 3}, L: 9, Reward: 8, Costs: []float64{1, 1, 1}})
+	out := g.Run(rand.New(rand.NewSource(1)))
+	size := 0
+	for _, i := range out.Merged {
+		if i < 0 || i > 2 {
+			t.Fatalf("merged index %d", i)
+		}
+		size += g.cfg.Sizes[i]
+	}
+	if size != out.MergedSize {
+		t.Fatalf("size %d vs %d", size, out.MergedSize)
+	}
+	if out.Satisfied != (size >= 9) {
+		t.Fatal("satisfied flag inconsistent")
+	}
+	if out.Slots <= 0 {
+		t.Fatal("slots not recorded")
+	}
+	for _, p := range out.Probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %f out of range", p)
+		}
+	}
+}
+
+func TestConvergenceAtCorners(t *testing.T) {
+	// A game whose equilibrium is a corner should report Converged.
+	g := mustGame(t, Config{
+		Sizes:  []int{4, 4, 4},
+		L:      12,
+		Reward: 50,
+		Costs:  []float64{1, 1, 1},
+	})
+	out := g.Run(rand.New(rand.NewSource(9)))
+	if !out.Converged {
+		t.Fatalf("corner equilibrium did not converge in %d slots", out.Slots)
+	}
+}
+
+func TestSinglePlayer(t *testing.T) {
+	// One shard already above L: merging alone trivially "satisfies".
+	g := mustGame(t, Config{Sizes: []int{20}, L: 10, Reward: 5, Costs: []float64{1}})
+	out := g.Run(rand.New(rand.NewSource(2)))
+	if !out.Satisfied || len(out.Merged) != 1 {
+		t.Fatalf("single player: %+v", out)
+	}
+}

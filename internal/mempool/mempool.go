@@ -1,0 +1,218 @@
+// Package mempool implements the pool of unvalidated transactions a miner
+// selects from. Its ordering embodies the behaviour the paper identifies as
+// the root cause of serialized confirmation (Sec. II-B): by default every
+// miner greedily prefers the highest-fee transactions, so all miners pick
+// the same set. The intra-shard selection algorithm replaces that greedy
+// pick with a congestion-game assignment (Sec. IV-B) by using TakeSet.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"contractshard/internal/types"
+)
+
+// Pool errors.
+var (
+	ErrKnownTx     = errors.New("mempool: transaction already known")
+	ErrPoolFull    = errors.New("mempool: pool is full")
+	ErrUnknownTx   = errors.New("mempool: transaction not in pool")
+	ErrNilTx       = errors.New("mempool: nil transaction")
+	ErrUnderpriced = errors.New("mempool: replacement fee not higher than existing")
+)
+
+// Pool holds pending transactions, ordered by fee. It is safe for concurrent
+// use: in the node substrate the p2p layer and the miner loop share it.
+type Pool struct {
+	mu     sync.RWMutex
+	byHash map[types.Hash]*types.Transaction
+	// bySlot indexes pending transactions by (sender, nonce) so a sender
+	// can replace a stuck transaction by re-submitting with a higher fee,
+	// as in go-Ethereum's replace-by-fee rule.
+	bySlot  map[slot]types.Hash
+	maxSize int
+}
+
+type slot struct {
+	from  types.Address
+	nonce uint64
+}
+
+// DefaultMaxSize bounds the pool when no explicit capacity is given.
+const DefaultMaxSize = 1 << 16
+
+// New creates a pool with the given capacity; cap<=0 selects DefaultMaxSize.
+func New(capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultMaxSize
+	}
+	return &Pool{
+		byHash:  make(map[types.Hash]*types.Transaction),
+		bySlot:  make(map[slot]types.Hash),
+		maxSize: capacity,
+	}
+}
+
+// Add inserts a transaction. A transaction occupying the same
+// (sender, nonce) slot as a pending one replaces it only when it pays a
+// strictly higher fee; equal or lower fees are rejected as underpriced —
+// the replace-by-fee rule that lets users bump stuck transactions without
+// letting the network be spammed with free churn.
+func (p *Pool) Add(tx *types.Transaction) error {
+	if tx == nil {
+		return ErrNilTx
+	}
+	h := tx.Hash()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.byHash[h]; ok {
+		return fmt.Errorf("%w: %s", ErrKnownTx, h)
+	}
+	sl := slot{from: tx.From, nonce: tx.Nonce}
+	if prevHash, ok := p.bySlot[sl]; ok {
+		prev := p.byHash[prevHash]
+		if tx.Fee <= prev.Fee {
+			return fmt.Errorf("%w: %d <= %d", ErrUnderpriced, tx.Fee, prev.Fee)
+		}
+		delete(p.byHash, prevHash)
+	} else if len(p.byHash) >= p.maxSize {
+		return ErrPoolFull
+	}
+	p.byHash[h] = tx
+	p.bySlot[sl] = h
+	return nil
+}
+
+// AddAll inserts a batch, skipping duplicates, and returns how many were new.
+func (p *Pool) AddAll(txs []*types.Transaction) int {
+	n := 0
+	for _, tx := range txs {
+		if err := p.Add(tx); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes the transactions with the given hashes, typically after a
+// block confirming them arrives.
+func (p *Pool) Remove(hashes ...types.Hash) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, h := range hashes {
+		if tx, ok := p.byHash[h]; ok {
+			sl := slot{from: tx.From, nonce: tx.Nonce}
+			if p.bySlot[sl] == h {
+				delete(p.bySlot, sl)
+			}
+			delete(p.byHash, h)
+		}
+	}
+}
+
+// RemoveTxs deletes the given transactions by hash.
+func (p *Pool) RemoveTxs(txs []*types.Transaction) {
+	hashes := make([]types.Hash, len(txs))
+	for i, tx := range txs {
+		hashes[i] = tx.Hash()
+	}
+	p.Remove(hashes...)
+}
+
+// Contains reports whether the pool holds the hash.
+func (p *Pool) Contains(h types.Hash) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.byHash[h]
+	return ok
+}
+
+// Get returns the pooled transaction with hash h, or nil.
+func (p *Pool) Get(h types.Hash) *types.Transaction {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.byHash[h]
+}
+
+// Size returns the number of pending transactions.
+func (p *Pool) Size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.byHash)
+}
+
+// Pending returns all pending transactions sorted by fee descending, ties
+// broken by hash so every miner computes the identical order — the
+// serialization premise of Sec. II-B.
+func (p *Pool) Pending() []*types.Transaction {
+	p.mu.RLock()
+	txs := make([]*types.Transaction, 0, len(p.byHash))
+	for _, tx := range p.byHash {
+		txs = append(txs, tx)
+	}
+	p.mu.RUnlock()
+	SortByFee(txs)
+	return txs
+}
+
+// TakeTop returns up to n highest-fee transactions without removing them —
+// the default greedy selection every miner shares.
+func (p *Pool) TakeTop(n int) []*types.Transaction {
+	txs := p.Pending()
+	if len(txs) > n {
+		txs = txs[:n]
+	}
+	return txs
+}
+
+// TakeSet returns the pooled transactions among the given hashes, preserving
+// the hash order. It is how a miner materializes the transaction set the
+// intra-shard congestion game assigned to it.
+func (p *Pool) TakeSet(hashes []types.Hash) []*types.Transaction {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*types.Transaction, 0, len(hashes))
+	for _, h := range hashes {
+		if tx, ok := p.byHash[h]; ok {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// Filter returns the pending transactions accepted by keep, fee-sorted.
+// Shard nodes use it to restrict mining to transactions of their own shard.
+func (p *Pool) Filter(keep func(*types.Transaction) bool) []*types.Transaction {
+	p.mu.RLock()
+	var txs []*types.Transaction
+	for _, tx := range p.byHash {
+		if keep(tx) {
+			txs = append(txs, tx)
+		}
+	}
+	p.mu.RUnlock()
+	SortByFee(txs)
+	return txs
+}
+
+// SortByFee orders transactions by fee descending — the greedy competition
+// of Sec. II-B — breaking fee ties by sender and ascending nonce (so one
+// sender's equal-fee transactions stay executable in sequence) and finally
+// by hash, keeping the order identical on every miner.
+func SortByFee(txs []*types.Transaction) {
+	sort.Slice(txs, func(i, j int) bool {
+		if txs[i].Fee != txs[j].Fee {
+			return txs[i].Fee > txs[j].Fee
+		}
+		if c := txs[i].From.Compare(txs[j].From); c != 0 {
+			return c < 0
+		}
+		if txs[i].Nonce != txs[j].Nonce {
+			return txs[i].Nonce < txs[j].Nonce
+		}
+		return txs[i].Hash().Compare(txs[j].Hash()) < 0
+	})
+}

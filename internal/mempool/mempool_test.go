@@ -1,0 +1,280 @@
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func tx(nonce, fee uint64) *types.Transaction {
+	return &types.Transaction{
+		Nonce: nonce,
+		From:  types.BytesToAddress([]byte{1}),
+		To:    types.BytesToAddress([]byte{2}),
+		Fee:   fee,
+	}
+}
+
+func TestAddAndSize(t *testing.T) {
+	p := New(0)
+	if err := p.Add(tx(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 1 {
+		t.Fatalf("size %d", p.Size())
+	}
+	if err := p.Add(nil); !errors.Is(err, ErrNilTx) {
+		t.Fatalf("nil tx: %v", err)
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	p := New(0)
+	a := tx(1, 10)
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(a); !errors.Is(err, ErrKnownTx) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	p := New(2)
+	if err := p.Add(tx(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx(3, 3)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("over capacity: %v", err)
+	}
+}
+
+func TestPendingFeeOrder(t *testing.T) {
+	p := New(0)
+	fees := []uint64{5, 50, 1, 30, 30}
+	for i, f := range fees {
+		if err := p.Add(tx(uint64(i), f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Pending()
+	if len(got) != 5 {
+		t.Fatalf("pending %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Fee < got[i].Fee {
+			t.Fatal("not fee-descending")
+		}
+		// Same fee and sender: nonce ascending so sequences stay executable.
+		if got[i-1].Fee == got[i].Fee && got[i-1].From == got[i].From &&
+			got[i-1].Nonce >= got[i].Nonce {
+			t.Fatal("tie not broken by ascending nonce")
+		}
+	}
+}
+
+func TestPendingDeterministicAcrossPools(t *testing.T) {
+	// Two pools filled in different orders must yield identical Pending
+	// sequences — the paper's premise that all miners see the same ordering.
+	var txs []*types.Transaction
+	for i := 0; i < 20; i++ {
+		txs = append(txs, tx(uint64(i), uint64(i%4)))
+	}
+	p1, p2 := New(0), New(0)
+	for i := range txs {
+		if err := p1.Add(txs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := p2.Add(txs[len(txs)-1-i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := p1.Pending(), p2.Pending()
+	for i := range a {
+		if a[i].Hash() != b[i].Hash() {
+			t.Fatalf("order diverged at %d", i)
+		}
+	}
+}
+
+func TestTakeTop(t *testing.T) {
+	p := New(0)
+	for i := 0; i < 10; i++ {
+		if err := p.Add(tx(uint64(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := p.TakeTop(3)
+	if len(top) != 3 || top[0].Fee != 9 || top[2].Fee != 7 {
+		t.Fatalf("top3 fees: %d %d %d", top[0].Fee, top[1].Fee, top[2].Fee)
+	}
+	if p.Size() != 10 {
+		t.Fatal("TakeTop must not remove")
+	}
+	if got := p.TakeTop(100); len(got) != 10 {
+		t.Fatalf("over-ask returned %d", len(got))
+	}
+}
+
+func TestTakeSet(t *testing.T) {
+	p := New(0)
+	a, b, c := tx(1, 1), tx(2, 2), tx(3, 3)
+	for _, x := range []*types.Transaction{a, b, c} {
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.TakeSet([]types.Hash{c.Hash(), a.Hash(), types.BytesToHash([]byte{0xFF})})
+	if len(got) != 2 || got[0].Hash() != c.Hash() || got[1].Hash() != a.Hash() {
+		t.Fatal("TakeSet wrong contents or order")
+	}
+}
+
+func TestRemoveAndContains(t *testing.T) {
+	p := New(0)
+	a, b := tx(1, 1), tx(2, 2)
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(a.Hash()) {
+		t.Fatal("contains false negative")
+	}
+	p.Remove(a.Hash())
+	if p.Contains(a.Hash()) || p.Size() != 1 {
+		t.Fatal("remove failed")
+	}
+	p.RemoveTxs([]*types.Transaction{b})
+	if p.Size() != 0 {
+		t.Fatal("RemoveTxs failed")
+	}
+	if p.Get(b.Hash()) != nil {
+		t.Fatal("Get after remove should be nil")
+	}
+}
+
+func TestAddAllSkipsDuplicates(t *testing.T) {
+	p := New(0)
+	a := tx(1, 1)
+	if n := p.AddAll([]*types.Transaction{a, a, tx(2, 2)}); n != 2 {
+		t.Fatalf("AddAll added %d, want 2", n)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	p := New(0)
+	for i := 0; i < 10; i++ {
+		if err := p.Add(tx(uint64(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	even := p.Filter(func(x *types.Transaction) bool { return x.Fee%2 == 0 })
+	if len(even) != 5 {
+		t.Fatalf("filter returned %d", len(even))
+	}
+	for i := 1; i < len(even); i++ {
+		if even[i-1].Fee < even[i].Fee {
+			t.Fatal("filter result not fee-sorted")
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p := New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				x := &types.Transaction{
+					Nonce: uint64(i),
+					From:  types.BytesToAddress([]byte{byte(g)}),
+					Fee:   uint64(i % 7),
+				}
+				_ = p.Add(x)
+				if i%3 == 0 {
+					p.Remove(x.Hash())
+				}
+				_ = p.Pending()
+				_ = p.Size()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func ExamplePool_TakeTop() {
+	p := New(0)
+	for i := 0; i < 3; i++ {
+		_ = p.Add(&types.Transaction{Nonce: uint64(i), Fee: uint64(10 * (i + 1))})
+	}
+	for _, tx := range p.TakeTop(2) {
+		fmt.Println(tx.Fee)
+	}
+	// Output:
+	// 30
+	// 20
+}
+
+func TestReplaceByFee(t *testing.T) {
+	p := New(0)
+	low := tx(5, 10)
+	if err := p.Add(low); err != nil {
+		t.Fatal(err)
+	}
+	// Same sender+nonce with equal fee: underpriced. (Different value makes
+	// it a distinct hash.)
+	equal := tx(5, 10)
+	equal.Value = 99
+	if err := p.Add(equal); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("equal fee: %v", err)
+	}
+	// Lower fee: underpriced.
+	lower := tx(5, 9)
+	if err := p.Add(lower); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("lower fee: %v", err)
+	}
+	// Higher fee: replaces; pool size stays 1 and only the bump remains.
+	bump := tx(5, 20)
+	if err := p.Add(bump); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 1 {
+		t.Fatalf("size %d after replacement", p.Size())
+	}
+	if p.Contains(low.Hash()) {
+		t.Fatal("replaced tx still present")
+	}
+	if !p.Contains(bump.Hash()) {
+		t.Fatal("replacement missing")
+	}
+	// After removal the slot is free again.
+	p.Remove(bump.Hash())
+	if err := p.Add(tx(5, 1)); err != nil {
+		t.Fatalf("slot not freed: %v", err)
+	}
+}
+
+func TestReplaceByFeeDistinctSendersUnaffected(t *testing.T) {
+	p := New(0)
+	a := tx(1, 10)
+	b := &types.Transaction{Nonce: 1, From: types.BytesToAddress([]byte{9}), Fee: 5}
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(b); err != nil {
+		t.Fatalf("different sender, same nonce rejected: %v", err)
+	}
+	if p.Size() != 2 {
+		t.Fatal("distinct senders must not share slots")
+	}
+}

@@ -1,0 +1,221 @@
+// Package merge implements the paper's inter-shard merging (Sec. IV-A):
+// Algorithm 1, which repeatedly runs the one-time replicator merging game
+// (Algorithm 3, package game/replicator) to fuse small shards into new
+// shards of at least L transactions, eliminating the empty blocks small
+// shards would otherwise mine.
+//
+// Everything here is deterministic given the Config — including the random
+// seed the verifiable leader broadcasts — so every miner reproduces the
+// identical merge plan locally (Sec. IV-C).
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"contractshard/internal/game/replicator"
+	"contractshard/internal/types"
+)
+
+// ShardInfo describes one small shard entering the merge process.
+type ShardInfo struct {
+	ID   types.ShardID
+	Size int // number of pending transactions in the shard
+}
+
+// Config parameterizes Algorithm 1.
+type Config struct {
+	// Shards are the small shards to merge.
+	Shards []ShardInfo
+	// L is the minimum size of a newly formed shard (Eq. 1).
+	L int
+	// Reward is the shard reward G.
+	Reward float64
+	// CostPerShard is the merging cost C applied to every player; the
+	// evaluation uses a uniform cost.
+	CostPerShard float64
+	// Seed drives the replicator game's sampling; broadcast by the leader.
+	Seed int64
+	// InitialProb is every player's initial merge probability (the leader's
+	// "random initial choice"); 0 selects 0.5.
+	InitialProb float64
+	// Game tuning (zero values select the replicator package defaults).
+	Eta      float64
+	Subslots int
+	MaxSlots int
+	// AttemptsPerRound bounds retries when a round's game fails to form a
+	// satisfying shard; defaults to 3.
+	AttemptsPerRound int
+}
+
+// NewShard is one merged shard in the plan.
+type NewShard struct {
+	Members []types.ShardID
+	Size    int
+}
+
+// Result is the full merge plan Algorithm 1 produces.
+type Result struct {
+	NewShards []NewShard
+	// Remaining lists the small shards left unmerged.
+	Remaining []ShardInfo
+	// Rounds is the number of successful Algorithm 3 invocations.
+	Rounds int
+	// GameSlots accumulates replicator slots across all rounds, the cost
+	// driver in the O(S·M·log(1/E)) complexity bound.
+	GameSlots int
+}
+
+// ErrBadL rejects non-positive merge bounds.
+var ErrBadL = errors.New("merge: L must be positive")
+
+// Run executes Algorithm 1: while the remaining small shards could still
+// form a shard of size ≥ L, run the one-time merging game and carve out the
+// coalition it produces.
+func Run(cfg Config) (*Result, error) {
+	if cfg.L <= 0 {
+		return nil, ErrBadL
+	}
+	attempts := cfg.AttemptsPerRound
+	if attempts <= 0 {
+		attempts = 5
+	}
+	if cfg.InitialProb < 0 || cfg.InitialProb > 1 {
+		return nil, fmt.Errorf("merge: initial probability %f out of [0,1]", cfg.InitialProb)
+	}
+
+	remaining := append([]ShardInfo(nil), cfg.Shards...)
+	// Canonical player order so replay is identical everywhere.
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i].ID < remaining[j].ID })
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+
+	for len(remaining) > 0 && totalSize(remaining) >= cfg.L {
+		// The leader's initial merge probability scales with how much of the
+		// remaining mass one new shard needs: starting every player at 0.5
+		// would sample coalitions of half the population, far past L, and
+		// waste the parallelism the merge exists to preserve. Near the
+		// equilibrium the replicator only has to fine-tune.
+		initial := cfg.InitialProb
+		if initial == 0 {
+			initial = 1.0 * float64(cfg.L) / float64(totalSize(remaining))
+			if initial > 0.5 {
+				initial = 0.5
+			}
+		}
+		coalition, slots, ok := oneRound(remaining, cfg, initial, rng, attempts)
+		res.GameSlots += slots
+		if !ok {
+			break
+		}
+		res.Rounds++
+		ns := NewShard{}
+		member := make(map[types.ShardID]bool, len(coalition))
+		for _, idx := range coalition {
+			ns.Members = append(ns.Members, remaining[idx].ID)
+			ns.Size += remaining[idx].Size
+			member[remaining[idx].ID] = true
+		}
+		res.NewShards = append(res.NewShards, ns)
+		next := remaining[:0]
+		for _, s := range remaining {
+			if !member[s.ID] {
+				next = append(next, s)
+			}
+		}
+		remaining = next
+	}
+	res.Remaining = remaining
+	return res, nil
+}
+
+// oneRound runs Algorithm 3 up to `attempts` times and returns the first
+// coalition that satisfies the bound.
+func oneRound(shards []ShardInfo, cfg Config, initial float64, rng *rand.Rand, attempts int) (coalition []int, slots int, ok bool) {
+	sizes := make([]int, len(shards))
+	costs := make([]float64, len(shards))
+	total := 0
+	for i, s := range shards {
+		sizes[i] = s.Size
+		costs[i] = cfg.CostPerShard
+		total += s.Size
+	}
+	for a := 0; a < attempts; a++ {
+		// Escalate the initial merge probability on retries: a failed
+		// attempt usually means the sampled coalition fell just short of L,
+		// so the leader re-seeds the next play with keener players. The
+		// replicator dynamics still govern the outcome — with incentives
+		// against merging (cost above reward) the probabilities decay again
+		// and the round legitimately fails.
+		p := initial * (1 + 0.5*float64(a))
+		// Never start at exactly 1: x=1 is an absorbing fixed point of the
+		// replicator dynamics where a player can no longer learn that
+		// staying pays better, so irrational merges would get locked in.
+		if p > 0.95 {
+			p = 0.95
+		}
+		probs := make([]float64, len(shards))
+		for i := range probs {
+			probs[i] = p
+		}
+		g, err := replicator.New(replicator.Config{
+			Sizes:        sizes,
+			L:            cfg.L,
+			Reward:       cfg.Reward,
+			Costs:        costs,
+			Eta:          cfg.Eta,
+			Subslots:     cfg.Subslots,
+			MaxSlots:     cfg.MaxSlots,
+			InitialProbs: probs,
+		})
+		if err != nil {
+			return nil, 0, false
+		}
+		out := g.Run(rng)
+		slots += out.Slots
+		if out.Satisfied {
+			return out.Merged, slots, true
+		}
+	}
+	return nil, slots, false
+}
+
+func totalSize(shards []ShardInfo) int {
+	t := 0
+	for _, s := range shards {
+		t += s.Size
+	}
+	return t
+}
+
+// Optimal returns the maximum possible number of new shards for the given
+// small-shard sizes: total transactions divided by L (Sec. VI-E1). It is the
+// yardstick of Fig. 5(a).
+func Optimal(sizes []int, L int) int {
+	if L <= 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	return total / L
+}
+
+// EmptyBlockRate estimates the fraction of a small shard's mining window
+// spent on empty blocks: once its txCount transactions are confirmed
+// (blockTxCap per block), the remaining blocks in the window are empty.
+// It quantifies the Sec. III-D waste the merge removes.
+func EmptyBlockRate(txCount, blockTxCap, blocksInWindow int) float64 {
+	if blocksInWindow <= 0 || blockTxCap <= 0 {
+		return 0
+	}
+	busy := (txCount + blockTxCap - 1) / blockTxCap
+	if busy >= blocksInWindow {
+		return 0
+	}
+	return float64(blocksInWindow-busy) / float64(blocksInWindow)
+}

@@ -1,0 +1,51 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+// TestLargeScaleNearOptimal reproduces the Fig. 5(a) property at test scale:
+// over hundreds of randomly sized small shards, Algorithm 1 forms a number
+// of new shards within a constant factor of the optimum total/L, and the
+// factor does not degrade as the population grows.
+func TestLargeScaleNearOptimal(t *testing.T) {
+	for _, S := range []int{100, 400, 1000} {
+		rng := rand.New(rand.NewSource(1))
+		infos := make([]ShardInfo, S)
+		sizes := make([]int, S)
+		for i := range infos {
+			sizes[i] = 1 + rng.Intn(9)
+			infos[i] = ShardInfo{ID: types.ShardID(i + 1), Size: sizes[i]}
+		}
+		res, err := Run(Config{
+			Shards: infos, L: 50, Reward: 20, CostPerShard: 1,
+			Seed: 7, MaxSlots: 20, Subslots: 8, Eta: 0.02,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Optimal(sizes, 50)
+		ratio := float64(len(res.NewShards)) / float64(opt)
+		if ratio < 0.5 {
+			t.Fatalf("S=%d: %d new shards vs optimal %d (ratio %.2f), want >= 0.5",
+				S, len(res.NewShards), opt, ratio)
+		}
+		if ratio > 1.0 {
+			t.Fatalf("S=%d: beat the optimum (%d vs %d) — accounting bug", S, len(res.NewShards), opt)
+		}
+		seen := 0
+		for _, ns := range res.NewShards {
+			seen += len(ns.Members)
+			if ns.Size < 50 {
+				t.Fatalf("S=%d: new shard below L: %d", S, ns.Size)
+			}
+		}
+		seen += len(res.Remaining)
+		if seen != S {
+			t.Fatalf("S=%d: %d shards accounted of %d", S, seen, S)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("single sample stddev")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got < 2.13 || got > 2.15 {
+		t.Fatalf("stddev %.3f", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
+		t.Fatal("extremes")
+	}
+	if Percentile(xs, 0.5) != 3 {
+		t.Fatal("median")
+	}
+	if got := Percentile(xs, 0.25); got != 2 {
+		t.Fatalf("q1 %f", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Fatal("percentile sorted its input")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Table I", Headers: []string{"Miners", "Time (s)"}}
+	tb.AddRow("2", "218")
+	tb.AddRow("7", "121")
+	s := tb.String()
+	if !strings.Contains(s, "Table I") || !strings.Contains(s, "Miners") {
+		t.Fatalf("render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), s)
+	}
+	// Columns aligned: all data rows start at the same offset for column 2.
+	if !strings.Contains(lines[3], "218") || !strings.Contains(lines[4], "121") {
+		t.Fatalf("rows missing:\n%s", s)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := Figure{Title: "Fig 3(a)", XLabel: "shards", YLabel: "x"}
+	f.Add(Series{Name: "ours", X: []float64{1, 9}, Y: []float64{1, 7.2}})
+	f.Add(Series{Name: "chainspace", X: []float64{9}, Y: []float64{7.0}})
+	s := f.String()
+	if !strings.Contains(s, "Fig 3(a)") || !strings.Contains(s, "ours") {
+		t.Fatalf("render:\n%s", s)
+	}
+	if !strings.Contains(s, "7.200") {
+		t.Fatalf("y value missing:\n%s", s)
+	}
+	// x=1 appears although only one series has it; the other cell is blank.
+	if !strings.Contains(s, "\n1") {
+		t.Fatalf("x=1 row missing:\n%s", s)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Fatalf("integer: %s", trimFloat(3))
+	}
+	if trimFloat(3.14159) != "3.142" {
+		t.Fatalf("float: %s", trimFloat(3.14159))
+	}
+	if got := trimFloat(8e-6); got != "8e-06" {
+		t.Fatalf("tiny: %s", got)
+	}
+}

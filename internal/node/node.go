@@ -1,0 +1,288 @@
+// Package node implements the miner's runtime of Sec. III-C: a miner joined
+// to the gossip network, assigned to a shard by the epoch's public
+// randomness, mining blocks that carry its membership proof, and — on every
+// incoming block — performing the paper's two verifications:
+//
+//  1. does the producer really belong to the ShardID the header claims?
+//     (replay the RandHound assignment from the producer's public key, the
+//     epoch randomness and the broadcast fractions; reject liars), and
+//  2. is the block for this miner's own shard? (only then record it).
+//
+// Transactions gossip on one topic and route locally: each miner holds the
+// call graph and shard directory, so it knows — without asking anyone —
+// whether an incoming transaction belongs to its shard.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"contractshard/internal/callgraph"
+	"contractshard/internal/chain"
+	"contractshard/internal/crypto"
+	"contractshard/internal/mempool"
+	"contractshard/internal/p2p"
+	"contractshard/internal/sharding"
+	"contractshard/internal/types"
+	"contractshard/internal/unify"
+)
+
+// Gossip topics.
+const (
+	TopicBlocks = "node/blocks"
+	TopicTxs    = "node/txs"
+)
+
+// Config assembles a miner.
+type Config struct {
+	Key *crypto.Keypair
+	// Shard is the miner's epoch assignment.
+	Shard types.ShardID
+	// Randomness and Fractions are the epoch's public assignment inputs,
+	// used to verify other producers' membership claims.
+	Randomness types.Hash
+	Fractions  []sharding.Fraction
+	// Chain parameters for the miner's shard ledger.
+	ChainConfig  chain.Config
+	GenesisAlloc map[types.Address]uint64
+	Contracts    map[types.Address][]byte
+	// Directory is the shared contract→shard mapping.
+	Directory *sharding.Directory
+	// Selection, when set, activates the intra-shard transaction-selection
+	// discipline of Sec. IV-B/IV-C: this miner only packs transactions the
+	// unified assignment gave it, and it rejects blocks from shard peers
+	// that pack transactions outside the producer's assignment.
+	Selection *unify.Params
+}
+
+// Stats counts what the miner saw and rejected.
+type Stats struct {
+	BlocksAccepted   int // blocks of the miner's shard recorded to its ledger
+	BlocksOtherShard int // valid blocks belonging to other shards (ignored)
+	BlocksRejected   int // blocks whose membership proof failed — cheaters
+	TxsPooled        int // transactions routed to this miner's shard
+	TxsOtherShard    int // transactions routed elsewhere (ignored)
+}
+
+// Miner is one sharded mining node.
+type Miner struct {
+	mu    sync.Mutex
+	cfg   Config
+	chain *chain.Chain
+	pool  *mempool.Pool
+	node  *p2p.Node
+	graph *callgraph.Graph
+	stats Stats
+	clock uint64
+}
+
+// Errors.
+var (
+	ErrNotMyShard = errors.New("node: transaction does not belong to this shard")
+	ErrNilKey     = errors.New("node: miner needs a keypair")
+)
+
+// New joins a miner to the network and wires its gossip handlers.
+func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
+	if cfg.Key == nil {
+		return nil, ErrNilKey
+	}
+	if cfg.Directory == nil {
+		cfg.Directory = sharding.NewDirectory()
+	}
+	cfg.ChainConfig.ShardID = cfg.Shard
+	ch, err := chain.NewWithContracts(cfg.ChainConfig, cfg.GenesisAlloc, cfg.Contracts)
+	if err != nil {
+		return nil, err
+	}
+	pnode, err := net.Join(id)
+	if err != nil {
+		return nil, err
+	}
+	pnode.SetShard(cfg.Shard)
+	m := &Miner{
+		cfg:   cfg,
+		chain: ch,
+		pool:  mempool.New(0),
+		node:  pnode,
+		graph: callgraph.New(),
+	}
+	pnode.Subscribe(TopicTxs, func(msg p2p.Message) {
+		if tx, ok := msg.Payload.(*types.Transaction); ok {
+			m.handleTx(tx)
+		}
+	})
+	pnode.Subscribe(TopicBlocks, func(msg p2p.Message) {
+		if raw, ok := msg.Payload.([]byte); ok {
+			m.handleBlock(raw)
+		}
+	})
+	return m, nil
+}
+
+// Address returns the miner's coinbase address.
+func (m *Miner) Address() types.Address { return m.cfg.Key.Address() }
+
+// Shard returns the miner's assignment.
+func (m *Miner) Shard() types.ShardID { return m.cfg.Shard }
+
+// Stats returns a copy of the miner's counters.
+func (m *Miner) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Height returns the miner's ledger height.
+func (m *Miner) Height() uint64 { return m.chain.Height() }
+
+// Pending returns the miner's pool size.
+func (m *Miner) Pending() int { return m.pool.Size() }
+
+// BalanceOf reads an account from the miner's shard ledger.
+func (m *Miner) BalanceOf(addr types.Address) uint64 {
+	return m.chain.HeadState().GetBalance(addr)
+}
+
+// handleTx routes an incoming transaction: pooled when it belongs to this
+// miner's shard, counted and dropped otherwise.
+func (m *Miner) handleTx(tx *types.Transaction) {
+	if crypto.VerifyTx(tx) != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, isContract := m.cfg.Directory.ShardOf(tx.To)
+	shard := sharding.RouteTx(tx, m.graph, m.cfg.Directory)
+	m.graph.ObserveTx(tx, isContract)
+	if shard != m.cfg.Shard {
+		m.stats.TxsOtherShard++
+		return
+	}
+	if m.pool.Add(tx) == nil {
+		m.stats.TxsPooled++
+	}
+}
+
+// handleBlock performs the two verifications of Sec. III-C on a gossiped
+// block.
+func (m *Miner) handleBlock(raw []byte) {
+	block, err := types.DecodeBlock(raw)
+	if err != nil {
+		m.mu.Lock()
+		m.stats.BlocksRejected++
+		m.mu.Unlock()
+		return
+	}
+	// Verification 1: the producer must belong to the shard it claims.
+	if err := sharding.VerifyMembership(block.Header, m.cfg.Randomness, m.cfg.Fractions); err != nil {
+		m.mu.Lock()
+		m.stats.BlocksRejected++
+		m.mu.Unlock()
+		return
+	}
+	// Verification 2: only blocks of this miner's shard are recorded.
+	if block.ShardID() != m.cfg.Shard {
+		m.mu.Lock()
+		m.stats.BlocksOtherShard++
+		m.mu.Unlock()
+		return
+	}
+	// Verification 3 (Sec. IV-C): with unified selection active, the block
+	// may only contain transactions the assignment gave its producer.
+	if m.cfg.Selection != nil && len(block.Txs) > 0 {
+		hashes := make([]types.Hash, len(block.Txs))
+		for i, tx := range block.Txs {
+			hashes[i] = tx.Hash()
+		}
+		if err := unify.VerifyProducedBlock(m.cfg.Selection, block.Header.Coinbase, hashes); err != nil {
+			m.mu.Lock()
+			m.stats.BlocksRejected++
+			m.mu.Unlock()
+			return
+		}
+	}
+	if err := m.chain.AddBlock(block); err != nil {
+		m.mu.Lock()
+		m.stats.BlocksRejected++
+		m.mu.Unlock()
+		return
+	}
+	m.pool.RemoveTxs(block.Txs)
+	m.mu.Lock()
+	m.stats.BlocksAccepted++
+	m.mu.Unlock()
+}
+
+// SubmitTx verifies and gossips a transaction network-wide (users broadcast
+// to all miners; each decides locally whether it cares).
+func (m *Miner) SubmitTx(tx *types.Transaction) error {
+	if err := crypto.VerifyTx(tx); err != nil {
+		return err
+	}
+	m.handleTx(tx)
+	m.node.Broadcast(TopicTxs, tx)
+	return nil
+}
+
+// Mine builds, seals and gossips one block of this miner's shard from its
+// pool, embedding the miner's public key as the membership proof. The block
+// is applied locally and broadcast; other miners of the shard record it
+// after verifying.
+func (m *Miner) Mine() (*types.Block, error) {
+	m.mu.Lock()
+	m.clock += 1000
+	now := m.clock
+	m.mu.Unlock()
+
+	candidates := m.pool.Pending()
+	if m.cfg.Selection != nil {
+		assigned, err := m.assignedTxs()
+		if err != nil {
+			return nil, err
+		}
+		candidates = assigned
+	}
+	block, _, err := m.chain.BuildBlockWithProof(m.Address(), m.cfg.Key.Public, candidates, now)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.chain.AddBlock(block); err != nil {
+		return nil, fmt.Errorf("node: own block rejected: %w", err)
+	}
+	m.pool.RemoveTxs(block.Txs)
+	m.mu.Lock()
+	m.stats.BlocksAccepted++
+	m.mu.Unlock()
+	m.node.Broadcast(TopicBlocks, block.Encode())
+	return block, nil
+}
+
+// RegisterContract makes the shared directory aware of a contract so
+// routing works; the chain genesis must already hold its code (Config).
+func RegisterContract(dir *sharding.Directory, addr types.Address) types.ShardID {
+	return dir.Register(addr)
+}
+
+// assignedTxs materializes the transactions the unified selection assigned
+// to this miner, in assignment order, restricted to what is actually in the
+// pool.
+func (m *Miner) assignedTxs() ([]*types.Transaction, error) {
+	p := m.cfg.Selection
+	idx := p.MinerIndex(m.Address())
+	if idx < 0 {
+		return nil, fmt.Errorf("node: %s not in the unified miner set", m.Address())
+	}
+	sets, err := p.RunSelection()
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]types.Hash, 0, len(sets.PerMiner[idx]))
+	for _, txIdx := range sets.PerMiner[idx] {
+		if txIdx >= 0 && txIdx < len(p.TxHashes) {
+			hashes = append(hashes, p.TxHashes[txIdx])
+		}
+	}
+	return m.pool.TakeSet(hashes), nil
+}

@@ -1,0 +1,162 @@
+package p2p
+
+import (
+	"errors"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func TestJoinLeave(t *testing.T) {
+	n := NewNetwork()
+	a, err := n.Join("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != "a" {
+		t.Fatal("id")
+	}
+	if _, err := n.Join("a"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate join: %v", err)
+	}
+	if n.NodeCount() != 1 {
+		t.Fatal("count")
+	}
+	n.Leave("a")
+	if n.NodeCount() != 0 {
+		t.Fatal("leave failed")
+	}
+}
+
+func TestBroadcastReachesSubscribersOnly(t *testing.T) {
+	n := NewNetwork()
+	a := n.MustJoin("a")
+	b := n.MustJoin("b")
+	c := n.MustJoin("c")
+
+	var got []string
+	b.Subscribe("blocks", func(m Message) { got = append(got, "b:"+string(m.From)) })
+	c.Subscribe("txs", func(m Message) { got = append(got, "c") })
+	// Sender subscribed to its own topic must not self-deliver.
+	a.Subscribe("blocks", func(m Message) { got = append(got, "a") })
+
+	sent := a.Broadcast("blocks", "payload")
+	if sent != 1 {
+		t.Fatalf("sent %d messages, want 1", sent)
+	}
+	if len(got) != 1 || got[0] != "b:a" {
+		t.Fatalf("deliveries: %v", got)
+	}
+}
+
+func TestBroadcastDeterministicOrder(t *testing.T) {
+	n := NewNetwork()
+	src := n.MustJoin("z-src")
+	var order []string
+	for _, id := range []NodeID{"c", "a", "b"} {
+		node := n.MustJoin(id)
+		id := id
+		node.Subscribe("t", func(Message) { order = append(order, string(id)) })
+	}
+	src.Broadcast("t", nil)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("delivery order %v", order)
+	}
+}
+
+func TestSend(t *testing.T) {
+	n := NewNetwork()
+	a := n.MustJoin("a")
+	b := n.MustJoin("b")
+	var got any
+	b.Subscribe("q", func(m Message) { got = m.Payload })
+	if err := a.Send("b", "q", 42); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("payload %v", got)
+	}
+	if err := a.Send("nope", "q", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node: %v", err)
+	}
+	if err := a.Send("b", "other", 1); err == nil {
+		t.Fatal("unsubscribed topic accepted")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	n := NewNetwork()
+	a := n.MustJoin("a")
+	b := n.MustJoin("b")
+	hits := 0
+	b.Subscribe("t", func(Message) { hits++ })
+	a.Broadcast("t", nil)
+	b.Unsubscribe("t")
+	a.Broadcast("t", nil)
+	if hits != 1 {
+		t.Fatalf("hits %d", hits)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := NewNetwork()
+	a := n.MustJoin("a")
+	b := n.MustJoin("b")
+	c := n.MustJoin("c")
+	a.SetShard(1)
+	b.SetShard(1)
+	c.SetShard(2)
+	for _, nd := range []*Node{a, b, c} {
+		nd.Subscribe("t", func(Message) {})
+	}
+	a.Broadcast("t", nil)                       // a->b (intra), a->c (cross): 2 msgs
+	if err := c.Send("a", "t", 0); err != nil { // c->a: cross
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Total != 3 {
+		t.Fatalf("total %d", s.Total)
+	}
+	if s.CrossShard != 2 {
+		t.Fatalf("cross %d", s.CrossShard)
+	}
+	if s.ByTopic["t"] != 3 {
+		t.Fatalf("topic count %d", s.ByTopic["t"])
+	}
+	if s.ByShard[types.ShardID(1)] != 2 || s.ByShard[types.ShardID(2)] != 1 {
+		t.Fatalf("per-shard counts %v", s.ByShard)
+	}
+	n.ResetStats()
+	if n.Stats().Total != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStatsSnapshotIsolated(t *testing.T) {
+	n := NewNetwork()
+	a := n.MustJoin("a")
+	b := n.MustJoin("b")
+	b.Subscribe("t", func(Message) {})
+	a.Broadcast("t", nil)
+	s := n.Stats()
+	s.ByTopic["t"] = 999
+	if n.Stats().ByTopic["t"] != 1 {
+		t.Fatal("stats snapshot not isolated")
+	}
+}
+
+func TestNestedBroadcastFromHandler(t *testing.T) {
+	// A handler reacting to a message by sending another message must not
+	// deadlock (delivery happens outside the network lock).
+	n := NewNetwork()
+	a := n.MustJoin("a")
+	b := n.MustJoin("b")
+	c := n.MustJoin("c")
+	got := 0
+	c.Subscribe("reply", func(Message) { got++ })
+	b.Subscribe("ping", func(Message) { b.Broadcast("reply", nil) })
+	a.Broadcast("ping", nil)
+	if got != 1 {
+		t.Fatalf("nested delivery failed: %d", got)
+	}
+}

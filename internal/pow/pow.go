@@ -1,0 +1,142 @@
+// Package pow implements the Proof-of-Work consensus substrate: sealing and
+// verifying block headers against a difficulty target, the difficulty
+// retargeting rule, and the timing model used by the simulator.
+//
+// The paper's prototype fixes the difficulty of its private chain (0x40000
+// for one block per minute per miner; 0xd79 for 76 confirmed transactions
+// per second) rather than letting it retarget — both modes are supported
+// here. The fixed-difficulty mode is what makes intra-shard transaction
+// selection matter: each miner keeps producing blocks at its own rate, and
+// duplicate selections waste that work (Sec. II-B, VI-D).
+package pow
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"contractshard/internal/types"
+)
+
+// Difficulty presets from the paper's evaluation (Sec. VI).
+const (
+	// DifficultySlow is 0x40000: one block per miner-minute on a c5.large.
+	DifficultySlow uint64 = 0x40000
+	// DifficultyFast is 0xd79: 76 confirmed transactions per second.
+	DifficultyFast uint64 = 0xd79
+)
+
+// ErrNoSolution is returned when Seal exhausts its iteration budget.
+var ErrNoSolution = errors.New("pow: no solution within iteration budget")
+
+// meetsTarget reports whether digest interpreted as a big-endian integer is
+// below 2^256 / difficulty. Equivalent check without big integers: the first
+// 8 bytes, as a uint64, must be below 2^64 / difficulty.
+func meetsTarget(digest types.Hash, difficulty uint64) bool {
+	if difficulty <= 1 {
+		return true
+	}
+	prefix := binary.BigEndian.Uint64(digest[:8])
+	return prefix < math.MaxUint64/difficulty
+}
+
+// Seal searches for a nonce that satisfies the header's difficulty, writing
+// it into h.PowNonce. maxIter bounds the search; use a multiple of the
+// difficulty for a high success probability.
+func Seal(h *types.Header, maxIter uint64) error {
+	seal := h.SealHash()
+	for n := uint64(0); n < maxIter; n++ {
+		if meetsTarget(sealDigest(seal, n), h.Difficulty) {
+			h.PowNonce = n
+			return nil
+		}
+	}
+	return ErrNoSolution
+}
+
+// Verify checks the header's seal against its difficulty.
+func Verify(h *types.Header) bool {
+	if h.Difficulty == 0 {
+		return false
+	}
+	return meetsTarget(sealDigest(h.SealHash(), h.PowNonce), h.Difficulty)
+}
+
+func sealDigest(seal types.Hash, nonce uint64) types.Hash {
+	e := types.NewEncoder()
+	e.WriteBytes([]byte("pow/seal/v1"))
+	e.WriteHash(seal)
+	e.WriteUint64(nonce)
+	return sha256.Sum256(e.Bytes())
+}
+
+// Retarget computes the next block's difficulty from the parent difficulty
+// and the observed parent block interval, pulling the interval toward
+// targetInterval. It follows the shape of Ethereum's Homestead rule:
+//
+//	next = parent + parent/2048 * clamp(1 - interval/target, -99, 1)
+//
+// and never drops below MinDifficulty.
+func Retarget(parentDifficulty uint64, interval, targetInterval float64) uint64 {
+	if targetInterval <= 0 {
+		return parentDifficulty
+	}
+	adj := 1.0 - interval/targetInterval
+	if adj > 1 {
+		adj = 1
+	}
+	if adj < -99 {
+		adj = -99
+	}
+	delta := float64(parentDifficulty) / 2048.0 * adj
+	// Guarantee progress at small difficulties, where parent/2048 truncates
+	// to less than one unit.
+	if adj > 0 && delta < 1 {
+		delta = 1
+	}
+	if adj < 0 && delta > -1 {
+		delta = -1
+	}
+	next := float64(parentDifficulty) + delta
+	if next < float64(MinDifficulty) {
+		return MinDifficulty
+	}
+	return uint64(next + 0.5)
+}
+
+// MinDifficulty is the floor Retarget never goes below.
+const MinDifficulty uint64 = 16
+
+// HashRate expresses a miner's mining power in seal attempts per second.
+type HashRate float64
+
+// BlockRate returns the expected blocks per second a miner of rate r finds
+// at the given difficulty: each attempt succeeds with probability
+// 1/difficulty, so discovery is a Poisson process with rate r/difficulty.
+func (r HashRate) BlockRate(difficulty uint64) float64 {
+	if difficulty == 0 {
+		difficulty = 1
+	}
+	return float64(r) / float64(difficulty)
+}
+
+// ExpectedBlockTime returns the mean seconds between blocks for one miner.
+func (r HashRate) ExpectedBlockTime(difficulty uint64) float64 {
+	br := r.BlockRate(difficulty)
+	if br <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / br
+}
+
+// SampleBlockTime draws the next block discovery delay (in seconds) from the
+// exponential distribution of the PoW race, using the caller's uniform
+// sample u in (0,1). Kept dependency-free so both the simulator and tests
+// control their own randomness.
+func (r HashRate) SampleBlockTime(difficulty uint64, u float64) float64 {
+	if u <= 0 || u >= 1 {
+		u = 0.5
+	}
+	return -math.Log(u) * r.ExpectedBlockTime(difficulty)
+}

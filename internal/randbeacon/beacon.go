@@ -1,0 +1,217 @@
+// Package randbeacon provides the publicly verifiable randomness the miner
+// separation mechanism consumes (Sec. III-B). The paper inherits RandHound
+// from Omniledger; this package substitutes a commit–reveal beacon with the
+// same interface: after an epoch completes, everyone can recompute and check
+// the epoch randomness from the transcript, and no participant could bias it
+// without withholding (which the transcript exposes).
+//
+// The beacon output seeds RandHound's role in the paper: mapping each
+// miner's public key to one of 100 evenly distributed groups, from which the
+// weighted shard assignment is derived.
+package randbeacon
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+
+	"contractshard/internal/crypto"
+	"contractshard/internal/types"
+)
+
+// Buckets is the number of even groups RandHound splits miners into; the
+// paper fixes it at 100 and expresses per-shard transaction fractions as
+// percentages over these buckets.
+const Buckets = 100
+
+// Session errors.
+var (
+	ErrUnknownParticipant = errors.New("randbeacon: unknown participant")
+	ErrDuplicateCommit    = errors.New("randbeacon: duplicate commitment")
+	ErrNoCommit           = errors.New("randbeacon: reveal without commitment")
+	ErrBadReveal          = errors.New("randbeacon: reveal does not match commitment")
+	ErrIncomplete         = errors.New("randbeacon: session incomplete")
+	ErrClosed             = errors.New("randbeacon: session already finalized")
+)
+
+// Session runs one commit–reveal round among a fixed participant set.
+// It is not safe for concurrent use; the p2p layer serializes message
+// delivery per node.
+type Session struct {
+	epoch    uint64
+	parts    map[string]int // pubkey -> index
+	pubs     []ed25519.PublicKey
+	commits  []types.Hash
+	seeds    [][]byte
+	nCommits int
+	nReveals int
+	closed   bool
+	value    types.Hash
+}
+
+// NewSession creates a session for an epoch with the given participants.
+// The participant order is canonicalized by public key so every node builds
+// an identical transcript regardless of arrival order.
+func NewSession(epoch uint64, participants []ed25519.PublicKey) *Session {
+	pubs := make([]ed25519.PublicKey, len(participants))
+	copy(pubs, participants)
+	sort.Slice(pubs, func(i, j int) bool { return string(pubs[i]) < string(pubs[j]) })
+	s := &Session{
+		epoch:   epoch,
+		parts:   make(map[string]int, len(pubs)),
+		pubs:    pubs,
+		commits: make([]types.Hash, len(pubs)),
+		seeds:   make([][]byte, len(pubs)),
+	}
+	for i, p := range pubs {
+		s.parts[string(p)] = i
+	}
+	return s
+}
+
+// Epoch returns the session's epoch number.
+func (s *Session) Epoch() uint64 { return s.epoch }
+
+// Commitment computes the binding commitment a participant publishes for a
+// secret seed.
+func Commitment(epoch uint64, pub ed25519.PublicKey, seed []byte) types.Hash {
+	e := types.NewEncoder()
+	e.WriteBytes([]byte("randbeacon/commit/v1"))
+	e.WriteUint64(epoch)
+	e.WriteBytes(pub)
+	e.WriteBytes(seed)
+	return sha256.Sum256(e.Bytes())
+}
+
+// AddCommit records a participant's commitment.
+func (s *Session) AddCommit(pub ed25519.PublicKey, commit types.Hash) error {
+	if s.closed {
+		return ErrClosed
+	}
+	i, ok := s.parts[string(pub)]
+	if !ok {
+		return ErrUnknownParticipant
+	}
+	if !s.commits[i].IsZero() {
+		return ErrDuplicateCommit
+	}
+	if commit.IsZero() {
+		return fmt.Errorf("randbeacon: zero commitment is reserved")
+	}
+	s.commits[i] = commit
+	s.nCommits++
+	return nil
+}
+
+// AddReveal records and checks a participant's revealed seed.
+func (s *Session) AddReveal(pub ed25519.PublicKey, seed []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	i, ok := s.parts[string(pub)]
+	if !ok {
+		return ErrUnknownParticipant
+	}
+	if s.commits[i].IsZero() {
+		return ErrNoCommit
+	}
+	if Commitment(s.epoch, pub, seed) != s.commits[i] {
+		return ErrBadReveal
+	}
+	if s.seeds[i] == nil {
+		s.seeds[i] = append([]byte(nil), seed...)
+		s.nReveals++
+	}
+	return nil
+}
+
+// Complete reports whether every participant has committed and revealed.
+func (s *Session) Complete() bool {
+	return s.nCommits == len(s.pubs) && s.nReveals == len(s.pubs)
+}
+
+// Withholders returns the participants that committed but did not reveal —
+// the only way to bias a commit–reveal beacon, and publicly attributable.
+func (s *Session) Withholders() []ed25519.PublicKey {
+	var out []ed25519.PublicKey
+	for i, p := range s.pubs {
+		if !s.commits[i].IsZero() && s.seeds[i] == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Value finalizes the session and returns the epoch randomness, the hash of
+// the canonical transcript of all revealed seeds.
+func (s *Session) Value() (types.Hash, error) {
+	if s.closed {
+		return s.value, nil
+	}
+	if !s.Complete() {
+		return types.Hash{}, fmt.Errorf("%w: %d/%d commits, %d/%d reveals",
+			ErrIncomplete, s.nCommits, len(s.pubs), s.nReveals, len(s.pubs))
+	}
+	e := types.NewEncoder()
+	e.WriteBytes([]byte("randbeacon/value/v1"))
+	e.WriteUint64(s.epoch)
+	e.BeginList(len(s.pubs))
+	for i := range s.pubs {
+		e.WriteBytes(s.pubs[i])
+		e.WriteBytes(s.seeds[i])
+	}
+	s.value = sha256.Sum256(e.Bytes())
+	s.closed = true
+	return s.value, nil
+}
+
+// Transcript is the verifiable record of a completed session.
+type Transcript struct {
+	Epoch uint64
+	Pubs  []ed25519.PublicKey
+	Seeds [][]byte
+	Value types.Hash
+}
+
+// Transcript exports the completed session for third-party verification.
+func (s *Session) Transcript() (*Transcript, error) {
+	v, err := s.Value()
+	if err != nil {
+		return nil, err
+	}
+	return &Transcript{Epoch: s.epoch, Pubs: s.pubs, Seeds: s.seeds, Value: v}, nil
+}
+
+// VerifyTranscript recomputes a transcript's value from scratch, the check a
+// non-participating miner performs before trusting the epoch randomness.
+func VerifyTranscript(tr *Transcript) bool {
+	if tr == nil || len(tr.Pubs) == 0 || len(tr.Pubs) != len(tr.Seeds) {
+		return false
+	}
+	replay := NewSession(tr.Epoch, tr.Pubs)
+	for i, p := range tr.Pubs {
+		if err := replay.AddCommit(p, Commitment(tr.Epoch, p, tr.Seeds[i])); err != nil {
+			return false
+		}
+		if err := replay.AddReveal(p, tr.Seeds[i]); err != nil {
+			return false
+		}
+	}
+	v, err := replay.Value()
+	return err == nil && v == tr.Value
+}
+
+// Bucket maps a miner's public key under the epoch randomness to one of the
+// 100 even RandHound groups, returning r in [1, Buckets]. Anyone can rerun
+// this mapping to audit a miner's claimed shard (Sec. III-B).
+func Bucket(randomness types.Hash, pub ed25519.PublicKey) int {
+	h := crypto.HashBytes([]byte("randbeacon/bucket/v1"), randomness[:], pub)
+	// Use the top 8 bytes as a uniform integer.
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(h[i])
+	}
+	return int(v%Buckets) + 1
+}

@@ -1,0 +1,188 @@
+// Package security implements the paper's analytic security model: the
+// shard-safety curve of Fig. 1(d) and the corruption probabilities of
+// Eq. (3)–(6) in Sec. IV-D.
+//
+// Model: an infinite pool of malicious nodes holding fraction f of the
+// computation power; the number of malicious miners inside a shard of n is
+// binomial Bin(n, f); a shard (or a transaction's validator group) is
+// corrupted when adversaries exceed half of it; and to corrupt a merge or a
+// selection the adversary must additionally hold the leader role for l
+// consecutive elections, each won with probability f.
+package security
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadParam rejects out-of-range model inputs.
+var ErrBadParam = errors.New("security: parameter out of range")
+
+// logChoose returns ln C(n,k) via the log-gamma function, stable for large n.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	ln2, _ := math.Lgamma(float64(k + 1))
+	ln3, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - ln2 - ln3
+}
+
+// BinomialPMF returns P[Bin(n,p) = k].
+func BinomialPMF(n, k int, p float64) float64 {
+	if p < 0 || p > 1 || n < 0 {
+		return 0
+	}
+	if k < 0 || k > n {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+// BinomialTail returns P[Bin(n,p) >= k].
+func BinomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	s := 0.0
+	for i := k; i <= n; i++ {
+		s += BinomialPMF(n, i, p)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// ShardCorruption returns the probability that a shard of n miners drawn
+// with adversary fraction f contains a strict adversarial majority:
+// P[c > n/2] (Eq. 5 applied to a shard).
+func ShardCorruption(n int, f float64) float64 {
+	return BinomialTail(n, n/2+1, f)
+}
+
+// ShardSafety is 1 - ShardCorruption: the Fig. 1(d) y-axis.
+func ShardSafety(n int, f float64) float64 {
+	return 1 - ShardCorruption(n, f)
+}
+
+// SafetyPoint is one point of the Fig. 1(d) curve.
+type SafetyPoint struct {
+	Miners int
+	Safety float64
+}
+
+// SafetyCurve evaluates shard safety for shard sizes from minMiners to
+// maxMiners (inclusive) in the given step, reproducing Fig. 1(d).
+func SafetyCurve(minMiners, maxMiners, step int, f float64) []SafetyPoint {
+	if step <= 0 {
+		step = 1
+	}
+	var out []SafetyPoint
+	for n := minMiners; n <= maxMiners; n += step {
+		out = append(out, SafetyPoint{Miners: n, Safety: ShardSafety(n, f)})
+	}
+	return out
+}
+
+// GeometricLeaderSum evaluates Σ_{k=0}^{l} f^k — the probability weight of
+// the adversary holding the leadership for up to l consecutive rounds.
+// l < 0 selects the limit l→∞, 1/(1-f).
+func GeometricLeaderSum(f float64, l int) float64 {
+	if f < 0 || f >= 1 {
+		return math.Inf(1)
+	}
+	if l < 0 {
+		return 1 / (1 - f)
+	}
+	s, term := 0.0, 1.0
+	for k := 0; k <= l; k++ {
+		s += term
+		term *= f
+	}
+	return s
+}
+
+// InterShardCorruption evaluates Eq. (3): the probability that the newly
+// formed shard of the merging process is corrupted, for an adversary with
+// computation fraction f that must chain l consecutive leaderships
+// (l < 0 for the l→∞ limit). newShardMiners is the miner count of the new
+// shard, from which Ps (the single-shard safety of Sec. III-B) is derived.
+func InterShardCorruption(f float64, l int, newShardMiners int) (float64, error) {
+	if f < 0 || f >= 1 {
+		return 0, ErrBadParam
+	}
+	if newShardMiners <= 0 {
+		return 0, ErrBadParam
+	}
+	ps := ShardSafety(newShardMiners, f)
+	return GeometricLeaderSum(f, l) * (1 - ps), nil
+}
+
+// FeeProbability evaluates Eq. (4): the probability that a transaction
+// carries t coins of fee when fees follow Bin(N, 1/2) over N total fee
+// coins.
+func FeeProbability(t, totalFees int) float64 {
+	return BinomialPMF(totalFees, t, 0.5)
+}
+
+// TxCorruption evaluates Eq. (5): the probability that the n miners
+// validating one transaction contain an adversarial majority.
+func TxCorruption(n int, f float64) float64 {
+	return ShardCorruption(n, f)
+}
+
+// IntraShardCorruption evaluates Eq. (6): the probability that the system is
+// corrupted under the intra-shard selection algorithm. minersPerTx is n in
+// Eq. (5); totalFees is N in Eq. (4); l < 0 selects l→∞.
+func IntraShardCorruption(f float64, l int, minersPerTx, totalFees int) (float64, error) {
+	if f < 0 || f >= 1 {
+		return 0, ErrBadParam
+	}
+	if minersPerTx <= 0 || totalFees <= 0 {
+		return 0, ErrBadParam
+	}
+	pi := TxCorruption(minersPerTx, f)
+	sumPt := 0.0
+	for t := 1; t <= totalFees; t++ {
+		sumPt += FeeProbability(t, totalFees)
+	}
+	return GeometricLeaderSum(f, l) * pi * sumPt, nil
+}
+
+// MinersForInterShardTarget searches for the smallest new-shard miner count
+// whose Eq. (3) corruption probability (l→∞) is at or below target. It is
+// how the reproduction recovers the shard size behind the paper's quoted
+// 8·10⁻⁶ at f = 0.25.
+func MinersForInterShardTarget(f, target float64, maxMiners int) (int, error) {
+	if f < 0 || f >= 1 || target <= 0 {
+		return 0, ErrBadParam
+	}
+	for n := 1; n <= maxMiners; n++ {
+		p, err := InterShardCorruption(f, -1, n)
+		if err != nil {
+			return 0, err
+		}
+		if p <= target {
+			return n, nil
+		}
+	}
+	return 0, errors.New("security: target unreachable within miner bound")
+}

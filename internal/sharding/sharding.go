@@ -1,0 +1,308 @@
+// Package sharding implements the paper's core contribution: contract-
+// centric formation of shards (Sec. III-A), transaction routing, weighted
+// miner-to-shard assignment from public randomness (Sec. III-B), and the
+// membership verification every block receiver performs (Sec. III-C).
+//
+// A shard forms around one smart contract; transactions from senders who
+// participate only in that contract are validated entirely inside it. All
+// remaining transactions — from multi-contract senders or senders with
+// direct transfers — go to the MaxShard, whose miners hold the full system
+// state. Because a shard's transactions never read state outside it, no
+// cross-shard communication is needed during validation.
+package sharding
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"contractshard/internal/callgraph"
+	"contractshard/internal/crypto"
+	"contractshard/internal/randbeacon"
+	"contractshard/internal/types"
+)
+
+// Directory maps contracts to shards. It is safe for concurrent use.
+// After an inter-shard merge (Sec. IV-A) the member shards' contracts all
+// re-point to the newly formed shard, so subsequent transactions route
+// there; ApplyMerge performs that re-pointing.
+type Directory struct {
+	mu     sync.RWMutex
+	shards map[types.Address]types.ShardID
+	byID   map[types.ShardID]types.Address
+	// merged maps a retired shard id to the new shard that absorbed it.
+	merged map[types.ShardID]types.ShardID
+	nextID types.ShardID
+}
+
+// NewDirectory creates a directory with only the MaxShard.
+func NewDirectory() *Directory {
+	return &Directory{
+		shards: make(map[types.Address]types.ShardID),
+		byID:   make(map[types.ShardID]types.Address),
+		merged: make(map[types.ShardID]types.ShardID),
+		nextID: 1,
+	}
+}
+
+// Register assigns (or returns) the shard formed around the contract.
+func (d *Directory) Register(contract types.Address) types.ShardID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.shards[contract]; ok {
+		return id
+	}
+	id := d.nextID
+	d.nextID++
+	d.shards[contract] = id
+	d.byID[id] = contract
+	return id
+}
+
+// ShardOf returns the shard currently responsible for the contract — the
+// merged shard when the contract's original shard was absorbed — or
+// (MaxShard, false) when the contract is unregistered.
+func (d *Directory) ShardOf(contract types.Address) (types.ShardID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.shards[contract]
+	if !ok {
+		return id, false
+	}
+	return d.resolve(id), true
+}
+
+// resolve follows merge redirects; callers hold the lock. Redirect chains
+// appear when a merged shard later merges again.
+func (d *Directory) resolve(id types.ShardID) types.ShardID {
+	for {
+		next, ok := d.merged[id]
+		if !ok {
+			return id
+		}
+		id = next
+	}
+}
+
+// ErrMergeMembers rejects merges over unknown or already-retired shards.
+var ErrMergeMembers = errors.New("sharding: merge members must be live contract shards")
+
+// ApplyMerge retires the member shards in favour of a newly allocated shard
+// id, returned to the caller. Contracts previously handled by any member
+// now resolve to the new shard. The MaxShard can never be merged.
+func (d *Directory) ApplyMerge(members []types.ShardID) (types.ShardID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(members) == 0 {
+		return 0, fmt.Errorf("%w: empty member list", ErrMergeMembers)
+	}
+	seen := make(map[types.ShardID]bool, len(members))
+	for _, m := range members {
+		if m == types.MaxShard {
+			return 0, fmt.Errorf("%w: cannot merge the MaxShard", ErrMergeMembers)
+		}
+		if _, retired := d.merged[m]; retired {
+			return 0, fmt.Errorf("%w: %s already merged", ErrMergeMembers, m)
+		}
+		if _, ok := d.byID[m]; !ok {
+			return 0, fmt.Errorf("%w: %s unknown", ErrMergeMembers, m)
+		}
+		if seen[m] {
+			return 0, fmt.Errorf("%w: %s listed twice", ErrMergeMembers, m)
+		}
+		seen[m] = true
+	}
+	newID := d.nextID
+	d.nextID++
+	for _, m := range members {
+		d.merged[m] = newID
+	}
+	return newID, nil
+}
+
+// IsRetired reports whether the shard was absorbed by a merge.
+func (d *Directory) IsRetired(id types.ShardID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.merged[id]
+	return ok
+}
+
+// ContractOf returns the contract a shard formed around; the MaxShard has
+// none.
+func (d *Directory) ContractOf(id types.ShardID) (types.Address, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.byID[id]
+	return c, ok
+}
+
+// NumShards returns the number of shards including the MaxShard.
+func (d *Directory) NumShards() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.shards) + 1
+}
+
+// ShardIDs returns all live shard ids, MaxShard first, ascending: retired
+// (merged-away) shards are replaced by the shards that absorbed them.
+func (d *Directory) ShardIDs() []types.ShardID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	set := map[types.ShardID]bool{types.MaxShard: true}
+	for id := range d.byID {
+		set[d.resolve(id)] = true
+	}
+	out := make([]types.ShardID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RouteTx decides which shard validates the transaction, consulting the
+// sender's call-graph classification (Sec. III-A):
+//
+//   - single-contract senders (or fresh senders invoking a registered
+//     contract) route to that contract's shard;
+//   - everyone else — multi-contract senders, direct transfers, calls to
+//     unregistered contracts — routes to the MaxShard.
+func RouteTx(tx *types.Transaction, g *callgraph.Graph, d *Directory) types.ShardID {
+	cls := g.Classify(tx.From)
+	switch cls.Kind {
+	case callgraph.KindSingleContract:
+		if !tx.IsContractCall() || tx.To != cls.Contract {
+			// The sender is stepping outside its sole contract; the MaxShard
+			// must see this transaction (and the graph will reclassify).
+			return types.MaxShard
+		}
+		if id, ok := d.ShardOf(cls.Contract); ok {
+			return id
+		}
+		return types.MaxShard
+	case callgraph.KindUnknown:
+		if tx.IsContractCall() {
+			if id, ok := d.ShardOf(tx.To); ok {
+				return id
+			}
+		}
+		return types.MaxShard
+	default: // multi-contract or direct senders
+		return types.MaxShard
+	}
+}
+
+// Fraction is a shard's share of the system's transactions in percent.
+// The verifiable leader collects these from MaxShard miners and broadcasts
+// them; miners derive their shard from the cumulative percentage intervals
+// (Sec. III-B).
+type Fraction struct {
+	Shard   types.ShardID
+	Percent int // integer percentage points; all fractions sum to 100
+}
+
+// ErrBadFractions is returned when fractions do not sum to 100.
+var ErrBadFractions = errors.New("sharding: fractions must sum to 100")
+
+// ComputeFractions converts per-shard transaction counts into integer
+// percentages summing to exactly 100 using the largest-remainder method.
+// Shards are ordered by id for determinism. A shard with transactions never
+// rounds to zero percent while a zero-transaction shard never gets a share
+// unless everything is empty (then the MaxShard takes 100%).
+func ComputeFractions(counts map[types.ShardID]int) []Fraction {
+	ids := make([]types.ShardID, 0, len(counts))
+	total := 0
+	for id, c := range counts {
+		ids = append(ids, id)
+		total += c
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if total == 0 {
+		return []Fraction{{Shard: types.MaxShard, Percent: 100}}
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	out := make([]Fraction, len(ids))
+	rems := make([]rem, len(ids))
+	assigned := 0
+	for i, id := range ids {
+		exact := float64(counts[id]) * 100 / float64(total)
+		p := int(exact)
+		out[i] = Fraction{Shard: id, Percent: p}
+		rems[i] = rem{idx: i, frac: exact - float64(p)}
+		assigned += p
+	}
+	sort.SliceStable(rems, func(i, j int) bool { return rems[i].frac > rems[j].frac })
+	for k := 0; assigned < 100; k++ {
+		out[rems[k%len(rems)].idx].Percent++
+		assigned++
+	}
+	return out
+}
+
+// AssignMiner maps a miner's public key to a shard under the epoch
+// randomness and the broadcast fractions: the miner's RandHound bucket
+// r ∈ [1,100] falls into the cumulative percentage interval of exactly one
+// shard. Anyone can recompute the mapping from public data, which is what
+// lets an honest miner expose a liar (Sec. III-C).
+func AssignMiner(randomness types.Hash, pub ed25519.PublicKey, fractions []Fraction) (types.ShardID, error) {
+	if err := checkFractions(fractions); err != nil {
+		return types.MaxShard, err
+	}
+	r := randbeacon.Bucket(randomness, pub)
+	cum := 0
+	for _, f := range fractions {
+		cum += f.Percent
+		if r <= cum {
+			return f.Shard, nil
+		}
+	}
+	// Unreachable when fractions sum to 100.
+	return fractions[len(fractions)-1].Shard, nil
+}
+
+func checkFractions(fractions []Fraction) error {
+	if len(fractions) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadFractions)
+	}
+	sum := 0
+	for _, f := range fractions {
+		if f.Percent < 0 {
+			return fmt.Errorf("%w: negative share for %s", ErrBadFractions, f.Shard)
+		}
+		sum += f.Percent
+	}
+	if sum != 100 {
+		return fmt.Errorf("%w: sum %d", ErrBadFractions, sum)
+	}
+	return nil
+}
+
+// VerifyMembership checks a block producer's claim to a shard: the header's
+// MinerProof must carry the miner's public key, that key must hash to the
+// coinbase address, and the key must map to the header's ShardID under the
+// public randomness and fractions. This is verification step one of
+// Sec. III-C.
+func VerifyMembership(h *types.Header, randomness types.Hash, fractions []Fraction) error {
+	if len(h.MinerProof) != ed25519.PublicKeySize {
+		return fmt.Errorf("sharding: miner proof must be a %d-byte public key, got %d",
+			ed25519.PublicKeySize, len(h.MinerProof))
+	}
+	pub := ed25519.PublicKey(h.MinerProof)
+	if derived := crypto.PubkeyToAddress(pub); derived != h.Coinbase {
+		return fmt.Errorf("sharding: proof key maps to %s, coinbase is %s", derived, h.Coinbase)
+	}
+	want, err := AssignMiner(randomness, pub, fractions)
+	if err != nil {
+		return err
+	}
+	if want != h.ShardID {
+		return fmt.Errorf("sharding: miner belongs to %s, block claims %s", want, h.ShardID)
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package sharding
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"contractshard/internal/callgraph"
+	"contractshard/internal/crypto"
+	"contractshard/internal/types"
+)
+
+func a(b byte) types.Address { return types.BytesToAddress([]byte{b}) }
+
+func TestDirectoryRegister(t *testing.T) {
+	d := NewDirectory()
+	s1 := d.Register(a(0xC1))
+	s2 := d.Register(a(0xC2))
+	if s1 == s2 || s1 == types.MaxShard || s2 == types.MaxShard {
+		t.Fatalf("shard ids: %v %v", s1, s2)
+	}
+	if again := d.Register(a(0xC1)); again != s1 {
+		t.Fatal("re-register changed id")
+	}
+	if d.NumShards() != 3 { // two contract shards + MaxShard
+		t.Fatalf("num shards %d", d.NumShards())
+	}
+	if got, ok := d.ShardOf(a(0xC1)); !ok || got != s1 {
+		t.Fatal("ShardOf")
+	}
+	if _, ok := d.ShardOf(a(0xEE)); ok {
+		t.Fatal("unregistered contract resolved")
+	}
+	if c, ok := d.ContractOf(s2); !ok || c != a(0xC2) {
+		t.Fatal("ContractOf")
+	}
+	if _, ok := d.ContractOf(types.MaxShard); ok {
+		t.Fatal("MaxShard has no contract")
+	}
+	ids := d.ShardIDs()
+	if len(ids) != 3 || ids[0] != types.MaxShard {
+		t.Fatalf("ids %v", ids)
+	}
+}
+
+func routeFixture() (*callgraph.Graph, *Directory, types.ShardID, types.ShardID) {
+	g := callgraph.New()
+	d := NewDirectory()
+	s1 := d.Register(a(0xC1))
+	s2 := d.Register(a(0xC2))
+	return g, d, s1, s2
+}
+
+func TestRouteSingleContractSender(t *testing.T) {
+	g, d, s1, _ := routeFixture()
+	g.ObserveContractCall(a(1), a(0xC1))
+	tx := &types.Transaction{From: a(1), To: a(0xC1), Data: []byte{1}}
+	if got := RouteTx(tx, g, d); got != s1 {
+		t.Fatalf("routed to %s", got)
+	}
+}
+
+func TestRouteFreshSender(t *testing.T) {
+	g, d, _, s2 := routeFixture()
+	tx := &types.Transaction{From: a(9), To: a(0xC2), Data: []byte{1}}
+	if got := RouteTx(tx, g, d); got != s2 {
+		t.Fatalf("fresh sender routed to %s", got)
+	}
+	// Fresh sender doing a direct transfer goes to MaxShard.
+	direct := &types.Transaction{From: a(9), To: a(8)}
+	if got := RouteTx(direct, g, d); got != types.MaxShard {
+		t.Fatalf("fresh direct routed to %s", got)
+	}
+}
+
+func TestRouteMultiContractAndDirectToMaxShard(t *testing.T) {
+	g, d, _, _ := routeFixture()
+	g.ObserveContractCall(a(2), a(0xC1))
+	g.ObserveContractCall(a(2), a(0xC2))
+	tx := &types.Transaction{From: a(2), To: a(0xC1), Data: []byte{1}}
+	if got := RouteTx(tx, g, d); got != types.MaxShard {
+		t.Fatalf("multi-contract routed to %s", got)
+	}
+	g.ObserveDirectTransfer(a(3))
+	g.ObserveContractCall(a(3), a(0xC1))
+	tx3 := &types.Transaction{From: a(3), To: a(0xC1), Data: []byte{1}}
+	if got := RouteTx(tx3, g, d); got != types.MaxShard {
+		t.Fatalf("direct sender routed to %s", got)
+	}
+}
+
+func TestRouteSingleSenderSteppingOutside(t *testing.T) {
+	g, d, _, _ := routeFixture()
+	g.ObserveContractCall(a(4), a(0xC1))
+	// Known single-contract sender now calls a different contract: MaxShard.
+	tx := &types.Transaction{From: a(4), To: a(0xC2), Data: []byte{1}}
+	if got := RouteTx(tx, g, d); got != types.MaxShard {
+		t.Fatalf("outside call routed to %s", got)
+	}
+	// Or does a direct transfer: MaxShard.
+	direct := &types.Transaction{From: a(4), To: a(5)}
+	if got := RouteTx(direct, g, d); got != types.MaxShard {
+		t.Fatalf("direct routed to %s", got)
+	}
+}
+
+func TestRouteUnregisteredContract(t *testing.T) {
+	g, d, _, _ := routeFixture()
+	tx := &types.Transaction{From: a(7), To: a(0xEE), Data: []byte{1}}
+	if got := RouteTx(tx, g, d); got != types.MaxShard {
+		t.Fatalf("unregistered contract routed to %s", got)
+	}
+}
+
+func TestComputeFractionsSumTo100(t *testing.T) {
+	cases := []map[types.ShardID]int{
+		{0: 10, 1: 10, 2: 10},
+		{0: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 1, 6: 1}, // 7 shards: 100/7 is not integral
+		{0: 199, 1: 1},
+		{0: 0, 1: 50},
+		{0: 3},
+	}
+	for i, counts := range cases {
+		fr := ComputeFractions(counts)
+		sum := 0
+		for _, f := range fr {
+			sum += f.Percent
+			if f.Percent < 0 {
+				t.Fatalf("case %d: negative percent", i)
+			}
+		}
+		if sum != 100 {
+			t.Fatalf("case %d: sum %d", i, sum)
+		}
+	}
+}
+
+func TestComputeFractionsEmpty(t *testing.T) {
+	fr := ComputeFractions(nil)
+	if len(fr) != 1 || fr[0].Shard != types.MaxShard || fr[0].Percent != 100 {
+		t.Fatalf("empty fractions: %v", fr)
+	}
+	fr = ComputeFractions(map[types.ShardID]int{1: 0, 2: 0})
+	if len(fr) != 1 || fr[0].Percent != 100 {
+		t.Fatalf("all-zero fractions: %v", fr)
+	}
+}
+
+func TestComputeFractionsProportional(t *testing.T) {
+	fr := ComputeFractions(map[types.ShardID]int{0: 75, 1: 25})
+	for _, f := range fr {
+		switch f.Shard {
+		case 0:
+			if f.Percent != 75 {
+				t.Fatalf("shard 0: %d", f.Percent)
+			}
+		case 1:
+			if f.Percent != 25 {
+				t.Fatalf("shard 1: %d", f.Percent)
+			}
+		}
+	}
+}
+
+func TestAssignMinerDeterministicAndValid(t *testing.T) {
+	fr := []Fraction{{Shard: 0, Percent: 40}, {Shard: 1, Percent: 30}, {Shard: 2, Percent: 30}}
+	rnd := types.BytesToHash([]byte("epoch-randomness"))
+	k := crypto.KeypairFromSeed("miner-x")
+	s1, err := AssignMiner(rnd, k.Public, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := AssignMiner(rnd, k.Public, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("assignment not deterministic")
+	}
+	if s1 != 0 && s1 != 1 && s1 != 2 {
+		t.Fatalf("assigned to unknown shard %v", s1)
+	}
+}
+
+func TestAssignMinerProportions(t *testing.T) {
+	fr := []Fraction{{Shard: 0, Percent: 70}, {Shard: 1, Percent: 30}}
+	rnd := types.BytesToHash([]byte("seed"))
+	counts := map[types.ShardID]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := crypto.KeypairFromSeed(fmt.Sprintf("m-%d", i))
+		s, err := AssignMiner(rnd, k.Public, fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s]++
+	}
+	frac0 := float64(counts[0]) / n
+	if frac0 < 0.66 || frac0 > 0.74 {
+		t.Fatalf("shard 0 got %.3f of miners, want ≈0.70", frac0)
+	}
+}
+
+func TestAssignMinerBadFractions(t *testing.T) {
+	k := crypto.KeypairFromSeed("m")
+	rnd := types.BytesToHash([]byte("r"))
+	if _, err := AssignMiner(rnd, k.Public, nil); !errors.Is(err, ErrBadFractions) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := AssignMiner(rnd, k.Public, []Fraction{{Shard: 0, Percent: 99}}); !errors.Is(err, ErrBadFractions) {
+		t.Fatalf("sum!=100: %v", err)
+	}
+	if _, err := AssignMiner(rnd, k.Public, []Fraction{{Shard: 0, Percent: 120}, {Shard: 1, Percent: -20}}); !errors.Is(err, ErrBadFractions) {
+		t.Fatalf("negative: %v", err)
+	}
+}
+
+func TestVerifyMembership(t *testing.T) {
+	fr := []Fraction{{Shard: 0, Percent: 50}, {Shard: 1, Percent: 50}}
+	rnd := types.BytesToHash([]byte("epoch"))
+	k := crypto.KeypairFromSeed("honest-miner")
+	shard, err := AssignMiner(rnd, k.Public, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &types.Header{
+		ShardID:    shard,
+		Coinbase:   k.Address(),
+		MinerProof: k.Public,
+	}
+	if err := VerifyMembership(h, rnd, fr); err != nil {
+		t.Fatalf("honest miner rejected: %v", err)
+	}
+
+	// Cheater claims the other shard.
+	lying := *h
+	lying.ShardID = 1 - shard
+	if err := VerifyMembership(&lying, rnd, fr); err == nil {
+		t.Fatal("shard lie accepted")
+	}
+
+	// Proof key not matching coinbase.
+	other := crypto.KeypairFromSeed("other")
+	stolen := *h
+	stolen.MinerProof = other.Public
+	if err := VerifyMembership(&stolen, rnd, fr); err == nil {
+		t.Fatal("stolen identity accepted")
+	}
+
+	// Malformed proof.
+	malformed := *h
+	malformed.MinerProof = []byte{1, 2, 3}
+	if err := VerifyMembership(&malformed, rnd, fr); err == nil {
+		t.Fatal("malformed proof accepted")
+	}
+}
+
+func TestApplyMergeRedirectsRouting(t *testing.T) {
+	g := callgraph.New()
+	d := NewDirectory()
+	s1 := d.Register(a(0xC1))
+	s2 := d.Register(a(0xC2))
+	d.Register(a(0xC3)) // untouched third shard
+
+	// Two single-contract senders, one per contract.
+	g.ObserveContractCall(a(1), a(0xC1))
+	g.ObserveContractCall(a(2), a(0xC2))
+
+	newID, err := d.ApplyMerge([]types.ShardID{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID == s1 || newID == s2 || newID == types.MaxShard {
+		t.Fatalf("new shard id %v collides", newID)
+	}
+	// Both contracts now resolve to the merged shard.
+	for _, c := range []types.Address{a(0xC1), a(0xC2)} {
+		got, ok := d.ShardOf(c)
+		if !ok || got != newID {
+			t.Fatalf("contract %s resolves to %v, want %v", c, got, newID)
+		}
+	}
+	// And routing follows.
+	tx1 := &types.Transaction{From: a(1), To: a(0xC1), Data: []byte{1}}
+	if got := RouteTx(tx1, g, d); got != newID {
+		t.Fatalf("routed to %v, want merged shard %v", got, newID)
+	}
+	// Retirement bookkeeping.
+	if !d.IsRetired(s1) || !d.IsRetired(s2) {
+		t.Fatal("members not retired")
+	}
+	if d.IsRetired(newID) {
+		t.Fatal("new shard marked retired")
+	}
+	ids := d.ShardIDs()
+	for _, id := range ids {
+		if id == s1 || id == s2 {
+			t.Fatalf("retired shard %v still listed: %v", id, ids)
+		}
+	}
+}
+
+func TestApplyMergeChained(t *testing.T) {
+	d := NewDirectory()
+	s1 := d.Register(a(0xC1))
+	s2 := d.Register(a(0xC2))
+	s3 := d.Register(a(0xC3))
+	m1, err := d.ApplyMerge([]types.ShardID{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged shard itself merges with s3 in a later round. Members of a
+	// second-round merge are referenced by the live id m1.
+	d.byID[m1] = types.Address{} // make m1 known as a live shard for merging
+	m2, err := d.ApplyMerge([]types.ShardID{m1, s3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1's shard chain s1 -> m1 -> m2 must fully resolve.
+	got, ok := d.ShardOf(a(0xC1))
+	if !ok || got != m2 {
+		t.Fatalf("chained resolve gave %v, want %v", got, m2)
+	}
+}
+
+func TestApplyMergeRejections(t *testing.T) {
+	d := NewDirectory()
+	s1 := d.Register(a(0xC1))
+	if _, err := d.ApplyMerge(nil); !errors.Is(err, ErrMergeMembers) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := d.ApplyMerge([]types.ShardID{types.MaxShard}); !errors.Is(err, ErrMergeMembers) {
+		t.Fatalf("MaxShard: %v", err)
+	}
+	if _, err := d.ApplyMerge([]types.ShardID{99}); !errors.Is(err, ErrMergeMembers) {
+		t.Fatalf("unknown: %v", err)
+	}
+	if _, err := d.ApplyMerge([]types.ShardID{s1, s1}); !errors.Is(err, ErrMergeMembers) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	s2 := d.Register(a(0xC2))
+	if _, err := d.ApplyMerge([]types.ShardID{s1, s2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyMerge([]types.ShardID{s1}); !errors.Is(err, ErrMergeMembers) {
+		t.Fatalf("retired member: %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func TestArrivalsRequireWindow(t *testing.T) {
+	_, err := Run(Config{Seed: 1},
+		[]ShardPlan{{ID: 1, Miners: 1, ArrivalRate: 0.5}})
+	if !errors.Is(err, ErrArrivals) {
+		t.Fatalf("arrivals without window: %v", err)
+	}
+}
+
+func TestArrivalsAreConfirmed(t *testing.T) {
+	// One miner at one block/min confirming 10 txs/block has capacity
+	// 1/6 tx/s; arrivals at 0.1 tx/s are comfortably under it.
+	r, err := Run(Config{Seed: 2, WindowSec: 3600},
+		[]ShardPlan{{ID: 1, Miners: 1, ArrivalRate: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Shards[0]
+	// ≈360 arrivals expected over the hour.
+	if s.Injected < 250 || s.Injected > 480 {
+		t.Fatalf("arrivals: %d, want ≈360", s.Injected)
+	}
+	confirmedFrac := float64(s.Confirmed) / float64(s.Injected)
+	if confirmedFrac < 0.9 {
+		t.Fatalf("underloaded shard confirmed only %.2f of arrivals", confirmedFrac)
+	}
+	if s.MeanLatencySec <= 0 || s.P95LatencySec < s.MeanLatencySec {
+		t.Fatalf("latency stats: mean %.1f p95 %.1f", s.MeanLatencySec, s.P95LatencySec)
+	}
+}
+
+func TestOverloadedShardBacklogs(t *testing.T) {
+	// Arrivals at 1 tx/s against capacity 1/6 tx/s: the backlog must grow
+	// and latency must far exceed the underloaded case.
+	over, err := Run(Config{Seed: 3, WindowSec: 3600},
+		[]ShardPlan{{ID: 1, Miners: 1, ArrivalRate: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, err := Run(Config{Seed: 3, WindowSec: 3600},
+		[]ShardPlan{{ID: 1, Miners: 1, ArrivalRate: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, u := over.Shards[0], under.Shards[0]
+	if o.Unconfirmed < 1000 {
+		t.Fatalf("overloaded backlog: %d, expected thousands", o.Unconfirmed)
+	}
+	if u.Unconfirmed > 20 {
+		t.Fatalf("underloaded backlog: %d", u.Unconfirmed)
+	}
+	// Confirmed-transaction latency rises under overload, but the fee
+	// priority lets high-fee arrivals jump the queue, so the visible gap is
+	// moderate — the real damage shows in the unbounded backlog above.
+	if o.MeanLatencySec < 1.5*u.MeanLatencySec {
+		t.Fatalf("overload latency %.1f vs underload %.1f", o.MeanLatencySec, u.MeanLatencySec)
+	}
+}
+
+func TestShardingReducesSteadyStateLatency(t *testing.T) {
+	// Total arrival rate fixed; splitting it over more shards (each with
+	// its own miner) must cut the mean confirmation latency.
+	const totalRate = 0.6
+	latency := func(shards int) float64 {
+		plans := make([]ShardPlan, shards)
+		for s := range plans {
+			plans[s] = ShardPlan{
+				ID: types.ShardID(s + 1), Miners: 1,
+				ArrivalRate: totalRate / float64(shards),
+			}
+		}
+		r, err := Run(Config{Seed: 5, WindowSec: 7200}, plans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, n := 0.0, 0
+		for _, sr := range r.Shards {
+			if sr.Confirmed > 0 {
+				sum += sr.MeanLatencySec
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	one := latency(1)
+	nine := latency(9)
+	if nine >= one {
+		t.Fatalf("9-shard latency %.1f not below 1-shard %.1f", nine, one)
+	}
+}
+
+func TestOneShotSemanticsUnchangedByArrivalFields(t *testing.T) {
+	// A plan with zero ArrivalRate behaves exactly as before.
+	fees := fees(30)
+	a, err := Run(Config{Seed: 7}, []ShardPlan{{ID: 1, Miners: 1, Fees: fees}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 7}, []ShardPlan{{ID: 1, Miners: 1, Fees: fees, ArrivalRate: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != b.MakespanSec {
+		t.Fatal("zero arrival rate changed the simulation")
+	}
+	// Latencies exist for one-shot confirmations too (measured from t=0).
+	if a.Shards[0].MeanLatencySec <= 0 {
+		t.Fatal("one-shot latency missing")
+	}
+}
+
+// Property: with the same seed, adding transactions to a shard never
+// shortens the makespan, and makespan is always positive when work exists.
+func TestMakespanMonotoneInLoad(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		prev := 0.0
+		for _, n := range []int{10, 40, 80, 160} {
+			r, err := Run(Config{Seed: seed}, []ShardPlan{{ID: 1, Miners: 1, Fees: fees(n)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.MakespanSec <= 0 {
+				t.Fatalf("seed %d n=%d: non-positive makespan", seed, n)
+			}
+			if r.MakespanSec < prev {
+				t.Fatalf("seed %d: makespan fell from %.1f to %.1f when load grew",
+					seed, prev, r.MakespanSec)
+			}
+			prev = r.MakespanSec
+		}
+	}
+}
+
+// Property: confirmed + unconfirmed always equals injected, in every mode.
+func TestConservationAcrossModes(t *testing.T) {
+	for _, mode := range []SelectionMode{Greedy, GameSets} {
+		for seed := int64(0); seed < 5; seed++ {
+			r, err := Run(Config{Seed: seed, Selection: mode, WindowSec: 400},
+				[]ShardPlan{
+					{ID: 1, Miners: 3, Fees: fees(55)},
+					{ID: 2, Miners: 1, Fees: fees(7), ArrivalRate: 0.05},
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range r.Shards {
+				if s.Confirmed+s.Unconfirmed != s.Injected {
+					t.Fatalf("mode %v seed %d shard %s: %d + %d != %d",
+						mode, seed, s.ID, s.Confirmed, s.Unconfirmed, s.Injected)
+				}
+			}
+		}
+	}
+}

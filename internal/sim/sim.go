@@ -1,0 +1,458 @@
+// Package sim is the discrete-event simulator behind the evaluation: it
+// replays the paper's testbed (Sec. VI-A) — per-shard PoW chains, greedy or
+// game-based transaction selection, empty-block mining — in simulated time,
+// so experiments that took the authors AWS hours run in milliseconds with
+// identical mechanics.
+//
+// # Timing model
+//
+// Each miner produces blocks as a renewal process with interval
+// D + Exp(E), where D = DetFraction·BlockInterval is the deterministic part
+// (propagation, DAG and state processing on the paper's c5.large machines)
+// and E covers the exponential PoW race. The default block interval is one
+// minute, the paper's 0x40000 difficulty setting.
+//
+// With greedy selection every miner of a shard assembles the same highest-
+// fee block (Sec. II-B), so two blocks of the same height are duplicates and
+// only one survives: after an accepted block, finds within ConflictWindow
+// are wasted duplicates. This saturation is why adding miners stops helping
+// (Table I). A single-miner shard has no competitors and no conflict window.
+//
+// With game-based selection (Selection = GameSets) miners hold the disjoint
+// transaction sets computed by the intra-shard congestion game (Sec. IV-B),
+// so same-height blocks carry different transactions and all of them extend
+// the ledger: the conflict window disappears and throughput scales with the
+// number of productive sets — the Fig. 3(h) mechanism. Sets refresh on
+// parameter-unification epochs (SelectionEpochSec): between leader
+// broadcasts a miner only owns its assigned transactions, and once they are
+// confirmed it mines empty blocks until the next epoch, which is where the
+// algorithm's distance from optimal throughput (Fig. 5(b)) comes from.
+//
+// Shards never interact (the paper's zero cross-shard-communication
+// property), so each shard simulates independently from a seed derived from
+// the master seed and its shard id.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"contractshard/internal/txsel"
+	"contractshard/internal/types"
+)
+
+// SelectionMode chooses how miners pick transactions.
+type SelectionMode int
+
+// Selection modes.
+const (
+	// Greedy: every miner selects the same highest-fee transactions — the
+	// serialized default of Sec. II-B.
+	Greedy SelectionMode = iota
+	// GameSets: miners select the disjoint sets computed by the intra-shard
+	// congestion game of Sec. IV-B.
+	GameSets
+)
+
+// Config fixes the simulated testbed.
+type Config struct {
+	// Seed drives all randomness; identical configs replay identically.
+	Seed int64
+	// BlockIntervalSec is the mean per-miner block time; defaults to 60
+	// (the paper's 0x40000 difficulty on a c5.large).
+	BlockIntervalSec float64
+	// DetFraction is the deterministic fraction of the block interval;
+	// defaults to 0.8.
+	DetFraction float64
+	// ConflictWindowSec is the dead time after an accepted block during
+	// which competing greedy blocks are duplicates and get discarded.
+	// Defaults to 1.2×BlockIntervalSec, calibrated so the nine-miner
+	// non-sharded baseline confirms one block per ≈76 s as the paper's
+	// testbed measures (Sec. VI-B1/B2).
+	ConflictWindowSec float64
+	// BlockTxCap is the transactions per block; defaults to 10 (gas limit
+	// 0x300000 in the paper's setting).
+	BlockTxCap int
+	// WindowSec extends the simulation beyond transaction drain so empty
+	// blocks keep accumulating until this horizon (Fig. 3(c)'s 212 s
+	// observation window). Zero means stop at drain.
+	WindowSec float64
+	// Selection picks the miner behaviour.
+	Selection SelectionMode
+	// SelectionEpochSec is how often the unified transaction assignment
+	// refreshes in GameSets mode; defaults to 1.5×BlockIntervalSec.
+	SelectionEpochSec float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockIntervalSec <= 0 {
+		c.BlockIntervalSec = 60
+	}
+	if c.DetFraction <= 0 || c.DetFraction >= 1 {
+		c.DetFraction = 0.8
+	}
+	if c.ConflictWindowSec == 0 {
+		c.ConflictWindowSec = 1.2 * c.BlockIntervalSec
+	}
+	if c.BlockTxCap <= 0 {
+		c.BlockTxCap = 10
+	}
+	if c.SelectionEpochSec <= 0 {
+		c.SelectionEpochSec = 1.5 * c.BlockIntervalSec
+	}
+	return c
+}
+
+// ShardPlan describes one shard entering the simulation.
+type ShardPlan struct {
+	ID     types.ShardID
+	Miners int
+	// Fees are the pending transactions' fees; length is the shard size.
+	Fees []uint64
+	// Retargeted marks a chain whose PoW difficulty has re-adjusted to its
+	// miner population — the behaviour of a real geth chain, and of a
+	// newly merged shard once its difficulty absorbs the combined hash
+	// power (Sec. IV-A). The chain then produces blocks at the single-chain
+	// cadence (one per BlockInterval) with no duplicate-block waste,
+	// regardless of how many miners share it.
+	Retargeted bool
+	// ArrivalRate, in transactions per second, streams new transactions
+	// into the shard's pool during the observation window as a Poisson
+	// process — the sustained operation regime, as opposed to the paper's
+	// one-shot injections. Requires a positive Config.WindowSec; arrivals
+	// stop at the window's end. Arriving transactions draw fees uniformly
+	// from [1,100].
+	ArrivalRate float64
+	// Sustained marks a shard that satisfies the merge bound of Eq. (1):
+	// its transaction backlog never empties during the observation window
+	// ("if the number of unvalidated transactions is larger than 0 at any
+	// time, miners can earn more money by validating transactions than
+	// packing empty blocks", Sec. IV-A1). Such a shard mines no empty
+	// blocks; its drain time for the injected transactions is still
+	// simulated normally.
+	Sustained bool
+}
+
+// ShardResult reports one shard's simulation.
+type ShardResult struct {
+	ID           types.ShardID
+	Miners       int
+	Injected     int
+	Confirmed    int
+	DrainSec     float64 // time the last transaction confirmed; 0 when none injected
+	Accepted     int     // accepted blocks, including empty ones
+	Wasted       int     // duplicate blocks discarded in the conflict window
+	EmptyBlocks  int     // accepted blocks confirming nothing, within the window
+	WindowEndSec float64
+	// Latency statistics over confirmed transactions: time from injection
+	// (t=0 for the initial pool, arrival time for streamed transactions) to
+	// confirmation. Zero when nothing confirmed.
+	MeanLatencySec float64
+	P95LatencySec  float64
+	// Unconfirmed counts transactions still pending when the simulation
+	// stopped (only possible with streaming arrivals).
+	Unconfirmed int
+}
+
+// Result aggregates a run.
+type Result struct {
+	Shards []ShardResult
+	// MakespanSec is W: the waiting time until every injected transaction
+	// in the system is confirmed — the paper's throughput denominator.
+	MakespanSec float64
+	// TotalEmpty sums empty blocks over all shards.
+	TotalEmpty int
+	// TotalWasted sums discarded duplicate blocks.
+	TotalWasted int
+}
+
+// Validation errors.
+var (
+	ErrNoShards = errors.New("sim: no shards")
+	ErrNoMiners = errors.New("sim: shard without miners")
+	ErrArrivals = errors.New("sim: arrival rate requires a positive window")
+)
+
+// Run simulates all shards and aggregates the results.
+func Run(cfg Config, plans []ShardPlan) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(plans) == 0 {
+		return nil, ErrNoShards
+	}
+	for _, p := range plans {
+		if p.Miners <= 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoMiners, p.ID)
+		}
+		if p.ArrivalRate > 0 && cfg.WindowSec <= 0 {
+			return nil, fmt.Errorf("%w: %s streams arrivals without a window", ErrArrivals, p.ID)
+		}
+	}
+
+	res := &Result{}
+	// Pass 1: drain every shard to find the makespan.
+	for _, p := range plans {
+		r := simulateShard(cfg, p, 0)
+		if r.drain > res.MakespanSec {
+			res.MakespanSec = r.drain
+		}
+	}
+	// Pass 2: the observation window for empty blocks is the later of the
+	// makespan (miners keep mining until the whole system confirms — the
+	// Sec. VI-A stopping rule) and the configured window.
+	window := res.MakespanSec
+	if cfg.WindowSec > window {
+		window = cfg.WindowSec
+	}
+	for _, p := range plans {
+		r := simulateShard(cfg, p, window)
+		sr := ShardResult{
+			ID:           p.ID,
+			Miners:       p.Miners,
+			Injected:     len(p.Fees) + r.arrived,
+			Confirmed:    r.confirmed,
+			DrainSec:     r.drain,
+			Accepted:     r.accepted,
+			Wasted:       r.wasted,
+			EmptyBlocks:  r.empty,
+			WindowEndSec: window,
+			Unconfirmed:  r.pendingLeft,
+		}
+		if len(r.latencies) > 0 {
+			sum := 0.0
+			for _, l := range r.latencies {
+				sum += l
+			}
+			sr.MeanLatencySec = sum / float64(len(r.latencies))
+			sorted := append([]float64(nil), r.latencies...)
+			sort.Float64s(sorted)
+			sr.P95LatencySec = sorted[int(float64(len(sorted)-1)*0.95)]
+		}
+		res.Shards = append(res.Shards, sr)
+		res.TotalEmpty += sr.EmptyBlocks
+		res.TotalWasted += sr.Wasted
+	}
+	return res, nil
+}
+
+type shardRun struct {
+	confirmed   int
+	drain       float64
+	accepted    int
+	wasted      int
+	empty       int
+	arrived     int
+	pendingLeft int
+	latencies   []float64
+}
+
+type ptx struct {
+	idx     int
+	fee     uint64
+	arrived float64 // injection time; 0 for the initial pool
+}
+
+// simulateShard runs one shard until its pool drains and, when window > 0,
+// until simulated time passes the window (counting empty blocks up to it).
+func simulateShard(cfg Config, plan ShardPlan, window float64) shardRun {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(plan.ID)+1)*0x1D872B41))
+	out := shardRun{}
+
+	// A one-player congestion game degenerates to the greedy pick, and a
+	// lone miner has no duplicate-selection conflicts either, so the two
+	// modes coincide; use the cheaper greedy path.
+	if plan.Miners == 1 {
+		cfg.Selection = Greedy
+	}
+	// A retargeted chain behaves like a single renewal process at the
+	// chain cadence: difficulty has absorbed the extra hash power, so
+	// there is no duplicate-block race to model.
+	if plan.Retargeted {
+		plan.Miners = 1
+		cfg.Selection = Greedy
+	}
+
+	pending := make([]ptx, len(plan.Fees))
+	for i, f := range plan.Fees {
+		pending[i] = ptx{idx: i, fee: f}
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].fee != pending[j].fee {
+			return pending[i].fee > pending[j].fee
+		}
+		return pending[i].idx < pending[j].idx
+	})
+
+	sample := func() float64 {
+		d := cfg.DetFraction * cfg.BlockIntervalSec
+		e := (1 - cfg.DetFraction) * cfg.BlockIntervalSec
+		return d + rng.ExpFloat64()*e
+	}
+
+	next := make([]float64, plan.Miners)
+	for i := range next {
+		next[i] = sample()
+	}
+
+	// Streaming arrivals: Poisson process during the window.
+	nextArrival := math.Inf(1)
+	arrivalIdx := len(plan.Fees)
+	if plan.ArrivalRate > 0 && window > 0 {
+		nextArrival = rng.ExpFloat64() / plan.ArrivalRate
+	}
+	insertPending := func(p ptx) {
+		// Keep the fee-descending order the miners' view requires.
+		pos := len(pending)
+		for i, q := range pending {
+			if p.fee > q.fee || (p.fee == q.fee && p.idx < q.idx) {
+				pos = i
+				break
+			}
+		}
+		pending = append(pending, ptx{})
+		copy(pending[pos+1:], pending[pos:])
+		pending[pos] = p
+	}
+
+	// GameSets state: per-miner sets of original tx indices, refreshed at
+	// parameter-unification epochs.
+	assigned := make([]map[int]bool, plan.Miners)
+	nextEpoch := 0.0
+	refreshSets := func() {
+		for i := range assigned {
+			assigned[i] = nil
+		}
+		if len(pending) == 0 {
+			return
+		}
+		fees := make([]uint64, len(pending))
+		for i, p := range pending {
+			fees[i] = p.fee
+		}
+		sets, err := txsel.Select(txsel.Params{
+			Fees:    fees,
+			Miners:  plan.Miners,
+			SetSize: cfg.BlockTxCap,
+		})
+		if err != nil {
+			return
+		}
+		for m, positions := range sets.PerMiner {
+			set := make(map[int]bool, len(positions))
+			for _, pos := range positions {
+				set[pos] = true // positions are stable: map below translates
+			}
+			// Translate pool positions to original indices so the set stays
+			// valid while pending shrinks between epochs.
+			byIdx := make(map[int]bool, len(set))
+			for pos := range set {
+				byIdx[pending[pos].idx] = true
+			}
+			assigned[m] = byIdx
+		}
+	}
+
+	lastAccepted := math.Inf(-1)
+	totalInjected := len(plan.Fees)
+	for {
+		// Next find across the shard's miners.
+		m := 0
+		for i := 1; i < plan.Miners; i++ {
+			if next[i] < next[m] {
+				m = i
+			}
+		}
+		t := next[m]
+
+		// Deliver arrivals scheduled before this block find.
+		for nextArrival <= t && nextArrival <= window {
+			insertPending(ptx{idx: arrivalIdx, fee: uint64(rng.Intn(100)) + 1, arrived: nextArrival})
+			arrivalIdx++
+			out.arrived++
+			totalInjected++
+			nextArrival += rng.ExpFloat64() / plan.ArrivalRate
+		}
+		next[m] = t + sample()
+
+		if len(pending) == 0 && (window == 0 || t > window) {
+			break
+		}
+		// With streaming arrivals the run ends at the window even if a
+		// backlog remains (an overloaded shard never drains).
+		if plan.ArrivalRate > 0 && t > window {
+			break
+		}
+
+		if cfg.Selection == GameSets && t >= nextEpoch {
+			refreshSets()
+			nextEpoch = t + cfg.SelectionEpochSec
+		}
+
+		// Conflict window: with greedy selection and competition, a block
+		// found too soon after the previous accepted block duplicates it.
+		if cfg.Selection == Greedy && plan.Miners > 1 && t < lastAccepted+cfg.ConflictWindowSec {
+			out.wasted++
+			continue
+		}
+		lastAccepted = t
+		out.accepted++
+
+		confirmedNow := 0
+		switch cfg.Selection {
+		case Greedy:
+			n := cfg.BlockTxCap
+			if n > len(pending) {
+				n = len(pending)
+			}
+			for _, p := range pending[:n] {
+				out.latencies = append(out.latencies, t-p.arrived)
+			}
+			pending = pending[n:]
+			confirmedNow = n
+		case GameSets:
+			if set := assigned[m]; len(set) > 0 {
+				kept := pending[:0]
+				for _, p := range pending {
+					if set[p.idx] && confirmedNow < cfg.BlockTxCap {
+						delete(set, p.idx)
+						confirmedNow++
+						out.latencies = append(out.latencies, t-p.arrived)
+						continue
+					}
+					kept = append(kept, p)
+				}
+				pending = kept
+			}
+		}
+
+		if confirmedNow == 0 {
+			if !plan.Sustained && (window == 0 || t <= window) {
+				out.empty++
+			}
+		} else {
+			out.confirmed += confirmedNow
+			if out.confirmed == totalInjected && len(pending) == 0 {
+				out.drain = t
+			}
+		}
+	}
+	out.pendingLeft = len(pending)
+	return out
+}
+
+// Ethereum simulates the non-sharded baseline: all transactions in one chain
+// mined greedily by the given miners — the benchmark WE of Sec. VI-A.
+func Ethereum(cfg Config, miners int, fees []uint64) (*Result, error) {
+	cfg.Selection = Greedy
+	return Run(cfg, []ShardPlan{{ID: types.MaxShard, Miners: miners, Fees: fees}})
+}
+
+// Improvement computes the paper's headline metric WE/WS.
+func Improvement(ethereum, sharded *Result) float64 {
+	if sharded.MakespanSec <= 0 {
+		return 0
+	}
+	return ethereum.MakespanSec / sharded.MakespanSec
+}

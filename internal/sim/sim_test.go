@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func fees(n int) []uint64 {
+	f := make([]uint64, n)
+	for i := range f {
+		f[i] = uint64(i%17 + 1)
+	}
+	return f
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{}, nil); !errors.Is(err, ErrNoShards) {
+		t.Fatalf("no shards: %v", err)
+	}
+	if _, err := Run(Config{}, []ShardPlan{{ID: 1, Miners: 0}}); !errors.Is(err, ErrNoMiners) {
+		t.Fatalf("no miners: %v", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{Seed: 7}
+	plans := []ShardPlan{
+		{ID: 1, Miners: 1, Fees: fees(30)},
+		{ID: 2, Miners: 3, Fees: fees(50)},
+	}
+	a, err := Run(cfg, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != b.MakespanSec || a.TotalEmpty != b.TotalEmpty || a.TotalWasted != b.TotalWasted {
+		t.Fatal("replay diverged")
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	plans := []ShardPlan{{ID: 1, Miners: 1, Fees: fees(30)}}
+	a, _ := Run(Config{Seed: 1}, plans)
+	b, _ := Run(Config{Seed: 2}, plans)
+	if a.MakespanSec == b.MakespanSec {
+		t.Fatal("different seeds gave identical makespan (suspicious)")
+	}
+}
+
+func TestSingleMinerDrainTime(t *testing.T) {
+	// 30 txs at 10/block need 3 blocks; at a 60 s mean interval the drain
+	// should land near 180 s.
+	r, err := Run(Config{Seed: 3}, []ShardPlan{{ID: 1, Miners: 1, Fees: fees(30)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MakespanSec < 120 || r.MakespanSec > 300 {
+		t.Fatalf("makespan %.1f, want ≈180", r.MakespanSec)
+	}
+	s := r.Shards[0]
+	if s.Confirmed != 30 || s.Accepted < 3 {
+		t.Fatalf("confirmed %d accepted %d", s.Confirmed, s.Accepted)
+	}
+	if s.EmptyBlocks != 0 {
+		t.Fatalf("drained shard mined %d empty blocks without a window", s.EmptyBlocks)
+	}
+}
+
+func TestTableIShapeMinersSaturate(t *testing.T) {
+	// Confirmation time of 20 txs must not keep dropping as miners grow —
+	// the Table I observation. Average over seeds to tame noise.
+	avg := func(k int) float64 {
+		sum := 0.0
+		for seed := int64(0); seed < 20; seed++ {
+			r, err := Ethereum(Config{Seed: seed}, k, fees(20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += r.MakespanSec
+		}
+		return sum / 20
+	}
+	t2, t4, t9 := avg(2), avg(4), avg(9)
+	if t4 > t2 {
+		t.Fatalf("4 miners slower than 2: %.1f vs %.1f", t4, t2)
+	}
+	// Saturation: going 4 -> 9 miners buys almost nothing (< 15%).
+	if t9 < t4*0.85 {
+		t.Fatalf("9 miners still improved a lot: %.1f vs %.1f", t9, t4)
+	}
+}
+
+func TestShardingNearLinearImprovement(t *testing.T) {
+	// Fig. 3(a): improvement grows near-linearly in shard count and reaches
+	// ≈7x at nine shards against the nine-miner Ethereum baseline.
+	all := fees(200)
+	imp := func(shards int) float64 {
+		sum := 0.0
+		const reps = 10
+		for seed := int64(0); seed < reps; seed++ {
+			we, err := Ethereum(Config{Seed: seed}, 9, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var plans []ShardPlan
+			for s := 0; s < shards; s++ {
+				lo, hi := s*200/shards, (s+1)*200/shards
+				plans = append(plans, ShardPlan{ID: types.ShardID(s), Miners: 1, Fees: all[lo:hi]})
+			}
+			ws, err := Run(Config{Seed: seed}, plans)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += Improvement(we, ws)
+		}
+		return sum / reps
+	}
+	i3, i9 := imp(3), imp(9)
+	if i9 < 5.5 || i9 > 9 {
+		t.Fatalf("improvement at 9 shards %.2f, want ≈7", i9)
+	}
+	if i3 >= i9 {
+		t.Fatal("improvement must grow with shard count")
+	}
+	if i3 < 1.5 {
+		t.Fatalf("improvement at 3 shards %.2f, too low", i3)
+	}
+}
+
+func TestGameSetsBeatGreedyInBigShard(t *testing.T) {
+	// Fig. 3(h): with several miners in one shard, game-based selection
+	// multiplies throughput; with one miner it must not hurt.
+	all := fees(200)
+	avgMakespan := func(mode SelectionMode, miners int) float64 {
+		sum := 0.0
+		const reps = 8
+		for seed := int64(0); seed < reps; seed++ {
+			r, err := Run(Config{Seed: seed, Selection: mode},
+				[]ShardPlan{{ID: 1, Miners: miners, Fees: all}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += r.MakespanSec
+		}
+		return sum / reps
+	}
+	greedy9 := avgMakespan(Greedy, 9)
+	game9 := avgMakespan(GameSets, 9)
+	if imp := greedy9 / game9; imp < 3 {
+		t.Fatalf("selection improvement at 9 miners %.2f, want > 3", imp)
+	}
+	greedy1 := avgMakespan(Greedy, 1)
+	game1 := avgMakespan(GameSets, 1)
+	if math.Abs(greedy1-game1) > 1e-9 {
+		t.Fatalf("single-miner selection should equal greedy: %.1f vs %.1f", greedy1, game1)
+	}
+}
+
+func TestEmptyBlocksInWindow(t *testing.T) {
+	// A small shard (5 txs) observed over a long window mines empty blocks
+	// after draining; a busy shard does not.
+	cfg := Config{Seed: 9, BlockIntervalSec: 1.3, WindowSec: 212}
+	r, err := Run(cfg, []ShardPlan{
+		{ID: 1, Miners: 1, Fees: fees(5)},    // small: drains in 1 block
+		{ID: 2, Miners: 1, Fees: fees(2000)}, // busy the whole window
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, busy := r.Shards[0], r.Shards[1]
+	if small.EmptyBlocks < 100 {
+		t.Fatalf("small shard empty blocks %d, want ≈150", small.EmptyBlocks)
+	}
+	if busy.EmptyBlocks > 2 {
+		t.Fatalf("busy shard mined %d empty blocks", busy.EmptyBlocks)
+	}
+}
+
+func TestMergedShardFewerEmptyBlocks(t *testing.T) {
+	// The Fig. 3(c) mechanism: five small shards each mine ≈window/interval
+	// empty blocks; merged into one shard (with the five miners) the system
+	// mines roughly one shard's worth — a large reduction.
+	cfg := Config{Seed: 4, BlockIntervalSec: 1.3, WindowSec: 212}
+	var before []ShardPlan
+	for i := 0; i < 5; i++ {
+		before = append(before, ShardPlan{ID: types.ShardID(i + 1), Miners: 1, Fees: fees(5)})
+	}
+	rb, err := Run(cfg, before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := []ShardPlan{{ID: 10, Miners: 5, Fees: fees(25)}}
+	rm, err := Run(cfg, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.TotalEmpty >= rb.TotalEmpty/2 {
+		t.Fatalf("merging did not reduce empties: %d -> %d", rb.TotalEmpty, rm.TotalEmpty)
+	}
+	reduction := 1 - float64(rm.TotalEmpty)/float64(rb.TotalEmpty)
+	if reduction < 0.6 {
+		t.Fatalf("reduction %.2f, want large", reduction)
+	}
+}
+
+func TestWastedBlocksOnlyWithCompetition(t *testing.T) {
+	one, err := Run(Config{Seed: 2}, []ShardPlan{{ID: 1, Miners: 1, Fees: fees(50)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.TotalWasted != 0 {
+		t.Fatal("single miner cannot waste blocks")
+	}
+	many, err := Run(Config{Seed: 2}, []ShardPlan{{ID: 1, Miners: 9, Fees: fees(50)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.TotalWasted == 0 {
+		t.Fatal("nine greedy miners should conflict")
+	}
+}
+
+func TestAllTxsConfirmedExactlyOnce(t *testing.T) {
+	for _, mode := range []SelectionMode{Greedy, GameSets} {
+		r, err := Run(Config{Seed: 11, Selection: mode},
+			[]ShardPlan{{ID: 1, Miners: 4, Fees: fees(73)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Shards[0].Confirmed; got != 73 {
+			t.Fatalf("mode %v: confirmed %d of 73", mode, got)
+		}
+		if r.MakespanSec <= 0 {
+			t.Fatalf("mode %v: zero makespan", mode)
+		}
+	}
+}
+
+func TestImprovementEdgeCases(t *testing.T) {
+	if Improvement(&Result{MakespanSec: 10}, &Result{MakespanSec: 0}) != 0 {
+		t.Fatal("zero denominator should give 0")
+	}
+	if got := Improvement(&Result{MakespanSec: 10}, &Result{MakespanSec: 5}); got != 2 {
+		t.Fatalf("improvement %f", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.BlockIntervalSec != 60 || c.BlockTxCap != 10 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.ConflictWindowSec != 72 {
+		t.Fatalf("conflict window default %f", c.ConflictWindowSec)
+	}
+	if c.SelectionEpochSec != 90 {
+		t.Fatalf("selection epoch default %f", c.SelectionEpochSec)
+	}
+	if c.DetFraction != 0.8 {
+		t.Fatalf("det fraction default %f", c.DetFraction)
+	}
+}
+
+func TestZeroInjectionOnlyEmptyBlocks(t *testing.T) {
+	r, err := Run(Config{Seed: 1, WindowSec: 300},
+		[]ShardPlan{{ID: 1, Miners: 1, Fees: nil}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Shards[0]
+	if s.Confirmed != 0 || s.DrainSec != 0 {
+		t.Fatalf("phantom confirmations: %+v", s)
+	}
+	if s.EmptyBlocks < 3 {
+		t.Fatalf("idle shard should mine empties over the window: %d", s.EmptyBlocks)
+	}
+	if r.MakespanSec != 0 {
+		t.Fatal("no txs means zero makespan")
+	}
+}

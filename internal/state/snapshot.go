@@ -1,0 +1,104 @@
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"contractshard/internal/types"
+)
+
+// Snapshot serialization: a canonical byte encoding of the full account
+// state, used to hand a new shard miner its state slice without replaying
+// the chain (fast sync), and to checkpoint ledgers to disk. The encoding is
+// canonical — accounts and storage slots in sorted order — so equal states
+// produce equal bytes.
+
+var snapshotDomain = []byte("state/snapshot/v1")
+
+// Encode serializes the state.
+func (s *State) Encode() []byte {
+	e := types.NewEncoder()
+	e.WriteBytes(snapshotDomain)
+	addrs := s.Accounts()
+	e.BeginList(len(addrs))
+	for _, addr := range addrs {
+		a := s.accounts[addr]
+		e.WriteAddress(addr)
+		e.WriteUint64(a.balance)
+		e.WriteUint64(a.nonce)
+		e.WriteBytes(a.code)
+		slots := make([]string, 0, len(a.storage))
+		for k := range a.storage {
+			slots = append(slots, k)
+		}
+		sort.Strings(slots)
+		e.BeginList(len(slots))
+		for _, k := range slots {
+			e.WriteBytes([]byte(k))
+			e.WriteBytes(a.storage[k])
+		}
+	}
+	return e.Bytes()
+}
+
+// Decode reconstructs a state from Encode output, verifying structure.
+func Decode(raw []byte) (*State, error) {
+	d := types.NewDecoder(raw)
+	domain, err := d.ReadBytes()
+	if err != nil {
+		return nil, fmt.Errorf("state: snapshot domain: %w", err)
+	}
+	if string(domain) != string(snapshotDomain) {
+		return nil, fmt.Errorf("state: not a snapshot (domain %q)", domain)
+	}
+	n, err := d.ReadList()
+	if err != nil {
+		return nil, fmt.Errorf("state: account count: %w", err)
+	}
+	s := New()
+	for i := 0; i < n; i++ {
+		addr, err := d.ReadAddress()
+		if err != nil {
+			return nil, fmt.Errorf("state: account %d address: %w", i, err)
+		}
+		bal, err := d.ReadUint64()
+		if err != nil {
+			return nil, fmt.Errorf("state: account %d balance: %w", i, err)
+		}
+		nonce, err := d.ReadUint64()
+		if err != nil {
+			return nil, fmt.Errorf("state: account %d nonce: %w", i, err)
+		}
+		code, err := d.ReadBytes()
+		if err != nil {
+			return nil, fmt.Errorf("state: account %d code: %w", i, err)
+		}
+		a := &account{balance: bal, nonce: nonce}
+		if len(code) > 0 {
+			a.code = code
+		}
+		slots, err := d.ReadList()
+		if err != nil {
+			return nil, fmt.Errorf("state: account %d slots: %w", i, err)
+		}
+		if slots > 0 {
+			a.storage = make(map[string][]byte, slots)
+		}
+		for j := 0; j < slots; j++ {
+			k, err := d.ReadBytes()
+			if err != nil {
+				return nil, fmt.Errorf("state: account %d slot %d key: %w", i, j, err)
+			}
+			v, err := d.ReadBytes()
+			if err != nil {
+				return nil, fmt.Errorf("state: account %d slot %d value: %w", i, j, err)
+			}
+			a.storage[string(k)] = v
+		}
+		s.accounts[addr] = a
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("state: %d trailing bytes in snapshot", d.Remaining())
+	}
+	return s, nil
+}

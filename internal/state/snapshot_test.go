@@ -1,0 +1,93 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+
+	"contractshard/internal/types"
+)
+
+func populated(t *testing.T) *State {
+	t.Helper()
+	s := New()
+	for i := byte(1); i <= 5; i++ {
+		if err := s.AddBalance(addr(i), uint64(i)*100); err != nil {
+			t.Fatal(err)
+		}
+		s.SetNonce(addr(i), uint64(i))
+	}
+	s.SetCode(addr(9), []byte{0xAA, 0xBB})
+	s.SetStorage(addr(9), []byte("k1"), []byte("v1"))
+	s.SetStorage(addr(9), []byte("k2"), []byte("v2"))
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := populated(t)
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root() != s.Root() {
+		t.Fatal("snapshot round trip changed the state root")
+	}
+	if got.GetBalance(addr(3)) != 300 || got.GetNonce(addr(3)) != 3 {
+		t.Fatal("account data lost")
+	}
+	if string(got.GetStorage(addr(9), []byte("k2"))) != "v2" {
+		t.Fatal("storage lost")
+	}
+	if string(got.GetCode(addr(9))) != string([]byte{0xAA, 0xBB}) {
+		t.Fatal("code lost")
+	}
+}
+
+func TestSnapshotCanonical(t *testing.T) {
+	// Two states with the same content built in different orders must
+	// serialize identically.
+	a := New()
+	b := New()
+	for i := byte(1); i <= 4; i++ {
+		if err := a.AddBalance(addr(i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(4); i >= 1; i-- {
+		if err := b.AddBalance(addr(i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Fatal("snapshot not canonical")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	s := populated(t)
+	raw := s.Encode()
+	if _, err := Decode(raw[:len(raw)-2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, err := Decode(append(raw, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Wrong domain.
+	other := types.NewEncoder()
+	other.WriteBytes([]byte("not-a-snapshot"))
+	if _, err := Decode(other.Bytes()); err == nil {
+		t.Fatal("wrong domain accepted")
+	}
+}
+
+func TestSnapshotGarbageNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func addr(b byte) types.Address { return types.BytesToAddress([]byte{b}) }
+
+func TestBalanceArithmetic(t *testing.T) {
+	s := New()
+	if err := s.AddBalance(addr(1), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubBalance(addr(1), 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GetBalance(addr(1)); got != 60 {
+		t.Fatalf("balance: got %d want 60", got)
+	}
+	if s.GetBalance(addr(2)) != 0 {
+		t.Fatal("absent account should have zero balance")
+	}
+}
+
+func TestInsufficientBalance(t *testing.T) {
+	s := New()
+	if err := s.SubBalance(addr(1), 1); !errors.Is(err, ErrInsufficientBalance) {
+		t.Fatalf("want ErrInsufficientBalance, got %v", err)
+	}
+}
+
+func TestBalanceOverflow(t *testing.T) {
+	s := New()
+	if err := s.AddBalance(addr(1), math.MaxUint64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBalance(addr(1), 1); !errors.Is(err, ErrBalanceOverflow) {
+		t.Fatalf("want ErrBalanceOverflow, got %v", err)
+	}
+	if s.GetBalance(addr(1)) != math.MaxUint64 {
+		t.Fatal("failed add must not change balance")
+	}
+}
+
+func TestTransferAtomicity(t *testing.T) {
+	s := New()
+	if err := s.AddBalance(addr(1), 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transfer(addr(1), addr(2), 20); err != nil {
+		t.Fatal(err)
+	}
+	if s.GetBalance(addr(1)) != 30 || s.GetBalance(addr(2)) != 20 {
+		t.Fatal("transfer amounts wrong")
+	}
+	// Failing transfer leaves both sides untouched.
+	if err := s.Transfer(addr(1), addr(2), 1000); err == nil {
+		t.Fatal("over-transfer accepted")
+	}
+	if s.GetBalance(addr(1)) != 30 || s.GetBalance(addr(2)) != 20 {
+		t.Fatal("failed transfer mutated state")
+	}
+	// Credit overflow rolls back the debit.
+	if err := s.AddBalance(addr(3), math.MaxUint64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transfer(addr(1), addr(3), 10); !errors.Is(err, ErrBalanceOverflow) {
+		t.Fatalf("want overflow, got %v", err)
+	}
+	if s.GetBalance(addr(1)) != 30 {
+		t.Fatal("debit not rolled back after credit overflow")
+	}
+}
+
+func TestNonce(t *testing.T) {
+	s := New()
+	if s.GetNonce(addr(1)) != 0 {
+		t.Fatal("fresh nonce should be 0")
+	}
+	s.SetNonce(addr(1), 5)
+	if s.GetNonce(addr(1)) != 5 {
+		t.Fatal("nonce not set")
+	}
+}
+
+func TestCodeAndStorage(t *testing.T) {
+	s := New()
+	if s.IsContract(addr(1)) {
+		t.Fatal("empty account is not a contract")
+	}
+	s.SetCode(addr(1), []byte{0x60, 0x01})
+	if !s.IsContract(addr(1)) {
+		t.Fatal("account with code is a contract")
+	}
+	s.SetStorage(addr(1), []byte("slot"), []byte("value"))
+	if string(s.GetStorage(addr(1), []byte("slot"))) != "value" {
+		t.Fatal("storage not readable")
+	}
+	s.SetStorage(addr(1), []byte("slot"), nil)
+	if s.GetStorage(addr(1), []byte("slot")) != nil {
+		t.Fatal("storage not cleared")
+	}
+	if s.GetStorage(addr(9), []byte("slot")) != nil {
+		t.Fatal("absent account storage should be nil")
+	}
+}
+
+func TestSnapshotRevert(t *testing.T) {
+	s := New()
+	if err := s.AddBalance(addr(1), 100); err != nil {
+		t.Fatal(err)
+	}
+	rootBefore := s.Root()
+	snap := s.Snapshot()
+
+	if err := s.AddBalance(addr(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetNonce(addr(1), 3)
+	s.SetCode(addr(2), []byte{1})
+	s.SetStorage(addr(2), []byte("k"), []byte("v"))
+	if err := s.Transfer(addr(1), addr(3), 10); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.RevertToSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s.GetBalance(addr(1)) != 100 || s.GetNonce(addr(1)) != 0 {
+		t.Fatal("account 1 not reverted")
+	}
+	if s.Exists(addr(2)) || s.Exists(addr(3)) {
+		t.Fatal("created accounts not removed on revert")
+	}
+	if s.Root() != rootBefore {
+		t.Fatal("root not restored after revert")
+	}
+}
+
+func TestNestedSnapshots(t *testing.T) {
+	s := New()
+	if err := s.AddBalance(addr(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	s1 := s.Snapshot()
+	if err := s.AddBalance(addr(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	s2 := s.Snapshot()
+	if err := s.AddBalance(addr(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RevertToSnapshot(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s.GetBalance(addr(1)) != 20 {
+		t.Fatalf("inner revert: got %d want 20", s.GetBalance(addr(1)))
+	}
+	if err := s.RevertToSnapshot(s1); err != nil {
+		t.Fatal(err)
+	}
+	if s.GetBalance(addr(1)) != 10 {
+		t.Fatalf("outer revert: got %d want 10", s.GetBalance(addr(1)))
+	}
+}
+
+func TestBadSnapshot(t *testing.T) {
+	s := New()
+	if err := s.RevertToSnapshot(-1); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("negative snapshot: %v", err)
+	}
+	if err := s.RevertToSnapshot(5); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("future snapshot: %v", err)
+	}
+}
+
+func TestRootContentDetermined(t *testing.T) {
+	build := func(order []int) *State {
+		s := New()
+		for _, i := range order {
+			if err := s.AddBalance(addr(byte(i)), uint64(i*10)); err != nil {
+				t.Fatal(err)
+			}
+			s.SetNonce(addr(byte(i)), uint64(i))
+		}
+		return s
+	}
+	a := build([]int{1, 2, 3})
+	b := build([]int{3, 1, 2})
+	if a.Root() != b.Root() {
+		t.Fatal("root depends on mutation order")
+	}
+	// Storage and code must affect the root.
+	c := build([]int{1, 2, 3})
+	c.SetStorage(addr(1), []byte("k"), []byte("v"))
+	if c.Root() == a.Root() {
+		t.Fatal("storage write did not change root")
+	}
+	d := build([]int{1, 2, 3})
+	d.SetCode(addr(1), []byte{0xFF})
+	if d.Root() == a.Root() {
+		t.Fatal("code write did not change root")
+	}
+}
+
+func TestCopyIsolation(t *testing.T) {
+	s := New()
+	if err := s.AddBalance(addr(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	s.SetStorage(addr(1), []byte("k"), []byte("v"))
+	cp := s.Copy()
+	if err := s.AddBalance(addr(1), 5); err != nil {
+		t.Fatal(err)
+	}
+	s.SetStorage(addr(1), []byte("k"), []byte("v2"))
+	if cp.GetBalance(addr(1)) != 10 || string(cp.GetStorage(addr(1), []byte("k"))) != "v" {
+		t.Fatal("copy saw later writes")
+	}
+	if cp.Root() == s.Root() {
+		t.Fatal("diverged states share a root")
+	}
+}
+
+func TestAccountsSorted(t *testing.T) {
+	s := New()
+	for _, b := range []byte{9, 3, 7, 1} {
+		if err := s.AddBalance(addr(b), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Accounts()
+	if len(got) != 4 {
+		t.Fatalf("accounts: %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Compare(got[i]) >= 0 {
+			t.Fatal("accounts not sorted")
+		}
+	}
+}
+
+// Randomized journal test: apply random ops with random snapshots/reverts and
+// compare against a map model that snapshots by deep copy.
+func TestJournalAgainstModel(t *testing.T) {
+	type model struct {
+		bal   map[byte]uint64
+		nonce map[byte]uint64
+	}
+	cloneModel := func(m model) model {
+		nb := map[byte]uint64{}
+		nn := map[byte]uint64{}
+		for k, v := range m.bal {
+			nb[k] = v
+		}
+		for k, v := range m.nonce {
+			nn[k] = v
+		}
+		return model{bal: nb, nonce: nn}
+	}
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	m := model{bal: map[byte]uint64{}, nonce: map[byte]uint64{}}
+	type frame struct {
+		snap int
+		m    model
+	}
+	var stack []frame
+
+	for step := 0; step < 3000; step++ {
+		a := byte(rng.Intn(6))
+		switch rng.Intn(6) {
+		case 0, 1:
+			amt := uint64(rng.Intn(100))
+			if err := s.AddBalance(addr(a), amt); err != nil {
+				t.Fatal(err)
+			}
+			m.bal[a] += amt
+		case 2:
+			amt := uint64(rng.Intn(100))
+			err := s.SubBalance(addr(a), amt)
+			if m.bal[a] < amt {
+				if err == nil {
+					t.Fatalf("step %d: model says insufficient, state accepted", step)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("step %d: unexpected error %v", step, err)
+				}
+				m.bal[a] -= amt
+			}
+		case 3:
+			n := uint64(rng.Intn(50))
+			s.SetNonce(addr(a), n)
+			m.nonce[a] = n
+		case 4:
+			stack = append(stack, frame{snap: s.Snapshot(), m: cloneModel(m)})
+		case 5:
+			if len(stack) > 0 {
+				f := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if err := s.RevertToSnapshot(f.snap); err != nil {
+					t.Fatal(err)
+				}
+				m = f.m
+			}
+		}
+		if step%250 == 0 {
+			for a := byte(0); a < 6; a++ {
+				if s.GetBalance(addr(a)) != m.bal[a] {
+					t.Fatalf("step %d: balance[%d] %d vs model %d", step, a, s.GetBalance(addr(a)), m.bal[a])
+				}
+				if s.GetNonce(addr(a)) != m.nonce[a] {
+					t.Fatalf("step %d: nonce[%d] mismatch", step, a)
+				}
+			}
+		}
+	}
+}
+
+func TestDiscardJournal(t *testing.T) {
+	s := New()
+	if err := s.AddBalance(addr(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	s.DiscardJournal()
+	if got := s.Snapshot(); got != 0 {
+		t.Fatalf("snapshot after discard: %d", got)
+	}
+	if s.GetBalance(addr(1)) != 10 {
+		t.Fatal("discard must not change state")
+	}
+}
+
+func ExampleState_Transfer() {
+	s := New()
+	alice, bob := addr(1), addr(2)
+	_ = s.AddBalance(alice, 100)
+	_ = s.Transfer(alice, bob, 30)
+	fmt.Println(s.GetBalance(alice), s.GetBalance(bob))
+	// Output: 70 30
+}

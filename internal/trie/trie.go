@@ -1,0 +1,358 @@
+// Package trie implements an in-memory Merkle Patricia trie, the
+// authenticated key/value structure blocks commit to through their state
+// root. It follows go-Ethereum's node shapes — branch nodes with sixteen
+// nibble children, short nodes covering a shared path segment, and value
+// leaves — with a simplified canonical hash encoding instead of RLP.
+//
+// Per-shard ledgers each maintain their own trie: miners outside the
+// MaxShard only store the slice of state their shard touches (Sec. III-A),
+// which is where the paper's storage saving comes from.
+package trie
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sort"
+
+	"contractshard/internal/types"
+)
+
+// Trie is a Merkle Patricia trie. The zero value is an empty trie ready for
+// use. It is not safe for concurrent mutation.
+type Trie struct {
+	root node
+}
+
+type node interface {
+	// fold hashes the node into the encoder.
+	fold(e *types.Encoder)
+}
+
+// shortNode covers a run of nibbles shared by all keys beneath it. If val is
+// a valueNode the short node is a leaf; otherwise it is an extension.
+type shortNode struct {
+	key []byte // nibble path segment
+	val node
+}
+
+// branchNode fans out on one nibble. value holds a value terminating exactly
+// at this node, if any.
+type branchNode struct {
+	children [16]node
+	value    valueNode
+}
+
+type valueNode []byte
+
+func (n *shortNode) fold(e *types.Encoder) {
+	e.WriteUint64(0) // node kind tag
+	e.WriteBytes(n.key)
+	child := types.NewEncoder()
+	n.val.fold(child)
+	sum := sha256.Sum256(child.Bytes())
+	e.WriteHash(sum)
+}
+
+func (n *branchNode) fold(e *types.Encoder) {
+	e.WriteUint64(1)
+	for _, c := range n.children {
+		if c == nil {
+			e.WriteBytes(nil)
+			continue
+		}
+		child := types.NewEncoder()
+		c.fold(child)
+		sum := sha256.Sum256(child.Bytes())
+		e.WriteHash(sum)
+	}
+	e.WriteBytes(n.value)
+}
+
+func (n valueNode) fold(e *types.Encoder) {
+	e.WriteUint64(2)
+	e.WriteBytes(n)
+}
+
+// keyToNibbles expands a byte key into its nibble path.
+func keyToNibbles(key []byte) []byte {
+	nib := make([]byte, len(key)*2)
+	for i, b := range key {
+		nib[i*2] = b >> 4
+		nib[i*2+1] = b & 0x0f
+	}
+	return nib
+}
+
+// Get returns the value stored under key, or nil if absent.
+func (t *Trie) Get(key []byte) []byte {
+	return get(t.root, keyToNibbles(key))
+}
+
+func get(n node, path []byte) []byte {
+	switch n := n.(type) {
+	case nil:
+		return nil
+	case valueNode:
+		if len(path) == 0 {
+			return n
+		}
+		return nil
+	case *shortNode:
+		if len(path) < len(n.key) || !bytes.Equal(path[:len(n.key)], n.key) {
+			return nil
+		}
+		return get(n.val, path[len(n.key):])
+	case *branchNode:
+		if len(path) == 0 {
+			if n.value == nil {
+				return nil
+			}
+			return n.value
+		}
+		return get(n.children[path[0]], path[1:])
+	default:
+		panic("trie: unknown node type")
+	}
+}
+
+// Put stores value under key, replacing any previous value. A nil or empty
+// value is equivalent to Delete.
+func (t *Trie) Put(key, value []byte) {
+	if len(value) == 0 {
+		t.Delete(key)
+		return
+	}
+	v := make(valueNode, len(value))
+	copy(v, value)
+	t.root = insert(t.root, keyToNibbles(key), v)
+}
+
+func insert(n node, path []byte, value valueNode) node {
+	switch n := n.(type) {
+	case nil:
+		if len(path) == 0 {
+			return value
+		}
+		return &shortNode{key: path, val: value}
+	case valueNode:
+		if len(path) == 0 {
+			return value // overwrite
+		}
+		// A value terminates here but the new key continues: grow a branch.
+		b := &branchNode{value: n}
+		b.children[path[0]] = insert(nil, path[1:], value)
+		return b
+	case *shortNode:
+		common := commonPrefix(n.key, path)
+		if common == len(n.key) {
+			n.val = insert(n.val, path[common:], value)
+			return n
+		}
+		// Split the short node at the divergence point.
+		b := &branchNode{}
+		// Existing branch side.
+		b.children[n.key[common]] = shorten(n.key[common+1:], n.val)
+		// New value side.
+		if common == len(path) {
+			b.value = value
+		} else {
+			b.children[path[common]] = insert(nil, path[common+1:], value)
+		}
+		if common == 0 {
+			return b
+		}
+		return &shortNode{key: path[:common], val: b}
+	case *branchNode:
+		if len(path) == 0 {
+			n.value = value
+			return n
+		}
+		n.children[path[0]] = insert(n.children[path[0]], path[1:], value)
+		return n
+	default:
+		panic("trie: unknown node type")
+	}
+}
+
+// shorten wraps child in a short node for the given path segment, collapsing
+// nested short nodes and zero-length segments.
+func shorten(seg []byte, child node) node {
+	if len(seg) == 0 {
+		return child
+	}
+	if sn, ok := child.(*shortNode); ok {
+		return &shortNode{key: append(append([]byte{}, seg...), sn.key...), val: sn.val}
+	}
+	return &shortNode{key: append([]byte{}, seg...), val: child}
+}
+
+// Delete removes key from the trie; deleting an absent key is a no-op.
+func (t *Trie) Delete(key []byte) {
+	t.root, _ = remove(t.root, keyToNibbles(key))
+}
+
+func remove(n node, path []byte) (node, bool) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false
+	case valueNode:
+		if len(path) == 0 {
+			return nil, true
+		}
+		return n, false
+	case *shortNode:
+		if len(path) < len(n.key) || !bytes.Equal(path[:len(n.key)], n.key) {
+			return n, false
+		}
+		child, changed := remove(n.val, path[len(n.key):])
+		if !changed {
+			return n, false
+		}
+		if child == nil {
+			return nil, true
+		}
+		return shorten(n.key, child), true
+	case *branchNode:
+		if len(path) == 0 {
+			if n.value == nil {
+				return n, false
+			}
+			n.value = nil
+			return collapse(n), true
+		}
+		child, changed := remove(n.children[path[0]], path[1:])
+		if !changed {
+			return n, false
+		}
+		n.children[path[0]] = child
+		return collapse(n), true
+	default:
+		panic("trie: unknown node type")
+	}
+}
+
+// collapse simplifies a branch that no longer needs to fan out.
+func collapse(b *branchNode) node {
+	live := -1
+	count := 0
+	for i, c := range b.children {
+		if c != nil {
+			live = i
+			count++
+		}
+	}
+	switch {
+	case count == 0 && b.value == nil:
+		return nil
+	case count == 0:
+		return b.value
+	case count == 1 && b.value == nil:
+		return shorten([]byte{byte(live)}, b.children[live])
+	default:
+		return b
+	}
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Hash returns the trie's root commitment. The empty trie hashes to the zero
+// hash.
+func (t *Trie) Hash() types.Hash {
+	if t.root == nil {
+		return types.Hash{}
+	}
+	e := types.NewEncoder()
+	t.root.fold(e)
+	return sha256.Sum256(e.Bytes())
+}
+
+// Len returns the number of stored keys.
+func (t *Trie) Len() int {
+	n := 0
+	t.walk(t.root, nil, func([]byte, []byte) { n++ })
+	return n
+}
+
+// Range calls fn for every key/value pair in unspecified order. The slices
+// passed to fn must not be retained or modified.
+func (t *Trie) Range(fn func(key, value []byte)) {
+	t.walk(t.root, nil, fn)
+}
+
+func (t *Trie) walk(n node, path []byte, fn func(key, value []byte)) {
+	switch n := n.(type) {
+	case nil:
+	case valueNode:
+		fn(nibblesToKey(path), n)
+	case *shortNode:
+		t.walk(n.val, append(path, n.key...), fn)
+	case *branchNode:
+		if n.value != nil {
+			fn(nibblesToKey(path), n.value)
+		}
+		for i, c := range n.children {
+			if c != nil {
+				t.walk(c, append(path, byte(i)), fn)
+			}
+		}
+	default:
+		panic("trie: unknown node type")
+	}
+}
+
+func nibblesToKey(nib []byte) []byte {
+	key := make([]byte, len(nib)/2)
+	for i := range key {
+		key[i] = nib[i*2]<<4 | nib[i*2+1]
+	}
+	return key
+}
+
+// Copy returns a deep copy of the trie. It is used for state snapshots.
+func (t *Trie) Copy() *Trie {
+	return &Trie{root: deepCopy(t.root)}
+}
+
+func deepCopy(n node) node {
+	switch n := n.(type) {
+	case nil:
+		return nil
+	case valueNode:
+		return append(valueNode(nil), n...)
+	case *shortNode:
+		return &shortNode{key: append([]byte(nil), n.key...), val: deepCopy(n.val)}
+	case *branchNode:
+		out := &branchNode{}
+		if n.value != nil {
+			out.value = append(valueNode(nil), n.value...)
+		}
+		for i, c := range n.children {
+			out.children[i] = deepCopy(c)
+		}
+		return out
+	default:
+		panic("trie: unknown node type")
+	}
+}
+
+// SortedKeys returns all keys in lexicographic order; used by deterministic
+// iteration in tests and state dumps.
+func (t *Trie) SortedKeys() [][]byte {
+	var keys [][]byte
+	t.Range(func(k, _ []byte) {
+		keys = append(keys, append([]byte(nil), k...))
+	})
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	return keys
+}

@@ -1,0 +1,178 @@
+// Package txsel turns the intra-shard congestion game (Sec. IV-B, package
+// game/congestion) into per-miner transaction *sets* a miner can actually
+// pack into a block.
+//
+// The paper's game assigns one transaction per miner per play; blocks hold
+// up to B transactions. Select therefore runs B successive equilibrium
+// rounds: each round the miners best-reply over the still-unclaimed
+// transactions, every miner appends its equilibrium pick to its set, and
+// claimed transactions leave the pool. Within a round miners can still
+// collide (the dominant-fee equilibrium of Fig. 5(b)); across rounds the
+// pool shrinks, so sets stay mostly disjoint — which is exactly the
+// parallelism the algorithm is after.
+//
+// Everything is a pure function of Params, so every miner replays the
+// assignment locally from the leader's broadcast inputs and can verify that
+// a block only contains transactions its producer was assigned (Sec. IV-C).
+package txsel
+
+import (
+	"errors"
+	"fmt"
+
+	"contractshard/internal/game/congestion"
+)
+
+// Params fixes one selection computation. All fields come from the
+// verifiable leader's parameter-unification broadcast.
+type Params struct {
+	// Fees of the shard's pending transactions, in canonical order (the
+	// "transactions set").
+	Fees []uint64
+	// Miners is the number of miners in the shard (the "miners set").
+	Miners int
+	// SetSize is how many transactions each miner's set should hold — the
+	// block capacity B; defaults to 1.
+	SetSize int
+	// Initial holds each miner's initial transaction choice for the first
+	// round (the leader's "random initial choice"). Nil assigns miner i to
+	// transaction i mod T.
+	Initial []int
+	// MaxMoves bounds best-reply moves per round; 0 selects the O(uT²) bound.
+	MaxMoves int
+}
+
+// Sets is the selection outcome.
+type Sets struct {
+	// PerMiner[i] lists the transaction indices assigned to miner i, in the
+	// order the rounds produced them.
+	PerMiner [][]int
+	// FirstRound is the equilibrium assignment of the first round — the
+	// quantity Fig. 5(b) counts distinct choices over.
+	FirstRound []int
+	// DistinctFirstRound is the number of distinct transactions chosen in
+	// the first round, the paper's "number of transaction sets".
+	DistinctFirstRound int
+	// Rounds actually played (≤ SetSize; fewer when the pool empties).
+	Rounds int
+	// Moves is the total number of best-reply improvements across rounds.
+	Moves int
+}
+
+// Validation errors.
+var (
+	ErrNoMiners = errors.New("txsel: no miners")
+	ErrBadInit  = errors.New("txsel: bad initial assignment")
+)
+
+// Select computes the per-miner transaction sets.
+func Select(p Params) (*Sets, error) {
+	if p.Miners <= 0 {
+		return nil, ErrNoMiners
+	}
+	setSize := p.SetSize
+	if setSize <= 0 {
+		setSize = 1
+	}
+	if p.Initial != nil && len(p.Initial) != p.Miners {
+		return nil, fmt.Errorf("%w: %d entries for %d miners", ErrBadInit, len(p.Initial), p.Miners)
+	}
+
+	out := &Sets{PerMiner: make([][]int, p.Miners)}
+	if len(p.Fees) == 0 {
+		return out, nil
+	}
+
+	// pool maps position-in-round-game -> original transaction index.
+	pool := make([]int, len(p.Fees))
+	for i := range pool {
+		pool[i] = i
+	}
+
+	initial := make([]int, p.Miners)
+	if p.Initial != nil {
+		for i, tx := range p.Initial {
+			if tx < 0 || tx >= len(p.Fees) {
+				return nil, fmt.Errorf("%w: tx index %d", ErrBadInit, tx)
+			}
+			initial[i] = tx
+		}
+	} else {
+		for i := range initial {
+			initial[i] = i % len(p.Fees)
+		}
+	}
+
+	for round := 0; round < setSize && len(pool) > 0; round++ {
+		fees := make([]uint64, len(pool))
+		for i, orig := range pool {
+			fees[i] = p.Fees[orig]
+		}
+		g, err := congestion.New(fees, p.Miners)
+		if err != nil {
+			return nil, err
+		}
+		start := make([]int, p.Miners)
+		if round == 0 {
+			// Map the leader-provided original indices into pool positions.
+			posOf := make(map[int]int, len(pool))
+			for pos, orig := range pool {
+				posOf[orig] = pos
+			}
+			for i, orig := range initial {
+				start[i] = posOf[orig]
+			}
+		} else {
+			// Deterministic restart: spread miners over the shrunken pool.
+			for i := range start {
+				start[i] = i % len(pool)
+			}
+		}
+		res, err := g.Run(start, p.MaxMoves)
+		if err != nil {
+			return nil, err
+		}
+		out.Moves += res.Iterations
+		out.Rounds++
+		if round == 0 {
+			out.FirstRound = make([]int, p.Miners)
+			for i, pos := range res.Assignment {
+				out.FirstRound[i] = pool[pos]
+			}
+			out.DistinctFirstRound = congestion.DistinctChoices(res.Assignment)
+		}
+		claimed := make(map[int]bool)
+		for i, pos := range res.Assignment {
+			orig := pool[pos]
+			out.PerMiner[i] = append(out.PerMiner[i], orig)
+			claimed[pos] = true
+		}
+		next := pool[:0]
+		for pos, orig := range pool {
+			if !claimed[pos] {
+				next = append(next, orig)
+			}
+		}
+		pool = next
+	}
+	return out, nil
+}
+
+// VerifyBlock checks that every transaction index a miner put in its block
+// was assigned to that miner by the unified selection — the check honest
+// miners run before accepting a block, rejecting rule-breakers (Sec. IV-C).
+func VerifyBlock(sets *Sets, miner int, blockTxs []int) error {
+	if miner < 0 || miner >= len(sets.PerMiner) {
+		return fmt.Errorf("txsel: unknown miner %d", miner)
+	}
+	allowed := make(map[int]bool, len(sets.PerMiner[miner]))
+	for _, tx := range sets.PerMiner[miner] {
+		allowed[tx] = true
+	}
+	for _, tx := range blockTxs {
+		if !allowed[tx] {
+			return fmt.Errorf("txsel: miner %d packed unassigned transaction %d", miner, tx)
+		}
+	}
+	return nil
+}

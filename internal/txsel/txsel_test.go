@@ -1,0 +1,202 @@
+package txsel
+
+import (
+	"errors"
+	"testing"
+)
+
+func fees(n int) []uint64 {
+	f := make([]uint64, n)
+	for i := range f {
+		f[i] = uint64(n - i) // descending fees: 0 is the most attractive
+	}
+	return f
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Select(Params{Fees: fees(3), Miners: 0}); !errors.Is(err, ErrNoMiners) {
+		t.Fatalf("no miners: %v", err)
+	}
+	if _, err := Select(Params{Fees: fees(3), Miners: 2, Initial: []int{0}}); !errors.Is(err, ErrBadInit) {
+		t.Fatalf("short initial: %v", err)
+	}
+	if _, err := Select(Params{Fees: fees(3), Miners: 2, Initial: []int{0, 9}}); !errors.Is(err, ErrBadInit) {
+		t.Fatalf("out-of-range initial: %v", err)
+	}
+}
+
+func TestEmptyPool(t *testing.T) {
+	sets, err := Select(Params{Fees: nil, Miners: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets.Rounds != 0 || len(sets.PerMiner) != 3 {
+		t.Fatalf("empty pool: %+v", sets)
+	}
+	for _, s := range sets.PerMiner {
+		if len(s) != 0 {
+			t.Fatal("assignments from an empty pool")
+		}
+	}
+}
+
+func TestSingleRoundSpreads(t *testing.T) {
+	// Comparable fees: the equilibrium spreads 4 miners over 4 distinct txs.
+	sets, err := Select(Params{Fees: []uint64{10, 9, 8, 7, 6}, Miners: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets.DistinctFirstRound != 4 {
+		t.Fatalf("distinct=%d assignment=%v", sets.DistinctFirstRound, sets.FirstRound)
+	}
+}
+
+func TestSetSizeRounds(t *testing.T) {
+	sets, err := Select(Params{Fees: fees(20), Miners: 3, SetSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets.Rounds != 4 {
+		t.Fatalf("rounds=%d", sets.Rounds)
+	}
+	for i, s := range sets.PerMiner {
+		if len(s) != 4 {
+			t.Fatalf("miner %d set size %d", i, len(s))
+		}
+		seen := map[int]bool{}
+		for _, tx := range s {
+			if seen[tx] {
+				t.Fatalf("miner %d assigned tx %d twice", i, tx)
+			}
+			seen[tx] = true
+		}
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	// 3 txs, 2 miners, set size 5: at most ceil(3/...) rounds until empty.
+	sets, err := Select(Params{Fees: fees(3), Miners: 2, SetSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := map[int]bool{}
+	for _, s := range sets.PerMiner {
+		for _, tx := range s {
+			total[tx] = true
+		}
+	}
+	if len(total) != 3 {
+		t.Fatalf("pool not fully consumed: %v", sets.PerMiner)
+	}
+	if sets.Rounds > 3 {
+		t.Fatalf("rounds=%d after pool exhaustion", sets.Rounds)
+	}
+}
+
+func TestAcrossRoundsDisjoint(t *testing.T) {
+	// A transaction claimed in round r must never reappear in a later round
+	// for any miner.
+	sets, err := Select(Params{Fees: fees(30), Miners: 5, SetSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenAtRound := map[int]int{}
+	for m, s := range sets.PerMiner {
+		for r, tx := range s {
+			if prev, ok := seenAtRound[tx]; ok && prev != r {
+				t.Fatalf("tx %d claimed in rounds %d and %d (miner %d)", tx, prev, r, m)
+			}
+			seenAtRound[tx] = r
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	p := Params{Fees: fees(15), Miners: 4, SetSize: 3, Initial: []int{0, 0, 1, 2}}
+	a, err := Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerMiner {
+		if len(a.PerMiner[i]) != len(b.PerMiner[i]) {
+			t.Fatal("replay diverged")
+		}
+		for j := range a.PerMiner[i] {
+			if a.PerMiner[i][j] != b.PerMiner[i][j] {
+				t.Fatal("replay diverged")
+			}
+		}
+	}
+}
+
+func TestDominantFeeCollision(t *testing.T) {
+	// One overwhelming fee: every miner's first-round pick is that tx — the
+	// serialized worst case of Fig. 5(b).
+	sets, err := Select(Params{Fees: []uint64{1_000_000, 1, 1}, Miners: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets.DistinctFirstRound != 1 {
+		t.Fatalf("distinct=%d, want 1", sets.DistinctFirstRound)
+	}
+	for i, tx := range sets.FirstRound {
+		if tx != 0 {
+			t.Fatalf("miner %d picked %d", i, tx)
+		}
+	}
+}
+
+func TestVerifyBlock(t *testing.T) {
+	sets, err := Select(Params{Fees: fees(12), Miners: 3, SetSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A miner packing its own set verifies.
+	if err := VerifyBlock(sets, 1, sets.PerMiner[1]); err != nil {
+		t.Fatalf("honest block rejected: %v", err)
+	}
+	// Packing a subset verifies too.
+	if err := VerifyBlock(sets, 1, sets.PerMiner[1][:1]); err != nil {
+		t.Fatalf("subset rejected: %v", err)
+	}
+	// Stealing another miner's transaction is rejected.
+	foreign := sets.PerMiner[0][0]
+	isOwn := false
+	for _, tx := range sets.PerMiner[1] {
+		if tx == foreign {
+			isOwn = true
+		}
+	}
+	if !isOwn {
+		if err := VerifyBlock(sets, 1, []int{foreign}); err == nil {
+			t.Fatal("stolen tx accepted")
+		}
+	}
+	// Unknown miner index.
+	if err := VerifyBlock(sets, 99, nil); err == nil {
+		t.Fatal("unknown miner accepted")
+	}
+}
+
+func TestInitialRespected(t *testing.T) {
+	// With identical fees everywhere, no miner can strictly improve by
+	// moving off a tx it holds alone, so a spread initial assignment is
+	// already the equilibrium and must be returned unchanged.
+	p := Params{Fees: []uint64{5, 5, 5, 5}, Miners: 3, Initial: []int{0, 1, 2}}
+	sets, err := Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 2} {
+		if sets.FirstRound[i] != want {
+			t.Fatalf("miner %d moved from %d to %d", i, want, sets.FirstRound[i])
+		}
+	}
+	if sets.Moves != 0 {
+		t.Fatalf("unexpected moves: %d", sets.Moves)
+	}
+}

@@ -1,0 +1,251 @@
+package types
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+)
+
+// Header is a block header. Compared with go-Ethereum, the one addition the
+// paper makes is the ShardID field: every block declares the shard it was
+// mined for, and receivers verify that the miner really belongs to that
+// shard before accepting the block (Sec. III-C).
+type Header struct {
+	ParentHash Hash    // hash of the previous block in this shard's ledger
+	Number     uint64  // block height within the shard's ledger
+	Time       uint64  // timestamp, milliseconds of simulated or wall time
+	Difficulty uint64  // PoW difficulty target the seal must meet
+	Coinbase   Address // miner credited with the block and fee rewards
+	StateRoot  Hash    // commitment to the post-state of this shard
+	TxRoot     Hash    // Merkle root of the block's transactions
+	ShardID    ShardID // shard this block extends
+	GasLimit   uint64  // upper bound on the gas used by the block's txs
+	GasUsed    uint64  // gas actually consumed
+	PowNonce   uint64  // PoW solution
+	MinerProof []byte  // proof of shard membership (Sec. III-B), may be nil
+}
+
+var headerDomain = []byte("contractshard/header/v1")
+
+// SealHash returns the digest the PoW seal commits to: every header field
+// except the PoW nonce itself.
+func (h *Header) SealHash() Hash {
+	e := NewEncoder()
+	e.WriteBytes(headerDomain)
+	h.encodeCommon(e)
+	return sha256.Sum256(e.Bytes())
+}
+
+// Hash returns the block hash, which covers the seal.
+func (h *Header) Hash() Hash {
+	e := NewEncoder()
+	e.WriteBytes(headerDomain)
+	h.encodeCommon(e)
+	e.WriteUint64(h.PowNonce)
+	return sha256.Sum256(e.Bytes())
+}
+
+func (h *Header) encodeCommon(e *Encoder) {
+	e.WriteHash(h.ParentHash)
+	e.WriteUint64(h.Number)
+	e.WriteUint64(h.Time)
+	e.WriteUint64(h.Difficulty)
+	e.WriteAddress(h.Coinbase)
+	e.WriteHash(h.StateRoot)
+	e.WriteHash(h.TxRoot)
+	e.WriteUint64(uint64(h.ShardID))
+	e.WriteUint64(h.GasLimit)
+	e.WriteUint64(h.GasUsed)
+	e.WriteBytes(h.MinerProof)
+}
+
+// Encode appends the full header, including the seal, to e.
+func (h *Header) Encode(e *Encoder) {
+	h.encodeCommon(e)
+	e.WriteUint64(h.PowNonce)
+}
+
+// DecodeHeader reads a header written by Encode.
+func DecodeHeader(d *Decoder) (*Header, error) {
+	h := &Header{}
+	var err error
+	if h.ParentHash, err = d.ReadHash(); err != nil {
+		return nil, fmt.Errorf("header parent: %w", err)
+	}
+	if h.Number, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("header number: %w", err)
+	}
+	if h.Time, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("header time: %w", err)
+	}
+	if h.Difficulty, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("header difficulty: %w", err)
+	}
+	if h.Coinbase, err = d.ReadAddress(); err != nil {
+		return nil, fmt.Errorf("header coinbase: %w", err)
+	}
+	if h.StateRoot, err = d.ReadHash(); err != nil {
+		return nil, fmt.Errorf("header state root: %w", err)
+	}
+	if h.TxRoot, err = d.ReadHash(); err != nil {
+		return nil, fmt.Errorf("header tx root: %w", err)
+	}
+	shard, err := d.ReadUint64()
+	if err != nil {
+		return nil, fmt.Errorf("header shard: %w", err)
+	}
+	if shard > math.MaxUint32 {
+		// ShardID is 32-bit; accepting a wider value would silently truncate
+		// and make two distinct encodings decode to the same header.
+		return nil, fmt.Errorf("%w: shard id %d overflows", ErrBadEncoding, shard)
+	}
+	h.ShardID = ShardID(shard)
+	if h.GasLimit, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("header gas limit: %w", err)
+	}
+	if h.GasUsed, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("header gas used: %w", err)
+	}
+	if h.MinerProof, err = d.ReadBytes(); err != nil {
+		return nil, fmt.Errorf("header miner proof: %w", err)
+	}
+	if h.PowNonce, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("header pow nonce: %w", err)
+	}
+	return h, nil
+}
+
+// Block is a sealed header together with its transaction body.
+type Block struct {
+	Header *Header
+	Txs    []*Transaction
+}
+
+// NewBlock assembles a block and fills in the header's transaction root.
+func NewBlock(h *Header, txs []*Transaction) *Block {
+	h.TxRoot = TxRoot(txs)
+	return &Block{Header: h, Txs: txs}
+}
+
+// Hash returns the block hash (the header hash).
+func (b *Block) Hash() Hash { return b.Header.Hash() }
+
+// Number returns the block height.
+func (b *Block) Number() uint64 { return b.Header.Number }
+
+// ShardID returns the shard the block belongs to.
+func (b *Block) ShardID() ShardID { return b.Header.ShardID }
+
+// IsEmpty reports whether the block confirms no transactions. Empty blocks
+// are the waste the inter-shard merging algorithm exists to eliminate
+// (Sec. III-D).
+func (b *Block) IsEmpty() bool { return len(b.Txs) == 0 }
+
+// TxRoot computes a binary Merkle root over the transaction hashes. An empty
+// transaction list yields the zero hash. The transaction count is mixed into
+// the final digest so that the odd-node promotion below cannot make two
+// lists of different lengths collide (the CVE-2012-2459 pattern).
+func TxRoot(txs []*Transaction) Hash {
+	if len(txs) == 0 {
+		return Hash{}
+	}
+	layer := make([]Hash, len(txs))
+	for i, tx := range txs {
+		layer[i] = tx.Hash()
+	}
+	for len(layer) > 1 {
+		next := make([]Hash, 0, (len(layer)+1)/2)
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 == len(layer) {
+				// Odd node is promoted by hashing with itself, as in Bitcoin.
+				next = append(next, hashPair(layer[i], layer[i]))
+			} else {
+				next = append(next, hashPair(layer[i], layer[i+1]))
+			}
+		}
+		layer = next
+	}
+	e := NewEncoder()
+	e.WriteUint64(uint64(len(txs)))
+	e.WriteHash(layer[0])
+	return sha256.Sum256(e.Bytes())
+}
+
+func hashPair(a, b Hash) Hash {
+	e := NewEncoder()
+	e.WriteHash(a)
+	e.WriteHash(b)
+	return sha256.Sum256(e.Bytes())
+}
+
+// Encode serializes the block.
+func (b *Block) Encode() []byte {
+	e := NewEncoder()
+	b.Header.Encode(e)
+	e.BeginList(len(b.Txs))
+	for _, tx := range b.Txs {
+		tx.Encode(e)
+	}
+	return e.Bytes()
+}
+
+// DecodeBlock parses a block written by Encode and verifies that the body
+// matches the header's transaction root.
+func DecodeBlock(raw []byte) (*Block, error) {
+	d := NewDecoder(raw)
+	h, err := DecodeHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.ReadList()
+	if err != nil {
+		return nil, fmt.Errorf("block body: %w", err)
+	}
+	txs := make([]*Transaction, n)
+	for i := range txs {
+		if txs[i], err = DecodeTransaction(d); err != nil {
+			return nil, fmt.Errorf("block tx %d: %w", i, err)
+		}
+	}
+	if got := TxRoot(txs); got != h.TxRoot {
+		return nil, fmt.Errorf("%w: tx root mismatch: header %s body %s", ErrBadEncoding, h.TxRoot, got)
+	}
+	return &Block{Header: h, Txs: txs}, nil
+}
+
+// Receipt records the outcome of executing one transaction.
+type Receipt struct {
+	TxHash     Hash
+	Status     ReceiptStatus
+	GasUsed    uint64
+	FeePaid    uint64
+	BlockHash  Hash
+	BlockNum   uint64
+	Shard      ShardID
+	ContractOK bool   // for contract calls: whether the condition held
+	Err        string // human-readable failure reason, empty on success
+}
+
+// ReceiptStatus enumerates execution outcomes.
+type ReceiptStatus uint8
+
+// Receipt statuses.
+const (
+	ReceiptSuccess  ReceiptStatus = iota // executed and state updated
+	ReceiptReverted                      // contract condition failed; fee still charged
+	ReceiptInvalid                       // transaction could not be applied at all
+)
+
+// String renders the status for logs.
+func (s ReceiptStatus) String() string {
+	switch s {
+	case ReceiptSuccess:
+		return "success"
+	case ReceiptReverted:
+		return "reverted"
+	case ReceiptInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}

@@ -1,0 +1,195 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleHeader() *Header {
+	return &Header{
+		ParentHash: BytesToHash([]byte{1}),
+		Number:     10,
+		Time:       123456,
+		Difficulty: 0x40000,
+		Coinbase:   BytesToAddress([]byte{0xC0}),
+		StateRoot:  BytesToHash([]byte{2}),
+		TxRoot:     BytesToHash([]byte{3}),
+		ShardID:    4,
+		GasLimit:   0x300000,
+		GasUsed:    60000,
+		PowNonce:   777,
+		MinerProof: []byte("proof"),
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	e := NewEncoder()
+	h.Encode(e)
+	got, err := DecodeHeader(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != h.Hash() {
+		t.Fatal("header hash changed across encode/decode")
+	}
+	if got.ShardID != h.ShardID || got.Number != h.Number || got.Difficulty != h.Difficulty {
+		t.Fatal("fields mismatched")
+	}
+}
+
+func TestSealHashExcludesNonce(t *testing.T) {
+	a := sampleHeader()
+	b := sampleHeader()
+	b.PowNonce = 1
+	if a.SealHash() != b.SealHash() {
+		t.Fatal("SealHash must not depend on PowNonce")
+	}
+	if a.Hash() == b.Hash() {
+		t.Fatal("Hash must depend on PowNonce")
+	}
+}
+
+func TestHeaderHashSensitivity(t *testing.T) {
+	base := sampleHeader().Hash()
+	mutations := []func(*Header){
+		func(h *Header) { h.ParentHash = BytesToHash([]byte{9}) },
+		func(h *Header) { h.Number++ },
+		func(h *Header) { h.Time++ },
+		func(h *Header) { h.Difficulty++ },
+		func(h *Header) { h.Coinbase = BytesToAddress([]byte{9}) },
+		func(h *Header) { h.StateRoot = BytesToHash([]byte{9}) },
+		func(h *Header) { h.TxRoot = BytesToHash([]byte{9}) },
+		func(h *Header) { h.ShardID++ },
+		func(h *Header) { h.GasLimit++ },
+		func(h *Header) { h.GasUsed++ },
+		func(h *Header) { h.MinerProof = []byte("x") },
+	}
+	for i, mutate := range mutations {
+		h := sampleHeader()
+		mutate(h)
+		if h.Hash() == base {
+			t.Fatalf("mutation %d did not change header hash", i)
+		}
+	}
+}
+
+func TestTxRootEmpty(t *testing.T) {
+	if !TxRoot(nil).IsZero() {
+		t.Fatal("empty tx root should be zero")
+	}
+}
+
+func TestTxRootOrderSensitivity(t *testing.T) {
+	a, b := sampleTx(), sampleTx()
+	b.Nonce = 42
+	r1 := TxRoot([]*Transaction{a, b})
+	r2 := TxRoot([]*Transaction{b, a})
+	if r1 == r2 {
+		t.Fatal("tx root must be order-sensitive")
+	}
+}
+
+func TestTxRootOddCount(t *testing.T) {
+	txs := make([]*Transaction, 3)
+	for i := range txs {
+		tx := sampleTx()
+		tx.Nonce = uint64(i)
+		txs[i] = tx
+	}
+	r := TxRoot(txs)
+	if r.IsZero() {
+		t.Fatal("root of three txs should be nonzero")
+	}
+	// Deterministic across calls.
+	if r != TxRoot(txs) {
+		t.Fatal("root not deterministic")
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	txs := []*Transaction{sampleTx()}
+	b := NewBlock(sampleHeader(), txs)
+	got, err := DecodeBlock(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != b.Hash() {
+		t.Fatal("block hash changed")
+	}
+	if len(got.Txs) != 1 || got.Txs[0].Hash() != txs[0].Hash() {
+		t.Fatal("body mismatched")
+	}
+}
+
+func TestDecodeBlockRejectsTamperedBody(t *testing.T) {
+	b := NewBlock(sampleHeader(), []*Transaction{sampleTx()})
+	// Re-encode with a body that doesn't match the committed TxRoot.
+	other := sampleTx()
+	other.Nonce = 999
+	tampered := &Block{Header: b.Header, Txs: []*Transaction{other}}
+	if _, err := DecodeBlock(tampered.Encode()); err == nil {
+		t.Fatal("tampered body accepted")
+	}
+}
+
+func TestBlockIsEmpty(t *testing.T) {
+	b := NewBlock(sampleHeader(), nil)
+	if !b.IsEmpty() {
+		t.Fatal("block with no txs should be empty")
+	}
+	if !b.Header.TxRoot.IsZero() {
+		t.Fatal("NewBlock should set zero TxRoot for empty body")
+	}
+	b2 := NewBlock(sampleHeader(), []*Transaction{sampleTx()})
+	if b2.IsEmpty() {
+		t.Fatal("block with txs should not be empty")
+	}
+}
+
+func TestReceiptStatusString(t *testing.T) {
+	cases := map[ReceiptStatus]string{
+		ReceiptSuccess:    "success",
+		ReceiptReverted:   "reverted",
+		ReceiptInvalid:    "invalid",
+		ReceiptStatus(42): "status(42)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d: got %q want %q", s, s.String(), want)
+		}
+	}
+}
+
+// Property: any two distinct tx lists (differing in nonce sequence) get
+// distinct roots — collision resistance at the structural level.
+func TestTxRootDistinctProperty(t *testing.T) {
+	f := func(n1, n2 []uint8) bool {
+		mk := func(ns []uint8) []*Transaction {
+			txs := make([]*Transaction, len(ns))
+			for i, n := range ns {
+				tx := sampleTx()
+				tx.Nonce = uint64(n)
+				txs[i] = tx
+			}
+			return txs
+		}
+		same := len(n1) == len(n2)
+		if same {
+			for i := range n1 {
+				if n1[i] != n2[i] {
+					same = false
+					break
+				}
+			}
+		}
+		r1, r2 := TxRoot(mk(n1)), TxRoot(mk(n2))
+		if same {
+			return r1 == r2
+		}
+		return r1 != r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

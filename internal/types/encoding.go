@@ -1,0 +1,172 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The canonical encoding is a minimal deterministic binary format used for
+// hashing and signing, playing the role RLP plays in Ethereum. Values are
+// encoded as tagged, length-prefixed items so that distinct structures never
+// share an encoding:
+//
+//	byte string:  0x00 || uvarint(len) || bytes
+//	uint64:       0x01 || 8 big-endian bytes
+//	list:         0x02 || uvarint(#items) || items
+//
+// The format is intentionally simple — it is only ever produced and consumed
+// by this codebase — but it is injective, which is the property hashing and
+// signature schemes require.
+
+const (
+	tagBytes  = 0x00
+	tagUint64 = 0x01
+	tagList   = 0x02
+)
+
+// Encoder accumulates canonically encoded items.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty Encoder.
+func NewEncoder() *Encoder { return &Encoder{buf: make([]byte, 0, 256)} }
+
+// Bytes returns the encoded buffer. The returned slice aliases the encoder's
+// internal buffer and must not be modified while the encoder is in use.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// WriteBytes appends a byte-string item.
+func (e *Encoder) WriteBytes(b []byte) {
+	e.buf = append(e.buf, tagBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// WriteUint64 appends an unsigned integer item.
+func (e *Encoder) WriteUint64(v uint64) {
+	e.buf = append(e.buf, tagUint64)
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// WriteAddress appends an address as a byte-string item.
+func (e *Encoder) WriteAddress(a Address) { e.WriteBytes(a[:]) }
+
+// WriteHash appends a hash as a byte-string item.
+func (e *Encoder) WriteHash(h Hash) { e.WriteBytes(h[:]) }
+
+// BeginList appends a list header for n items. The caller is responsible for
+// appending exactly n items afterwards.
+func (e *Encoder) BeginList(n int) {
+	e.buf = append(e.buf, tagList)
+	e.buf = binary.AppendUvarint(e.buf, uint64(n))
+}
+
+// Decoder consumes canonically encoded items.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a Decoder over b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Remaining reports the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) tag(want byte, what string) error {
+	if d.off >= len(d.buf) {
+		return fmt.Errorf("%w: truncated before %s", ErrBadEncoding, what)
+	}
+	if d.buf[d.off] != want {
+		return fmt.Errorf("%w: expected %s tag, got 0x%02x", ErrBadEncoding, what, d.buf[d.off])
+	}
+	d.off++
+	return nil
+}
+
+func (d *Decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint in %s", ErrBadEncoding, what)
+	}
+	d.off += n
+	return v, nil
+}
+
+// ReadBytes reads a byte-string item.
+func (d *Decoder) ReadBytes() ([]byte, error) {
+	if err := d.tag(tagBytes, "bytes"); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint("bytes length")
+	if err != nil {
+		return nil, err
+	}
+	if uint64(d.Remaining()) < n {
+		return nil, fmt.Errorf("%w: byte string of %d exceeds remaining %d", ErrBadEncoding, n, d.Remaining())
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out, nil
+}
+
+// ReadUint64 reads an unsigned integer item.
+func (d *Decoder) ReadUint64() (uint64, error) {
+	if err := d.tag(tagUint64, "uint64"); err != nil {
+		return 0, err
+	}
+	if d.Remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated uint64", ErrBadEncoding)
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// ReadAddress reads an address item.
+func (d *Decoder) ReadAddress() (Address, error) {
+	b, err := d.ReadBytes()
+	if err != nil {
+		return Address{}, err
+	}
+	if len(b) != AddressLength {
+		return Address{}, fmt.Errorf("%w: address length %d", ErrBadEncoding, len(b))
+	}
+	var a Address
+	copy(a[:], b)
+	return a, nil
+}
+
+// ReadHash reads a hash item.
+func (d *Decoder) ReadHash() (Hash, error) {
+	b, err := d.ReadBytes()
+	if err != nil {
+		return Hash{}, err
+	}
+	if len(b) != HashLength {
+		return Hash{}, fmt.Errorf("%w: hash length %d", ErrBadEncoding, len(b))
+	}
+	var h Hash
+	copy(h[:], b)
+	return h, nil
+}
+
+// ReadList reads a list header and returns the declared item count.
+func (d *Decoder) ReadList() (int, error) {
+	if err := d.tag(tagList, "list"); err != nil {
+		return 0, err
+	}
+	n, err := d.uvarint("list length")
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(d.Remaining()) {
+		// Each item needs at least one tag byte; a declared count beyond the
+		// remaining bytes is certainly corrupt and would make callers
+		// over-allocate.
+		return 0, fmt.Errorf("%w: list of %d items exceeds remaining %d bytes", ErrBadEncoding, n, d.Remaining())
+	}
+	return int(n), nil
+}

@@ -1,0 +1,96 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Decoders face raw network bytes; none may panic on garbage.
+
+func TestDecodeTransactionGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Must return (possibly an error) without panicking.
+		_, _ = DecodeTransaction(NewDecoder(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBlockGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = DecodeBlock(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeBlockBitFlips takes a valid block encoding and flips single
+// bits: every mutation must either decode to the identical block hash (bits
+// in unused padding do not exist in this codec, so in practice none) or be
+// rejected — silent corruption is the failure mode under test.
+func TestDecodeBlockBitFlips(t *testing.T) {
+	tx := sampleTx()
+	block := NewBlock(sampleHeader(), []*Transaction{tx})
+	raw := block.Encode()
+	orig, err := DecodeBlock(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origHash := orig.Hash()
+
+	rng := rand.New(rand.NewSource(5))
+	accepted := 0
+	for trial := 0; trial < 500; trial++ {
+		mutated := append([]byte(nil), raw...)
+		bit := rng.Intn(len(mutated) * 8)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		got, err := DecodeBlock(mutated)
+		if err != nil {
+			continue
+		}
+		accepted++
+		if got.Hash() == origHash {
+			t.Fatalf("trial %d: bit flip at %d produced identical block hash", trial, bit)
+		}
+		// Accepted mutations must still be internally consistent.
+		if TxRoot(got.Txs) != got.Header.TxRoot {
+			t.Fatalf("trial %d: decoder accepted inconsistent body", trial)
+		}
+	}
+	// Header-field flips change the hash but can still decode; body flips
+	// must virtually always be rejected by the tx-root check.
+	if accepted > 400 {
+		t.Fatalf("too many corrupted encodings accepted: %d/500", accepted)
+	}
+}
+
+// TestDecoderNeverReadsPastEnd hammers the primitive decoder with random
+// operations over random buffers.
+func TestDecoderNeverReadsPastEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		d := NewDecoder(buf)
+		for op := 0; op < 8; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				_, _ = d.ReadBytes()
+			case 1:
+				_, _ = d.ReadUint64()
+			case 2:
+				_, _ = d.ReadAddress()
+			case 3:
+				_, _ = d.ReadList()
+			}
+			if d.Remaining() < 0 {
+				t.Fatalf("trial %d: negative remaining", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package types
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Transaction is an account-model transaction. Following the paper's setting
+// (Sec. II-A), a transaction is either
+//
+//   - a contract invocation: To is a contract account, Data carries the call
+//     input, and the contract's program decides which transfers happen; or
+//   - a direct transfer between externally owned accounts: To is a user
+//     account and Data is empty.
+//
+// Fee is the transaction fee the miner collects on confirmation — the
+// quantity miners compete over in both the serialized baseline (Sec. II-B)
+// and the intra-shard congestion game (Sec. IV-B).
+//
+// Inputs lists the accounts whose balances the validation reads in addition
+// to the sender. It models the paper's "3-input transactions" (Sec. VI-B2):
+// in a randomly sharded system each extra input may live in another shard
+// and force cross-shard communication.
+type Transaction struct {
+	Nonce  uint64  // sender's transaction count, for replay protection
+	From   Address // sender account
+	To     Address // recipient: user account or contract account
+	Value  uint64  // amount transferred (or escrowed to the contract)
+	Fee    uint64  // fee paid to the confirming miner
+	Gas    uint64  // execution budget for contract calls
+	Data   []byte  // contract call input; empty for direct transfers
+	Inputs []Address
+
+	// PubKey and Sig authenticate the transaction. PubKey must hash to From.
+	PubKey []byte
+	Sig    []byte
+
+	cachedHash Hash
+	hashed     bool
+}
+
+// txDomain domain-separates transaction digests from every other digest in
+// the system.
+var txDomain = []byte("contractshard/tx/v1")
+
+// SigHash returns the digest a sender signs: everything except PubKey/Sig.
+func (tx *Transaction) SigHash() Hash {
+	e := NewEncoder()
+	e.WriteBytes(txDomain)
+	e.WriteUint64(tx.Nonce)
+	e.WriteAddress(tx.From)
+	e.WriteAddress(tx.To)
+	e.WriteUint64(tx.Value)
+	e.WriteUint64(tx.Fee)
+	e.WriteUint64(tx.Gas)
+	e.WriteBytes(tx.Data)
+	e.BeginList(len(tx.Inputs))
+	for _, in := range tx.Inputs {
+		e.WriteAddress(in)
+	}
+	return sha256.Sum256(e.Bytes())
+}
+
+// Hash returns the transaction hash over all fields including the signature.
+// The result is cached; a transaction must not be mutated after its hash has
+// been requested.
+func (tx *Transaction) Hash() Hash {
+	if tx.hashed {
+		return tx.cachedHash
+	}
+	e := NewEncoder()
+	e.WriteHash(tx.SigHash())
+	e.WriteBytes(tx.PubKey)
+	e.WriteBytes(tx.Sig)
+	tx.cachedHash = sha256.Sum256(e.Bytes())
+	tx.hashed = true
+	return tx.cachedHash
+}
+
+// IsContractCall reports whether the transaction invokes a contract, which
+// is signalled by non-empty call data.
+func (tx *Transaction) IsContractCall() bool { return len(tx.Data) > 0 }
+
+// Encode appends the full transaction to e.
+func (tx *Transaction) Encode(e *Encoder) {
+	e.WriteUint64(tx.Nonce)
+	e.WriteAddress(tx.From)
+	e.WriteAddress(tx.To)
+	e.WriteUint64(tx.Value)
+	e.WriteUint64(tx.Fee)
+	e.WriteUint64(tx.Gas)
+	e.WriteBytes(tx.Data)
+	e.BeginList(len(tx.Inputs))
+	for _, in := range tx.Inputs {
+		e.WriteAddress(in)
+	}
+	e.WriteBytes(tx.PubKey)
+	e.WriteBytes(tx.Sig)
+}
+
+// DecodeTransaction reads a transaction previously written by Encode.
+func DecodeTransaction(d *Decoder) (*Transaction, error) {
+	tx := &Transaction{}
+	var err error
+	if tx.Nonce, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("tx nonce: %w", err)
+	}
+	if tx.From, err = d.ReadAddress(); err != nil {
+		return nil, fmt.Errorf("tx from: %w", err)
+	}
+	if tx.To, err = d.ReadAddress(); err != nil {
+		return nil, fmt.Errorf("tx to: %w", err)
+	}
+	if tx.Value, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("tx value: %w", err)
+	}
+	if tx.Fee, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("tx fee: %w", err)
+	}
+	if tx.Gas, err = d.ReadUint64(); err != nil {
+		return nil, fmt.Errorf("tx gas: %w", err)
+	}
+	if tx.Data, err = d.ReadBytes(); err != nil {
+		return nil, fmt.Errorf("tx data: %w", err)
+	}
+	n, err := d.ReadList()
+	if err != nil {
+		return nil, fmt.Errorf("tx inputs: %w", err)
+	}
+	tx.Inputs = make([]Address, n)
+	for i := range tx.Inputs {
+		if tx.Inputs[i], err = d.ReadAddress(); err != nil {
+			return nil, fmt.Errorf("tx input %d: %w", i, err)
+		}
+	}
+	if tx.PubKey, err = d.ReadBytes(); err != nil {
+		return nil, fmt.Errorf("tx pubkey: %w", err)
+	}
+	if tx.Sig, err = d.ReadBytes(); err != nil {
+		return nil, fmt.Errorf("tx sig: %w", err)
+	}
+	return tx, nil
+}
+
+// EncodeTransactions encodes a slice of transactions as a list.
+func EncodeTransactions(txs []*Transaction) []byte {
+	e := NewEncoder()
+	e.BeginList(len(txs))
+	for _, tx := range txs {
+		tx.Encode(e)
+	}
+	return e.Bytes()
+}
+
+// DecodeTransactions decodes a slice written by EncodeTransactions.
+func DecodeTransactions(b []byte) ([]*Transaction, error) {
+	d := NewDecoder(b)
+	n, err := d.ReadList()
+	if err != nil {
+		return nil, err
+	}
+	txs := make([]*Transaction, n)
+	for i := range txs {
+		if txs[i], err = DecodeTransaction(d); err != nil {
+			return nil, fmt.Errorf("tx %d: %w", i, err)
+		}
+	}
+	return txs, nil
+}

@@ -1,0 +1,139 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTx() *Transaction {
+	return &Transaction{
+		Nonce:  7,
+		From:   BytesToAddress([]byte{1}),
+		To:     BytesToAddress([]byte{2}),
+		Value:  100,
+		Fee:    5,
+		Gas:    21000,
+		Data:   []byte{0xca, 0xfe},
+		Inputs: []Address{BytesToAddress([]byte{3}), BytesToAddress([]byte{4})},
+		PubKey: []byte("pub"),
+		Sig:    []byte("sig"),
+	}
+}
+
+func TestTransactionRoundTrip(t *testing.T) {
+	tx := sampleTx()
+	e := NewEncoder()
+	tx.Encode(e)
+	got, err := DecodeTransaction(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != tx.Hash() {
+		t.Fatal("hash changed across encode/decode")
+	}
+	if got.Nonce != tx.Nonce || got.From != tx.From || got.To != tx.To ||
+		got.Value != tx.Value || got.Fee != tx.Fee || got.Gas != tx.Gas {
+		t.Fatal("scalar fields mismatched")
+	}
+	if !bytes.Equal(got.Data, tx.Data) || !bytes.Equal(got.PubKey, tx.PubKey) || !bytes.Equal(got.Sig, tx.Sig) {
+		t.Fatal("byte fields mismatched")
+	}
+	if len(got.Inputs) != 2 || got.Inputs[0] != tx.Inputs[0] || got.Inputs[1] != tx.Inputs[1] {
+		t.Fatal("inputs mismatched")
+	}
+}
+
+func TestTransactionHashSensitivity(t *testing.T) {
+	base := sampleTx().Hash()
+	mutations := []func(*Transaction){
+		func(tx *Transaction) { tx.Nonce++ },
+		func(tx *Transaction) { tx.From = BytesToAddress([]byte{0xAA}) },
+		func(tx *Transaction) { tx.To = BytesToAddress([]byte{0xBB}) },
+		func(tx *Transaction) { tx.Value++ },
+		func(tx *Transaction) { tx.Fee++ },
+		func(tx *Transaction) { tx.Gas++ },
+		func(tx *Transaction) { tx.Data = append(tx.Data, 1) },
+		func(tx *Transaction) { tx.Inputs = tx.Inputs[:1] },
+		func(tx *Transaction) { tx.Sig = []byte("other") },
+		func(tx *Transaction) { tx.PubKey = []byte("other") },
+	}
+	for i, mutate := range mutations {
+		tx := sampleTx()
+		mutate(tx)
+		if tx.Hash() == base {
+			t.Fatalf("mutation %d did not change the hash", i)
+		}
+	}
+}
+
+func TestSigHashExcludesSignature(t *testing.T) {
+	a := sampleTx()
+	b := sampleTx()
+	b.Sig = []byte("different")
+	b.PubKey = []byte("different")
+	if a.SigHash() != b.SigHash() {
+		t.Fatal("SigHash must not cover signature material")
+	}
+	if a.Hash() == b.Hash() {
+		t.Fatal("Hash must cover signature material")
+	}
+}
+
+func TestHashCaching(t *testing.T) {
+	tx := sampleTx()
+	h1 := tx.Hash()
+	h2 := tx.Hash()
+	if h1 != h2 {
+		t.Fatal("hash not stable")
+	}
+}
+
+func TestIsContractCall(t *testing.T) {
+	tx := sampleTx()
+	if !tx.IsContractCall() {
+		t.Fatal("tx with data should be a contract call")
+	}
+	tx2 := sampleTx()
+	tx2.Data = nil
+	if tx2.IsContractCall() {
+		t.Fatal("tx without data should be a direct transfer")
+	}
+}
+
+func TestTransactionsSliceRoundTrip(t *testing.T) {
+	txs := []*Transaction{sampleTx(), sampleTx()}
+	txs[1].Nonce = 99
+	raw := EncodeTransactions(txs)
+	got, err := DecodeTransactions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Hash() != txs[0].Hash() || got[1].Hash() != txs[1].Hash() {
+		t.Fatal("slice round trip mismatch")
+	}
+	if _, err := DecodeTransactions(raw[:len(raw)-3]); err == nil {
+		t.Fatal("truncated slice accepted")
+	}
+}
+
+// Property: transactions with random field values round-trip through the
+// codec with identical hashes.
+func TestTransactionRoundTripProperty(t *testing.T) {
+	f := func(nonce, value, fee, gas uint64, data []byte, from, to [20]byte) bool {
+		tx := &Transaction{
+			Nonce: nonce, From: from, To: to,
+			Value: value, Fee: fee, Gas: gas, Data: data,
+		}
+		e := NewEncoder()
+		tx.Encode(e)
+		got, err := DecodeTransaction(NewDecoder(e.Bytes()))
+		if err != nil {
+			return false
+		}
+		return got.Hash() == tx.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

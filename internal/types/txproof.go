@@ -1,0 +1,74 @@
+package types
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// TxInclusionProof proves that a transaction is committed by a block
+// header's TxRoot without shipping the whole body — what a light client or
+// a user in another shard needs to check that its transaction confirmed.
+// The proof mirrors TxRoot's tree shape: binary, odd nodes promoted by
+// self-pairing, transaction count mixed into the final digest.
+type TxInclusionProof struct {
+	Index    int
+	Count    int
+	Siblings []Hash
+	// Lefts[i] reports whether Siblings[i] sits to the left of the path.
+	Lefts []bool
+}
+
+// BuildTxProof constructs the inclusion proof for txs[index].
+func BuildTxProof(txs []*Transaction, index int) (*TxInclusionProof, error) {
+	if index < 0 || index >= len(txs) {
+		return nil, fmt.Errorf("types: tx proof index %d out of range [0,%d)", index, len(txs))
+	}
+	layer := make([]Hash, len(txs))
+	for i, tx := range txs {
+		layer[i] = tx.Hash()
+	}
+	p := &TxInclusionProof{Index: index, Count: len(txs)}
+	idx := index
+	for len(layer) > 1 {
+		sib := idx ^ 1
+		if sib >= len(layer) {
+			sib = idx // odd node pairs with itself
+		}
+		p.Siblings = append(p.Siblings, layer[sib])
+		p.Lefts = append(p.Lefts, sib < idx)
+
+		next := make([]Hash, 0, (len(layer)+1)/2)
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 == len(layer) {
+				next = append(next, hashPair(layer[i], layer[i]))
+			} else {
+				next = append(next, hashPair(layer[i], layer[i+1]))
+			}
+		}
+		layer = next
+		idx /= 2
+	}
+	return p, nil
+}
+
+// VerifyTxProof checks that txHash sits at the proof's position under root.
+func VerifyTxProof(root Hash, txHash Hash, p *TxInclusionProof) bool {
+	if p == nil || p.Count <= 0 || p.Index < 0 || p.Index >= p.Count {
+		return false
+	}
+	if len(p.Siblings) != len(p.Lefts) {
+		return false
+	}
+	h := txHash
+	for i, sib := range p.Siblings {
+		if p.Lefts[i] {
+			h = hashPair(sib, h)
+		} else {
+			h = hashPair(h, sib)
+		}
+	}
+	e := NewEncoder()
+	e.WriteUint64(uint64(p.Count))
+	e.WriteHash(h)
+	return Hash(sha256.Sum256(e.Bytes())) == root
+}

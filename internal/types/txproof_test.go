@@ -1,0 +1,102 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func txListOf(n int) []*Transaction {
+	txs := make([]*Transaction, n)
+	for i := range txs {
+		tx := sampleTx()
+		tx.Nonce = uint64(i)
+		txs[i] = tx
+	}
+	return txs
+}
+
+func TestTxProofAllSizesAllIndexes(t *testing.T) {
+	for n := 1; n <= 13; n++ {
+		txs := txListOf(n)
+		root := TxRoot(txs)
+		for i := 0; i < n; i++ {
+			p, err := BuildTxProof(txs, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !VerifyTxProof(root, txs[i].Hash(), p) {
+				t.Fatalf("n=%d i=%d: valid proof rejected", n, i)
+			}
+			// Wrong transaction under the same proof must fail.
+			other := sampleTx()
+			other.Nonce = 999
+			if VerifyTxProof(root, other.Hash(), p) {
+				t.Fatalf("n=%d i=%d: foreign tx verified", n, i)
+			}
+		}
+	}
+}
+
+func TestTxProofOutOfRange(t *testing.T) {
+	txs := txListOf(3)
+	if _, err := BuildTxProof(txs, -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := BuildTxProof(txs, 3); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestTxProofRejectsTampering(t *testing.T) {
+	txs := txListOf(6)
+	root := TxRoot(txs)
+	p, err := BuildTxProof(txs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.Siblings = append([]Hash(nil), p.Siblings...)
+	bad.Siblings[0][0] ^= 1
+	if VerifyTxProof(root, txs[2].Hash(), &bad) {
+		t.Fatal("tampered sibling accepted")
+	}
+	bad2 := *p
+	bad2.Count = 7 // lying about the tree size must fail the final mix
+	if VerifyTxProof(root, txs[2].Hash(), &bad2) {
+		t.Fatal("tampered count accepted")
+	}
+	bad3 := *p
+	bad3.Lefts = append([]bool(nil), p.Lefts...)
+	bad3.Lefts[0] = !bad3.Lefts[0]
+	if VerifyTxProof(root, txs[2].Hash(), &bad3) {
+		t.Fatal("flipped direction accepted")
+	}
+	if VerifyTxProof(root, txs[2].Hash(), nil) {
+		t.Fatal("nil proof accepted")
+	}
+	mismatched := *p
+	mismatched.Lefts = mismatched.Lefts[:len(mismatched.Lefts)-1]
+	if VerifyTxProof(root, txs[2].Hash(), &mismatched) {
+		t.Fatal("length-mismatched proof accepted")
+	}
+}
+
+// Property: proofs verify for random sizes/indexes and never verify against
+// the root of a different transaction list.
+func TestTxProofProperty(t *testing.T) {
+	f := func(sz uint8, idx uint8) bool {
+		n := int(sz%20) + 1
+		i := int(idx) % n
+		txs := txListOf(n)
+		root := TxRoot(txs)
+		p, err := BuildTxProof(txs, i)
+		if err != nil || !VerifyTxProof(root, txs[i].Hash(), p) {
+			return false
+		}
+		otherRoot := TxRoot(txListOf(n + 1))
+		return !VerifyTxProof(otherRoot, txs[i].Hash(), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package types defines the primitive vocabulary shared by every subsystem:
+// addresses, hashes, shard identifiers, transactions, blocks and receipts,
+// together with a canonical binary encoding used for hashing and signing.
+//
+// The types mirror the account model of go-Ethereum 1.8.0, which the paper
+// builds on: accounts are identified by 20-byte addresses, transactions carry
+// a nonce, a fee (the "gas price" the miners compete for), an optional
+// contract target and call data, and blocks commit to a state root and a
+// transaction root.
+package types
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// AddressLength is the size of an account address in bytes.
+const AddressLength = 20
+
+// HashLength is the size of a hash in bytes.
+const HashLength = 32
+
+// Address identifies an externally owned account or a contract account.
+type Address [AddressLength]byte
+
+// Hash is a 32-byte digest used for block hashes, transaction hashes and
+// state commitments.
+type Hash [HashLength]byte
+
+// ShardID identifies a shard. Shard 0 is reserved for the MaxShard, the
+// shard that records every transaction in the system and validates
+// transactions from senders involved in more than one contract
+// (Sec. III-A of the paper). Contract shards are numbered from 1.
+type ShardID uint32
+
+// MaxShard is the reserved identifier of the shard that holds the complete
+// system state.
+const MaxShard ShardID = 0
+
+// IsMaxShard reports whether s is the MaxShard.
+func (s ShardID) IsMaxShard() bool { return s == MaxShard }
+
+// String renders the shard for logs and tables.
+func (s ShardID) String() string {
+	if s == MaxShard {
+		return "MaxShard"
+	}
+	return fmt.Sprintf("shard-%d", uint32(s))
+}
+
+// BytesToAddress converts b to an Address, left-padding or truncating the
+// most significant bytes so the least significant 20 bytes are kept.
+func BytesToAddress(b []byte) Address {
+	var a Address
+	if len(b) > AddressLength {
+		b = b[len(b)-AddressLength:]
+	}
+	copy(a[AddressLength-len(b):], b)
+	return a
+}
+
+// HexToAddress parses a hex string (with or without 0x prefix) into an
+// Address. It panics on malformed input and is intended for constants and
+// tests; use ParseAddress for untrusted input.
+func HexToAddress(s string) Address {
+	a, err := ParseAddress(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddress parses a hex string (with or without 0x prefix) into an
+// Address.
+func ParseAddress(s string) (Address, error) {
+	var a Address
+	s = trim0x(s)
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return a, fmt.Errorf("types: parse address %q: %w", s, err)
+	}
+	if len(b) != AddressLength {
+		return a, fmt.Errorf("types: address must be %d bytes, got %d", AddressLength, len(b))
+	}
+	copy(a[:], b)
+	return a, nil
+}
+
+// Bytes returns the address as a byte slice.
+func (a Address) Bytes() []byte { return a[:] }
+
+// Hex returns the 0x-prefixed hex encoding of the address.
+func (a Address) Hex() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// String implements fmt.Stringer.
+func (a Address) String() string { return a.Hex() }
+
+// IsZero reports whether the address is the zero address.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// Compare orders addresses lexicographically; it returns -1, 0 or +1.
+func (a Address) Compare(b Address) int { return bytes.Compare(a[:], b[:]) }
+
+// BytesToHash converts b to a Hash, left-padding or truncating the most
+// significant bytes.
+func BytesToHash(b []byte) Hash {
+	var h Hash
+	if len(b) > HashLength {
+		b = b[len(b)-HashLength:]
+	}
+	copy(h[HashLength-len(b):], b)
+	return h
+}
+
+// ParseHash parses a 0x-prefixed or bare hex string into a Hash.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(trim0x(s))
+	if err != nil {
+		return h, fmt.Errorf("types: parse hash %q: %w", s, err)
+	}
+	if len(b) != HashLength {
+		return h, fmt.Errorf("types: hash must be %d bytes, got %d", HashLength, len(b))
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// Bytes returns the hash as a byte slice.
+func (h Hash) Bytes() []byte { return h[:] }
+
+// Hex returns the 0x-prefixed hex encoding of the hash.
+func (h Hash) Hex() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// String implements fmt.Stringer.
+func (h Hash) String() string { return h.Hex() }
+
+// IsZero reports whether the hash is all zeroes.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// Compare orders hashes lexicographically; it returns -1, 0 or +1.
+func (h Hash) Compare(g Hash) int { return bytes.Compare(h[:], g[:]) }
+
+func trim0x(s string) string {
+	if len(s) >= 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		return s[2:]
+	}
+	return s
+}
+
+// ErrBadEncoding is wrapped by decoding errors across the types package.
+var ErrBadEncoding = errors.New("types: bad encoding")

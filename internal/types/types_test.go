@@ -1,0 +1,192 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesToAddressPadding(t *testing.T) {
+	a := BytesToAddress([]byte{0x01, 0x02})
+	if a[AddressLength-1] != 0x02 || a[AddressLength-2] != 0x01 {
+		t.Fatalf("low bytes not preserved: %v", a)
+	}
+	for i := 0; i < AddressLength-2; i++ {
+		if a[i] != 0 {
+			t.Fatalf("expected zero padding at %d", i)
+		}
+	}
+}
+
+func TestBytesToAddressTruncation(t *testing.T) {
+	long := make([]byte, 32)
+	for i := range long {
+		long[i] = byte(i)
+	}
+	a := BytesToAddress(long)
+	// The least significant 20 bytes (12..31) must be kept.
+	for i := 0; i < AddressLength; i++ {
+		if a[i] != byte(i+12) {
+			t.Fatalf("byte %d = %d, want %d", i, a[i], i+12)
+		}
+	}
+}
+
+func TestAddressHexRoundTrip(t *testing.T) {
+	a := BytesToAddress([]byte{0xde, 0xad, 0xbe, 0xef})
+	got, err := ParseAddress(a.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip mismatch: %s vs %s", got, a)
+	}
+}
+
+func TestParseAddressErrors(t *testing.T) {
+	if _, err := ParseAddress("0x1234"); err == nil {
+		t.Fatal("short address accepted")
+	}
+	if _, err := ParseAddress("zz" + strings.Repeat("00", 19)); err == nil {
+		t.Fatal("non-hex address accepted")
+	}
+}
+
+func TestParseHashRoundTrip(t *testing.T) {
+	h := BytesToHash([]byte{1, 2, 3})
+	got, err := ParseHash(h.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch")
+	}
+	if _, err := ParseHash("0xff"); err == nil {
+		t.Fatal("short hash accepted")
+	}
+}
+
+func TestShardIDString(t *testing.T) {
+	if MaxShard.String() != "MaxShard" {
+		t.Fatalf("MaxShard string: %s", MaxShard.String())
+	}
+	if ShardID(3).String() != "shard-3" {
+		t.Fatalf("shard string: %s", ShardID(3).String())
+	}
+	if !MaxShard.IsMaxShard() || ShardID(1).IsMaxShard() {
+		t.Fatal("IsMaxShard misclassifies")
+	}
+}
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.WriteUint64(42)
+	e.WriteBytes([]byte("hello"))
+	e.WriteAddress(BytesToAddress([]byte{9}))
+	e.WriteHash(BytesToHash([]byte{7}))
+	e.BeginList(2)
+	e.WriteUint64(1)
+	e.WriteUint64(2)
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.ReadUint64(); err != nil || v != 42 {
+		t.Fatalf("uint64: %v %v", v, err)
+	}
+	if b, err := d.ReadBytes(); err != nil || string(b) != "hello" {
+		t.Fatalf("bytes: %q %v", b, err)
+	}
+	if a, err := d.ReadAddress(); err != nil || a != BytesToAddress([]byte{9}) {
+		t.Fatalf("address: %v %v", a, err)
+	}
+	if h, err := d.ReadHash(); err != nil || h != BytesToHash([]byte{7}) {
+		t.Fatalf("hash: %v %v", h, err)
+	}
+	n, err := d.ReadList()
+	if err != nil || n != 2 {
+		t.Fatalf("list: %d %v", n, err)
+	}
+	for want := uint64(1); want <= 2; want++ {
+		if v, err := d.ReadUint64(); err != nil || v != want {
+			t.Fatalf("list item: %d %v", v, err)
+		}
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining %d", d.Remaining())
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	// Wrong tag.
+	e := NewEncoder()
+	e.WriteUint64(1)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.ReadBytes(); err == nil {
+		t.Fatal("tag mismatch accepted")
+	}
+	// Truncated byte string.
+	d = NewDecoder([]byte{tagBytes, 10, 'a'})
+	if _, err := d.ReadBytes(); err == nil {
+		t.Fatal("truncated bytes accepted")
+	}
+	// Truncated uint64.
+	d = NewDecoder([]byte{tagUint64, 0, 0})
+	if _, err := d.ReadUint64(); err == nil {
+		t.Fatal("truncated uint64 accepted")
+	}
+	// Absurd list count.
+	d = NewDecoder([]byte{tagList, 0xff, 0xff, 0x7f})
+	if _, err := d.ReadList(); err == nil {
+		t.Fatal("oversized list accepted")
+	}
+	// Empty buffer.
+	d = NewDecoder(nil)
+	if _, err := d.ReadUint64(); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+}
+
+// Property: byte strings of any content round-trip exactly.
+func TestEncodingBytesProperty(t *testing.T) {
+	f := func(b []byte, v uint64) bool {
+		e := NewEncoder()
+		e.WriteBytes(b)
+		e.WriteUint64(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.ReadBytes()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(b) {
+			return false
+		}
+		for i := range b {
+			if got[i] != b[i] {
+				return false
+			}
+		}
+		gv, err := d.ReadUint64()
+		return err == nil && gv == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoding is injective for (bytes, uint64) pairs — two different
+// inputs never produce the same buffer.
+func TestEncodingInjectiveProperty(t *testing.T) {
+	f := func(a, b []byte, x, y uint64) bool {
+		e1 := NewEncoder()
+		e1.WriteBytes(a)
+		e1.WriteUint64(x)
+		e2 := NewEncoder()
+		e2.WriteBytes(b)
+		e2.WriteUint64(y)
+		same := string(e1.Bytes()) == string(e2.Bytes())
+		inputsSame := string(a) == string(b) && x == y
+		return same == inputsSame
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

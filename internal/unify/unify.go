@@ -1,0 +1,332 @@
+// Package unify implements the paper's parameter-unification scheme
+// (Sec. IV-C), which kills two birds with one stone:
+//
+//   - Communication: instead of miners exchanging choices every game
+//     iteration, a verifiable leader broadcasts one set of unified inputs —
+//     the miners set, the shards/transactions sets and the random initial
+//     choices — and every miner replays Algorithm 1 and Algorithm 2 locally.
+//     The games are deterministic functions of these inputs, so all replicas
+//     agree without talking. The whole round costs each shard exactly two
+//     messages: one size report to the leader, one parameter broadcast back
+//     (Fig. 4(c)).
+//
+//   - Security: because every miner knows the unified outputs, a block
+//     packed by a rule-breaker — wrong shard after a merge, or transactions
+//     the selection never assigned to that miner — is detected by replaying
+//     the algorithms and rejected.
+package unify
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"contractshard/internal/merge"
+	"contractshard/internal/p2p"
+	"contractshard/internal/sharding"
+	"contractshard/internal/txsel"
+	"contractshard/internal/types"
+)
+
+// Topics of the unification protocol.
+const (
+	// TopicReport carries SizeReport messages from shard representatives to
+	// the leader.
+	TopicReport = "unify/report"
+	// TopicParams carries the leader's Params broadcast.
+	TopicParams = "unify/params"
+)
+
+// Params are the unified inputs of Algorithm 1 (merging) and Algorithm 2
+// (transaction selection). Two miners holding equal Params compute equal
+// outputs; Digest commits to every field so equality is checkable with one
+// hash comparison.
+type Params struct {
+	Epoch      uint64
+	Randomness types.Hash
+	Fractions  []sharding.Fraction
+
+	// Inter-shard merging inputs (Algorithm 1).
+	MergeShards  []merge.ShardInfo
+	L            int
+	Reward       float64
+	CostPerShard float64
+	MergeSeed    int64
+	InitialProb  float64
+
+	// Intra-shard selection inputs (Algorithm 2).
+	TxFees     []uint64
+	Miners     int
+	SetSize    int
+	SelInitial []int
+	// TxHashes identifies the transactions behind TxFees (same order), so a
+	// block's contents can be checked against the assignment. Optional for
+	// pure-simulation uses.
+	TxHashes []types.Hash
+	// MinerSet lists the shard's miners by coinbase address in canonical
+	// order; a producer's index in this list is its player index in the
+	// selection game. Optional for pure-simulation uses.
+	MinerSet []types.Address
+}
+
+// Digest returns a canonical commitment to the parameters.
+func (p *Params) Digest() types.Hash {
+	e := types.NewEncoder()
+	e.WriteBytes([]byte("unify/params/v1"))
+	e.WriteUint64(p.Epoch)
+	e.WriteHash(p.Randomness)
+	e.BeginList(len(p.Fractions))
+	for _, f := range p.Fractions {
+		e.WriteUint64(uint64(f.Shard))
+		e.WriteUint64(uint64(f.Percent))
+	}
+	e.BeginList(len(p.MergeShards))
+	for _, s := range p.MergeShards {
+		e.WriteUint64(uint64(s.ID))
+		e.WriteUint64(uint64(s.Size))
+	}
+	e.WriteUint64(uint64(p.L))
+	e.WriteUint64(floatBits(p.Reward))
+	e.WriteUint64(floatBits(p.CostPerShard))
+	e.WriteUint64(uint64(p.MergeSeed))
+	e.WriteUint64(floatBits(p.InitialProb))
+	e.BeginList(len(p.TxFees))
+	for _, f := range p.TxFees {
+		e.WriteUint64(f)
+	}
+	e.WriteUint64(uint64(p.Miners))
+	e.WriteUint64(uint64(p.SetSize))
+	e.BeginList(len(p.SelInitial))
+	for _, s := range p.SelInitial {
+		e.WriteUint64(uint64(s))
+	}
+	e.BeginList(len(p.TxHashes))
+	for _, h := range p.TxHashes {
+		e.WriteHash(h)
+	}
+	e.BeginList(len(p.MinerSet))
+	for _, m := range p.MinerSet {
+		e.WriteAddress(m)
+	}
+	return sha256.Sum256(e.Bytes())
+}
+
+// MinerIndex returns the player index of a coinbase address in the unified
+// miner set, or -1 when the address is not a registered miner.
+func (p *Params) MinerIndex(coinbase types.Address) int {
+	for i, m := range p.MinerSet {
+		if m == coinbase {
+			return i
+		}
+	}
+	return -1
+}
+
+// TxIndexes maps transaction hashes to their indices in the unified
+// transaction set; unknown hashes map to -1.
+func (p *Params) TxIndexes(hashes []types.Hash) []int {
+	byHash := make(map[types.Hash]int, len(p.TxHashes))
+	for i, h := range p.TxHashes {
+		byHash[h] = i
+	}
+	out := make([]int, len(hashes))
+	for i, h := range hashes {
+		if idx, ok := byHash[h]; ok {
+			out[i] = idx
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// VerifyProducedBlock checks a concrete block against the unified selection:
+// the producer (identified by coinbase) must be a registered miner and every
+// transaction in the block must be one the assignment gave that miner.
+// Transactions outside the unified set entirely are rejected too — the
+// producer could not have received them through the leader's broadcast.
+func VerifyProducedBlock(p *Params, coinbase types.Address, txHashes []types.Hash) error {
+	miner := p.MinerIndex(coinbase)
+	if miner < 0 {
+		return fmt.Errorf("%w: producer %s not in the unified miner set", ErrSelectionMismatch, coinbase)
+	}
+	idxs := p.TxIndexes(txHashes)
+	for i, idx := range idxs {
+		if idx < 0 {
+			return fmt.Errorf("%w: transaction %s outside the unified set", ErrSelectionMismatch, txHashes[i])
+		}
+	}
+	return VerifyBlockSelection(p, miner, idxs)
+}
+
+func floatBits(f float64) uint64 {
+	// Canonical float encoding; NaNs are rejected upstream by validation.
+	return uint64(int64(f*1e9 + 0.5))
+}
+
+// RunMerge replays Algorithm 1 from the unified inputs.
+func (p *Params) RunMerge() (*merge.Result, error) {
+	return merge.Run(merge.Config{
+		Shards:       p.MergeShards,
+		L:            p.L,
+		Reward:       p.Reward,
+		CostPerShard: p.CostPerShard,
+		Seed:         p.MergeSeed,
+		InitialProb:  p.InitialProb,
+	})
+}
+
+// RunSelection replays Algorithm 2 (expanded to block-sized sets) from the
+// unified inputs.
+func (p *Params) RunSelection() (*txsel.Sets, error) {
+	return txsel.Select(txsel.Params{
+		Fees:    p.TxFees,
+		Miners:  p.Miners,
+		SetSize: p.SetSize,
+		Initial: p.SelInitial,
+	})
+}
+
+// Verification errors.
+var (
+	ErrMergeMismatch     = errors.New("unify: claimed merge plan deviates from unified replay")
+	ErrSelectionMismatch = errors.New("unify: block contains transactions outside the unified assignment")
+)
+
+// VerifyMergePlan replays the merge locally and compares the claimed plan.
+// Honest miners run this before honoring a newly announced shard; a plan
+// produced by any deviation from Algorithm 1 fails here and its blocks are
+// rejected (Sec. IV-C).
+func VerifyMergePlan(p *Params, claimed *merge.Result) error {
+	expected, err := p.RunMerge()
+	if err != nil {
+		return err
+	}
+	if len(expected.NewShards) != len(claimed.NewShards) {
+		return fmt.Errorf("%w: %d new shards, expected %d",
+			ErrMergeMismatch, len(claimed.NewShards), len(expected.NewShards))
+	}
+	for i := range expected.NewShards {
+		if !sameMembers(expected.NewShards[i].Members, claimed.NewShards[i].Members) {
+			return fmt.Errorf("%w: round %d members differ", ErrMergeMismatch, i)
+		}
+	}
+	return nil
+}
+
+func sameMembers(a, b []types.ShardID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]types.ShardID(nil), a...)
+	bs := append([]types.ShardID(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyBlockSelection replays the selection and checks that a block packed
+// by the given miner contains only transactions assigned to it.
+func VerifyBlockSelection(p *Params, miner int, blockTxs []int) error {
+	sets, err := p.RunSelection()
+	if err != nil {
+		return err
+	}
+	if err := txsel.VerifyBlock(sets, miner, blockTxs); err != nil {
+		return fmt.Errorf("%w: %v", ErrSelectionMismatch, err)
+	}
+	return nil
+}
+
+// SizeReport is a shard representative's message to the leader carrying the
+// shard's pending-transaction count.
+type SizeReport struct {
+	Shard types.ShardID
+	Size  int
+}
+
+// Leader is the verifiable leader's side of the protocol: it accumulates
+// size reports and broadcasts the unified parameters.
+type Leader struct {
+	node *p2p.Node
+
+	mu      sync.Mutex
+	reports map[types.ShardID]int
+}
+
+// NewLeader wires a leader onto its p2p node.
+func NewLeader(node *p2p.Node) *Leader {
+	l := &Leader{node: node, reports: make(map[types.ShardID]int)}
+	node.Subscribe(TopicReport, func(m p2p.Message) {
+		if r, ok := m.Payload.(SizeReport); ok {
+			l.mu.Lock()
+			l.reports[r.Shard] = r.Size
+			l.mu.Unlock()
+		}
+	})
+	return l
+}
+
+// Reports returns the collected shard sizes in canonical order.
+func (l *Leader) Reports() []merge.ShardInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]merge.ShardInfo, 0, len(l.reports))
+	for id, size := range l.reports {
+		out = append(out, merge.ShardInfo{ID: id, Size: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// BroadcastParams completes base with the collected reports and broadcasts
+// the unified parameters to every subscribed representative, returning the
+// final Params and the number of messages sent.
+func (l *Leader) BroadcastParams(base Params) (Params, int) {
+	base.MergeShards = l.Reports()
+	sent := l.node.Broadcast(TopicParams, base)
+	return base, sent
+}
+
+// Rep is a shard representative: it reports its shard's size and receives
+// the unified parameters.
+type Rep struct {
+	node  *p2p.Node
+	shard types.ShardID
+
+	mu     sync.Mutex
+	params *Params
+}
+
+// NewRep wires a representative onto its p2p node.
+func NewRep(node *p2p.Node, shard types.ShardID) *Rep {
+	r := &Rep{node: node, shard: shard}
+	node.Subscribe(TopicParams, func(m p2p.Message) {
+		if p, ok := m.Payload.(Params); ok {
+			r.mu.Lock()
+			r.params = &p
+			r.mu.Unlock()
+		}
+	})
+	return r
+}
+
+// Report sends the shard's size to the leader: message one of the two the
+// protocol costs each shard.
+func (r *Rep) Report(leader p2p.NodeID, size int) error {
+	return r.node.Send(leader, TopicReport, SizeReport{Shard: r.shard, Size: size})
+}
+
+// Params returns the unified parameters received from the leader, or nil.
+func (r *Rep) Params() *Params {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.params
+}

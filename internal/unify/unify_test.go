@@ -1,0 +1,328 @@
+package unify
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"contractshard/internal/merge"
+	"contractshard/internal/p2p"
+	"contractshard/internal/sharding"
+	"contractshard/internal/types"
+)
+
+func sampleParams() Params {
+	return Params{
+		Epoch:      3,
+		Randomness: types.BytesToHash([]byte("epoch-3")),
+		Fractions:  []sharding.Fraction{{Shard: 0, Percent: 60}, {Shard: 1, Percent: 40}},
+		MergeShards: []merge.ShardInfo{
+			{ID: 1, Size: 4}, {ID: 2, Size: 5}, {ID: 3, Size: 7},
+		},
+		L:            10,
+		Reward:       20,
+		CostPerShard: 1,
+		MergeSeed:    42,
+		TxFees:       []uint64{30, 20, 10, 5},
+		Miners:       3,
+		SetSize:      2,
+		SelInitial:   []int{0, 0, 1},
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := sampleParams()
+	baseDigest := base.Digest()
+	mutations := []func(*Params){
+		func(p *Params) { p.Epoch++ },
+		func(p *Params) { p.Randomness = types.BytesToHash([]byte("other")) },
+		func(p *Params) { p.Fractions[0].Percent++ },
+		func(p *Params) { p.MergeShards[0].Size++ },
+		func(p *Params) { p.L++ },
+		func(p *Params) { p.Reward++ },
+		func(p *Params) { p.CostPerShard++ },
+		func(p *Params) { p.MergeSeed++ },
+		func(p *Params) { p.InitialProb = 0.7 },
+		func(p *Params) { p.TxFees[0]++ },
+		func(p *Params) { p.Miners++ },
+		func(p *Params) { p.SetSize++ },
+		func(p *Params) { p.SelInitial[0] = 2 },
+	}
+	for i, mutate := range mutations {
+		p := sampleParams()
+		mutate(&p)
+		if p.Digest() == baseDigest {
+			t.Fatalf("mutation %d did not change the digest", i)
+		}
+	}
+	same := sampleParams()
+	if same.Digest() != baseDigest {
+		t.Fatal("digest not deterministic")
+	}
+}
+
+func TestRunMergeDeterministic(t *testing.T) {
+	p := sampleParams()
+	a, err := p.RunMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.RunMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMergePlan(&p, b); err != nil {
+		t.Fatalf("honest replay rejected: %v", err)
+	}
+	if len(a.NewShards) == 0 {
+		t.Fatal("expected at least one merged shard (4+5+7 >= 10)")
+	}
+}
+
+func TestVerifyMergePlanRejectsDeviations(t *testing.T) {
+	p := sampleParams()
+	honest, err := p.RunMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(honest.NewShards) == 0 {
+		t.Fatal("fixture needs a merged shard")
+	}
+
+	// A cheater claims an extra shard.
+	extra := *honest
+	extra.NewShards = append(append([]merge.NewShard(nil), honest.NewShards...),
+		merge.NewShard{Members: []types.ShardID{99}, Size: 50})
+	if err := VerifyMergePlan(&p, &extra); !errors.Is(err, ErrMergeMismatch) {
+		t.Fatalf("extra shard accepted: %v", err)
+	}
+
+	// A cheater swaps membership.
+	swapped := *honest
+	swapped.NewShards = append([]merge.NewShard(nil), honest.NewShards...)
+	swapped.NewShards[0] = merge.NewShard{
+		Members: append([]types.ShardID{77}, honest.NewShards[0].Members[1:]...),
+		Size:    honest.NewShards[0].Size,
+	}
+	if err := VerifyMergePlan(&p, &swapped); !errors.Is(err, ErrMergeMismatch) {
+		t.Fatalf("swapped member accepted: %v", err)
+	}
+
+	// Member order must not matter.
+	reordered := *honest
+	reordered.NewShards = append([]merge.NewShard(nil), honest.NewShards...)
+	ms := append([]types.ShardID(nil), honest.NewShards[0].Members...)
+	for i, j := 0, len(ms)-1; i < j; i, j = i+1, j-1 {
+		ms[i], ms[j] = ms[j], ms[i]
+	}
+	reordered.NewShards[0].Members = ms
+	if err := VerifyMergePlan(&p, &reordered); err != nil {
+		t.Fatalf("reordered members rejected: %v", err)
+	}
+}
+
+func TestVerifyBlockSelection(t *testing.T) {
+	p := sampleParams()
+	sets, err := p.RunSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest miner 0 packs its own set.
+	if err := VerifyBlockSelection(&p, 0, sets.PerMiner[0]); err != nil {
+		t.Fatalf("honest block rejected: %v", err)
+	}
+	// A miner packing a transaction from outside its set is caught.
+	var foreign = -1
+	own := map[int]bool{}
+	for _, tx := range sets.PerMiner[0] {
+		own[tx] = true
+	}
+	for tx := range p.TxFees {
+		if !own[tx] {
+			foreign = tx
+			break
+		}
+	}
+	if foreign == -1 {
+		t.Skip("miner 0 was assigned every transaction")
+	}
+	if err := VerifyBlockSelection(&p, 0, []int{foreign}); !errors.Is(err, ErrSelectionMismatch) {
+		t.Fatalf("foreign tx accepted: %v", err)
+	}
+}
+
+func TestLeaderRepProtocolMessageCount(t *testing.T) {
+	// The Fig. 4(c) experiment in miniature: S shard representatives, one
+	// leader; the whole unification round must cost exactly 2 messages per
+	// shard (one report up, one broadcast down).
+	const S = 5
+	net := p2p.NewNetwork()
+	leaderNode := net.MustJoin("leader")
+	leader := NewLeader(leaderNode)
+
+	reps := make([]*Rep, S)
+	for i := 0; i < S; i++ {
+		node := net.MustJoin(p2p.NodeID(fmt.Sprintf("rep-%d", i)))
+		node.SetShard(types.ShardID(i + 1))
+		reps[i] = NewRep(node, types.ShardID(i+1))
+	}
+	for i, r := range reps {
+		if err := r.Report("leader", (i+1)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	params, sent := leader.BroadcastParams(Params{Epoch: 1, L: 10, Reward: 5, MergeSeed: 7})
+	if sent != S {
+		t.Fatalf("broadcast reached %d reps, want %d", sent, S)
+	}
+	if len(params.MergeShards) != S {
+		t.Fatalf("leader collected %d reports", len(params.MergeShards))
+	}
+	// Canonical order and correct sizes.
+	for i, s := range params.MergeShards {
+		if s.ID != types.ShardID(i+1) || s.Size != (i+1)*3 {
+			t.Fatalf("report %d: %+v", i, s)
+		}
+	}
+	// Every rep received identical parameters.
+	d := params.Digest()
+	for i, r := range reps {
+		got := r.Params()
+		if got == nil {
+			t.Fatalf("rep %d has no params", i)
+		}
+		if got.Digest() != d {
+			t.Fatalf("rep %d params digest mismatch", i)
+		}
+	}
+	// Total message count: S reports + S broadcast deliveries = 2S, i.e.
+	// exactly 2 per shard — the paper's constant communication cost.
+	stats := net.Stats()
+	if stats.Total != 2*S {
+		t.Fatalf("total messages %d, want %d", stats.Total, 2*S)
+	}
+	perShard := float64(stats.Total) / S
+	if perShard != 2 {
+		t.Fatalf("per-shard communication %f, want 2", perShard)
+	}
+}
+
+func TestRepIgnoresGarbagePayload(t *testing.T) {
+	net := p2p.NewNetwork()
+	leaderNode := net.MustJoin("leader")
+	leader := NewLeader(leaderNode)
+	repNode := net.MustJoin("rep")
+	rep := NewRep(repNode, 1)
+
+	// Garbage to the leader's report topic is dropped.
+	if err := repNode.Send("leader", TopicReport, "not-a-report"); err != nil {
+		t.Fatal(err)
+	}
+	if len(leader.Reports()) != 0 {
+		t.Fatal("garbage report accepted")
+	}
+	// Garbage to the rep's params topic is dropped.
+	if err := leaderNode.Send("rep", TopicParams, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Params() != nil {
+		t.Fatal("garbage params accepted")
+	}
+}
+
+func TestMinerIndexAndTxIndexes(t *testing.T) {
+	p := sampleParams()
+	m0 := types.BytesToAddress([]byte{0xA0})
+	m1 := types.BytesToAddress([]byte{0xA1})
+	p.MinerSet = []types.Address{m0, m1}
+	p.TxHashes = []types.Hash{
+		types.BytesToHash([]byte{1}),
+		types.BytesToHash([]byte{2}),
+		types.BytesToHash([]byte{3}),
+		types.BytesToHash([]byte{4}),
+	}
+	if p.MinerIndex(m1) != 1 || p.MinerIndex(m0) != 0 {
+		t.Fatal("miner index wrong")
+	}
+	if p.MinerIndex(types.BytesToAddress([]byte{0xFF})) != -1 {
+		t.Fatal("unknown miner resolved")
+	}
+	idxs := p.TxIndexes([]types.Hash{p.TxHashes[2], types.BytesToHash([]byte{9})})
+	if idxs[0] != 2 || idxs[1] != -1 {
+		t.Fatalf("tx indexes: %v", idxs)
+	}
+}
+
+func TestVerifyProducedBlock(t *testing.T) {
+	p := sampleParams()
+	m0 := types.BytesToAddress([]byte{0xA0})
+	m1 := types.BytesToAddress([]byte{0xA1})
+	p.MinerSet = []types.Address{m0, m1}
+	p.Miners = 2
+	p.SelInitial = []int{0, 0}
+	p.TxHashes = make([]types.Hash, len(p.TxFees))
+	for i := range p.TxHashes {
+		p.TxHashes[i] = types.BytesToHash([]byte{byte(i + 1)})
+	}
+
+	sets, err := p.RunSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownHashes := func(miner int) []types.Hash {
+		var hs []types.Hash
+		for _, idx := range sets.PerMiner[miner] {
+			hs = append(hs, p.TxHashes[idx])
+		}
+		return hs
+	}
+	// Honest producer.
+	if err := unifyVerify(&p, m0, ownHashes(0)); err != nil {
+		t.Fatalf("honest block rejected: %v", err)
+	}
+	// Unknown producer.
+	if err := unifyVerify(&p, types.BytesToAddress([]byte{0xEE}), ownHashes(0)); !errors.Is(err, ErrSelectionMismatch) {
+		t.Fatalf("unknown producer: %v", err)
+	}
+	// Transaction outside the unified set.
+	if err := unifyVerify(&p, m0, []types.Hash{types.BytesToHash([]byte{0x77})}); !errors.Is(err, ErrSelectionMismatch) {
+		t.Fatalf("foreign tx: %v", err)
+	}
+	// Transaction assigned to the other miner.
+	var stolen types.Hash
+	own := map[types.Hash]bool{}
+	for _, h := range ownHashes(0) {
+		own[h] = true
+	}
+	for _, h := range ownHashes(1) {
+		if !own[h] {
+			stolen = h
+			break
+		}
+	}
+	if !stolen.IsZero() {
+		if err := unifyVerify(&p, m0, []types.Hash{stolen}); !errors.Is(err, ErrSelectionMismatch) {
+			t.Fatalf("stolen tx: %v", err)
+		}
+	}
+}
+
+// unifyVerify is a test alias to keep call sites short.
+func unifyVerify(p *Params, coinbase types.Address, hashes []types.Hash) error {
+	return VerifyProducedBlock(p, coinbase, hashes)
+}
+
+func TestDigestCoversIdentityFields(t *testing.T) {
+	base := sampleParams()
+	d0 := base.Digest()
+	withTx := sampleParams()
+	withTx.TxHashes = []types.Hash{types.BytesToHash([]byte{1})}
+	if withTx.Digest() == d0 {
+		t.Fatal("digest ignores TxHashes")
+	}
+	withMiners := sampleParams()
+	withMiners.MinerSet = []types.Address{types.BytesToAddress([]byte{1})}
+	if withMiners.Digest() == d0 {
+		t.Fatal("digest ignores MinerSet")
+	}
+}

@@ -1,0 +1,99 @@
+package vrf
+
+import (
+	"fmt"
+	"testing"
+
+	"contractshard/internal/crypto"
+)
+
+func TestEvaluateVerify(t *testing.T) {
+	k := crypto.KeypairFromSeed("vrf-a")
+	out, proof := Evaluate(k, []byte("epoch-1"))
+	if !Verify(k.Public, []byte("epoch-1"), out, proof) {
+		t.Fatal("valid evaluation rejected")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	k := crypto.KeypairFromSeed("vrf-a")
+	o1, p1 := Evaluate(k, []byte("x"))
+	o2, p2 := Evaluate(k, []byte("x"))
+	if o1 != o2 || string(p1) != string(p2) {
+		t.Fatal("VRF must be deterministic for an honest signer")
+	}
+}
+
+func TestDistinctInputsDistinctOutputs(t *testing.T) {
+	k := crypto.KeypairFromSeed("vrf-a")
+	o1, _ := Evaluate(k, []byte("x"))
+	o2, _ := Evaluate(k, []byte("y"))
+	if o1 == o2 {
+		t.Fatal("distinct inputs yielded the same output")
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	k := crypto.KeypairFromSeed("vrf-a")
+	other := crypto.KeypairFromSeed("vrf-b")
+	out, proof := Evaluate(k, []byte("x"))
+
+	if Verify(other.Public, []byte("x"), out, proof) {
+		t.Fatal("wrong key accepted")
+	}
+	if Verify(k.Public, []byte("y"), out, proof) {
+		t.Fatal("wrong input accepted")
+	}
+	badOut := out
+	badOut[0] ^= 1
+	if Verify(k.Public, []byte("x"), badOut, proof) {
+		t.Fatal("wrong output accepted")
+	}
+	badProof := append([]byte(nil), proof...)
+	badProof[0] ^= 1
+	if Verify(k.Public, []byte("x"), out, badProof) {
+		t.Fatal("tampered proof accepted")
+	}
+}
+
+func TestElectLeaderDeterministicAndVerifiable(t *testing.T) {
+	input := []byte("election-42")
+	var cands []Candidate
+	for i := 0; i < 8; i++ {
+		k := crypto.KeypairFromSeed(fmt.Sprintf("cand-%d", i))
+		out, proof := Evaluate(k, input)
+		cands = append(cands, Candidate{Pub: k.Public, Output: out, Proof: proof})
+	}
+	w1 := ElectLeader(input, cands)
+	w2 := ElectLeader(input, cands)
+	if w1 != w2 || w1 < 0 {
+		t.Fatalf("election not deterministic: %d vs %d", w1, w2)
+	}
+	// The winner must hold the smallest output.
+	for i, c := range cands {
+		if c.Output.Compare(cands[w1].Output) < 0 {
+			t.Fatalf("candidate %d has smaller output than winner %d", i, w1)
+		}
+	}
+}
+
+func TestElectLeaderSkipsInvalid(t *testing.T) {
+	input := []byte("election")
+	good := crypto.KeypairFromSeed("good")
+	out, proof := Evaluate(good, input)
+	// A forged candidate claims output 0x00...0, smaller than everything.
+	forged := Candidate{Pub: crypto.KeypairFromSeed("forger").Public, Proof: []byte("junk")}
+	cands := []Candidate{forged, {Pub: good.Public, Output: out, Proof: proof}}
+	if w := ElectLeader(input, cands); w != 1 {
+		t.Fatalf("forged candidate won: %d", w)
+	}
+}
+
+func TestElectLeaderNoValid(t *testing.T) {
+	if w := ElectLeader([]byte("x"), []Candidate{{Proof: []byte("junk")}}); w != -1 {
+		t.Fatalf("expected -1, got %d", w)
+	}
+	if w := ElectLeader([]byte("x"), nil); w != -1 {
+		t.Fatalf("expected -1 for empty slate, got %d", w)
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"contractshard/internal/types"
+)
+
+// CSV trace support: the paper's evaluation draws on real-world blockchain
+// transactions, which are publicly available as CSV dumps (e.g. the Google
+// BigQuery Ethereum dataset the paper cites, [27]). LoadCSVTrace replays
+// such a dump into TraceEvents so the routing and sharding analyses run on
+// real data when it is available and on the synthetic Trace generator when
+// it is not.
+//
+// Expected columns (header optional, matched case-insensitively):
+//
+//	sender,to,is_contract,fee
+//
+// where is_contract is 1/0 (or true/false) and addresses are hex strings of
+// up to 20 bytes.
+
+// LoadCSVTrace parses a transaction dump.
+func LoadCSVTrace(r io.Reader) ([]TraceEvent, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.TrimLeadingSpace = true
+
+	var events []TraceEvent
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && isHeader(rec) {
+			continue
+		}
+		sender, err := types.ParseAddress(pad40(rec[0]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv line %d sender: %w", line, err)
+		}
+		to, err := types.ParseAddress(pad40(rec[1]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv line %d to: %w", line, err)
+		}
+		isContract, err := parseBool(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv line %d is_contract: %w", line, err)
+		}
+		fee, err := strconv.ParseUint(strings.TrimSpace(rec[3]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv line %d fee: %w", line, err)
+		}
+		ev := TraceEvent{Sender: sender, Fee: fee}
+		if isContract {
+			ev.Contract = to
+		} else {
+			ev.Direct = true
+			ev.To = to
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+func isHeader(rec []string) bool {
+	h := strings.ToLower(strings.TrimSpace(rec[0]))
+	return h == "sender" || h == "from"
+}
+
+// pad40 left-pads a bare hex string to a full 20-byte address.
+func pad40(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	if len(s) < 40 {
+		s = strings.Repeat("0", 40-len(s)) + s
+	}
+	return s
+}
+
+func parseBool(s string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "1", "true", "t", "yes":
+		return true, nil
+	case "0", "false", "f", "no":
+		return false, nil
+	default:
+		return false, fmt.Errorf("workload: bad boolean %q", s)
+	}
+}
+
+// TraceStats summarizes a trace through the paper's lens: how many senders
+// fall into each Fig. 1 class, and what fraction of the traffic is
+// parallelizable (sent by single-contract senders).
+type TraceStats struct {
+	Events          int
+	Senders         int
+	SingleContract  int // senders using exactly one contract, no direct txs
+	MultiContract   int
+	DirectSenders   int
+	ShardableEvents int // events sent by single-contract senders
+	ContractEvents  int
+}
+
+// AnalyzeTrace computes TraceStats.
+func AnalyzeTrace(events []TraceEvent) TraceStats {
+	type senderInfo struct {
+		contracts map[types.Address]bool
+		direct    bool
+	}
+	senders := map[types.Address]*senderInfo{}
+	stats := TraceStats{Events: len(events)}
+	for _, ev := range events {
+		si := senders[ev.Sender]
+		if si == nil {
+			si = &senderInfo{contracts: map[types.Address]bool{}}
+			senders[ev.Sender] = si
+		}
+		if ev.Direct {
+			si.direct = true
+		} else {
+			si.contracts[ev.Contract] = true
+			stats.ContractEvents++
+		}
+	}
+	stats.Senders = len(senders)
+	for _, si := range senders {
+		switch {
+		case si.direct:
+			stats.DirectSenders++
+		case len(si.contracts) == 1:
+			stats.SingleContract++
+		case len(si.contracts) > 1:
+			stats.MultiContract++
+		}
+	}
+	// Second pass: events attributable to single-contract senders.
+	for _, ev := range events {
+		si := senders[ev.Sender]
+		if !si.direct && len(si.contracts) == 1 && !ev.Direct {
+			stats.ShardableEvents++
+		}
+	}
+	return stats
+}
+
+// ShardableFraction is the share of events a contract-centric sharding can
+// confirm outside the MaxShard — the quantity that bounds the achievable
+// parallelism on a given workload.
+func (s TraceStats) ShardableFraction() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.ShardableEvents) / float64(s.Events)
+}

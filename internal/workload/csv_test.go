@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `sender,to,is_contract,fee
+0x01,0xc1,1,10
+0x01,0xc1,true,12
+0x02,0xc1,1,7
+0x02,0xc2,1,5
+0x03,0x04,0,3
+0x03,0xc1,1,9
+`
+
+func TestLoadCSVTrace(t *testing.T) {
+	events, err := LoadCSVTrace(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("events %d", len(events))
+	}
+	if events[0].Direct || events[0].Contract.IsZero() || events[0].Fee != 10 {
+		t.Fatalf("event 0: %+v", events[0])
+	}
+	if !events[4].Direct || events[4].To.IsZero() {
+		t.Fatalf("event 4: %+v", events[4])
+	}
+}
+
+func TestLoadCSVTraceNoHeader(t *testing.T) {
+	events, err := LoadCSVTrace(strings.NewReader("0x01,0xc1,1,10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events %d", len(events))
+	}
+}
+
+func TestLoadCSVTraceErrors(t *testing.T) {
+	cases := []string{
+		"0x01,0xc1,1\n",            // wrong field count
+		"zz,0xc1,1,10\n",           // bad sender hex
+		"0x01,0xc1,maybe,10\n",     // bad boolean
+		"0x01,0xc1,1,notanumber\n", // bad fee
+	}
+	for i, c := range cases {
+		if _, err := LoadCSVTrace(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAnalyzeTraceClasses(t *testing.T) {
+	events, err := LoadCSVTrace(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := AnalyzeTrace(events)
+	// Sender 0x01: single contract (2 events, shardable).
+	// Sender 0x02: two contracts.
+	// Sender 0x03: direct transfer plus a contract call -> direct class.
+	if stats.Senders != 3 {
+		t.Fatalf("senders %d", stats.Senders)
+	}
+	if stats.SingleContract != 1 || stats.MultiContract != 1 || stats.DirectSenders != 1 {
+		t.Fatalf("classes: %+v", stats)
+	}
+	if stats.ShardableEvents != 2 {
+		t.Fatalf("shardable events %d", stats.ShardableEvents)
+	}
+	if f := stats.ShardableFraction(); f < 0.33 || f > 0.34 {
+		t.Fatalf("shardable fraction %.3f", f)
+	}
+	if (TraceStats{}).ShardableFraction() != 0 {
+		t.Fatal("empty stats fraction")
+	}
+}
+
+func TestAnalyzeSyntheticTrace(t *testing.T) {
+	// The synthetic generator's knobs must move the shardable fraction.
+	gen := func(direct, multi float64) float64 {
+		events, err := Trace(rand.New(rand.NewSource(3)), TraceConfig{
+			Users: 300, Contracts: 30, Txs: 6000,
+			DirectFraction: direct, MultiFraction: multi,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return AnalyzeTrace(events).ShardableFraction()
+	}
+	pure := gen(0, 0)
+	if pure < 0.95 {
+		t.Fatalf("pure single-contract workload shardable %.2f", pure)
+	}
+	mixed := gen(0.3, 0.4)
+	if mixed >= pure {
+		t.Fatal("direct/multi traffic did not reduce shardability")
+	}
+}

@@ -1,0 +1,225 @@
+// Package workload generates the transaction injections of the paper's
+// evaluation (Sec. VI): uniform distributions over shards, small-shard
+// mixes, 3-input transactions, binomial fee draws and a Zipf "trace-like"
+// generator standing in for the real-world Ethereum transactions the paper
+// replays (the paper itself registers synthetic unconditional-transfer
+// contracts rather than replaying mainnet state; see DESIGN.md).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"contractshard/internal/types"
+)
+
+// FeeDist selects a fee distribution.
+type FeeDist int
+
+// Fee distributions.
+const (
+	// FeeUniform draws fees uniformly from [1, FeeMax].
+	FeeUniform FeeDist = iota
+	// FeeBinomial draws fees from Bin(FeeMax, 1/2) — the distribution the
+	// security analysis assumes (Eq. 4).
+	FeeBinomial
+	// FeeDominant makes one transaction's fee dwarf the rest, the worst
+	// case behind Fig. 5(b)'s serialization.
+	FeeDominant
+)
+
+// Fees draws n transaction fees from the given distribution.
+func Fees(rng *rand.Rand, n int, dist FeeDist, feeMax int) []uint64 {
+	if feeMax <= 0 {
+		feeMax = 100
+	}
+	out := make([]uint64, n)
+	switch dist {
+	case FeeBinomial:
+		for i := range out {
+			c := 0
+			for t := 0; t < feeMax; t++ {
+				if rng.Intn(2) == 0 {
+					c++
+				}
+			}
+			out[i] = uint64(c) + 1 // avoid zero-fee txs
+		}
+	case FeeDominant:
+		for i := range out {
+			out[i] = uint64(rng.Intn(feeMax)) + 1
+		}
+		if n > 0 {
+			out[rng.Intn(n)] = uint64(feeMax) * uint64(n+1) * 10
+		}
+	default:
+		for i := range out {
+			out[i] = uint64(rng.Intn(feeMax)) + 1
+		}
+	}
+	return out
+}
+
+// SplitUniform splits total transactions evenly over the given number of
+// shards, spreading any remainder over the first shards — the Sec. VI-B1
+// injection where "the numbers of transactions in these shards obey a
+// uniform distribution".
+func SplitUniform(total, shards int) []int {
+	if shards <= 0 {
+		return nil
+	}
+	out := make([]int, shards)
+	base, rem := total/shards, total%shards
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// SmallShardMix reproduces the Sec. VI-C1 injection: numSmall small shards
+// receive between 1 and 9 transactions each, and the remaining regular
+// shards split what is left of total (paper: more than 22 per regular
+// shard). The small shards occupy the leading positions of the result.
+func SmallShardMix(rng *rand.Rand, total, shards, numSmall int) ([]int, error) {
+	if numSmall > shards {
+		return nil, fmt.Errorf("workload: %d small shards exceed %d shards", numSmall, shards)
+	}
+	if numSmall < 0 || shards <= 0 {
+		return nil, errors.New("workload: negative or empty layout")
+	}
+	out := make([]int, shards)
+	used := 0
+	for i := 0; i < numSmall; i++ {
+		out[i] = 1 + rng.Intn(9) // 1..9 transactions, per the paper
+		used += out[i]
+	}
+	rest := total - used
+	if rest < 0 {
+		return nil, fmt.Errorf("workload: small shards consumed %d of %d txs", used, total)
+	}
+	regular := shards - numSmall
+	if regular == 0 {
+		return out, nil
+	}
+	for i, share := range SplitUniform(rest, regular) {
+		out[numSmall+i] = share
+	}
+	return out, nil
+}
+
+// RandomShardSizes draws small-shard sizes for the Fig. 5(a) large-scale
+// simulation: each shard holds between 1 and maxSize transactions.
+func RandomShardSizes(rng *rand.Rand, shards, maxSize int) []int {
+	if maxSize <= 0 {
+		maxSize = 9
+	}
+	out := make([]int, shards)
+	for i := range out {
+		out[i] = 1 + rng.Intn(maxSize)
+	}
+	return out
+}
+
+// MultiInputTx describes a transaction whose validation reads the given
+// number of distinct input accounts (the 3-input transactions of
+// Sec. VI-B2).
+type MultiInputTx struct {
+	Fee    uint64
+	Inputs int
+}
+
+// MultiInputTxs draws n transactions with the fixed input count.
+func MultiInputTxs(rng *rand.Rand, n, inputs int, feeMax int) []MultiInputTx {
+	fees := Fees(rng, n, FeeUniform, feeMax)
+	out := make([]MultiInputTx, n)
+	for i := range out {
+		out[i] = MultiInputTx{Fee: fees[i], Inputs: inputs}
+	}
+	return out
+}
+
+// TraceEvent is one transaction of the trace-like workload.
+type TraceEvent struct {
+	Sender   types.Address
+	Contract types.Address // zero for direct transfers
+	To       types.Address // destination of direct transfers
+	Fee      uint64
+	Direct   bool
+}
+
+// TraceConfig shapes the trace-like generator.
+type TraceConfig struct {
+	Users     int
+	Contracts int
+	Txs       int
+	// DirectFraction of transactions are user-to-user transfers.
+	DirectFraction float64
+	// MultiFraction of users participate in more than one contract.
+	MultiFraction float64
+	// ZipfS is the contract-popularity skew (>1); defaults to 1.2, echoing
+	// the paper's observation that the top contracts dominate traffic
+	// (Sec. II-A: the most popular contract holds 10M+ transactions).
+	ZipfS float64
+	// FeeMax caps fees.
+	FeeMax int
+}
+
+// Trace generates a contract-centric workload: every user has a home
+// contract drawn from a Zipf popularity law; MultiFraction of users
+// additionally invoke a second contract, and DirectFraction of transactions
+// are direct transfers — together producing the three sender classes of
+// Fig. 1.
+func Trace(rng *rand.Rand, cfg TraceConfig) ([]TraceEvent, error) {
+	if cfg.Users <= 0 || cfg.Contracts <= 0 || cfg.Txs < 0 {
+		return nil, errors.New("workload: trace needs users, contracts and txs")
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.FeeMax <= 0 {
+		cfg.FeeMax = 100
+	}
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Contracts-1))
+
+	user := func(i int) types.Address {
+		return types.BytesToAddress([]byte{0x10, byte(i >> 8), byte(i)})
+	}
+	contract := func(i int) types.Address {
+		return types.BytesToAddress([]byte{0xC0, byte(i >> 8), byte(i)})
+	}
+
+	home := make([]int, cfg.Users)
+	second := make([]int, cfg.Users)
+	for u := range home {
+		home[u] = int(zipf.Uint64())
+		if rng.Float64() < cfg.MultiFraction {
+			second[u] = (home[u] + 1 + rng.Intn(cfg.Contracts-1)) % cfg.Contracts
+		} else {
+			second[u] = -1
+		}
+	}
+
+	events := make([]TraceEvent, cfg.Txs)
+	for i := range events {
+		u := rng.Intn(cfg.Users)
+		ev := TraceEvent{
+			Sender: user(u),
+			Fee:    uint64(rng.Intn(cfg.FeeMax)) + 1,
+		}
+		switch {
+		case rng.Float64() < cfg.DirectFraction:
+			ev.Direct = true
+			ev.To = user(rng.Intn(cfg.Users))
+		case second[u] >= 0 && rng.Intn(2) == 0:
+			ev.Contract = contract(second[u])
+		default:
+			ev.Contract = contract(home[u])
+		}
+		events[i] = ev
+	}
+	return events, nil
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestFeesUniform(t *testing.T) {
+	f := Fees(rng(), 1000, FeeUniform, 50)
+	if len(f) != 1000 {
+		t.Fatal("length")
+	}
+	for _, v := range f {
+		if v < 1 || v > 50 {
+			t.Fatalf("fee %d out of [1,50]", v)
+		}
+	}
+}
+
+func TestFeesBinomialConcentration(t *testing.T) {
+	f := Fees(rng(), 2000, FeeBinomial, 100)
+	sum := 0.0
+	for _, v := range f {
+		if v < 1 || v > 101 {
+			t.Fatalf("fee %d out of range", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / 2000
+	// Bin(100, 1/2)+1 has mean 51.
+	if mean < 47 || mean > 55 {
+		t.Fatalf("binomial mean %.1f, want ≈51", mean)
+	}
+}
+
+func TestFeesDominant(t *testing.T) {
+	f := Fees(rng(), 100, FeeDominant, 20)
+	var max, second uint64
+	for _, v := range f {
+		if v > max {
+			max, second = v, max
+		} else if v > second {
+			second = v
+		}
+	}
+	if max < second*10 {
+		t.Fatalf("dominant fee not dominant: %d vs %d", max, second)
+	}
+}
+
+func TestFeesDefaultFeeMax(t *testing.T) {
+	f := Fees(rng(), 10, FeeUniform, 0)
+	for _, v := range f {
+		if v < 1 || v > 100 {
+			t.Fatalf("default feeMax violated: %d", v)
+		}
+	}
+}
+
+func TestSplitUniform(t *testing.T) {
+	got := SplitUniform(200, 9)
+	sum := 0
+	for _, c := range got {
+		sum += c
+		if c != 22 && c != 23 {
+			t.Fatalf("share %d, want 22 or 23", c)
+		}
+	}
+	if sum != 200 {
+		t.Fatalf("sum %d", sum)
+	}
+	if SplitUniform(5, 0) != nil {
+		t.Fatal("zero shards should give nil")
+	}
+	even := SplitUniform(100, 4)
+	for _, c := range even {
+		if c != 25 {
+			t.Fatalf("even split broken: %v", even)
+		}
+	}
+}
+
+func TestSmallShardMix(t *testing.T) {
+	got, err := SmallShardMix(rng(), 200, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Fatal("length")
+	}
+	sum := 0
+	for i, c := range got {
+		sum += c
+		if i < 4 {
+			if c < 1 || c > 9 {
+				t.Fatalf("small shard %d has %d txs, want 1..9", i, c)
+			}
+		} else if c < 22 {
+			t.Fatalf("regular shard %d has %d txs, want >=22", i, c)
+		}
+	}
+	if sum != 200 {
+		t.Fatalf("sum %d", sum)
+	}
+}
+
+func TestSmallShardMixErrors(t *testing.T) {
+	if _, err := SmallShardMix(rng(), 200, 3, 4); err == nil {
+		t.Fatal("too many small shards accepted")
+	}
+	if _, err := SmallShardMix(rng(), 200, 0, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := SmallShardMix(rng(), 2, 5, 5); err == nil {
+		t.Fatal("small shards exceeding total accepted")
+	}
+}
+
+func TestRandomShardSizes(t *testing.T) {
+	sizes := RandomShardSizes(rng(), 500, 9)
+	if len(sizes) != 500 {
+		t.Fatal("length")
+	}
+	for _, s := range sizes {
+		if s < 1 || s > 9 {
+			t.Fatalf("size %d", s)
+		}
+	}
+	def := RandomShardSizes(rng(), 10, 0)
+	for _, s := range def {
+		if s < 1 || s > 9 {
+			t.Fatalf("default max size violated: %d", s)
+		}
+	}
+}
+
+func TestMultiInputTxs(t *testing.T) {
+	txs := MultiInputTxs(rng(), 50, 3, 10)
+	if len(txs) != 50 {
+		t.Fatal("length")
+	}
+	for _, tx := range txs {
+		if tx.Inputs != 3 || tx.Fee < 1 {
+			t.Fatalf("tx %+v", tx)
+		}
+	}
+}
+
+func TestTraceSenderClasses(t *testing.T) {
+	events, err := Trace(rng(), TraceConfig{
+		Users: 200, Contracts: 20, Txs: 5000,
+		DirectFraction: 0.1, MultiFraction: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5000 {
+		t.Fatal("length")
+	}
+	direct := 0
+	contractsPerUser := map[types.Address]map[types.Address]bool{}
+	for _, ev := range events {
+		if ev.Direct {
+			direct++
+			if ev.To.IsZero() || !ev.Contract.IsZero() {
+				t.Fatal("direct event malformed")
+			}
+			continue
+		}
+		if ev.Contract.IsZero() {
+			t.Fatal("contract event without contract")
+		}
+		m := contractsPerUser[ev.Sender]
+		if m == nil {
+			m = map[types.Address]bool{}
+			contractsPerUser[ev.Sender] = m
+		}
+		m[ev.Contract] = true
+	}
+	frac := float64(direct) / 5000
+	if frac < 0.07 || frac > 0.13 {
+		t.Fatalf("direct fraction %.3f, want ≈0.10", frac)
+	}
+	single, multi := 0, 0
+	for _, m := range contractsPerUser {
+		if len(m) == 1 {
+			single++
+		} else {
+			multi++
+		}
+	}
+	if single == 0 || multi == 0 {
+		t.Fatalf("sender classes missing: single=%d multi=%d", single, multi)
+	}
+	// Popularity skew: the most popular contract should far exceed the
+	// median one.
+	counts := map[types.Address]int{}
+	for _, ev := range events {
+		if !ev.Contract.IsZero() {
+			counts[ev.Contract]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Fatalf("no popularity skew: max contract has %d txs", max)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := Trace(rng(), TraceConfig{Users: 0, Contracts: 5, Txs: 10}); err == nil {
+		t.Fatal("zero users accepted")
+	}
+	if _, err := Trace(rng(), TraceConfig{Users: 5, Contracts: 0, Txs: 10}); err == nil {
+		t.Fatal("zero contracts accepted")
+	}
+}

@@ -1,0 +1,425 @@
+// Package contractshard is a contract-centric sharding system for
+// account-based blockchains with smart contracts, reproducing "On Sharding
+// Open Blockchains with Smart Contracts" (ICDE 2020).
+//
+// The library has three layers:
+//
+//   - System: an in-process multi-shard blockchain. Contracts register a
+//     shard each; transactions route by their sender's call-graph
+//     classification (single-contract senders confirm inside the contract's
+//     shard, everyone else in the MaxShard); each shard mines its own PoW
+//     chain with no cross-shard communication.
+//
+//   - The game algorithms: inter-shard merging (MergeShards, Algorithm 1),
+//     intra-shard transaction selection (SelectTransactionSets,
+//     Algorithm 2), and the parameter-unification replay/verification
+//     helpers (UnifiedParams).
+//
+//   - The evaluation: RunExperiment regenerates every table and figure of
+//     the paper (see EXPERIMENTS.md), and the security calculators expose
+//     the analytic model of Sec. IV-D.
+package contractshard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"contractshard/internal/callgraph"
+	"contractshard/internal/chain"
+	"contractshard/internal/crypto"
+	"contractshard/internal/mempool"
+	"contractshard/internal/sharding"
+	"contractshard/internal/types"
+)
+
+// Re-exported primitive types, so downstream code only imports this package.
+type (
+	// Address identifies an account.
+	Address = types.Address
+	// Hash is a 32-byte digest.
+	Hash = types.Hash
+	// ShardID identifies a shard; MaxShard is 0.
+	ShardID = types.ShardID
+	// Transaction is an account-model transaction.
+	Transaction = types.Transaction
+	// Block is a sealed block.
+	Block = types.Block
+	// Receipt reports a transaction's execution.
+	Receipt = types.Receipt
+	// Keypair holds an account's signing keys.
+	Keypair = crypto.Keypair
+)
+
+// MaxShard is the shard holding full system state (Sec. III-A).
+const MaxShard = types.MaxShard
+
+// GenerateKeypair creates a fresh account keypair.
+func GenerateKeypair() (*Keypair, error) { return crypto.GenerateKeypair() }
+
+// KeypairFromSeed derives a reproducible keypair from a label.
+func KeypairFromSeed(label string) *Keypair { return crypto.KeypairFromSeed(label) }
+
+// SignTx signs a transaction in place.
+func SignTx(tx *Transaction, k *Keypair) error { return crypto.SignTx(tx, k) }
+
+// SystemConfig tunes a System. The zero value selects the paper's testbed
+// parameters (Sec. VI-A): difficulty for fast local sealing, gas limit
+// 0x300000, ten transactions per block.
+type SystemConfig struct {
+	// Difficulty of every shard chain; defaults to a small value suited to
+	// in-process sealing. The paper's testbed values are pow.DifficultySlow
+	// and pow.DifficultyFast.
+	Difficulty uint64
+	// MaxBlockTxs caps transactions per block; defaults to 10.
+	MaxBlockTxs int
+	// BlockReward credited per mined block; defaults to 2,000,000.
+	BlockReward uint64
+	// GenesisAlloc seeds account balances in every shard's genesis. Each
+	// shard chain starts from this allocation plus its contract's code.
+	GenesisAlloc map[Address]uint64
+}
+
+// System is an in-process multi-shard blockchain: one chain per registered
+// contract plus the MaxShard chain. It is safe for concurrent use.
+type System struct {
+	mu     sync.Mutex
+	cfg    SystemConfig
+	dir    *sharding.Directory
+	graph  *callgraph.Graph
+	chains map[ShardID]*chain.Chain
+	pools  map[ShardID]*mempool.Pool
+	// nonces tracks the next nonce per sender per shard, covering pending
+	// transactions that are not yet mined.
+	nonces map[ShardID]map[Address]uint64
+	clock  uint64
+}
+
+// Errors returned by the system facade.
+var (
+	ErrUnknownShard    = errors.New("contractshard: unknown shard")
+	ErrContractExists  = errors.New("contractshard: contract already registered")
+	ErrNothingToMine   = errors.New("contractshard: no pending transactions")
+	ErrNilTransaction  = errors.New("contractshard: nil transaction")
+	ErrInvalidContract = errors.New("contractshard: empty contract code")
+)
+
+// NewSystem assembles a system with only the MaxShard.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Difficulty == 0 {
+		cfg.Difficulty = 64 // fast local sealing
+	}
+	if cfg.MaxBlockTxs <= 0 {
+		cfg.MaxBlockTxs = 10
+	}
+	if cfg.BlockReward == 0 {
+		cfg.BlockReward = 2_000_000
+	}
+	s := &System{
+		cfg:    cfg,
+		dir:    sharding.NewDirectory(),
+		graph:  callgraph.New(),
+		chains: make(map[ShardID]*chain.Chain),
+		pools:  make(map[ShardID]*mempool.Pool),
+		nonces: make(map[ShardID]map[Address]uint64),
+	}
+	maxChain, err := chain.New(s.chainConfig(MaxShard), cfg.GenesisAlloc)
+	if err != nil {
+		return nil, err
+	}
+	s.chains[MaxShard] = maxChain
+	s.pools[MaxShard] = mempool.New(0)
+	s.nonces[MaxShard] = make(map[Address]uint64)
+	return s, nil
+}
+
+func (s *System) chainConfig(id ShardID) chain.Config {
+	c := chain.DefaultConfig(id)
+	c.Difficulty = s.cfg.Difficulty
+	c.MaxBlockTxs = s.cfg.MaxBlockTxs
+	c.BlockReward = s.cfg.BlockReward
+	return c
+}
+
+// RegisterContract deploys contract code at the given address and forms a
+// shard around it (Sec. III-A). The new shard's chain carries the genesis
+// allocation plus the contract.
+func (s *System) RegisterContract(addr Address, code []byte) (ShardID, error) {
+	if len(code) == 0 {
+		return 0, ErrInvalidContract
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dir.ShardOf(addr); ok {
+		return 0, fmt.Errorf("%w: %s", ErrContractExists, addr)
+	}
+	id := s.dir.Register(addr)
+	ch, err := chain.NewWithContracts(s.chainConfig(id), s.cfg.GenesisAlloc,
+		map[Address][]byte{addr: code})
+	if err != nil {
+		return 0, err
+	}
+	s.chains[id] = ch
+	s.pools[id] = mempool.New(0)
+	s.nonces[id] = make(map[Address]uint64)
+
+	// The MaxShard records everything, including this contract: rebuild its
+	// genesis with the full contract set. Like the paper's testbed, which
+	// registers its contracts before injecting transactions (Sec. VI-A),
+	// registration must precede mining on the MaxShard.
+	if s.chains[MaxShard].Height() != 0 {
+		return 0, fmt.Errorf("contractshard: register contracts before mining the MaxShard")
+	}
+	maxChain, err := chain.NewWithContracts(s.chainConfig(MaxShard), s.cfg.GenesisAlloc, s.allContracts(addr, code))
+	if err != nil {
+		return 0, err
+	}
+	s.chains[MaxShard] = maxChain
+	return id, nil
+}
+
+// allContracts collects every registered contract's code plus the new one.
+func (s *System) allContracts(addr Address, code []byte) map[Address][]byte {
+	out := map[Address][]byte{addr: code}
+	for _, id := range s.dir.ShardIDs() {
+		if c, ok := s.dir.ContractOf(id); ok {
+			if existing := s.chains[id]; existing != nil {
+				if bytecode := existing.HeadState().GetCode(c); len(bytecode) > 0 {
+					out[c] = bytecode
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NumShards counts shards, including the MaxShard.
+func (s *System) NumShards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir.NumShards()
+}
+
+// ShardOfContract returns the shard formed around a contract.
+func (s *System) ShardOfContract(addr Address) (ShardID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir.ShardOf(addr)
+}
+
+// Submit verifies and routes a signed transaction to its shard's pool,
+// returning the shard chosen by the contract-centric router.
+func (s *System) Submit(tx *Transaction) (ShardID, error) {
+	if tx == nil {
+		return 0, ErrNilTransaction
+	}
+	if err := crypto.VerifyTx(tx); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shard := sharding.RouteTx(tx, s.graph, s.dir)
+	_, isContract := s.dir.ShardOf(tx.To)
+	s.graph.ObserveTx(tx, isContract)
+	if err := s.pools[shard].Add(tx); err != nil {
+		return 0, err
+	}
+	return shard, nil
+}
+
+// NextNonce returns the nonce the sender should use for its next
+// transaction in the given shard, accounting for pending submissions.
+func (s *System) NextNonce(shard ShardID, sender Address) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.chains[shard]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownShard, shard)
+	}
+	confirmed := ch.HeadState().GetNonce(sender)
+	if pending, ok := s.nonces[shard][sender]; ok && pending > confirmed {
+		return pending, nil
+	}
+	return confirmed, nil
+}
+
+// SubmitCall builds, signs and submits a contract call (or a plain transfer
+// when `to` holds no contract), handling nonce assignment. It returns the
+// routed shard and the transaction.
+func (s *System) SubmitCall(from *Keypair, to Address, value, fee uint64, data []byte) (ShardID, *Transaction, error) {
+	// Predict the routing so the nonce comes from the right shard's state.
+	s.mu.Lock()
+	probe := &Transaction{From: from.Address(), To: to, Data: data}
+	shard := sharding.RouteTx(probe, s.graph, s.dir)
+	ch := s.chains[shard]
+	confirmed := ch.HeadState().GetNonce(from.Address())
+	if pending, ok := s.nonces[shard][from.Address()]; ok && pending > confirmed {
+		confirmed = pending
+	}
+	s.nonces[shard][from.Address()] = confirmed + 1
+	s.mu.Unlock()
+
+	tx := &Transaction{
+		Nonce: confirmed,
+		From:  from.Address(),
+		To:    to,
+		Value: value,
+		Fee:   fee,
+		Data:  data,
+	}
+	if err := crypto.SignTx(tx, from); err != nil {
+		return 0, nil, err
+	}
+	got, err := s.Submit(tx)
+	if err != nil {
+		return 0, nil, err
+	}
+	return got, tx, nil
+}
+
+// SubmitTransfer builds, signs and submits a direct user-to-user transfer.
+func (s *System) SubmitTransfer(from *Keypair, to Address, value, fee uint64) (ShardID, *Transaction, error) {
+	return s.SubmitCall(from, to, value, fee, nil)
+}
+
+// PendingCount reports the number of unconfirmed transactions in a shard.
+func (s *System) PendingCount(shard ShardID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.pools[shard]; ok {
+		return p.Size()
+	}
+	return 0
+}
+
+// MineShard mines one block in the shard: the highest-fee pending
+// transactions are selected greedily (the Sec. II-B default), executed,
+// sealed and appended to the shard's ledger.
+func (s *System) MineShard(shard ShardID, coinbase Address) (*Block, error) {
+	s.mu.Lock()
+	ch, ok := s.chains[shard]
+	pool := s.pools[shard]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownShard, shard)
+	}
+	s.clock += 1000
+	now := s.clock
+	s.mu.Unlock()
+
+	block, err := ch.MineNext(coinbase, pool, nil, now)
+	if err != nil {
+		return nil, err
+	}
+	return block, nil
+}
+
+// MineAll mines every shard that has pending transactions once, returning
+// the blocks by shard. Shards with empty pools are skipped (no empty blocks
+// during normal operation).
+func (s *System) MineAll(coinbase Address) (map[ShardID]*Block, error) {
+	s.mu.Lock()
+	var ids []ShardID
+	for id, p := range s.pools {
+		if p.Size() > 0 {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+
+	out := make(map[ShardID]*Block, len(ids))
+	for _, id := range ids {
+		b, err := s.MineShard(id, coinbase)
+		if err != nil {
+			return out, err
+		}
+		out[id] = b
+	}
+	return out, nil
+}
+
+// MineUntilDrained mines rounds of MineAll until no shard has pending
+// transactions, returning the total number of blocks mined. maxRounds
+// bounds the loop (<=0 selects 1000).
+func (s *System) MineUntilDrained(coinbase Address, maxRounds int) (int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	blocks := 0
+	for round := 0; round < maxRounds; round++ {
+		mined, err := s.MineAll(coinbase)
+		if err != nil {
+			return blocks, err
+		}
+		if len(mined) == 0 {
+			return blocks, nil
+		}
+		blocks += len(mined)
+	}
+	return blocks, fmt.Errorf("contractshard: pools not drained after %d rounds", maxRounds)
+}
+
+// Height returns a shard chain's height.
+func (s *System) Height(shard ShardID) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.chains[shard]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownShard, shard)
+	}
+	return ch.Height(), nil
+}
+
+// BalanceIn reads an account balance from a shard's ledger. Different
+// shards hold disjoint state slices; a contract shard knows only the
+// accounts its transactions touched.
+func (s *System) BalanceIn(shard ShardID, addr Address) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.chains[shard]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownShard, shard)
+	}
+	return ch.HeadState().GetBalance(addr), nil
+}
+
+// SenderClass reports how the call graph classifies a sender (Fig. 1's
+// three sender types plus "unknown").
+func (s *System) SenderClass(addr Address) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graph.Classify(addr).Kind.String()
+}
+
+// ProveInclusion builds a Merkle proof that a confirmed transaction is
+// committed by a block of the shard's ledger. The proof plus the header
+// verify with VerifyTxInclusion — the light-client artifact a user shows a
+// party in another shard.
+func (s *System) ProveInclusion(shard ShardID, txHash Hash) (*types.TxInclusionProof, *types.Header, error) {
+	s.mu.Lock()
+	ch, ok := s.chains[shard]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownShard, shard)
+	}
+	return ch.ProveInclusion(txHash)
+}
+
+// Receipt returns the verified execution receipt of a confirmed
+// transaction in the shard's ledger, or nil when unknown.
+func (s *System) Receipt(shard ShardID, txHash Hash) (*Receipt, error) {
+	s.mu.Lock()
+	ch, ok := s.chains[shard]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownShard, shard)
+	}
+	return ch.GetReceipt(txHash), nil
+}
+
+// ShardIDs lists the system's shards, MaxShard first.
+func (s *System) ShardIDs() []ShardID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir.ShardIDs()
+}

@@ -1,0 +1,393 @@
+package contractshard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func newTestSystem(t *testing.T, users ...*Keypair) *System {
+	t.Helper()
+	alloc := map[Address]uint64{}
+	for _, u := range users {
+		alloc[u.Address()] = 1_000_000
+	}
+	s, err := NewSystem(SystemConfig{GenesisAlloc: alloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSystemStartsWithMaxShard(t *testing.T) {
+	s := newTestSystem(t)
+	if s.NumShards() != 1 {
+		t.Fatalf("fresh system has %d shards", s.NumShards())
+	}
+	ids := s.ShardIDs()
+	if len(ids) != 1 || ids[0] != MaxShard {
+		t.Fatalf("shard ids: %v", ids)
+	}
+}
+
+func TestRegisterContractFormsShard(t *testing.T) {
+	s := newTestSystem(t)
+	dest := types.BytesToAddress([]byte{0xDD})
+	caddr := types.BytesToAddress([]byte{0xC1})
+	id, err := s.RegisterContract(caddr, UnconditionalTransfer(dest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == MaxShard {
+		t.Fatal("contract shard must not be the MaxShard")
+	}
+	if s.NumShards() != 2 {
+		t.Fatalf("shards: %d", s.NumShards())
+	}
+	if got, ok := s.ShardOfContract(caddr); !ok || got != id {
+		t.Fatal("ShardOfContract mismatch")
+	}
+	if _, err := s.RegisterContract(caddr, UnconditionalTransfer(dest)); !errors.Is(err, ErrContractExists) {
+		t.Fatalf("duplicate registration: %v", err)
+	}
+	if _, err := s.RegisterContract(types.BytesToAddress([]byte{0xC2}), nil); !errors.Is(err, ErrInvalidContract) {
+		t.Fatalf("empty code: %v", err)
+	}
+}
+
+func TestSingleContractSenderRoutesToContractShard(t *testing.T) {
+	alice := KeypairFromSeed("sys-alice")
+	s := newTestSystem(t, alice)
+	dest := types.BytesToAddress([]byte{0xDD})
+	caddr := types.BytesToAddress([]byte{0xC1})
+	id, err := s.RegisterContract(caddr, UnconditionalTransfer(dest))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shard, tx, err := s.SubmitCall(alice, caddr, 100, 5, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != id {
+		t.Fatalf("routed to %s, want %s", shard, id)
+	}
+	if tx.Nonce != 0 {
+		t.Fatalf("first nonce %d", tx.Nonce)
+	}
+	if s.PendingCount(id) != 1 {
+		t.Fatal("tx not pooled")
+	}
+	if s.SenderClass(alice.Address()) != "single-contract" {
+		t.Fatalf("classification: %s", s.SenderClass(alice.Address()))
+	}
+}
+
+func TestMultiContractSenderRoutesToMaxShard(t *testing.T) {
+	carol := KeypairFromSeed("sys-carol")
+	s := newTestSystem(t, carol)
+	dest := types.BytesToAddress([]byte{0xDD})
+	c1 := types.BytesToAddress([]byte{0xC1})
+	c2 := types.BytesToAddress([]byte{0xC2})
+	if _, err := s.RegisterContract(c1, UnconditionalTransfer(dest)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterContract(c2, UnconditionalTransfer(dest)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SubmitCall(carol, c1, 10, 1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	shard, _, err := s.SubmitCall(carol, c2, 10, 1, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != MaxShard {
+		t.Fatalf("second-contract call routed to %s, want MaxShard", shard)
+	}
+	if s.SenderClass(carol.Address()) != "multi-contract" {
+		t.Fatalf("classification: %s", s.SenderClass(carol.Address()))
+	}
+}
+
+func TestDirectTransferRoutesToMaxShard(t *testing.T) {
+	bob := KeypairFromSeed("sys-bob")
+	s := newTestSystem(t, bob)
+	shard, _, err := s.SubmitTransfer(bob, types.BytesToAddress([]byte{0x99}), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != MaxShard {
+		t.Fatalf("direct transfer routed to %s", shard)
+	}
+	if s.SenderClass(bob.Address()) != "direct" {
+		t.Fatalf("classification: %s", s.SenderClass(bob.Address()))
+	}
+}
+
+func TestMineShardConfirmsContractCall(t *testing.T) {
+	alice := KeypairFromSeed("sys-alice")
+	s := newTestSystem(t, alice)
+	dest := types.BytesToAddress([]byte{0xDD})
+	caddr := types.BytesToAddress([]byte{0xC1})
+	id, err := s.RegisterContract(caddr, UnconditionalTransfer(dest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SubmitCall(alice, caddr, 100, 5, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	miner := types.BytesToAddress([]byte{0xA1})
+	block, err := s.MineShard(id, miner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Txs) != 1 || block.ShardID() != id {
+		t.Fatalf("block: %d txs in %s", len(block.Txs), block.ShardID())
+	}
+	h, err := s.Height(id)
+	if err != nil || h != 1 {
+		t.Fatalf("height %d (%v)", h, err)
+	}
+	// The contract forwarded the escrow to dest inside the shard ledger.
+	bal, err := s.BalanceIn(id, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 100 {
+		t.Fatalf("dest balance %d", bal)
+	}
+	if s.PendingCount(id) != 0 {
+		t.Fatal("pool not drained")
+	}
+}
+
+func TestNoncesAcrossPendingTxs(t *testing.T) {
+	alice := KeypairFromSeed("sys-alice")
+	s := newTestSystem(t, alice)
+	dest := types.BytesToAddress([]byte{0xDD})
+	caddr := types.BytesToAddress([]byte{0xC1})
+	id, err := s.RegisterContract(caddr, UnconditionalTransfer(dest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_, tx, err := s.SubmitCall(alice, caddr, 10, 1, []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tx.Nonce != uint64(i) {
+			t.Fatalf("tx %d got nonce %d", i, tx.Nonce)
+		}
+	}
+	miner := types.BytesToAddress([]byte{0xA1})
+	if _, err := s.MineShard(id, miner); err != nil {
+		t.Fatal(err)
+	}
+	// 5 txs fit one 10-tx block; all confirmed in nonce order.
+	if bal, _ := s.BalanceIn(id, dest); bal != 50 {
+		t.Fatalf("dest balance %d", bal)
+	}
+	next, err := s.NextNonce(id, alice.Address())
+	if err != nil || next != 5 {
+		t.Fatalf("next nonce %d (%v)", next, err)
+	}
+}
+
+func TestMineUntilDrainedAcrossShards(t *testing.T) {
+	users := make([]*Keypair, 6)
+	for i := range users {
+		users[i] = KeypairFromSeed(fmt.Sprintf("sys-user-%d", i))
+	}
+	s := newTestSystem(t, users...)
+	dest := types.BytesToAddress([]byte{0xDD})
+	var shards []ShardID
+	for i := 0; i < 3; i++ {
+		caddr := types.BytesToAddress([]byte{0xC0 + byte(i)})
+		id, err := s.RegisterContract(caddr, UnconditionalTransfer(dest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, id)
+		// Two dedicated users per contract: single-contract senders.
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 12; k++ {
+				if _, _, err := s.SubmitCall(users[i*2+j], caddr, 1, 1, []byte{1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	miner := types.BytesToAddress([]byte{0xA1})
+	blocks, err := s.MineUntilDrained(miner, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 txs per shard at 10/block: 3 blocks per shard, 9 total.
+	if blocks != 9 {
+		t.Fatalf("mined %d blocks, want 9", blocks)
+	}
+	for _, id := range shards {
+		if bal, _ := s.BalanceIn(id, dest); bal != 24 {
+			t.Fatalf("shard %s dest balance %d", id, bal)
+		}
+		if h, _ := s.Height(id); h != 3 {
+			t.Fatalf("shard %s height %d", id, h)
+		}
+	}
+}
+
+func TestUnknownShardErrors(t *testing.T) {
+	s := newTestSystem(t)
+	if _, err := s.MineShard(ShardID(42), Address{}); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("mine unknown: %v", err)
+	}
+	if _, err := s.Height(ShardID(42)); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("height unknown: %v", err)
+	}
+	if _, err := s.BalanceIn(ShardID(42), Address{}); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("balance unknown: %v", err)
+	}
+	if _, err := s.NextNonce(ShardID(42), Address{}); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("nonce unknown: %v", err)
+	}
+	if _, err := s.Submit(nil); !errors.Is(err, ErrNilTransaction) {
+		t.Fatalf("nil tx: %v", err)
+	}
+}
+
+func TestSubmitRejectsBadSignature(t *testing.T) {
+	alice := KeypairFromSeed("sys-alice")
+	s := newTestSystem(t, alice)
+	tx := &Transaction{From: alice.Address(), To: types.BytesToAddress([]byte{1}), Value: 1}
+	if _, err := s.Submit(tx); err == nil {
+		t.Fatal("unsigned tx accepted")
+	}
+}
+
+func TestRegisterAfterMiningMaxShardRejected(t *testing.T) {
+	bob := KeypairFromSeed("sys-bob")
+	s := newTestSystem(t, bob)
+	if _, _, err := s.SubmitTransfer(bob, types.BytesToAddress([]byte{0x99}), 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MineShard(MaxShard, types.BytesToAddress([]byte{0xA1})); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.RegisterContract(types.BytesToAddress([]byte{0xC9}), UnconditionalTransfer(types.BytesToAddress([]byte{0xDD})))
+	if err == nil {
+		t.Fatal("late registration accepted")
+	}
+}
+
+func TestAPIWrappers(t *testing.T) {
+	// MergeShards + OptimalNewShards.
+	res, err := MergeShards(MergeConfig{
+		Shards: []MergeShardInfo{{ID: 1, Size: 6}, {ID: 2, Size: 7}},
+		L:      10, Reward: 20, CostPerShard: 1, Seed: 3,
+	})
+	if err != nil || len(res.NewShards) != 1 {
+		t.Fatalf("merge: %+v %v", res, err)
+	}
+	if OptimalNewShards([]int{6, 7}, 10) != 1 {
+		t.Fatal("optimal")
+	}
+	// Selection + verification.
+	sets, err := SelectTransactionSets(SelectionParams{Fees: []uint64{9, 8, 7}, Miners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySelectedBlock(sets, 0, sets.PerMiner[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Unified replay.
+	p := &UnifiedParams{
+		MergeShards: []MergeShardInfo{{ID: 1, Size: 6}, {ID: 2, Size: 7}},
+		L:           10, Reward: 20, CostPerShard: 1, MergeSeed: 3,
+		TxFees: []uint64{9, 8, 7}, Miners: 2, SetSize: 1,
+	}
+	plan, err := p.RunMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMergePlan(p, plan); err != nil {
+		t.Fatal(err)
+	}
+	// Security calculators.
+	if ShardSafety(30, 0.25) < 0.99 {
+		t.Fatal("safety")
+	}
+	if _, err := InterShardCorruption(0.25, -1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IntraShardCorruption(0.25, -1, 40, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Experiment catalogue.
+	if len(ExperimentIDs()) < 17 {
+		t.Fatalf("experiments: %v", ExperimentIDs())
+	}
+	if _, err := RunExperiment("fig1d", ExperimentOptions{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReceiptThroughFacade(t *testing.T) {
+	alice := KeypairFromSeed("sys-alice")
+	s := newTestSystem(t, alice)
+	caddr := types.BytesToAddress([]byte{0xC1})
+	dest := types.BytesToAddress([]byte{0xDD})
+	id, err := s.RegisterContract(caddr, UnconditionalTransfer(dest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tx, err := s.SubmitCall(alice, caddr, 100, 5, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MineShard(id, types.BytesToAddress([]byte{0xA1})); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Receipt(id, tx.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Status != types.ReceiptSuccess || !r.ContractOK {
+		t.Fatalf("receipt: %+v", r)
+	}
+	if miss, err := s.Receipt(id, types.BytesToHash([]byte{9})); err != nil || miss != nil {
+		t.Fatalf("phantom receipt: %+v %v", miss, err)
+	}
+	if _, err := s.Receipt(ShardID(99), tx.Hash()); err == nil {
+		t.Fatal("unknown shard accepted")
+	}
+}
+
+func TestProveInclusionThroughFacade(t *testing.T) {
+	alice := KeypairFromSeed("sys-alice")
+	s := newTestSystem(t, alice)
+	caddr := types.BytesToAddress([]byte{0xC1})
+	id, err := s.RegisterContract(caddr, UnconditionalTransfer(types.BytesToAddress([]byte{0xDD})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tx, err := s.SubmitCall(alice, caddr, 10, 1, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MineShard(id, types.BytesToAddress([]byte{0xA1})); err != nil {
+		t.Fatal(err)
+	}
+	proof, header, err := s.ProveInclusion(id, tx.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyTxInclusion(header.TxRoot, tx.Hash(), proof) {
+		t.Fatal("facade inclusion proof rejected")
+	}
+	if _, _, err := s.ProveInclusion(ShardID(99), tx.Hash()); err == nil {
+		t.Fatal("unknown shard accepted")
+	}
+}
