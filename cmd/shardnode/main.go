@@ -3,14 +3,28 @@
 // Fig. 1 sender classes submit transactions, mines every shard to
 // completion, and prints the resulting ledgers — a one-command demo of the
 // contract-centric sharding pipeline.
+//
+// With -gossip it instead runs the miner runtime of Sec. III-C over the p2p
+// substrate: epoch-assigned miners gossip transactions and blocks in either
+// synchronous or asynchronous delivery mode, optionally with injected loss
+// and duplication, and the per-miner and network counters are printed so
+// the two modes can be compared (-net async -loss 0.2).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	contractshard "contractshard"
+	"contractshard/internal/chain"
+	"contractshard/internal/contract"
+	"contractshard/internal/crypto"
+	"contractshard/internal/epoch"
+	"contractshard/internal/node"
+	"contractshard/internal/p2p"
+	"contractshard/internal/sharding"
 	"contractshard/internal/types"
 )
 
@@ -19,9 +33,22 @@ func main() {
 		contracts = flag.Int("contracts", 3, "number of contracts/shards")
 		users     = flag.Int("users", 6, "number of users")
 		txs       = flag.Int("txs", 40, "transactions to inject")
+
+		gossip  = flag.Bool("gossip", false, "run the p2p miner-gossip demo instead of the in-process system demo")
+		netMode = flag.String("net", "sync", "gossip delivery mode: sync or async")
+		miners  = flag.Int("miners", 8, "gossip demo: number of epoch-assigned miners")
+		loss    = flag.Float64("loss", 0, "gossip demo: per-link loss probability (async only)")
+		dup     = flag.Float64("dup", 0, "gossip demo: per-link duplicate probability (async only)")
+		seed    = flag.Int64("seed", 1, "gossip demo: fault-model RNG seed (async only)")
 	)
 	flag.Parse()
-	if err := run(*contracts, *users, *txs); err != nil {
+	var err error
+	if *gossip {
+		err = runGossip(*netMode, *miners, *txs, *loss, *dup, *seed)
+	} else {
+		err = run(*contracts, *users, *txs)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -88,6 +115,121 @@ func run(contracts, users, txs int) error {
 	fmt.Println("\nsender classes:")
 	for i, u := range keys {
 		fmt.Printf("  user %d: %s\n", i, sys.SenderClass(u.Address()))
+	}
+	return nil
+}
+
+// runGossip exercises the node.Miner runtime over the p2p substrate in the
+// chosen delivery mode and reports what every miner saw.
+func runGossip(mode string, nMiners, nTxs int, loss, dup float64, seed int64) error {
+	var network *p2p.Network
+	switch mode {
+	case "sync":
+		if loss > 0 || dup > 0 {
+			return fmt.Errorf("shardnode: fault injection needs -net async")
+		}
+		network = p2p.NewNetwork()
+	case "async":
+		network = p2p.NewAsyncNetwork(p2p.AsyncConfig{
+			Seed:        seed,
+			DefaultLink: p2p.LinkFault{Loss: loss, Duplicate: dup},
+		})
+	default:
+		return fmt.Errorf("shardnode: unknown -net mode %q (sync|async)", mode)
+	}
+	defer network.Close()
+
+	dir := sharding.NewDirectory()
+	caddr := types.BytesToAddress([]byte{0xC1})
+	dest := types.BytesToAddress([]byte{0xDD})
+	shard := dir.Register(caddr)
+
+	parts := make([]epoch.Participant, nMiners)
+	for i := range parts {
+		parts[i] = epoch.Participant{
+			Key:  crypto.KeypairFromSeed(fmt.Sprintf("gossip-miner-%d", i)),
+			Seed: []byte{byte(i)},
+		}
+	}
+	out, err := epoch.Run(1, parts, map[types.ShardID]int{types.MaxShard: 50, shard: 50})
+	if err != nil {
+		return err
+	}
+
+	users := make([]*crypto.Keypair, 4)
+	alloc := map[types.Address]uint64{}
+	for i := range users {
+		users[i] = crypto.KeypairFromSeed(fmt.Sprintf("gossip-user-%d", i))
+		alloc[users[i].Address()] = 1_000_000
+	}
+	code := map[types.Address][]byte{caddr: contract.UnconditionalTransfer(dest)}
+
+	var cluster []*node.Miner
+	for i, p := range parts {
+		assigned, _ := out.ShardOf(p.Key.Public)
+		cc := chain.DefaultConfig(assigned)
+		cc.Difficulty = 16
+		m, err := node.New(network, p2p.NodeID(fmt.Sprintf("miner-%d", i)), node.Config{
+			Key: p.Key, Shard: assigned,
+			Randomness: out.Randomness, Fractions: out.Fractions,
+			ChainConfig: cc, GenesisAlloc: alloc, Contracts: code,
+			Directory: dir,
+		})
+		if err != nil {
+			return err
+		}
+		cluster = append(cluster, m)
+	}
+
+	var producer *node.Miner
+	for _, m := range cluster {
+		if m.Shard() == shard {
+			producer = m
+			break
+		}
+	}
+	if producer == nil {
+		return fmt.Errorf("shardnode: epoch left shard %s without miners; re-run with more -miners", shard)
+	}
+
+	for i := 0; i < nTxs; i++ {
+		u := users[i%len(users)]
+		tx := &types.Transaction{
+			Nonce: uint64(i / len(users)), From: u.Address(), To: caddr,
+			Value: 10, Fee: uint64(1 + i%7), Data: []byte{1},
+		}
+		if err := crypto.SignTx(tx, u); err != nil {
+			return err
+		}
+		if err := producer.SubmitTx(tx); err != nil {
+			return err
+		}
+	}
+	network.Drain()
+	for producer.Pending() > 0 {
+		if _, err := producer.Mine(); err != nil {
+			return err
+		}
+		network.Drain()
+	}
+
+	fmt.Printf("gossip demo: %d miners, %d txs, net=%s loss=%.2f dup=%.2f\n\n",
+		nMiners, nTxs, mode, loss, dup)
+	for i, m := range cluster {
+		s := m.Stats()
+		fmt.Printf("miner-%-2d shard=%-8s height=%-3d pooled=%-3d accepted=%-3d otherShard=%-3d dup=%-3d rejected=%d\n",
+			i, m.Shard(), m.Height(), s.TxsPooled, s.BlocksAccepted, s.BlocksOtherShard, s.BlocksDuplicate, s.BlocksRejected)
+	}
+	st := network.Stats()
+	fmt.Printf("\nnetwork: total=%d crossShard=%d dropped=%d redelivered=%d\n",
+		st.Total, st.CrossShard, st.Dropped, st.Redelivered)
+	topics := make([]string, 0, len(st.ByTopic))
+	for topic := range st.ByTopic {
+		topics = append(topics, topic)
+	}
+	sort.Strings(topics)
+	for _, topic := range topics {
+		fmt.Printf("  topic %-12s %d\n", topic, st.ByTopic[topic])
 	}
 	return nil
 }

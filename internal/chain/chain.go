@@ -200,12 +200,24 @@ func (c *Chain) StateAt(h types.Hash) *state.State {
 	return nil
 }
 
-// HeadState returns a copy of the state at the head block.
+// HeadState returns a copy of the state at the head block. Head lookup and
+// state copy happen under one lock so a concurrent AddBlock cannot slide
+// the head between the two reads.
 func (c *Chain) HeadState() *state.State {
 	c.mu.RLock()
-	h := c.head
-	c.mu.RUnlock()
-	return c.StateAt(h)
+	defer c.mu.RUnlock()
+	return c.blocks[c.head].state.Copy()
+}
+
+// HeadSnapshot returns the head block together with a copy of its
+// post-state as one atomic read — what concurrent callers (the node runtime
+// under asynchronous delivery) need to reason about a consistent
+// block/state pair.
+func (c *Chain) HeadSnapshot() (*types.Block, *state.State) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e := c.blocks[c.head]
+	return e.block, e.state.Copy()
 }
 
 // CanonicalBlocks returns the canonical chain from genesis to head.

@@ -577,3 +577,38 @@ func TestNonMonotonicTimeRejected(t *testing.T) {
 		t.Fatalf("time regression: %v", err)
 	}
 }
+
+func TestHeadSnapshotConsistentUnderConcurrentAddBlock(t *testing.T) {
+	// Readers snapshotting head+state while a writer extends the chain must
+	// always see a block/state pair that belong together: the state root of
+	// the copied state equals the header's declared root.
+	f := newFixture(t)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 8; i++ {
+			block, _, err := f.chain.BuildBlock(f.miner, nil, uint64(1000*(i+1)))
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := f.chain.AddBlock(block); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 200; i++ {
+		block, st := f.chain.HeadSnapshot()
+		if got := st.Root(); got != block.Header.StateRoot {
+			t.Fatalf("torn snapshot: state root %s vs header %s at height %d",
+				got, block.Header.StateRoot, block.Number())
+		}
+		if st := f.chain.HeadState(); st == nil {
+			t.Fatal("HeadState returned nil")
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

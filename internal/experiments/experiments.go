@@ -22,6 +22,11 @@ type Options struct {
 	Reps int
 	// Quick shrinks workloads for benchmark iterations.
 	Quick bool
+	// Async runs network-backed experiments over the asynchronous p2p
+	// delivery mode (zero faults) instead of synchronous inline delivery.
+	// Message-count results must be identical in both modes — that parity is
+	// the invariant the experiments_test suite asserts.
+	Async bool
 }
 
 func (o Options) seed() int64 {

@@ -309,3 +309,33 @@ func TestFullSystemBeatsPlainSharding(t *testing.T) {
 		t.Fatalf("Sec. IV algorithms gained only %.2f on the skewed load", res.Summary["gain"])
 	}
 }
+
+// TestFig4cSyncAsyncParity is the reproducibility invariant of the async
+// delivery mode: the Fig. 4(c) merge-round message counters must be
+// bit-identical whether gossip is delivered inline or through concurrent
+// per-node inboxes (with zero injected faults).
+func TestFig4cSyncAsyncParity(t *testing.T) {
+	syncRes, err := Run("fig4c", Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncRes, err := Run("fig4c", Options{Seed: 1, Quick: true, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"total_msgs", "cross_shard_msgs"} {
+		if syncRes.Summary[key] != asyncRes.Summary[key] {
+			t.Fatalf("%s: sync %.0f vs async %.0f", key,
+				syncRes.Summary[key], asyncRes.Summary[key])
+		}
+	}
+	for n := 0; n <= 6; n++ {
+		key := "comm_" + string(rune('0'+n))
+		if syncRes.Summary[key] != asyncRes.Summary[key] {
+			t.Fatalf("%s diverged between delivery modes", key)
+		}
+		if asyncRes.Summary[key] != 2 {
+			t.Fatalf("async merge round cost %.2f messages per shard, want 2", asyncRes.Summary[key])
+		}
+	}
+}

@@ -169,6 +169,12 @@ func maxOf(xs []float64) float64 {
 // a varying number of small shards run one parameter-unification round over
 // the in-process network, and the per-shard message count is reported. The
 // paper's result is a constant 2 (one size report up, one broadcast down).
+//
+// With opts.Async the same round runs over the asynchronous network: the
+// leader drains the network after the report phase (it must have seen every
+// report before broadcasting) and again before reading Stats. Total and
+// CrossShard are identical to the synchronous run — message counting is
+// independent of delivery mode.
 func runFig4c(opts Options) (*Result, error) {
 	const shards = 7
 	fig := metrics.Figure{
@@ -177,8 +183,12 @@ func runFig4c(opts Options) (*Result, error) {
 	}
 	series := metrics.Series{Name: "our merging (parameter unification)"}
 	summary := map[string]float64{}
+	var totalMsgs, crossMsgs uint64
 	for numSmall := 0; numSmall <= 6; numSmall++ {
 		net := p2p.NewNetwork()
+		if opts.Async {
+			net = p2p.NewAsyncNetwork(p2p.AsyncConfig{Seed: opts.seed()})
+		}
 		leaderNode := net.MustJoin("leader")
 		leader := unify.NewLeader(leaderNode)
 		reps := make([]*unify.Rep, shards)
@@ -199,18 +209,32 @@ func runFig4c(opts Options) (*Result, error) {
 				return nil, err
 			}
 		}
+		// In async mode the reports are in flight until drained; the leader
+		// must not broadcast parameters built from a partial view.
+		net.Drain()
 		if _, sent := leader.BroadcastParams(unify.Params{
 			Epoch: uint64(numSmall), L: mergeL, Reward: mergeReward,
 			CostPerShard: mergeCostPerShard, MergeSeed: opts.seed(),
 		}); sent != shards {
 			return nil, fmt.Errorf("fig4c: broadcast reached %d of %d", sent, shards)
 		}
+		net.Drain()
 		stats := net.Stats()
+		net.Close()
+		if stats.Dropped != 0 || stats.Redelivered != 0 {
+			return nil, fmt.Errorf("fig4c: zero-fault run injected faults: %+v", stats)
+		}
+		totalMsgs += stats.Total
+		crossMsgs += stats.CrossShard
 		perShard := float64(stats.Total) / shards
 		series.X = append(series.X, float64(numSmall))
 		series.Y = append(series.Y, perShard)
 		summary[fmt.Sprintf("comm_%d", numSmall)] = perShard
 	}
 	fig.Add(series)
+	// Raw counters so the sync/async parity of the message accounting is
+	// checkable from the Summary alone.
+	summary["total_msgs"] = float64(totalMsgs)
+	summary["cross_shard_msgs"] = float64(crossMsgs)
 	return &Result{ID: "fig4c", Title: "Fig 4(c)", Output: fig.String(), Summary: summary}, nil
 }

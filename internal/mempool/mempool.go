@@ -62,35 +62,46 @@ func New(capacity int) *Pool {
 // the replace-by-fee rule that lets users bump stuck transactions without
 // letting the network be spammed with free churn.
 func (p *Pool) Add(tx *types.Transaction) error {
+	_, err := p.add(tx)
+	return err
+}
+
+// add implements Add and additionally reports whether the insert replaced a
+// pending same-slot transaction, so batch callers can distinguish growth
+// from replace-by-fee churn.
+func (p *Pool) add(tx *types.Transaction) (replaced bool, err error) {
 	if tx == nil {
-		return ErrNilTx
+		return false, ErrNilTx
 	}
 	h := tx.Hash()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.byHash[h]; ok {
-		return fmt.Errorf("%w: %s", ErrKnownTx, h)
+		return false, fmt.Errorf("%w: %s", ErrKnownTx, h)
 	}
 	sl := slot{from: tx.From, nonce: tx.Nonce}
 	if prevHash, ok := p.bySlot[sl]; ok {
 		prev := p.byHash[prevHash]
 		if tx.Fee <= prev.Fee {
-			return fmt.Errorf("%w: %d <= %d", ErrUnderpriced, tx.Fee, prev.Fee)
+			return false, fmt.Errorf("%w: %d <= %d", ErrUnderpriced, tx.Fee, prev.Fee)
 		}
 		delete(p.byHash, prevHash)
+		replaced = true
 	} else if len(p.byHash) >= p.maxSize {
-		return ErrPoolFull
+		return false, ErrPoolFull
 	}
 	p.byHash[h] = tx
 	p.bySlot[sl] = h
-	return nil
+	return replaced, nil
 }
 
-// AddAll inserts a batch, skipping duplicates, and returns how many were new.
+// AddAll inserts a batch, skipping duplicates, and returns how many were
+// new. A replace-by-fee insert swaps one pending transaction for another
+// without growing the pool, so it does not count as new.
 func (p *Pool) AddAll(txs []*types.Transaction) int {
 	n := 0
 	for _, tx := range txs {
-		if err := p.Add(tx); err == nil {
+		if replaced, err := p.add(tx); err == nil && !replaced {
 			n++
 		}
 	}

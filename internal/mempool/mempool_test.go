@@ -278,3 +278,56 @@ func TestReplaceByFeeDistinctSendersUnaffected(t *testing.T) {
 		t.Fatal("distinct senders must not share slots")
 	}
 }
+
+func TestAddAllDoesNotCountReplacements(t *testing.T) {
+	p := New(0)
+	if err := p.Add(tx(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Batch: one replace-by-fee of slot (sender,1), one genuinely new tx,
+	// one duplicate of the replacement. Only the new one counts.
+	bump := tx(1, 20)
+	batch := []*types.Transaction{bump, tx(2, 5), bump}
+	if n := p.AddAll(batch); n != 1 {
+		t.Fatalf("AddAll counted %d new, want 1 (replacement must not count)", n)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("size %d, want 2", p.Size())
+	}
+	if !p.Contains(bump.Hash()) {
+		t.Fatal("replacement not in pool")
+	}
+}
+
+func TestReplaceByFeeAtCapacity(t *testing.T) {
+	// A full pool must still accept a replace-by-fee bump — it swaps a slot
+	// rather than growing the pool — while rejecting genuinely new entries.
+	p := New(2)
+	stuck := tx(1, 10)
+	if err := p.Add(stuck); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx(2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx(3, 99)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("new tx at capacity: %v", err)
+	}
+	bump := tx(1, 20)
+	if err := p.Add(bump); err != nil {
+		t.Fatalf("replace-by-fee at capacity rejected: %v", err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("size %d after replacement, want 2", p.Size())
+	}
+	if p.Contains(stuck.Hash()) || !p.Contains(bump.Hash()) {
+		t.Fatal("replacement did not swap the stuck transaction")
+	}
+	// Underpriced bumps stay rejected at capacity too (distinct tx, same
+	// slot, equal fee).
+	underpriced := tx(1, 20)
+	underpriced.Value = 7
+	if err := p.Add(underpriced); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("equal-fee bump: %v", err)
+	}
+}

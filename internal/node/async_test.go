@@ -1,0 +1,316 @@
+package node
+
+import (
+	"sync"
+	"testing"
+
+	"contractshard/internal/chain"
+	"contractshard/internal/crypto"
+	"contractshard/internal/p2p"
+	"contractshard/internal/types"
+	"contractshard/internal/unify"
+)
+
+// shard1Pair returns two distinct shard-1 miners or skips.
+func shard1Pair(t *testing.T, c *cluster) (*Miner, *Miner) {
+	t.Helper()
+	var m1, m2 *Miner
+	for _, m := range c.miners {
+		if m.Shard() == 1 {
+			if m1 == nil {
+				m1 = m
+			} else if m2 == nil {
+				m2 = m
+			}
+		}
+	}
+	if m1 == nil || m2 == nil {
+		t.Skip("need two shard-1 miners")
+	}
+	return m1, m2
+}
+
+func TestAsyncClusterTxGossipRoutes(t *testing.T) {
+	net := p2p.NewAsyncNetwork(p2p.AsyncConfig{Seed: 1})
+	defer net.Close()
+	c := newClusterOn(t, 12, net)
+	shardMiner := c.minerIn(1)
+	if shardMiner == nil || c.minerIn(0) == nil {
+		t.Skip("degenerate assignment")
+	}
+	// Concurrent submissions from every user: the pool state must converge
+	// to the sync-mode outcome once drained.
+	var wg sync.WaitGroup
+	for i, u := range c.users {
+		wg.Add(1)
+		go func(i int, u *crypto.Keypair) {
+			defer wg.Done()
+			for n := uint64(0); n < 3; n++ {
+				tx := &types.Transaction{
+					Nonce: n, From: u.Address(), To: c.caddr,
+					Value: 100, Fee: uint64(5 + i), Data: []byte{1},
+				}
+				if err := crypto.SignTx(tx, u); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := shardMiner.SubmitTx(tx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	net.Drain()
+	want := 3 * len(c.users)
+	for _, m := range c.miners {
+		if m.Shard() == 1 {
+			if m.Pending() != want {
+				t.Fatalf("shard-1 miner holds %d pending, want %d", m.Pending(), want)
+			}
+		} else if m.Pending() != 0 {
+			t.Fatal("MaxShard miner pooled a foreign tx")
+		}
+	}
+	if s := net.Stats(); s.Dropped != 0 {
+		t.Fatalf("zero-fault run dropped %d", s.Dropped)
+	}
+}
+
+func TestAsyncConcurrentMinersConverge(t *testing.T) {
+	net := p2p.NewAsyncNetwork(p2p.AsyncConfig{Seed: 3})
+	defer net.Close()
+	c := newClusterOn(t, 12, net)
+	m1, m2 := shard1Pair(t, c)
+
+	// Both miners mine height-1 blocks concurrently while deliveries are in
+	// flight; forks are expected, divergence afterwards is not.
+	var wg sync.WaitGroup
+	for _, m := range []*Miner{m1, m2} {
+		wg.Add(1)
+		go func(m *Miner) {
+			defer wg.Done()
+			if _, err := m.Mine(); err != nil {
+				t.Error(err)
+			}
+		}(m)
+	}
+	wg.Wait()
+	net.Drain()
+
+	var head *types.Hash
+	for _, m := range c.miners {
+		if m.Shard() != 1 {
+			continue
+		}
+		h := m.chain.Head().Hash()
+		if head == nil {
+			head = &h
+		} else if *head != h {
+			t.Fatalf("shard-1 heads diverged after drain: %s vs %s", *head, h)
+		}
+		if m.Stats().BlocksRejected != 0 {
+			t.Fatalf("honest concurrent blocks rejected: %+v", m.Stats())
+		}
+	}
+
+	// A further block must reconverge everyone on one strictly higher head.
+	// (Depending on delivery timing the two concurrent blocks either forked
+	// at height 1 or stacked to height 2, so only relative height is fixed.)
+	before := m1.Height()
+	ext, err := m1.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Number() != before+1 {
+		t.Fatalf("extension number %d after height %d", ext.Number(), before)
+	}
+	net.Drain()
+	for _, m := range c.miners {
+		if m.Shard() != 1 {
+			continue
+		}
+		if m.chain.Head().Hash() != ext.Hash() {
+			t.Fatalf("miner did not converge on the extension (height %d vs %d)", m.Height(), ext.Number())
+		}
+	}
+}
+
+func TestDuplicateBlockCountedOnceUnderConcurrentDelivery(t *testing.T) {
+	c := newCluster(t, 12)
+	producer, honest := shard1Pair(t, c)
+	block, _, err := producer.chain.BuildBlockWithProof(producer.Address(), producer.cfg.Key.Public, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := block.Encode()
+	// The same block arrives many times concurrently (gossip redelivery):
+	// exactly one acceptance, the rest are duplicates, none are rejections,
+	// and the stats stay in lockstep with the ledger.
+	const deliveries = 16
+	var wg sync.WaitGroup
+	for i := 0; i < deliveries; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			honest.handleBlock(raw)
+		}()
+	}
+	wg.Wait()
+	s := honest.Stats()
+	if s.BlocksAccepted != 1 {
+		t.Fatalf("accepted %d, want 1", s.BlocksAccepted)
+	}
+	if s.BlocksDuplicate != deliveries-1 {
+		t.Fatalf("duplicates %d, want %d", s.BlocksDuplicate, deliveries-1)
+	}
+	if s.BlocksRejected != 0 {
+		t.Fatalf("redelivered block miscounted as rejected (%d)", s.BlocksRejected)
+	}
+	if honest.Height() != 1 {
+		t.Fatalf("height %d", honest.Height())
+	}
+}
+
+func TestAsyncLossyLinksDoNotWedgeTheCluster(t *testing.T) {
+	net := p2p.NewAsyncNetwork(p2p.AsyncConfig{
+		Seed:        11,
+		DefaultLink: p2p.LinkFault{Loss: 0.4, Duplicate: 0.2},
+	})
+	defer net.Close()
+	c := newClusterOn(t, 8, net)
+	m1 := c.minerIn(1)
+	if m1 == nil {
+		t.Skip("degenerate assignment")
+	}
+	for n := uint64(0); n < 3; n++ {
+		tx := &types.Transaction{
+			Nonce: n, From: c.users[0].Address(), To: c.caddr,
+			Value: 50, Fee: 2, Data: []byte{1},
+		}
+		if err := crypto.SignTx(tx, c.users[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m1.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m1.Mine(); err != nil {
+		t.Fatal(err)
+	}
+	net.Drain()
+	s := net.Stats()
+	if s.Dropped == 0 {
+		t.Fatal("lossy run dropped nothing")
+	}
+	// Redelivered blocks on surviving links must be counted as duplicates,
+	// never rejections, on every miner that saw them.
+	for _, m := range c.miners {
+		if m.Stats().BlocksRejected != 0 {
+			t.Fatalf("loss/duplication produced rejections: %+v", m.Stats())
+		}
+	}
+}
+
+// TestFreshContractRoutingOrderIsConsistent documents the handleTx ordering:
+// RouteTx consults the call graph *before* ObserveTx updates it. For the
+// first transaction touching a fresh contract the sender is still
+// KindUnknown on every miner, and RouteTx resolves unknown contract-callers
+// through the shared directory — so all miners route it to the contract's
+// shard identically, and the graphs update in lockstep for the txs after.
+func TestFreshContractRoutingOrderIsConsistent(t *testing.T) {
+	c := newCluster(t, 12)
+	if c.minerIn(0) == nil || c.minerIn(1) == nil {
+		t.Skip("degenerate assignment")
+	}
+	fresh := types.BytesToAddress([]byte{0xC9})
+	shard := c.dir.Register(fresh)
+
+	user := crypto.KeypairFromSeed("routing-order-user")
+	tx := &types.Transaction{From: user.Address(), To: fresh, Value: 0, Fee: 1, Data: []byte{1}}
+	if err := crypto.SignTx(tx, user); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.miners {
+		m.handleTx(tx)
+	}
+	for _, m := range c.miners {
+		s := m.Stats()
+		if m.Shard() == shard {
+			if s.TxsPooled == 0 {
+				t.Fatalf("miner of shard %s did not pool the first fresh-contract tx", shard)
+			}
+		} else if s.TxsPooled != 0 {
+			t.Fatalf("miner of shard %s pooled a tx routed to %s", m.Shard(), shard)
+		}
+	}
+	// The second tx from the now-known single-contract sender must route to
+	// the same shard on every miner: the graphs observed tx 1 identically.
+	tx2 := &types.Transaction{Nonce: 1, From: user.Address(), To: fresh, Value: 0, Fee: 1, Data: []byte{1}}
+	if err := crypto.SignTx(tx2, user); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.miners {
+		m.handleTx(tx2)
+		want := 0
+		if m.Shard() == shard {
+			want = 2
+		}
+		if m.pool.Size() != want {
+			t.Fatalf("miner of shard %s pool=%d want %d after second tx", m.Shard(), m.pool.Size(), want)
+		}
+	}
+}
+
+// benchSelectionParams builds a unified selection large enough for the
+// congestion-game replay to dominate.
+func benchSelectionParams(nTxs, miners int, addrs []types.Address) *unify.Params {
+	fees := make([]uint64, nTxs)
+	hashes := make([]types.Hash, nTxs)
+	for i := range fees {
+		fees[i] = uint64(1 + (i*37)%997)
+		hashes[i][0] = byte(i >> 8)
+		hashes[i][1] = byte(i)
+	}
+	return &unify.Params{
+		TxFees: fees, TxHashes: hashes,
+		Miners: miners, SetSize: 10,
+		MinerSet: addrs,
+	}
+}
+
+func benchMiner(b *testing.B) *Miner {
+	b.Helper()
+	net := p2p.NewNetwork()
+	kp := crypto.KeypairFromSeed("bench-miner")
+	cc := chain.DefaultConfig(1)
+	cc.Difficulty = 16
+	m, err := New(net, "bench", Config{Key: kp, Shard: 1, ChainConfig: cc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkSelectionUncached(b *testing.B) {
+	m := benchMiner(b)
+	p := benchSelectionParams(400, 4, []types.Address{m.Address()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunSelection(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectionMemoized(b *testing.B) {
+	m := benchMiner(b)
+	p := benchSelectionParams(400, 4, []types.Address{m.Address()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.selectionSets(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"contractshard/internal/mempool"
 	"contractshard/internal/p2p"
 	"contractshard/internal/sharding"
+	"contractshard/internal/txsel"
 	"contractshard/internal/types"
 	"contractshard/internal/unify"
 )
@@ -61,11 +62,15 @@ type Stats struct {
 	BlocksAccepted   int // blocks of the miner's shard recorded to its ledger
 	BlocksOtherShard int // valid blocks belonging to other shards (ignored)
 	BlocksRejected   int // blocks whose membership proof failed — cheaters
+	BlocksDuplicate  int // redelivered blocks the ledger already holds
 	TxsPooled        int // transactions routed to this miner's shard
 	TxsOtherShard    int // transactions routed elsewhere (ignored)
 }
 
-// Miner is one sharded mining node.
+// Miner is one sharded mining node. It is safe under asynchronous delivery:
+// m.mu serializes every ledger/pool/stats transition (handleTx, handleBlock
+// acceptance, Mine), so a block's AddBlock, its pool removal and its stats
+// bump are one atomic step with respect to concurrent deliveries.
 type Miner struct {
 	mu    sync.Mutex
 	cfg   Config
@@ -75,6 +80,14 @@ type Miner struct {
 	graph *callgraph.Graph
 	stats Stats
 	clock uint64
+
+	// selSets memoizes cfg.Selection.RunSelection() per Params instance:
+	// the selection is a deterministic pure function of the Params, yet it
+	// was recomputed on every Mine and every block verification. Guarded by
+	// selMu (nested inside m.mu on paths that hold both).
+	selMu   sync.Mutex
+	selFor  *unify.Params
+	selSets *txsel.Sets
 }
 
 // Errors.
@@ -166,7 +179,11 @@ func (m *Miner) handleTx(tx *types.Transaction) {
 }
 
 // handleBlock performs the two verifications of Sec. III-C on a gossiped
-// block.
+// block. Decoding and the membership proof are pure and run unlocked; the
+// acceptance path (selection check, AddBlock, pool removal, stats) holds
+// m.mu so two concurrent deliveries of the same block cannot interleave —
+// one accepts, the other sees ErrKnownBlock and counts as a duplicate,
+// never a rejection, and BlocksAccepted moves in lockstep with the ledger.
 func (m *Miner) handleBlock(raw []byte) {
 	block, err := types.DecodeBlock(raw)
 	if err != nil {
@@ -189,6 +206,8 @@ func (m *Miner) handleBlock(raw []byte) {
 		m.mu.Unlock()
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	// Verification 3 (Sec. IV-C): with unified selection active, the block
 	// may only contain transactions the assignment gave its producer.
 	if m.cfg.Selection != nil && len(block.Txs) > 0 {
@@ -196,23 +215,26 @@ func (m *Miner) handleBlock(raw []byte) {
 		for i, tx := range block.Txs {
 			hashes[i] = tx.Hash()
 		}
-		if err := unify.VerifyProducedBlock(m.cfg.Selection, block.Header.Coinbase, hashes); err != nil {
-			m.mu.Lock()
+		sets, err := m.selectionSets(m.cfg.Selection)
+		if err != nil {
 			m.stats.BlocksRejected++
-			m.mu.Unlock()
+			return
+		}
+		if err := unify.VerifyProducedBlockWithSets(m.cfg.Selection, sets, block.Header.Coinbase, hashes); err != nil {
+			m.stats.BlocksRejected++
 			return
 		}
 	}
 	if err := m.chain.AddBlock(block); err != nil {
-		m.mu.Lock()
-		m.stats.BlocksRejected++
-		m.mu.Unlock()
+		if errors.Is(err, chain.ErrKnownBlock) {
+			m.stats.BlocksDuplicate++
+		} else {
+			m.stats.BlocksRejected++
+		}
 		return
 	}
 	m.pool.RemoveTxs(block.Txs)
-	m.mu.Lock()
 	m.stats.BlocksAccepted++
-	m.mu.Unlock()
 }
 
 // SubmitTx verifies and gossips a transaction network-wide (users broadcast
@@ -230,31 +252,40 @@ func (m *Miner) SubmitTx(tx *types.Transaction) error {
 // pool, embedding the miner's public key as the membership proof. The block
 // is applied locally and broadcast; other miners of the shard record it
 // after verifying.
+//
+// The whole read-build-apply sequence holds m.mu: without it, a concurrent
+// handleBlock between the pool read and the local AddBlock could confirm
+// the same transactions or move the head this block was built on, leaving
+// the pool and ledger inconsistent with the stats. Incoming deliveries
+// queue on the lock for the duration of the (bounded) PoW seal; only the
+// final broadcast happens outside it.
 func (m *Miner) Mine() (*types.Block, error) {
 	m.mu.Lock()
 	m.clock += 1000
 	now := m.clock
-	m.mu.Unlock()
 
 	candidates := m.pool.Pending()
 	if m.cfg.Selection != nil {
 		assigned, err := m.assignedTxs()
 		if err != nil {
+			m.mu.Unlock()
 			return nil, err
 		}
 		candidates = assigned
 	}
 	block, _, err := m.chain.BuildBlockWithProof(m.Address(), m.cfg.Key.Public, candidates, now)
 	if err != nil {
+		m.mu.Unlock()
 		return nil, err
 	}
 	if err := m.chain.AddBlock(block); err != nil {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("node: own block rejected: %w", err)
 	}
 	m.pool.RemoveTxs(block.Txs)
-	m.mu.Lock()
 	m.stats.BlocksAccepted++
 	m.mu.Unlock()
+
 	m.node.Broadcast(TopicBlocks, block.Encode())
 	return block, nil
 }
@@ -274,7 +305,7 @@ func (m *Miner) assignedTxs() ([]*types.Transaction, error) {
 	if idx < 0 {
 		return nil, fmt.Errorf("node: %s not in the unified miner set", m.Address())
 	}
-	sets, err := p.RunSelection()
+	sets, err := m.selectionSets(p)
 	if err != nil {
 		return nil, err
 	}
@@ -285,4 +316,23 @@ func (m *Miner) assignedTxs() ([]*types.Transaction, error) {
 		}
 	}
 	return m.pool.TakeSet(hashes), nil
+}
+
+// selectionSets returns p.RunSelection() memoized per Params instance. The
+// full congestion-game replay is deterministic in p, so recomputing it on
+// every Mine call and every verified block (as the code previously did) was
+// pure waste; the cache invalidates itself when the epoch swaps the miner's
+// Selection pointer for a new Params.
+func (m *Miner) selectionSets(p *unify.Params) (*txsel.Sets, error) {
+	m.selMu.Lock()
+	defer m.selMu.Unlock()
+	if m.selFor == p && m.selSets != nil {
+		return m.selSets, nil
+	}
+	sets, err := p.RunSelection()
+	if err != nil {
+		return nil, err
+	}
+	m.selFor, m.selSets = p, sets
+	return sets, nil
 }

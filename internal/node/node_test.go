@@ -26,10 +26,16 @@ type cluster struct {
 	dest    types.Address
 }
 
-func newCluster(t *testing.T, nMiners int) *cluster {
+func newCluster(t testing.TB, nMiners int) *cluster {
+	return newClusterOn(t, nMiners, p2p.NewNetwork())
+}
+
+// newClusterOn is newCluster over a caller-supplied network, so the same
+// topology runs in synchronous or asynchronous delivery mode.
+func newClusterOn(t testing.TB, nMiners int, net *p2p.Network) *cluster {
 	t.Helper()
 	c := &cluster{
-		net:   p2p.NewNetwork(),
+		net:   net,
 		dir:   sharding.NewDirectory(),
 		caddr: types.BytesToAddress([]byte{0xC1}),
 		dest:  types.BytesToAddress([]byte{0xDD}),

@@ -1,0 +1,280 @@
+// Asynchronous delivery mode. The synchronous network (network.go) delivers
+// every message inline, which keeps experiments deterministic but means the
+// node runtime is never exercised under the concurrency a real deployment
+// implies. Async mode gives every node a bounded inbox drained by its own
+// goroutine, so handlers of different nodes run concurrently while delivery
+// to any single node stays serialized (mirroring one geth peer's ingress
+// loop).
+//
+// Faults are injected per directed link with a deterministic, seeded model:
+// loss, duplication, added latency and hard partitions. Each link's RNG is
+// seeded from the network seed and the two node ids, so which messages a
+// link drops or duplicates depends only on the seed and that link's message
+// sequence — not on cross-link goroutine interleaving. Drops and
+// redeliveries are folded into the network's Stats; a zero-fault async run
+// reports exactly the same Total/CrossShard counters as a sync run of the
+// same workload, which is the reproducibility invariant the Fig. 4
+// experiments assert.
+package p2p
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LinkFault configures fault injection on one directed link (or the default
+// for all links). The zero value is a perfect link.
+type LinkFault struct {
+	// Loss is the probability in [0,1] that a message is dropped.
+	Loss float64
+	// Duplicate is the probability in [0,1] that a delivered message is
+	// delivered a second time (gossip redelivery).
+	Duplicate float64
+	// DelayMillis is a fixed delivery delay applied before the handler runs.
+	DelayMillis int
+	// JitterMillis adds a uniform random extra delay in [0, JitterMillis).
+	JitterMillis int
+	// Partitioned blackholes the link entirely; every message is dropped.
+	Partitioned bool
+}
+
+// AsyncConfig tunes the asynchronous delivery mode.
+type AsyncConfig struct {
+	// Seed drives every link's fault RNG; runs with equal seeds and equal
+	// per-link message sequences make identical drop/duplicate decisions.
+	Seed int64
+	// InboxSize bounds each node's inbox; 0 selects DefaultInboxSize.
+	// Messages arriving at a full inbox are dropped and counted in
+	// Stats.Dropped — backpressure behaves as loss, never as deadlock.
+	InboxSize int
+	// DefaultLink applies to every link without an explicit SetLinkFault.
+	DefaultLink LinkFault
+}
+
+// DefaultInboxSize bounds a node's inbox when no explicit size is given.
+const DefaultInboxSize = 1024
+
+// delivery is one message queued for a node's inbox goroutine. The handler
+// is snapshotted at enqueue time under the network lock.
+type delivery struct {
+	h     Handler
+	msg   Message
+	delay time.Duration
+}
+
+type linkKey struct {
+	from, to NodeID
+}
+
+// link is the per-directed-link fault state; guarded by the network lock.
+type link struct {
+	fault    LinkFault
+	explicit bool // fault was set via SetLinkFault (survives default changes)
+	rng      *rand.Rand
+}
+
+// asyncState is the network's async-mode machinery; nil on sync networks.
+type asyncState struct {
+	cfg   AsyncConfig
+	links map[linkKey]*link
+
+	// inflight counts enqueued-but-not-yet-handled deliveries; cond is
+	// signalled whenever it reaches zero so Drain can wait for quiescence.
+	qmu      sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	closed   bool
+}
+
+// NewAsyncNetwork creates a network in asynchronous delivery mode.
+func NewAsyncNetwork(cfg AsyncConfig) *Network {
+	n := NewNetwork()
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = DefaultInboxSize
+	}
+	as := &asyncState{cfg: cfg, links: make(map[linkKey]*link)}
+	as.cond = sync.NewCond(&as.qmu)
+	n.async = as
+	return n
+}
+
+// Async reports whether the network delivers asynchronously.
+func (n *Network) Async() bool { return n.async != nil }
+
+// linkFor returns the fault state of a directed link, creating it from the
+// default on first use; callers hold n.mu.
+func (n *Network) linkFor(from, to NodeID) *link {
+	k := linkKey{from, to}
+	l, ok := n.async.links[k]
+	if !ok {
+		l = &link{fault: n.async.cfg.DefaultLink, rng: rand.New(rand.NewSource(linkSeed(n.async.cfg.Seed, from, to)))}
+		n.async.links[k] = l
+	}
+	return l
+}
+
+// linkSeed derives a per-link RNG seed from the network seed and both
+// endpoint ids, so each link's fault sequence is independent of the others.
+func linkSeed(seed int64, from, to NodeID) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	return seed ^ int64(h.Sum64())
+}
+
+// SetLinkFault configures fault injection on the directed link from→to.
+// Panics on a sync network, where there is no fault model to configure.
+func (n *Network) SetLinkFault(from, to NodeID, f LinkFault) {
+	n.mustAsync("SetLinkFault")
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.linkFor(from, to)
+	l.fault = f
+	l.explicit = true
+}
+
+// Partition blackholes both directions between a and b.
+func (n *Network) Partition(a, b NodeID) {
+	n.setPartitioned(a, b, true)
+}
+
+// Heal restores both directions between a and b to the default link fault.
+func (n *Network) Heal(a, b NodeID) {
+	n.setPartitioned(a, b, false)
+}
+
+func (n *Network) setPartitioned(a, b NodeID, part bool) {
+	n.mustAsync("Partition/Heal")
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		l := n.linkFor(k.from, k.to)
+		l.fault.Partitioned = part
+		l.explicit = true
+	}
+}
+
+func (n *Network) mustAsync(op string) {
+	if n.async == nil {
+		panic("p2p: " + op + " requires an async network (NewAsyncNetwork)")
+	}
+}
+
+// enqueue applies the link's fault model to one message and queues the
+// surviving copies on the recipient's inbox. Callers hold n.mu, which also
+// serializes the link RNG. Enqueueing never blocks: a full inbox drops the
+// message (counted), so handler-triggered sends cannot deadlock.
+func (n *Network) enqueue(src *Node, dst *Node, h Handler, msg Message) {
+	as := n.async
+	l := n.linkFor(src.id, dst.id)
+	if l.fault.Partitioned || (l.fault.Loss > 0 && l.rng.Float64() < l.fault.Loss) {
+		n.dropped++
+		return
+	}
+	copies := 1
+	if l.fault.Duplicate > 0 && l.rng.Float64() < l.fault.Duplicate {
+		copies = 2
+	}
+	delay := time.Duration(l.fault.DelayMillis) * time.Millisecond
+	if l.fault.JitterMillis > 0 {
+		delay += time.Duration(l.rng.Intn(l.fault.JitterMillis)) * time.Millisecond
+	}
+	for c := 0; c < copies; c++ {
+		as.qmu.Lock()
+		if as.closed {
+			as.qmu.Unlock()
+			n.dropped++
+			return
+		}
+		select {
+		case dst.inbox <- delivery{h: h, msg: msg, delay: delay}:
+			as.inflight++
+			as.qmu.Unlock()
+			if c > 0 {
+				n.redelivered++
+			}
+		default:
+			as.qmu.Unlock()
+			n.dropped++
+		}
+	}
+}
+
+// finish marks one delivery handled and wakes Drain when the network is
+// quiescent.
+func (as *asyncState) finish() {
+	as.qmu.Lock()
+	as.inflight--
+	if as.inflight == 0 {
+		as.cond.Broadcast()
+	}
+	as.qmu.Unlock()
+}
+
+// inboxLoop drains one node's inbox, applying per-message delay and running
+// the handler snapshotted at enqueue time. It exits when the inbox closes
+// (node left the network, or Close), after flushing whatever is buffered.
+// The channel is passed in rather than read from nd.inbox because Leave and
+// Close nil that field under the network lock, which this goroutine does not
+// hold.
+func (nd *Node) inboxLoop(inbox chan delivery) {
+	for d := range inbox {
+		if d.delay > 0 {
+			time.Sleep(d.delay)
+		}
+		d.h(d.msg)
+		nd.net.async.finish()
+	}
+	close(nd.done)
+}
+
+// Drain blocks until every enqueued message has been handled, including
+// messages the handlers themselves sent while draining. On a sync network
+// it returns immediately — delivery was inline. Experiments call Drain
+// before reading Stats so the two modes report comparable counters.
+func (n *Network) Drain() {
+	as := n.async
+	if as == nil {
+		return
+	}
+	as.qmu.Lock()
+	for as.inflight > 0 {
+		as.cond.Wait()
+	}
+	as.qmu.Unlock()
+}
+
+// Close drains the network, stops every inbox goroutine and waits for them
+// to exit. Messages sent after Close are dropped (and counted). Close is
+// idempotent; on a sync network it is a no-op.
+func (n *Network) Close() {
+	as := n.async
+	if as == nil {
+		return
+	}
+	n.Drain()
+	as.qmu.Lock()
+	if as.closed {
+		as.qmu.Unlock()
+		return
+	}
+	as.closed = true
+	as.qmu.Unlock()
+
+	n.mu.Lock()
+	var waits []chan struct{}
+	for _, nd := range n.nodes {
+		if nd.inbox != nil {
+			close(nd.inbox)
+			nd.inbox = nil
+			waits = append(waits, nd.done)
+		}
+	}
+	n.mu.Unlock()
+	for _, w := range waits {
+		<-w
+	}
+}

@@ -5,10 +5,16 @@
 // The paper's headline communication claims are quantitative (Fig. 4(b):
 // zero cross-shard messages during validation; Fig. 4(c): exactly two
 // messages per shard for a merge round), so the network layer's first job in
-// this reproduction is precise message counting. Delivery is synchronous and
-// deterministic: a broadcast invokes every subscriber's handler before
-// returning, which keeps experiments reproducible without goroutine
-// scheduling noise. Handlers must therefore not block.
+// this reproduction is precise message counting. Two delivery modes share
+// that accounting:
+//
+//   - Synchronous (NewNetwork): a broadcast invokes every subscriber's
+//     handler inline before returning, which keeps experiments reproducible
+//     without goroutine scheduling noise. Handlers must therefore not block.
+//   - Asynchronous (NewAsyncNetwork): every node owns a bounded inbox
+//     drained by its own goroutine, with seeded-deterministic loss,
+//     duplication, latency and partition injection per link (async.go).
+//     Handlers of different nodes run concurrently and must be safe for it.
 package p2p
 
 import (
@@ -39,15 +45,23 @@ var (
 	ErrUnknownNode   = errors.New("p2p: unknown node")
 )
 
-// Network is an in-process message bus.
+// Network is an in-process message bus. In the default synchronous mode a
+// broadcast invokes every subscriber's handler inline before returning; a
+// network built with NewAsyncNetwork instead queues messages on per-node
+// inboxes drained concurrently (see async.go).
 type Network struct {
 	mu    sync.Mutex
 	nodes map[NodeID]*Node
 
-	total      uint64
-	byTopic    map[string]uint64
-	crossShard uint64
-	byShard    map[types.ShardID]uint64
+	total       uint64
+	byTopic     map[string]uint64
+	crossShard  uint64
+	byShard     map[types.ShardID]uint64
+	dropped     uint64
+	redelivered uint64
+
+	// async is nil in synchronous mode.
+	async *asyncState
 }
 
 // NewNetwork creates an empty network.
@@ -66,9 +80,15 @@ type Node struct {
 	shard    types.ShardID
 	hasShard bool
 	handlers map[string]Handler
+
+	// inbox/done exist only on async networks: inbox is the node's bounded
+	// delivery queue, done closes when its goroutine exits.
+	inbox chan delivery
+	done  chan struct{}
 }
 
-// Join adds a node to the network.
+// Join adds a node to the network. On an async network the node gets its
+// inbox goroutine here.
 func (n *Network) Join(id NodeID) (*Node, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -76,6 +96,11 @@ func (n *Network) Join(id NodeID) (*Node, error) {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, id)
 	}
 	node := &Node{id: id, net: n, handlers: make(map[string]Handler)}
+	if n.async != nil {
+		node.inbox = make(chan delivery, n.async.cfg.InboxSize)
+		node.done = make(chan struct{})
+		go node.inboxLoop(node.inbox)
+	}
 	n.nodes[id] = node
 	return node, nil
 }
@@ -89,10 +114,15 @@ func (n *Network) MustJoin(id NodeID) *Node {
 	return node
 }
 
-// Leave removes a node.
+// Leave removes a node. On an async network the node's inbox goroutine
+// finishes whatever is already buffered and exits.
 func (n *Network) Leave(id NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if nd, ok := n.nodes[id]; ok && nd.inbox != nil {
+		close(nd.inbox)
+		nd.inbox = nil
+	}
 	delete(n.nodes, id)
 }
 
@@ -130,29 +160,46 @@ func (nd *Node) Unsubscribe(topic string) {
 	delete(nd.handlers, topic)
 }
 
+// recipient pairs a destination with the handler snapshotted while the
+// network lock was held, so a concurrent Subscribe/Unsubscribe/Leave cannot
+// race the delivery (the handlers map is only touched under the lock).
+type recipient struct {
+	node *Node
+	h    Handler
+}
+
 // Broadcast delivers the payload to every other subscribed node and returns
-// the number of messages sent (one per recipient). Delivery order is
-// deterministic (sorted by node id).
+// the number of messages sent (one per recipient). In sync mode handlers run
+// inline in deterministic order (sorted by node id); in async mode the
+// message is queued on each recipient's inbox after fault injection.
 func (nd *Node) Broadcast(topic string, payload any) int {
+	msg := Message{From: nd.id, Topic: topic, Payload: payload}
+
 	nd.net.mu.Lock()
-	var recipients []*Node
+	var recipients []recipient
 	for _, other := range nd.net.nodes {
 		if other.id == nd.id {
 			continue
 		}
-		if _, ok := other.handlers[topic]; ok {
-			recipients = append(recipients, other)
+		if h, ok := other.handlers[topic]; ok {
+			recipients = append(recipients, recipient{node: other, h: h})
 		}
 	}
-	sort.Slice(recipients, func(i, j int) bool { return recipients[i].id < recipients[j].id })
+	sort.Slice(recipients, func(i, j int) bool { return recipients[i].node.id < recipients[j].node.id })
 	for _, r := range recipients {
-		nd.net.account(nd, r, topic)
+		nd.net.account(nd, r.node, topic)
+	}
+	if nd.net.async != nil {
+		for _, r := range recipients {
+			nd.net.enqueue(nd, r.node, r.h, msg)
+		}
+		nd.net.mu.Unlock()
+		return len(recipients)
 	}
 	nd.net.mu.Unlock()
 
-	msg := Message{From: nd.id, Topic: topic, Payload: payload}
 	for _, r := range recipients {
-		r.handlers[topic](msg)
+		r.h(msg)
 	}
 	return len(recipients)
 }
@@ -160,6 +207,8 @@ func (nd *Node) Broadcast(topic string, payload any) int {
 // Send delivers the payload to one node and counts one message. It fails if
 // the recipient is unknown or not subscribed.
 func (nd *Node) Send(to NodeID, topic string, payload any) error {
+	msg := Message{From: nd.id, Topic: topic, Payload: payload}
+
 	nd.net.mu.Lock()
 	dest, ok := nd.net.nodes[to]
 	if !ok {
@@ -172,9 +221,14 @@ func (nd *Node) Send(to NodeID, topic string, payload any) error {
 		return fmt.Errorf("p2p: node %s not subscribed to %q", to, topic)
 	}
 	nd.net.account(nd, dest, topic)
+	if nd.net.async != nil {
+		nd.net.enqueue(nd, dest, h, msg)
+		nd.net.mu.Unlock()
+		return nil
+	}
 	nd.net.mu.Unlock()
 
-	h(Message{From: nd.id, Topic: topic, Payload: payload})
+	h(msg)
 	return nil
 }
 
@@ -190,23 +244,33 @@ func (n *Network) account(src, dst *Node, topic string) {
 	}
 }
 
-// Stats is a snapshot of the network's message accounting.
+// Stats is a snapshot of the network's message accounting. Total and
+// CrossShard count logical sends (one per recipient), independent of the
+// fault model, so a zero-fault async run matches a sync run exactly.
+// Dropped counts messages lost to injected loss, partitions, full inboxes
+// or sends after Close; Redelivered counts extra duplicate deliveries.
+// Both are zero on a synchronous network.
 type Stats struct {
-	Total      uint64
-	CrossShard uint64
-	ByTopic    map[string]uint64
-	ByShard    map[types.ShardID]uint64
+	Total       uint64
+	CrossShard  uint64
+	Dropped     uint64
+	Redelivered uint64
+	ByTopic     map[string]uint64
+	ByShard     map[types.ShardID]uint64
 }
 
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters. On an async network callers usually
+// Drain first so in-flight messages are reflected.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	s := Stats{
-		Total:      n.total,
-		CrossShard: n.crossShard,
-		ByTopic:    make(map[string]uint64, len(n.byTopic)),
-		ByShard:    make(map[types.ShardID]uint64, len(n.byShard)),
+		Total:       n.total,
+		CrossShard:  n.crossShard,
+		Dropped:     n.dropped,
+		Redelivered: n.redelivered,
+		ByTopic:     make(map[string]uint64, len(n.byTopic)),
+		ByShard:     make(map[types.ShardID]uint64, len(n.byShard)),
 	}
 	for k, v := range n.byTopic {
 		s.ByTopic[k] = v
@@ -223,6 +287,8 @@ func (n *Network) ResetStats() {
 	defer n.mu.Unlock()
 	n.total = 0
 	n.crossShard = 0
+	n.dropped = 0
+	n.redelivered = 0
 	n.byTopic = make(map[string]uint64)
 	n.byShard = make(map[types.ShardID]uint64)
 }

@@ -148,6 +148,18 @@ func (p *Params) TxIndexes(hashes []types.Hash) []int {
 // Transactions outside the unified set entirely are rejected too — the
 // producer could not have received them through the leader's broadcast.
 func VerifyProducedBlock(p *Params, coinbase types.Address, txHashes []types.Hash) error {
+	sets, err := p.RunSelection()
+	if err != nil {
+		return err
+	}
+	return VerifyProducedBlockWithSets(p, sets, coinbase, txHashes)
+}
+
+// VerifyProducedBlockWithSets is VerifyProducedBlock against an already
+// computed selection. The selection is a deterministic pure function of the
+// Params, so callers verifying many blocks under the same Params (every
+// miner, every round) memoize RunSelection once and pass the result here.
+func VerifyProducedBlockWithSets(p *Params, sets *txsel.Sets, coinbase types.Address, txHashes []types.Hash) error {
 	miner := p.MinerIndex(coinbase)
 	if miner < 0 {
 		return fmt.Errorf("%w: producer %s not in the unified miner set", ErrSelectionMismatch, coinbase)
@@ -158,7 +170,10 @@ func VerifyProducedBlock(p *Params, coinbase types.Address, txHashes []types.Has
 			return fmt.Errorf("%w: transaction %s outside the unified set", ErrSelectionMismatch, txHashes[i])
 		}
 	}
-	return VerifyBlockSelection(p, miner, idxs)
+	if err := txsel.VerifyBlock(sets, miner, idxs); err != nil {
+		return fmt.Errorf("%w: %v", ErrSelectionMismatch, err)
+	}
+	return nil
 }
 
 func floatBits(f float64) uint64 {
