@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	contractshard "contractshard"
 	"contractshard/internal/chain"
+	"contractshard/internal/chainsync"
 	"contractshard/internal/contract"
 	"contractshard/internal/crypto"
 	"contractshard/internal/epoch"
@@ -34,17 +36,18 @@ func main() {
 		users     = flag.Int("users", 6, "number of users")
 		txs       = flag.Int("txs", 40, "transactions to inject")
 
-		gossip  = flag.Bool("gossip", false, "run the p2p miner-gossip demo instead of the in-process system demo")
-		netMode = flag.String("net", "sync", "gossip delivery mode: sync or async")
-		miners  = flag.Int("miners", 8, "gossip demo: number of epoch-assigned miners")
-		loss    = flag.Float64("loss", 0, "gossip demo: per-link loss probability (async only)")
-		dup     = flag.Float64("dup", 0, "gossip demo: per-link duplicate probability (async only)")
-		seed    = flag.Int64("seed", 1, "gossip demo: fault-model RNG seed (async only)")
+		gossip    = flag.Bool("gossip", false, "run the p2p miner-gossip demo instead of the in-process system demo")
+		netMode   = flag.String("net", "sync", "gossip delivery mode: sync or async")
+		miners    = flag.Int("miners", 8, "gossip demo: number of epoch-assigned miners")
+		loss      = flag.Float64("loss", 0, "gossip demo: per-link loss probability (async only)")
+		dup       = flag.Float64("dup", 0, "gossip demo: per-link duplicate probability (async only)")
+		partition = flag.Int("partition", 0, "gossip demo: cut this many shard miners off during mining, heal before catch-up (async only)")
+		seed      = flag.Int64("seed", 1, "gossip demo: fault-model RNG seed (async only)")
 	)
 	flag.Parse()
 	var err error
 	if *gossip {
-		err = runGossip(*netMode, *miners, *txs, *loss, *dup, *seed)
+		err = runGossip(*netMode, *miners, *txs, *loss, *dup, *partition, *seed)
 	} else {
 		err = run(*contracts, *users, *txs)
 	}
@@ -120,12 +123,16 @@ func run(contracts, users, txs int) error {
 }
 
 // runGossip exercises the node.Miner runtime over the p2p substrate in the
-// chosen delivery mode and reports what every miner saw.
-func runGossip(mode string, nMiners, nTxs int, loss, dup float64, seed int64) error {
+// chosen delivery mode and reports what every miner saw. Under injected
+// faults (-loss/-dup/-partition) a catch-up phase runs after mining: every
+// shard miner syncs from its peers until the shard reconverges, and the
+// per-node chain-sync counters are printed.
+func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int, seed int64) error {
 	var network *p2p.Network
+	faulty := loss > 0 || dup > 0 || partition > 0
 	switch mode {
 	case "sync":
-		if loss > 0 || dup > 0 {
+		if faulty {
 			return fmt.Errorf("shardnode: fault injection needs -net async")
 		}
 		network = p2p.NewNetwork()
@@ -174,6 +181,7 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, seed int64) er
 			Randomness: out.Randomness, Fractions: out.Fractions,
 			ChainConfig: cc, GenesisAlloc: alloc, Contracts: code,
 			Directory: dir,
+			Sync:      chainsync.Config{Timeout: 50 * time.Millisecond, Seed: int64(i)},
 		})
 		if err != nil {
 			return err
@@ -190,6 +198,25 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, seed int64) er
 	}
 	if producer == nil {
 		return fmt.Errorf("shardnode: epoch left shard %s without miners; re-run with more -miners", shard)
+	}
+
+	// -partition: the last N shard miners (never the producer) lose every
+	// link for the whole mining phase — the worst case for gossip, the
+	// showcase for catch-up.
+	var cutIDs []p2p.NodeID
+	if partition > 0 {
+		for i := len(cluster) - 1; i >= 0 && len(cutIDs) < partition; i-- {
+			if cluster[i].Shard() == shard && cluster[i] != producer {
+				cutIDs = append(cutIDs, p2p.NodeID(fmt.Sprintf("miner-%d", i)))
+			}
+		}
+		for _, cut := range cutIDs {
+			for i := range cluster {
+				if id := p2p.NodeID(fmt.Sprintf("miner-%d", i)); id != cut {
+					network.Partition(id, cut)
+				}
+			}
+		}
 	}
 
 	for i := 0; i < nTxs; i++ {
@@ -213,12 +240,75 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, seed int64) er
 		network.Drain()
 	}
 
-	fmt.Printf("gossip demo: %d miners, %d txs, net=%s loss=%.2f dup=%.2f\n\n",
-		nMiners, nTxs, mode, loss, dup)
+	fmt.Printf("gossip demo: %d miners, %d txs, net=%s loss=%.2f dup=%.2f partition=%d\n\n",
+		nMiners, nTxs, mode, loss, dup, partition)
+	shardMiners := func() (ms []*node.Miner) {
+		for _, m := range cluster {
+			if m.Shard() == shard {
+				ms = append(ms, m)
+			}
+		}
+		return ms
+	}()
+	printHeights := func(label string) {
+		fmt.Printf("%s %s heights:", label, shard)
+		for _, m := range shardMiners {
+			fmt.Printf(" %d", m.Height())
+		}
+		fmt.Println()
+	}
+
+	if faulty {
+		printHeights("before catch-up,")
+		for _, cut := range cutIDs {
+			for i := range cluster {
+				if id := p2p.NodeID(fmt.Sprintf("miner-%d", i)); id != cut {
+					network.Heal(id, cut)
+				}
+			}
+		}
+		// Sweep catch-up over the shard until every miner agrees on the head
+		// and no orphans dangle; lossy links make individual rounds time out,
+		// so a few sweeps may be needed.
+		converged := func() bool {
+			for _, m := range shardMiners {
+				if m.Head().Hash() != shardMiners[0].Head().Hash() || m.NeedsSync() {
+					return false
+				}
+			}
+			return true
+		}
+		sweeps := 0
+		for ; sweeps < 20 && !converged(); sweeps++ {
+			for _, m := range shardMiners {
+				_, _ = m.CatchUp()
+			}
+		}
+		printHeights(fmt.Sprintf("after %d catch-up sweeps,", sweeps))
+		if !converged() {
+			// Extreme loss can defeat the sweep budget (a 90%-lossy link gives
+			// a request round trip a 1% success rate); report, don't fail —
+			// the counters below show how far catch-up got.
+			fmt.Println("WARNING: shard did not reconverge within the sweep budget; raise -miners or lower -loss")
+		}
+		fmt.Println()
+	}
+
 	for i, m := range cluster {
 		s := m.Stats()
-		fmt.Printf("miner-%-2d shard=%-8s height=%-3d pooled=%-3d accepted=%-3d otherShard=%-3d dup=%-3d rejected=%d\n",
-			i, m.Shard(), m.Height(), s.TxsPooled, s.BlocksAccepted, s.BlocksOtherShard, s.BlocksDuplicate, s.BlocksRejected)
+		fmt.Printf("miner-%-2d shard=%-8s height=%-3d pooled=%-3d accepted=%-3d otherShard=%-3d dup=%-3d orphaned=%-3d rejected=%d\n",
+			i, m.Shard(), m.Height(), s.TxsPooled, s.BlocksAccepted, s.BlocksOtherShard, s.BlocksDuplicate, s.BlocksOrphaned, s.BlocksRejected)
+	}
+	if faulty {
+		labels := make([]string, 0, len(shardMiners))
+		stats := make([]chainsync.Stats, 0, len(shardMiners))
+		for i, m := range cluster {
+			if m.Shard() == shard {
+				labels = append(labels, fmt.Sprintf("miner-%d", i))
+				stats = append(stats, m.SyncStats())
+			}
+		}
+		fmt.Printf("\n%s", chainsync.StatsTable("chain sync (per shard miner)", labels, stats))
 	}
 	st := network.Stats()
 	fmt.Printf("\nnetwork: total=%d crossShard=%d dropped=%d redelivered=%d\n",

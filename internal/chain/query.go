@@ -52,6 +52,66 @@ func (c *Chain) Export() [][]byte {
 	return out
 }
 
+// BlocksByRange returns up to count consecutive canonical blocks starting
+// at number from, encoded, ascending. The range is clipped at the head; a
+// from past the head (or a non-positive count) yields nil, never an error —
+// a peer asking beyond our chain simply learns we have nothing for it.
+// from == 0 includes the genesis block.
+func (c *Chain) BlocksByRange(from uint64, count int) [][]byte {
+	if count <= 0 {
+		return nil
+	}
+	blocks := c.CanonicalBlocks()
+	head := uint64(len(blocks) - 1)
+	if from > head {
+		return nil
+	}
+	end := from + uint64(count)
+	if end > head+1 {
+		end = head + 1
+	}
+	out := make([][]byte, 0, end-from)
+	for _, b := range blocks[from:end] {
+		out = append(out, b.Encode())
+	}
+	return out
+}
+
+// Locator summarizes the canonical chain as a sparse list of block hashes,
+// newest first: the most recent 8 blocks step by one, then the step doubles
+// back to genesis (geth's skeleton locator). A peer intersects it with its
+// own canonical chain to find the fork point without either side shipping
+// full headers.
+func (c *Chain) Locator() []types.Hash {
+	blocks := c.CanonicalBlocks()
+	var loc []types.Hash
+	step := 1
+	for i := len(blocks) - 1; i > 0; i -= step {
+		loc = append(loc, blocks[i].Hash())
+		if len(loc) >= 8 {
+			step *= 2
+		}
+	}
+	return append(loc, blocks[0].Hash())
+}
+
+// CommonAncestor returns the number of the newest locator entry that lies
+// on this chain's canonical chain. The bool is false when nothing matches —
+// the peer's chain shares no block with ours, not even genesis, so serving
+// it anything would be meaningless.
+func (c *Chain) CommonAncestor(locator []types.Hash) (uint64, bool) {
+	canonical := make(map[types.Hash]uint64)
+	for _, b := range c.CanonicalBlocks() {
+		canonical[b.Hash()] = b.Number()
+	}
+	for _, h := range locator {
+		if n, ok := canonical[h]; ok {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
 // Import errors.
 var (
 	ErrEmptyImport      = errors.New("chain: nothing to import")

@@ -140,6 +140,196 @@ func TestGetReceipt(t *testing.T) {
 	}
 }
 
+func TestBlocksByRangeBoundaries(t *testing.T) {
+	f, _ := buildThreeBlocks(t) // head = 3
+	// Genesis boundary: from 0 includes the genesis block.
+	all := f.chain.BlocksByRange(0, 100)
+	if len(all) != 4 {
+		t.Fatalf("full range returned %d blocks", len(all))
+	}
+	g, err := types.DecodeBlock(all[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hash() != f.chain.Genesis().Hash() {
+		t.Fatal("range does not start at genesis")
+	}
+	// Ascending, consecutive numbers.
+	for i, raw := range all {
+		b, err := types.DecodeBlock(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Number() != uint64(i) {
+			t.Fatalf("block %d has number %d", i, b.Number())
+		}
+	}
+	// Count clipping at the head.
+	if got := f.chain.BlocksByRange(2, 100); len(got) != 2 {
+		t.Fatalf("clipped range returned %d", len(got))
+	}
+	// Past-head requests yield nothing, not an error.
+	if got := f.chain.BlocksByRange(4, 1); got != nil {
+		t.Fatalf("past-head range returned %d blocks", len(got))
+	}
+	if got := f.chain.BlocksByRange(1000, 10); got != nil {
+		t.Fatal("far-future range returned blocks")
+	}
+	// Degenerate counts.
+	if f.chain.BlocksByRange(1, 0) != nil || f.chain.BlocksByRange(1, -3) != nil {
+		t.Fatal("non-positive count returned blocks")
+	}
+	if got := f.chain.BlocksByRange(1, 1); len(got) != 1 {
+		t.Fatalf("single-block range returned %d", len(got))
+	}
+}
+
+// forkFixture builds one chain that reorged: branch X (2 blocks) was
+// canonical until branch Y (3 blocks, mined on a sibling chain from the
+// same genesis) arrived and won fork choice. Returns the chain plus both
+// branches' blocks.
+func forkFixture(t *testing.T) (*fixture, []*types.Block, []*types.Block) {
+	t.Helper()
+	f := newFixture(t)
+	alloc := map[types.Address]uint64{
+		f.alice.Address(): 1_000_000,
+		f.bob.Address():   1_000_000,
+	}
+	other, err := New(testConfig(1), alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branchX, branchY []*types.Block
+	for i := 0; i < 2; i++ {
+		b, _, err := f.chain.BuildBlock(f.miner, nil, uint64(i+1)*1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.chain.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		branchX = append(branchX, b)
+	}
+	loser := types.BytesToAddress([]byte{0xB2})
+	for i := 0; i < 3; i++ {
+		b, _, err := other.BuildBlock(loser, nil, uint64(i+1)*1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := other.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		branchY = append(branchY, b)
+	}
+	for _, b := range branchY {
+		if err := f.chain.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.chain.Head().Hash() != branchY[2].Hash() {
+		t.Fatal("heavier branch did not win fork choice")
+	}
+	return f, branchX, branchY
+}
+
+func TestBlocksByRangeAcrossReorg(t *testing.T) {
+	f, branchX, branchY := forkFixture(t)
+	// The range must serve the post-reorg canonical branch only; the stale
+	// branch-X blocks are retained in the store but never served.
+	got := f.chain.BlocksByRange(1, 10)
+	if len(got) != 3 {
+		t.Fatalf("canonical range returned %d blocks", len(got))
+	}
+	for i, raw := range got {
+		b, err := types.DecodeBlock(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Hash() != branchY[i].Hash() {
+			t.Fatalf("range served non-canonical block at height %d", i+1)
+		}
+		if b.Hash() == branchX[0].Hash() || (len(branchX) > 1 && b.Hash() == branchX[1].Hash()) {
+			t.Fatal("range served a reorged-out block")
+		}
+	}
+}
+
+func TestLocatorAndCommonAncestor(t *testing.T) {
+	f, confirmed := buildThreeBlocks(t)
+	_ = confirmed
+	loc := f.chain.Locator()
+	if loc[0] != f.chain.Head().Hash() {
+		t.Fatal("locator does not start at the head")
+	}
+	if loc[len(loc)-1] != f.chain.Genesis().Hash() {
+		t.Fatal("locator does not end at genesis")
+	}
+	n, ok := f.chain.CommonAncestor(loc)
+	if !ok || n != f.chain.Height() {
+		t.Fatalf("self ancestor %d ok=%v", n, ok)
+	}
+	// Unknown hashes before a known one: the known one wins.
+	n, ok = f.chain.CommonAncestor([]types.Hash{types.BytesToHash([]byte{9}), f.chain.Genesis().Hash()})
+	if !ok || n != 0 {
+		t.Fatalf("genesis ancestor %d ok=%v", n, ok)
+	}
+	if _, ok := f.chain.CommonAncestor([]types.Hash{types.BytesToHash([]byte{1})}); ok {
+		t.Fatal("ancestor found for a foreign chain")
+	}
+	if _, ok := f.chain.CommonAncestor(nil); ok {
+		t.Fatal("ancestor found for an empty locator")
+	}
+}
+
+func TestLocatorSkeletonOnLongChain(t *testing.T) {
+	f := newFixture(t)
+	const n = 40
+	for i := 0; i < n; i++ {
+		b, _, err := f.chain.BuildBlock(f.miner, nil, uint64(i+1)*1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.chain.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loc := f.chain.Locator()
+	if len(loc) >= n {
+		t.Fatalf("locator not sparse: %d entries for %d blocks", len(loc), n)
+	}
+	blocks := f.chain.CanonicalBlocks()
+	num := make(map[types.Hash]uint64, len(blocks))
+	for _, b := range blocks {
+		num[b.Hash()] = b.Number()
+	}
+	// Newest first, strictly decreasing, dense for the first 8.
+	prev := uint64(n) + 1
+	for i, h := range loc {
+		bn, ok := num[h]
+		if !ok {
+			t.Fatalf("locator entry %d not canonical", i)
+		}
+		if bn >= prev {
+			t.Fatalf("locator not strictly decreasing at %d", i)
+		}
+		if i > 0 && i < 8 && prev-bn != 1 {
+			t.Fatalf("dense prefix broken at %d: %d -> %d", i, prev, bn)
+		}
+		prev = bn
+	}
+}
+
+func TestCommonAncestorAfterReorgIsForkPoint(t *testing.T) {
+	f, branchX, _ := forkFixture(t)
+	// A peer still on the reorged-out branch X sends its locator; the only
+	// shared canonical block is genesis, so that is the fork point.
+	loc := []types.Hash{branchX[1].Hash(), branchX[0].Hash(), f.chain.Genesis().Hash()}
+	n, ok := f.chain.CommonAncestor(loc)
+	if !ok || n != 0 {
+		t.Fatalf("fork point %d ok=%v, want genesis", n, ok)
+	}
+}
+
 func TestBlockReceipts(t *testing.T) {
 	f, _ := buildThreeBlocks(t)
 	head := f.chain.Head()

@@ -1,0 +1,484 @@
+// Package chainsync makes a miner converge to its shard's canonical chain
+// under message loss, duplication, latency and healed partitions. Gossip
+// alone cannot do that: a block dropped on a lossy link leaves every later
+// block an orphan (chain.ErrUnknownParent), and the node would fall behind
+// its shard forever — Sec. III-C's verifications assume the shard ledger is
+// recoverable, the way production sharded clients recover it with an
+// initial-sync/catch-up protocol.
+//
+// The syncer is one per-miner component with two halves:
+//
+//   - Serving: every syncer answers ProtoRange requests from shard peers —
+//     the requester sends a sparse locator of its canonical chain, the
+//     server intersects it to find the fork point and replies with its
+//     canonical blocks from there (chain.BlocksByRange).
+//   - Catching up: orphans are buffered in a bounded pool (eviction by
+//     lowest block number — those are the cheapest to re-fetch via a range).
+//     Catch-up rounds rotate over shard peers in a seeded deterministic
+//     order: request the missing range, re-validate and apply each block in
+//     order, then reconnect whatever orphans now have parents. Timeouts and
+//     bad data rotate to the next peer after a seeded exponential backoff.
+//
+// Convergence: blocks are only ever *added* and fork choice is a
+// deterministic function of the block set (heaviest chain, hash tie-break),
+// so once catch-up has given every shard member every block on the heaviest
+// branch, all heads are identical. Each successful round either strictly
+// extends the requester's block set or proves the serving peer has nothing
+// newer; with at least one reachable up-to-date peer the gap closes in
+// O(gap/BatchSize) rounds.
+//
+// Trust model: a range reply is re-validated exactly like gossip — the
+// configured Validate hook (membership proof, selection discipline) plus the
+// chain's full re-execution in AddBlock — so a malicious serving peer can
+// waste a round but never inject a bad block; it is counted in BadReplies
+// and the rotation moves on.
+package chainsync
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"contractshard/internal/chain"
+	"contractshard/internal/metrics"
+	"contractshard/internal/p2p"
+	"contractshard/internal/types"
+)
+
+// ProtoRange is the request/response protocol id for block-range catch-up.
+const ProtoRange = "chainsync/range"
+
+// Defaults.
+const (
+	DefaultMaxOrphans  = 64
+	DefaultBatchSize   = 32
+	DefaultTimeout     = 200 * time.Millisecond
+	DefaultMaxRounds   = 32
+	DefaultBackoffBase = time.Millisecond
+)
+
+// ErrNoPeers is returned by CatchUp when the shard has no other members to
+// sync from.
+var ErrNoPeers = errors.New("chainsync: no shard peers to sync from")
+
+// RangeRequest asks a shard peer for the canonical blocks it has past the
+// requester's chain. The locator (chain.Locator) lets the server find the
+// fork point without either side shipping headers.
+type RangeRequest struct {
+	Shard   types.ShardID
+	Locator []types.Hash
+	Max     int
+}
+
+// RangeReply carries the server's canonical blocks after the fork point,
+// encoded and ascending, plus its head number so the requester knows
+// whether more rounds are needed.
+type RangeReply struct {
+	From   uint64
+	Blocks [][]byte
+	Head   uint64
+}
+
+// Config tunes a Syncer; the zero value selects the defaults.
+type Config struct {
+	// MaxOrphans bounds the orphan pool; overflow evicts the lowest block
+	// number first.
+	MaxOrphans int
+	// BatchSize caps the blocks requested (and served) per round.
+	BatchSize int
+	// Timeout is the per-request deadline.
+	Timeout time.Duration
+	// MaxRounds caps the rounds of one CatchUp call.
+	MaxRounds int
+	// BackoffBase scales the seeded exponential backoff after a failed
+	// round.
+	BackoffBase time.Duration
+	// Seed drives peer rotation order and backoff jitter deterministically.
+	Seed int64
+	// Validate, when set, runs before any fetched or reconnected block is
+	// applied — the node wires its membership/selection verifications here
+	// so catch-up cannot bypass them.
+	Validate func(*types.Block) error
+	// OnApply runs after a block enters the chain via the syncer — the node
+	// wires mempool cleanup here so synced confirmations leave the pool.
+	OnApply func(*types.Block)
+}
+
+// Stats counts what the syncer did.
+type Stats struct {
+	Rounds           int // catch-up rounds attempted
+	BlocksFetched    int // blocks applied from range replies
+	Timeouts         int // requests that hit their deadline
+	BadReplies       int // malformed, mis-typed or invalid replies
+	OrphansBuffered  int // blocks buffered waiting for an ancestor
+	OrphansEvicted   int // orphans evicted from the full pool
+	OrphansConnected int // buffered orphans applied after catch-up
+	OrphansDropped   int // buffered orphans that failed validation
+}
+
+// Syncer is one miner's chain-synchronization component.
+type Syncer struct {
+	cfg   Config
+	node  *p2p.Node
+	chain *chain.Chain
+	peers func() []p2p.NodeID
+
+	// mu guards the orphan pool, the rng/cursor and the stats. It is never
+	// held across chain application or the Validate/OnApply hooks, so the
+	// node may call AddOrphan while holding its own lock without deadlock.
+	mu      sync.Mutex
+	orphans map[types.Hash]*types.Block
+	rng     *rand.Rand
+	cursor  int
+	stats   Stats
+}
+
+// New builds a syncer for the chain, registers its range-serving handler on
+// the p2p node, and returns it. peers supplies the current shard peer set
+// each catch-up round (membership can change between epochs).
+func New(node *p2p.Node, ch *chain.Chain, peers func() []p2p.NodeID, cfg Config) *Syncer {
+	if cfg.MaxOrphans <= 0 {
+		cfg.MaxOrphans = DefaultMaxOrphans
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	s := &Syncer{
+		cfg:     cfg,
+		node:    node,
+		chain:   ch,
+		peers:   peers,
+		orphans: make(map[types.Hash]*types.Block),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e)),
+	}
+	node.Serve(ProtoRange, s.serveRange)
+	return s
+}
+
+// Stats returns a copy of the counters.
+func (s *Syncer) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// OrphanCount returns the number of buffered orphans.
+func (s *Syncer) OrphanCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.orphans)
+}
+
+// NeedsSync reports whether blocks are waiting on missing ancestors.
+func (s *Syncer) NeedsSync() bool { return s.OrphanCount() > 0 }
+
+// orphanLess orders orphans by block number, hash as the deterministic
+// tie-break — the eviction and connection order.
+func orphanLess(a, b *types.Block) bool {
+	if a.Number() != b.Number() {
+		return a.Number() < b.Number()
+	}
+	return a.Hash().Compare(b.Hash()) < 0
+}
+
+// AddOrphan buffers a block whose parent is not (yet) on the chain. It
+// reports false when the block is already buffered — a gossip redelivery
+// the caller should count as a duplicate, not a new orphan. When the pool
+// overflows, the lowest-numbered orphan is evicted: it is the one a range
+// request re-fetches most cheaply.
+func (s *Syncer) AddOrphan(b *types.Block) bool {
+	h := b.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.orphans[h]; ok {
+		return false
+	}
+	s.orphans[h] = b
+	s.stats.OrphansBuffered++
+	for len(s.orphans) > s.cfg.MaxOrphans {
+		var victim *types.Block
+		for _, ob := range s.orphans {
+			if victim == nil || orphanLess(ob, victim) {
+				victim = ob
+			}
+		}
+		delete(s.orphans, victim.Hash())
+		s.stats.OrphansEvicted++
+	}
+	return true
+}
+
+// serveRange answers one peer's catch-up request with canonical blocks past
+// the fork point. It only reads the chain, so it is safe on the node's
+// inbox goroutine alongside gossip handling.
+func (s *Syncer) serveRange(from p2p.NodeID, payload any) (any, error) {
+	req, ok := payload.(*RangeRequest)
+	if !ok {
+		return nil, fmt.Errorf("chainsync: bad request payload %T", payload)
+	}
+	if req.Shard != s.chain.Config().ShardID {
+		return nil, fmt.Errorf("chainsync: range request for shard %s served by shard %s",
+			req.Shard, s.chain.Config().ShardID)
+	}
+	anc, ok := s.chain.CommonAncestor(req.Locator)
+	if !ok {
+		return nil, fmt.Errorf("chainsync: no common ancestor with %s", from)
+	}
+	max := req.Max
+	if max <= 0 || max > s.cfg.BatchSize {
+		max = s.cfg.BatchSize
+	}
+	return &RangeReply{
+		From:   anc + 1,
+		Blocks: s.chain.BlocksByRange(anc+1, max),
+		Head:   s.chain.Height(),
+	}, nil
+}
+
+// CatchUp runs request/response rounds against rotating shard peers until
+// every reachable peer reports nothing newer and no connectable orphan
+// remains, a full rotation of peers fails, or MaxRounds pass. It returns
+// the number of blocks applied (fetched plus reconnected orphans); the
+// error is non-nil only when no progress was possible because every peer
+// timed out or served bad data.
+func (s *Syncer) CatchUp() (int, error) {
+	total := s.connectOrphans()
+	peerSet := s.peers()
+	if len(peerSet) == 0 {
+		if s.OrphanCount() == 0 {
+			return total, nil
+		}
+		return total, ErrNoPeers
+	}
+	order := s.rotation(peerSet)
+
+	idle, fails := 0, 0
+	var lastErr error
+	for round := 0; round < s.cfg.MaxRounds; round++ {
+		s.mu.Lock()
+		peer := order[s.cursor%len(order)]
+		s.cursor++
+		s.stats.Rounds++
+		s.mu.Unlock()
+
+		reply, err := s.requestRange(peer)
+		if err != nil {
+			lastErr = err
+			fails++
+			if fails >= 2*len(order) {
+				// Every peer failed twice over: the shard is unreachable
+				// right now; report it rather than spinning.
+				return total, lastErr
+			}
+			s.backoff(fails)
+			continue
+		}
+		fails = 0
+		applied, aerr := s.applyReply(reply)
+		total += applied
+		total += s.connectOrphans()
+		if aerr != nil {
+			lastErr = aerr
+			s.backoff(1)
+			continue
+		}
+		if applied == 0 && s.chain.Height() >= reply.Head {
+			idle++
+			if idle >= len(order) {
+				// A full rotation of peers had nothing newer for us.
+				return total, nil
+			}
+		} else {
+			idle = 0
+		}
+	}
+	// MaxRounds exhausted: surface the last failure (if any) so a persistently
+	// bad shard is visible to the caller rather than silently retried forever.
+	return total, lastErr
+}
+
+// rotation returns the catch-up peer order: the sorted peer set shuffled by
+// the syncer's seeded rng, so rotation is deterministic per seed yet
+// different syncers spread their first requests over different peers.
+func (s *Syncer) rotation(peers []p2p.NodeID) []p2p.NodeID {
+	order := append([]p2p.NodeID(nil), peers...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	s.mu.Lock()
+	s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	s.mu.Unlock()
+	return order
+}
+
+// backoff sleeps the seeded exponential backoff for the given consecutive
+// failure count: base << (fails-1), capped at 16×base, plus jitter in
+// [0, base) from the seeded rng.
+func (s *Syncer) backoff(fails int) {
+	shift := fails - 1
+	if shift > 4 {
+		shift = 4
+	}
+	d := s.cfg.BackoffBase << shift
+	s.mu.Lock()
+	d += time.Duration(s.rng.Int63n(int64(s.cfg.BackoffBase)))
+	s.mu.Unlock()
+	time.Sleep(d)
+}
+
+// requestRange performs one round's request and classifies the failure
+// modes into the stats.
+func (s *Syncer) requestRange(peer p2p.NodeID) (*RangeReply, error) {
+	req := &RangeRequest{
+		Shard:   s.chain.Config().ShardID,
+		Locator: s.chain.Locator(),
+		Max:     s.cfg.BatchSize,
+	}
+	val, err := s.node.Request(peer, ProtoRange, req, s.cfg.Timeout)
+	if err != nil {
+		s.mu.Lock()
+		if errors.Is(err, p2p.ErrTimeout) {
+			s.stats.Timeouts++
+		} else {
+			s.stats.BadReplies++
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	reply, ok := val.(*RangeReply)
+	if !ok {
+		s.mu.Lock()
+		s.stats.BadReplies++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("chainsync: bad reply payload %T from %s", val, peer)
+	}
+	return reply, nil
+}
+
+// applyReply decodes, re-validates and applies a range reply in order.
+// Already-known blocks are skipped silently (ranges overlap after forks);
+// the first malformed or invalid block aborts the reply and marks the peer
+// bad for this round.
+func (s *Syncer) applyReply(r *RangeReply) (int, error) {
+	applied := 0
+	for i, raw := range r.Blocks {
+		b, err := types.DecodeBlock(raw)
+		if err != nil {
+			s.markBadReply()
+			return applied, fmt.Errorf("chainsync: undecodable block %d in range: %w", i, err)
+		}
+		if s.chain.HasBlock(b.Hash()) {
+			continue
+		}
+		if err := s.apply(b); err != nil {
+			if errors.Is(err, chain.ErrKnownBlock) {
+				continue
+			}
+			s.markBadReply()
+			return applied, fmt.Errorf("chainsync: invalid block %d in range: %w", i, err)
+		}
+		applied++
+		s.mu.Lock()
+		s.stats.BlocksFetched++
+		s.mu.Unlock()
+	}
+	return applied, nil
+}
+
+func (s *Syncer) markBadReply() {
+	s.mu.Lock()
+	s.stats.BadReplies++
+	s.mu.Unlock()
+}
+
+// apply runs the validation hook and the chain's own validation, then the
+// post-apply hook. Never called with s.mu held.
+func (s *Syncer) apply(b *types.Block) error {
+	if s.cfg.Validate != nil {
+		if err := s.cfg.Validate(b); err != nil {
+			return err
+		}
+	}
+	if err := s.chain.AddBlock(b); err != nil {
+		return err
+	}
+	if s.cfg.OnApply != nil {
+		s.cfg.OnApply(b)
+	}
+	return nil
+}
+
+// connectOrphans repeatedly applies the lowest buffered orphan whose parent
+// is now known, until none is connectable. Orphans already on the chain are
+// discarded; orphans that fail validation on connection are dropped and
+// counted. Returns the number connected.
+func (s *Syncer) connectOrphans() int {
+	connected := 0
+	for {
+		s.mu.Lock()
+		var next *types.Block
+		for h, b := range s.orphans {
+			if s.chain.HasBlock(h) {
+				delete(s.orphans, h)
+				continue
+			}
+			if !s.chain.HasBlock(b.Header.ParentHash) {
+				continue
+			}
+			if next == nil || orphanLess(b, next) {
+				next = b
+			}
+		}
+		if next != nil {
+			delete(s.orphans, next.Hash())
+		}
+		s.mu.Unlock()
+		if next == nil {
+			return connected
+		}
+		if err := s.apply(next); err != nil {
+			if !errors.Is(err, chain.ErrKnownBlock) {
+				s.mu.Lock()
+				s.stats.OrphansDropped++
+				s.mu.Unlock()
+			}
+			continue
+		}
+		connected++
+		s.mu.Lock()
+		s.stats.OrphansConnected++
+		s.mu.Unlock()
+	}
+}
+
+// StatsTable renders labeled per-node sync progress in the repo's standard
+// table form — what cmd/shardnode prints after a faulty run.
+func StatsTable(title string, labels []string, stats []Stats) *metrics.Table {
+	t := &metrics.Table{
+		Title: title,
+		Headers: []string{"node", "rounds", "fetched", "timeouts", "badReplies",
+			"orphaned", "connected", "evicted", "dropped"},
+	}
+	for i, st := range stats {
+		t.AddRow(labels[i],
+			fmt.Sprintf("%d", st.Rounds),
+			fmt.Sprintf("%d", st.BlocksFetched),
+			fmt.Sprintf("%d", st.Timeouts),
+			fmt.Sprintf("%d", st.BadReplies),
+			fmt.Sprintf("%d", st.OrphansBuffered),
+			fmt.Sprintf("%d", st.OrphansConnected),
+			fmt.Sprintf("%d", st.OrphansEvicted),
+			fmt.Sprintf("%d", st.OrphansDropped))
+	}
+	return t
+}

@@ -1,0 +1,411 @@
+package chainsync
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"contractshard/internal/chain"
+	"contractshard/internal/crypto"
+	"contractshard/internal/p2p"
+	"contractshard/internal/types"
+)
+
+func testChainConfig() chain.Config {
+	cfg := chain.DefaultConfig(1)
+	cfg.Difficulty = 16
+	return cfg
+}
+
+func testAlloc() map[types.Address]uint64 {
+	return map[types.Address]uint64{
+		crypto.KeypairFromSeed("sync-user").Address(): 1_000_000,
+	}
+}
+
+func newTestChain(t *testing.T) *chain.Chain {
+	t.Helper()
+	c, err := chain.New(testChainConfig(), testAlloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// mine extends the chain with n empty blocks and returns the mined blocks.
+func mine(t *testing.T, c *chain.Chain, n int) []*types.Block {
+	t.Helper()
+	coinbase := types.BytesToAddress([]byte{0xA1})
+	var out []*types.Block
+	for i := 0; i < n; i++ {
+		b, _, err := c.BuildBlock(coinbase, nil, (c.Height()+1)*1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// peersOf returns a static peer provider.
+func peersOf(ids ...p2p.NodeID) func() []p2p.NodeID {
+	return func() []p2p.NodeID { return ids }
+}
+
+func fastConfig() Config {
+	return Config{Timeout: 50 * time.Millisecond, BackoffBase: time.Microsecond, Seed: 1}
+}
+
+func TestCatchUpFromGenesis(t *testing.T) {
+	net := p2p.NewNetwork()
+	server := newTestChain(t)
+	mine(t, server, 10)
+	client := newTestChain(t)
+
+	sn := net.MustJoin("server")
+	cn := net.MustJoin("client")
+	New(sn, server, peersOf("client"), fastConfig())
+	cfg := fastConfig()
+	cfg.BatchSize = 4 // force multiple rounds
+	var applied []uint64
+	cfg.OnApply = func(b *types.Block) { applied = append(applied, b.Number()) }
+	cs := New(cn, client, peersOf("server"), cfg)
+
+	n, err := cs.CatchUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("applied %d blocks, want 10", n)
+	}
+	if client.Head().Hash() != server.Head().Hash() {
+		t.Fatal("client did not converge to the server head")
+	}
+	st := cs.Stats()
+	if st.BlocksFetched != 10 || st.Rounds < 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Timeouts != 0 || st.BadReplies != 0 {
+		t.Fatalf("clean run recorded failures: %+v", st)
+	}
+	if len(applied) != 10 || applied[0] != 1 || applied[9] != 10 {
+		t.Fatalf("OnApply saw %v", applied)
+	}
+	// A second catch-up finds nothing and terminates without error.
+	if n, err := cs.CatchUp(); err != nil || n != 0 {
+		t.Fatalf("idle catch-up: %d %v", n, err)
+	}
+}
+
+func TestCatchUpFindsForkPointAfterDivergence(t *testing.T) {
+	net := p2p.NewNetwork()
+	server := newTestChain(t)
+	client := newTestChain(t)
+	// Shared prefix of 3 blocks.
+	for _, b := range mine(t, server, 3) {
+		if err := client.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Server extends 4 more; client mines 1 of its own (lighter branch).
+	mine(t, server, 4)
+	cb, _, err := client.BuildBlock(types.BytesToAddress([]byte{0xB7}), nil, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.AddBlock(cb); err != nil {
+		t.Fatal(err)
+	}
+
+	sn := net.MustJoin("server")
+	cn := net.MustJoin("client")
+	New(sn, server, peersOf("client"), fastConfig())
+	cs := New(cn, client, peersOf("server"), fastConfig())
+	if _, err := cs.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	// The server's heavier branch wins fork choice on the client.
+	if client.Head().Hash() != server.Head().Hash() {
+		t.Fatalf("client head %d, server head %d", client.Height(), server.Height())
+	}
+	// Only the post-fork blocks were fetched, not the shared prefix.
+	if st := cs.Stats(); st.BlocksFetched != 4 {
+		t.Fatalf("fetched %d past the fork point, want 4", st.BlocksFetched)
+	}
+}
+
+func TestOrphanPoolEvictsLowestNumber(t *testing.T) {
+	c := newTestChain(t)
+	side, err := chain.New(testChainConfig(), testAlloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := mine(t, side, 5)
+	net := p2p.NewNetwork()
+	cfg := fastConfig()
+	cfg.MaxOrphans = 3
+	s := New(net.MustJoin("n"), c, peersOf(), cfg)
+
+	// Buffer 2..5 (1 stays "lost"): pool bound 3 evicts the lowest numbers.
+	for _, b := range blocks[1:] {
+		if !s.AddOrphan(b) {
+			t.Fatalf("fresh orphan %d refused", b.Number())
+		}
+	}
+	if s.OrphanCount() != 3 {
+		t.Fatalf("pool holds %d, want 3", s.OrphanCount())
+	}
+	st := s.Stats()
+	if st.OrphansBuffered != 4 || st.OrphansEvicted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The redelivered copy of a buffered orphan is refused.
+	if s.AddOrphan(blocks[4]) {
+		t.Fatal("redelivered orphan buffered twice")
+	}
+	// Evicted was the lowest number (2): re-adding it works (not buffered).
+	if !s.AddOrphan(blocks[1]) {
+		t.Fatal("evicted orphan still counted as buffered")
+	}
+}
+
+func TestOrphansConnectAfterCatchUp(t *testing.T) {
+	net := p2p.NewNetwork()
+	server := newTestChain(t)
+	mine(t, server, 5)
+	// A block built on the server's head that the server itself never saw:
+	// after catch-up it must connect from the client's orphan pool.
+	tip, _, err := server.BuildBlock(types.BytesToAddress([]byte{0xB9}), nil, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := newTestChain(t)
+
+	sn := net.MustJoin("server")
+	cn := net.MustJoin("client")
+	New(sn, server, peersOf("client"), fastConfig())
+	cs := New(cn, client, peersOf("server"), fastConfig())
+
+	if !cs.AddOrphan(tip) {
+		t.Fatal("orphan refused")
+	}
+	if !cs.NeedsSync() {
+		t.Fatal("buffered orphan not reported as a gap")
+	}
+	n, err := cs.CatchUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("applied %d, want 5 fetched + 1 connected", n)
+	}
+	if client.Head().Hash() != tip.Hash() {
+		t.Fatal("connected orphan is not the head")
+	}
+	st := cs.Stats()
+	if st.OrphansConnected != 1 || st.BlocksFetched != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	if cs.NeedsSync() {
+		t.Fatal("pool not drained")
+	}
+}
+
+func TestCatchUpRotatesPastDeadPeer(t *testing.T) {
+	net := p2p.NewAsyncNetwork(p2p.AsyncConfig{Seed: 1})
+	defer net.Close()
+	server := newTestChain(t)
+	mine(t, server, 4)
+	client := newTestChain(t)
+
+	sn := net.MustJoin("good")
+	cn := net.MustJoin("client")
+	dead := net.MustJoin("dead")
+	New(dead, newTestChain(t), peersOf(), fastConfig())
+	New(sn, server, peersOf("client"), fastConfig())
+	cfg := fastConfig()
+	cfg.Timeout = 10 * time.Millisecond
+	cs := New(cn, client, peersOf("dead", "good"), cfg)
+	net.Partition("client", "dead")
+
+	if _, err := cs.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if client.Head().Hash() != server.Head().Hash() {
+		t.Fatal("client did not converge via the live peer")
+	}
+	if st := cs.Stats(); st.Timeouts == 0 {
+		t.Fatalf("dead peer produced no timeouts: %+v", st)
+	}
+}
+
+func TestCatchUpRotatesPastBadDataPeer(t *testing.T) {
+	net := p2p.NewNetwork()
+	server := newTestChain(t)
+	mine(t, server, 4)
+	client := newTestChain(t)
+
+	evil := net.MustJoin("evil")
+	evil.Serve(ProtoRange, func(from p2p.NodeID, payload any) (any, error) {
+		return &RangeReply{From: 1, Blocks: [][]byte{{0xde, 0xad}}, Head: 99}, nil
+	})
+	sn := net.MustJoin("good")
+	cn := net.MustJoin("client")
+	New(sn, server, peersOf("client"), fastConfig())
+	cs := New(cn, client, peersOf("evil", "good"), fastConfig())
+
+	if _, err := cs.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if client.Head().Hash() != server.Head().Hash() {
+		t.Fatal("client did not converge despite the bad-data peer")
+	}
+	if st := cs.Stats(); st.BadReplies == 0 {
+		t.Fatalf("bad data went uncounted: %+v", st)
+	}
+	if client.Height() != 4 {
+		t.Fatalf("bad blocks entered the chain: height %d", client.Height())
+	}
+}
+
+func TestCatchUpReportsUnreachableShard(t *testing.T) {
+	net := p2p.NewAsyncNetwork(p2p.AsyncConfig{Seed: 1})
+	defer net.Close()
+	client := newTestChain(t)
+	server := newTestChain(t)
+	mine(t, server, 2)
+	sn := net.MustJoin("peer")
+	cn := net.MustJoin("client")
+	New(sn, server, peersOf("client"), fastConfig())
+	cfg := fastConfig()
+	cfg.Timeout = 5 * time.Millisecond
+	cs := New(cn, client, peersOf("peer"), cfg)
+	net.Partition("client", "peer")
+
+	if _, err := cs.CatchUp(); !errors.Is(err, p2p.ErrTimeout) {
+		t.Fatalf("unreachable shard: %v", err)
+	}
+}
+
+func TestCatchUpWithoutPeers(t *testing.T) {
+	net := p2p.NewNetwork()
+	c := newTestChain(t)
+	s := New(net.MustJoin("lonely"), c, peersOf(), fastConfig())
+	if n, err := s.CatchUp(); err != nil || n != 0 {
+		t.Fatalf("empty catch-up: %d %v", n, err)
+	}
+	// With a dangling orphan and nobody to ask, the gap is reported.
+	side, err := chain.New(testChainConfig(), testAlloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine(t, side, 2)
+	b, _, err := side.BuildBlock(types.BytesToAddress([]byte{0xB9}), nil, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddOrphan(b)
+	if _, err := s.CatchUp(); !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("dangling orphan without peers: %v", err)
+	}
+}
+
+func TestValidateHookGatesFetchedBlocks(t *testing.T) {
+	net := p2p.NewNetwork()
+	server := newTestChain(t)
+	mine(t, server, 3)
+	client := newTestChain(t)
+	sn := net.MustJoin("server")
+	cn := net.MustJoin("client")
+	New(sn, server, peersOf("client"), fastConfig())
+	cfg := fastConfig()
+	cfg.MaxRounds = 3
+	wantErr := errors.New("membership check failed")
+	cfg.Validate = func(*types.Block) error { return wantErr }
+	cs := New(cn, client, peersOf("server"), cfg)
+
+	if _, err := cs.CatchUp(); !errors.Is(err, wantErr) {
+		t.Fatalf("validation error lost: %v", err)
+	}
+	if client.Height() != 0 {
+		t.Fatal("unvalidated block applied")
+	}
+	if st := cs.Stats(); st.BadReplies == 0 {
+		t.Fatalf("validation failure uncounted: %+v", st)
+	}
+}
+
+func TestServeRangeChecksShardAndAncestor(t *testing.T) {
+	net := p2p.NewNetwork()
+	server := newTestChain(t)
+	mine(t, server, 2)
+	s := New(net.MustJoin("server"), server, peersOf(), fastConfig())
+
+	if _, err := s.serveRange("x", "not a request"); err == nil {
+		t.Fatal("mis-typed payload served")
+	}
+	if _, err := s.serveRange("x", &RangeRequest{Shard: 9}); err == nil {
+		t.Fatal("foreign-shard request served")
+	}
+	if _, err := s.serveRange("x", &RangeRequest{
+		Shard: 1, Locator: []types.Hash{types.BytesToHash([]byte{7})},
+	}); err == nil {
+		t.Fatal("served a peer with no common ancestor")
+	}
+	val, err := s.serveRange("x", &RangeRequest{
+		Shard: 1, Locator: server.Locator(), Max: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := val.(*RangeReply); len(r.Blocks) != 0 || r.Head != 2 {
+		t.Fatalf("up-to-date requester got %+v", r)
+	}
+}
+
+func TestStatsTableShape(t *testing.T) {
+	tbl := StatsTable("sync", []string{"m0", "m1"}, []Stats{
+		{Rounds: 2, BlocksFetched: 5}, {Timeouts: 1},
+	})
+	out := tbl.String()
+	for _, want := range []string{"m0", "m1", "rounds", "fetched", "timeouts"} {
+		if !containsStr(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexStr(s, sub) >= 0)
+}
+
+func indexStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRotationIsSeededDeterministic(t *testing.T) {
+	net := p2p.NewNetwork()
+	mkOrder := func(seed int64) []p2p.NodeID {
+		cfg := fastConfig()
+		cfg.Seed = seed
+		s := New(net.MustJoin(p2p.NodeID(fmt.Sprintf("n-%d-%d", seed, net.NodeCount()))),
+			newTestChain(t), peersOf(), cfg)
+		return s.rotation([]p2p.NodeID{"a", "b", "c", "d", "e"})
+	}
+	o1 := mkOrder(7)
+	o2 := mkOrder(7)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed diverged: %v vs %v", o1, o2)
+		}
+	}
+}

@@ -323,10 +323,18 @@ func TestFig4cSyncAsyncParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"total_msgs", "cross_shard_msgs"} {
+	for _, key := range []string{"total_msgs", "cross_shard_msgs",
+		"request_msgs", "reply_msgs", "timeout_msgs"} {
 		if syncRes.Summary[key] != asyncRes.Summary[key] {
 			t.Fatalf("%s: sync %.0f vs async %.0f", key,
 				syncRes.Summary[key], asyncRes.Summary[key])
+		}
+	}
+	// The merge protocol is pure gossip: a request or timeout appearing here
+	// would mean the request plane leaks into broadcast accounting.
+	for _, key := range []string{"request_msgs", "timeout_msgs"} {
+		if asyncRes.Summary[key] != 0 {
+			t.Fatalf("%s = %.0f in a gossip-only experiment", key, asyncRes.Summary[key])
 		}
 	}
 	for n := 0; n <= 6; n++ {

@@ -183,7 +183,7 @@ func runFig4c(opts Options) (*Result, error) {
 	}
 	series := metrics.Series{Name: "our merging (parameter unification)"}
 	summary := map[string]float64{}
-	var totalMsgs, crossMsgs uint64
+	var totalMsgs, crossMsgs, reqMsgs, repMsgs, timeoutMsgs uint64
 	for numSmall := 0; numSmall <= 6; numSmall++ {
 		net := p2p.NewNetwork()
 		if opts.Async {
@@ -226,6 +226,9 @@ func runFig4c(opts Options) (*Result, error) {
 		}
 		totalMsgs += stats.Total
 		crossMsgs += stats.CrossShard
+		reqMsgs += stats.Requests
+		repMsgs += stats.Replies
+		timeoutMsgs += stats.Timeouts
 		perShard := float64(stats.Total) / shards
 		series.X = append(series.X, float64(numSmall))
 		series.Y = append(series.Y, perShard)
@@ -236,5 +239,10 @@ func runFig4c(opts Options) (*Result, error) {
 	// checkable from the Summary alone.
 	summary["total_msgs"] = float64(totalMsgs)
 	summary["cross_shard_msgs"] = float64(crossMsgs)
+	// Request-plane counters ride along: the merge protocol is pure gossip,
+	// so these stay zero — and parity requires them zero in both modes.
+	summary["request_msgs"] = float64(reqMsgs)
+	summary["reply_msgs"] = float64(repMsgs)
+	summary["timeout_msgs"] = float64(timeoutMsgs)
 	return &Result{ID: "fig4c", Title: "Fig 4(c)", Output: fig.String(), Summary: summary}, nil
 }

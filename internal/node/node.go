@@ -20,6 +20,7 @@ import (
 
 	"contractshard/internal/callgraph"
 	"contractshard/internal/chain"
+	"contractshard/internal/chainsync"
 	"contractshard/internal/crypto"
 	"contractshard/internal/mempool"
 	"contractshard/internal/p2p"
@@ -55,6 +56,11 @@ type Config struct {
 	// unified assignment gave it, and it rejects blocks from shard peers
 	// that pack transactions outside the producer's assignment.
 	Selection *unify.Params
+	// Sync tunes the miner's chain-sync component (orphan pool bound, batch
+	// size, request timeout, rotation seed). The Validate/OnApply hooks are
+	// owned by the miner and overwritten: catch-up always re-runs the same
+	// membership/selection verifications as gossip.
+	Sync chainsync.Config
 }
 
 // Stats counts what the miner saw and rejected.
@@ -63,6 +69,7 @@ type Stats struct {
 	BlocksOtherShard int // valid blocks belonging to other shards (ignored)
 	BlocksRejected   int // blocks whose membership proof failed — cheaters
 	BlocksDuplicate  int // redelivered blocks the ledger already holds
+	BlocksOrphaned   int // valid-looking blocks buffered for a missing parent
 	TxsPooled        int // transactions routed to this miner's shard
 	TxsOtherShard    int // transactions routed elsewhere (ignored)
 }
@@ -72,14 +79,15 @@ type Stats struct {
 // acceptance, Mine), so a block's AddBlock, its pool removal and its stats
 // bump are one atomic step with respect to concurrent deliveries.
 type Miner struct {
-	mu    sync.Mutex
-	cfg   Config
-	chain *chain.Chain
-	pool  *mempool.Pool
-	node  *p2p.Node
-	graph *callgraph.Graph
-	stats Stats
-	clock uint64
+	mu     sync.Mutex
+	cfg    Config
+	chain  *chain.Chain
+	pool   *mempool.Pool
+	node   *p2p.Node
+	graph  *callgraph.Graph
+	syncer *chainsync.Syncer
+	stats  Stats
+	clock  uint64
 
 	// selSets memoizes cfg.Selection.RunSelection() per Params instance:
 	// the selection is a deterministic pure function of the Params, yet it
@@ -121,6 +129,16 @@ func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
 		node:  pnode,
 		graph: callgraph.New(),
 	}
+	// The syncer re-validates every fetched or reconnected block with the
+	// same verifications gossip gets (validateSynced), and cleans the pool of
+	// synced confirmations (onSyncApply). Hooks are forced so a caller cannot
+	// accidentally configure a catch-up path that bypasses Sec. III-C.
+	sc := cfg.Sync
+	sc.Validate = m.validateSynced
+	sc.OnApply = m.onSyncApply
+	m.syncer = chainsync.New(pnode, ch, func() []p2p.NodeID {
+		return pnode.PeersInShard(cfg.Shard)
+	}, sc)
 	pnode.Subscribe(TopicTxs, func(msg p2p.Message) {
 		if tx, ok := msg.Payload.(*types.Transaction); ok {
 			m.handleTx(tx)
@@ -149,6 +167,9 @@ func (m *Miner) Stats() Stats {
 
 // Height returns the miner's ledger height.
 func (m *Miner) Height() uint64 { return m.chain.Height() }
+
+// Head returns the miner's current canonical head block.
+func (m *Miner) Head() *types.Block { return m.chain.Head() }
 
 // Pending returns the miner's pool size.
 func (m *Miner) Pending() int { return m.pool.Size() }
@@ -226,9 +247,24 @@ func (m *Miner) handleBlock(raw []byte) {
 		}
 	}
 	if err := m.chain.AddBlock(block); err != nil {
-		if errors.Is(err, chain.ErrKnownBlock) {
+		switch {
+		case errors.Is(err, chain.ErrKnownBlock):
 			m.stats.BlocksDuplicate++
-		} else {
+		case errors.Is(err, chain.ErrUnknownParent):
+			// A gap, not a cheater: an ancestor was lost on the wire. Buffer
+			// the block for the syncer to reconnect after catch-up. Re-check
+			// HasBlock first — a concurrent CatchUp (which applies through the
+			// chain's own lock, not m.mu) may have fetched this very block
+			// between the failed AddBlock above and here; it must count once,
+			// as a duplicate, not as orphaned on top of applied.
+			if m.chain.HasBlock(block.Hash()) {
+				m.stats.BlocksDuplicate++
+			} else if m.syncer.AddOrphan(block) {
+				m.stats.BlocksOrphaned++
+			} else {
+				m.stats.BlocksDuplicate++
+			}
+		default:
 			m.stats.BlocksRejected++
 		}
 		return
@@ -236,6 +272,53 @@ func (m *Miner) handleBlock(raw []byte) {
 	m.pool.RemoveTxs(block.Txs)
 	m.stats.BlocksAccepted++
 }
+
+// validateSynced is the syncer's Validate hook: the exact Sec. III-C / IV-C
+// verifications gossip performs, so catch-up cannot launder a block past
+// them. It takes no miner lock — membership replay is pure and the selection
+// sets have their own memoization lock — so the syncer may call it while a
+// gossip delivery holds m.mu.
+func (m *Miner) validateSynced(block *types.Block) error {
+	if err := sharding.VerifyMembership(block.Header, m.cfg.Randomness, m.cfg.Fractions); err != nil {
+		return err
+	}
+	if block.ShardID() != m.cfg.Shard {
+		return fmt.Errorf("node: synced block for shard %s on a shard-%s miner",
+			block.ShardID(), m.cfg.Shard)
+	}
+	if m.cfg.Selection != nil && len(block.Txs) > 0 {
+		hashes := make([]types.Hash, len(block.Txs))
+		for i, tx := range block.Txs {
+			hashes[i] = tx.Hash()
+		}
+		sets, err := m.selectionSets(m.cfg.Selection)
+		if err != nil {
+			return err
+		}
+		return unify.VerifyProducedBlockWithSets(m.cfg.Selection, sets, block.Header.Coinbase, hashes)
+	}
+	return nil
+}
+
+// onSyncApply is the syncer's OnApply hook: confirmations that arrived via
+// catch-up leave the pool exactly like gossiped ones.
+func (m *Miner) onSyncApply(block *types.Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pool.RemoveTxs(block.Txs)
+}
+
+// CatchUp runs chain-sync rounds against this miner's shard peers until they
+// have nothing newer (see chainsync.Syncer.CatchUp). It returns the number
+// of blocks applied.
+func (m *Miner) CatchUp() (int, error) { return m.syncer.CatchUp() }
+
+// NeedsSync reports whether the miner has buffered orphans waiting on
+// missing ancestors.
+func (m *Miner) NeedsSync() bool { return m.syncer.NeedsSync() }
+
+// SyncStats returns a copy of the miner's chain-sync counters.
+func (m *Miner) SyncStats() chainsync.Stats { return m.syncer.Stats() }
 
 // SubmitTx verifies and gossips a transaction network-wide (users broadcast
 // to all miners; each decides locally whether it cares).

@@ -57,11 +57,14 @@ type AsyncConfig struct {
 const DefaultInboxSize = 1024
 
 // delivery is one message queued for a node's inbox goroutine. The handler
-// is snapshotted at enqueue time under the network lock.
+// is snapshotted at enqueue time under the network lock. A non-nil reply
+// channel marks a request delivery (reqresp.go): rh serves it instead of h.
 type delivery struct {
 	h     Handler
 	msg   Message
 	delay time.Duration
+	rh    RequestHandler
+	reply chan reqReply
 }
 
 type linkKey struct {
@@ -225,7 +228,11 @@ func (nd *Node) inboxLoop(inbox chan delivery) {
 		if d.delay > 0 {
 			time.Sleep(d.delay)
 		}
-		d.h(d.msg)
+		if d.reply != nil {
+			nd.serveRequest(d)
+		} else {
+			d.h(d.msg)
+		}
 		nd.net.async.finish()
 	}
 	close(nd.done)

@@ -59,6 +59,9 @@ type Network struct {
 	byShard     map[types.ShardID]uint64
 	dropped     uint64
 	redelivered uint64
+	requests    uint64
+	replies     uint64
+	timeouts    uint64
 
 	// async is nil in synchronous mode.
 	async *asyncState
@@ -75,11 +78,12 @@ func NewNetwork() *Network {
 
 // Node is one network participant.
 type Node struct {
-	id       NodeID
-	net      *Network
-	shard    types.ShardID
-	hasShard bool
-	handlers map[string]Handler
+	id         NodeID
+	net        *Network
+	shard      types.ShardID
+	hasShard   bool
+	handlers   map[string]Handler
+	responders map[string]RequestHandler
 
 	// inbox/done exist only on async networks: inbox is the node's bounded
 	// delivery queue, done closes when its goroutine exits.
@@ -95,7 +99,7 @@ func (n *Network) Join(id NodeID) (*Node, error) {
 	if _, ok := n.nodes[id]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, id)
 	}
-	node := &Node{id: id, net: n, handlers: make(map[string]Handler)}
+	node := &Node{id: id, net: n, handlers: make(map[string]Handler), responders: make(map[string]RequestHandler)}
 	if n.async != nil {
 		node.inbox = make(chan delivery, n.async.cfg.InboxSize)
 		node.done = make(chan struct{})
@@ -144,6 +148,23 @@ func (nd *Node) SetShard(s types.ShardID) {
 	defer nd.net.mu.Unlock()
 	nd.shard = s
 	nd.hasShard = true
+}
+
+// PeersInShard returns the ids of every other node labeled with shard s,
+// sorted for deterministic iteration — the peer set a shard member's
+// catch-up protocol rotates over.
+func (nd *Node) PeersInShard(s types.ShardID) []NodeID {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	var out []NodeID
+	for id, other := range nd.net.nodes {
+		if id == nd.id || !other.hasShard || other.shard != s {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Subscribe registers the handler for a topic, replacing any previous one.
@@ -249,12 +270,19 @@ func (n *Network) account(src, dst *Node, topic string) {
 // fault model, so a zero-fault async run matches a sync run exactly.
 // Dropped counts messages lost to injected loss, partitions, full inboxes
 // or sends after Close; Redelivered counts extra duplicate deliveries.
-// Both are zero on a synchronous network.
+// Both are zero on a synchronous network. Requests counts Request calls
+// that reached accounting, Replies counts responder replies produced (both
+// also land in Total/ByTopic, preserving the sync/async parity), and
+// Timeouts counts Request calls that gave up at their deadline — zero on a
+// synchronous network and on a zero-fault asynchronous one.
 type Stats struct {
 	Total       uint64
 	CrossShard  uint64
 	Dropped     uint64
 	Redelivered uint64
+	Requests    uint64
+	Replies     uint64
+	Timeouts    uint64
 	ByTopic     map[string]uint64
 	ByShard     map[types.ShardID]uint64
 }
@@ -269,6 +297,9 @@ func (n *Network) Stats() Stats {
 		CrossShard:  n.crossShard,
 		Dropped:     n.dropped,
 		Redelivered: n.redelivered,
+		Requests:    n.requests,
+		Replies:     n.replies,
+		Timeouts:    n.timeouts,
 		ByTopic:     make(map[string]uint64, len(n.byTopic)),
 		ByShard:     make(map[types.ShardID]uint64, len(n.byShard)),
 	}
@@ -289,6 +320,9 @@ func (n *Network) ResetStats() {
 	n.crossShard = 0
 	n.dropped = 0
 	n.redelivered = 0
+	n.requests = 0
+	n.replies = 0
+	n.timeouts = 0
 	n.byTopic = make(map[string]uint64)
 	n.byShard = make(map[types.ShardID]uint64)
 }

@@ -1,0 +1,204 @@
+// Request/response transport. Broadcast gossip (network.go) is fire-and-
+// forget: a node that misses a block has no way to ask for it back, so one
+// lossy link wedges a miner behind its shard forever. This file adds the
+// second primitive a real p2p stack has — a peer-to-peer request with a
+// typed reply and a per-call timeout — which the chain-sync subsystem
+// (internal/chainsync) builds catch-up on, and which future networking
+// (state sync, light clients) can reuse.
+//
+// The two delivery modes share one semantics:
+//
+//   - Synchronous: the responder runs inline and the reply returns directly;
+//     a request can never time out (there is no fault model to lose it).
+//   - Asynchronous: the request is queued on the responder's inbox like any
+//     delivery, so it serializes with the node's gossip handling and the
+//     src→dst link faults apply to it; the reply travels back through the
+//     dst→src link faults. A lost request or reply surfaces as ErrTimeout
+//     after the caller's deadline — the requester cannot tell loss from a
+//     slow peer, exactly as on a real network.
+//
+// Accounting keeps the PR-1 parity invariant: every request and every
+// produced reply counts as one logical message (Stats.Total/ByTopic/…)
+// independent of the fault model, so a zero-fault async run reports
+// byte-identical counters to a sync run of the same workload. Requests,
+// Replies and Timeouts get their own Stats fields on top.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RequestHandler serves one request protocol: it receives the requester's id
+// and payload and returns the reply (or an error, which travels back to the
+// requester as the call's error). On an async network it runs on the
+// responder's inbox goroutine, serialized with the node's gossip handlers.
+type RequestHandler func(from NodeID, payload any) (any, error)
+
+// Request/response errors.
+var (
+	ErrTimeout     = errors.New("p2p: request timed out")
+	ErrNoResponder = errors.New("p2p: no responder for protocol")
+)
+
+// Serve registers the handler for a request protocol, replacing any
+// previous one.
+func (nd *Node) Serve(proto string, h RequestHandler) {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	nd.responders[proto] = h
+}
+
+// reqReply is what a responder's inbox goroutine hands back to the waiting
+// requester. lost marks a reply the dst→src fault model dropped: the
+// requester then waits out its deadline, because on a real network it could
+// not know.
+type reqReply struct {
+	val   any
+	err   error
+	delay time.Duration
+	lost  bool
+}
+
+// Request sends payload to the responder `to` registered for proto and
+// blocks until its reply or the timeout. In sync mode the responder runs
+// inline and timeout is irrelevant. In async mode the request and the reply
+// each traverse the link fault model; loss in either direction, a full
+// inbox, or a slow (delayed) peer surface as ErrTimeout, counted in
+// Stats.Timeouts.
+func (nd *Node) Request(to NodeID, proto string, payload any, timeout time.Duration) (any, error) {
+	n := nd.net
+	msg := Message{From: nd.id, Topic: proto, Payload: payload}
+
+	n.mu.Lock()
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	rh, ok := dst.responders[proto]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s at %s", ErrNoResponder, proto, to)
+	}
+	n.account(nd, dst, proto)
+	n.requests++
+
+	if n.async == nil {
+		n.mu.Unlock()
+		val, err := rh(nd.id, payload)
+		n.mu.Lock()
+		n.account(dst, nd, proto)
+		n.replies++
+		n.mu.Unlock()
+		return val, err
+	}
+
+	replyCh := make(chan reqReply, 1)
+	delivered := n.enqueueRequest(nd, dst, rh, msg, replyCh)
+	n.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	if !delivered {
+		// The fault model ate the request; the caller waits out its
+		// deadline like it would against a real silent drop.
+		<-timer.C
+		return nil, nd.timeoutErr(to, proto)
+	}
+	select {
+	case r := <-replyCh:
+		if r.lost {
+			<-timer.C
+			return nil, nd.timeoutErr(to, proto)
+		}
+		if r.delay > 0 {
+			// Reply-link latency, paid on the requester side so the
+			// responder's inbox is not stalled by it.
+			lat := time.NewTimer(r.delay)
+			defer lat.Stop()
+			select {
+			case <-lat.C:
+			case <-timer.C:
+				return nil, nd.timeoutErr(to, proto)
+			}
+		}
+		return r.val, r.err
+	case <-timer.C:
+		return nil, nd.timeoutErr(to, proto)
+	}
+}
+
+// timeoutErr counts and builds one request timeout.
+func (nd *Node) timeoutErr(to NodeID, proto string) error {
+	nd.net.mu.Lock()
+	nd.net.timeouts++
+	nd.net.mu.Unlock()
+	return fmt.Errorf("%w: %s to %s", ErrTimeout, proto, to)
+}
+
+// enqueueRequest runs the request through the src→dst fault model and, if it
+// survives, queues it on dst's inbox. Callers hold n.mu. Returns whether the
+// request was delivered to the inbox; a false return means the requester
+// should behave as if the request vanished in flight.
+func (n *Network) enqueueRequest(src, dst *Node, rh RequestHandler, msg Message, replyCh chan reqReply) bool {
+	as := n.async
+	l := n.linkFor(src.id, dst.id)
+	if l.fault.Partitioned || (l.fault.Loss > 0 && l.rng.Float64() < l.fault.Loss) {
+		n.dropped++
+		return false
+	}
+	delay := time.Duration(l.fault.DelayMillis) * time.Millisecond
+	if l.fault.JitterMillis > 0 {
+		delay += time.Duration(l.rng.Intn(l.fault.JitterMillis)) * time.Millisecond
+	}
+	as.qmu.Lock()
+	if as.closed {
+		as.qmu.Unlock()
+		n.dropped++
+		return false
+	}
+	select {
+	case dst.inbox <- delivery{rh: rh, reply: replyCh, msg: msg, delay: delay}:
+		as.inflight++
+		as.qmu.Unlock()
+		return true
+	default:
+		as.qmu.Unlock()
+		n.dropped++
+		return false
+	}
+}
+
+// serveRequest handles one request delivery on the responder's inbox
+// goroutine: run the handler, then push the reply back through the dst→src
+// fault model. The reply is accounted as a logical message whether or not
+// the fault model then drops it (parity invariant); a dropped reply is
+// signalled to the requester as lost so it can wait out its deadline.
+func (nd *Node) serveRequest(d delivery) {
+	val, err := d.rh(d.msg.From, d.msg.Payload)
+
+	n := nd.net
+	n.mu.Lock()
+	if src, ok := n.nodes[d.msg.From]; ok {
+		n.account(nd, src, d.msg.Topic)
+	} else {
+		// Requester left the network: still count the logical reply.
+		n.total++
+		n.byTopic[d.msg.Topic]++
+	}
+	n.replies++
+	l := n.linkFor(nd.id, d.msg.From)
+	lost := l.fault.Partitioned || (l.fault.Loss > 0 && l.rng.Float64() < l.fault.Loss)
+	if lost {
+		n.dropped++
+	}
+	delay := time.Duration(l.fault.DelayMillis) * time.Millisecond
+	if l.fault.JitterMillis > 0 {
+		delay += time.Duration(l.rng.Intn(l.fault.JitterMillis)) * time.Millisecond
+	}
+	n.mu.Unlock()
+
+	d.reply <- reqReply{val: val, err: err, delay: delay, lost: lost}
+}

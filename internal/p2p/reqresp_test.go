@@ -1,0 +1,237 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServe registers an echoing responder on the node.
+func echoServe(nd *Node) {
+	nd.Serve("echo", func(from NodeID, payload any) (any, error) {
+		return fmt.Sprintf("%s:%v", from, payload), nil
+	})
+}
+
+func TestRequestSyncRoundTrip(t *testing.T) {
+	net := NewNetwork()
+	a := net.MustJoin("a")
+	b := net.MustJoin("b")
+	echoServe(b)
+	got, err := a.Request("b", "echo", 42, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "a:42" {
+		t.Fatalf("reply %v", got)
+	}
+	s := net.Stats()
+	if s.Requests != 1 || s.Replies != 1 || s.Timeouts != 0 {
+		t.Fatalf("counters %+v", s)
+	}
+	// Request and reply each count as one logical message.
+	if s.Total != 2 || s.ByTopic["echo"] != 2 {
+		t.Fatalf("accounting %+v", s)
+	}
+}
+
+func TestRequestErrorsPropagate(t *testing.T) {
+	net := NewNetwork()
+	a := net.MustJoin("a")
+	b := net.MustJoin("b")
+	wantErr := errors.New("nope")
+	b.Serve("deny", func(NodeID, any) (any, error) { return nil, wantErr })
+
+	if _, err := a.Request("b", "deny", nil, time.Second); !errors.Is(err, wantErr) {
+		t.Fatalf("handler error lost: %v", err)
+	}
+	if _, err := a.Request("nobody", "echo", nil, time.Second); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node: %v", err)
+	}
+	if _, err := a.Request("b", "unregistered", nil, time.Second); !errors.Is(err, ErrNoResponder) {
+		t.Fatalf("missing responder: %v", err)
+	}
+	// A responder error still produced a reply message.
+	if s := net.Stats(); s.Replies != 1 {
+		t.Fatalf("counters %+v", s)
+	}
+}
+
+func TestRequestAsyncZeroFaultMatchesSync(t *testing.T) {
+	run := func(net *Network) Stats {
+		defer net.Close()
+		a := net.MustJoin("a")
+		b := net.MustJoin("b")
+		echoServe(b)
+		for i := 0; i < 5; i++ {
+			got, err := a.Request("b", "echo", i, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != fmt.Sprintf("a:%d", i) {
+				t.Fatalf("reply %v", got)
+			}
+		}
+		net.Drain()
+		return net.Stats()
+	}
+	syncStats := run(NewNetwork())
+	asyncStats := run(NewAsyncNetwork(AsyncConfig{Seed: 1}))
+	if fmt.Sprintf("%+v", syncStats) != fmt.Sprintf("%+v", asyncStats) {
+		t.Fatalf("parity broken:\n sync %+v\nasync %+v", syncStats, asyncStats)
+	}
+	if asyncStats.Requests != 5 || asyncStats.Replies != 5 || asyncStats.Timeouts != 0 {
+		t.Fatalf("counters %+v", asyncStats)
+	}
+}
+
+func TestRequestTimesOutAcrossPartition(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{Seed: 1})
+	defer net.Close()
+	a := net.MustJoin("a")
+	b := net.MustJoin("b")
+	echoServe(b)
+	net.Partition("a", "b")
+	if _, err := a.Request("b", "echo", 1, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partitioned request: %v", err)
+	}
+	s := net.Stats()
+	if s.Timeouts != 1 || s.Dropped == 0 {
+		t.Fatalf("counters %+v", s)
+	}
+	// Healing restores request/response.
+	net.Heal("a", "b")
+	if _, err := a.Request("b", "echo", 2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTimesOutOnLostReply(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{Seed: 1})
+	defer net.Close()
+	a := net.MustJoin("a")
+	b := net.MustJoin("b")
+	echoServe(b)
+	// Forward link perfect, reply link blackholed: the request is served but
+	// the reply never arrives.
+	net.SetLinkFault("b", "a", LinkFault{Partitioned: true})
+	if _, err := a.Request("b", "echo", 1, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("lost reply: %v", err)
+	}
+	net.Drain()
+	s := net.Stats()
+	// The reply was produced (and accounted) before the link dropped it.
+	if s.Replies != 1 || s.Dropped != 1 || s.Timeouts != 1 {
+		t.Fatalf("counters %+v", s)
+	}
+}
+
+func TestRequestReplyDelayWithinDeadline(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{Seed: 1})
+	defer net.Close()
+	a := net.MustJoin("a")
+	b := net.MustJoin("b")
+	echoServe(b)
+	net.SetLinkFault("b", "a", LinkFault{DelayMillis: 5})
+	start := time.Now()
+	if _, err := a.Request("b", "echo", 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("reply-link delay not applied")
+	}
+	// The same delay past the deadline times out instead.
+	net.SetLinkFault("b", "a", LinkFault{DelayMillis: 50})
+	if _, err := a.Request("b", "echo", 2, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("slow reply: %v", err)
+	}
+}
+
+func TestRequestFromWithinHandlerDoesNotDeadlock(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{Seed: 1})
+	defer net.Close()
+	a := net.MustJoin("a")
+	b := net.MustJoin("b")
+	echoServe(b)
+	done := make(chan error, 1)
+	a.Subscribe("poke", func(msg Message) {
+		// The gossip handler itself turns around and requests from b, from
+		// a's own inbox goroutine.
+		_, err := a.Request("b", "echo", "nested", time.Second)
+		done <- err
+	})
+	b.Broadcast("poke", nil)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("nested request deadlocked")
+	}
+	net.Drain()
+}
+
+func TestConcurrentRequestsAreSerializedPerResponder(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{Seed: 1})
+	defer net.Close()
+	b := net.MustJoin("b")
+	var mu sync.Mutex
+	active, maxActive := 0, 0
+	b.Serve("slow", func(from NodeID, payload any) (any, error) {
+		mu.Lock()
+		active++
+		if active > maxActive {
+			maxActive = active
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return payload, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		nd := net.MustJoin(NodeID(fmt.Sprintf("c%d", i)))
+		wg.Add(1)
+		go func(nd *Node, i int) {
+			defer wg.Done()
+			if got, err := nd.Request("b", "slow", i, 5*time.Second); err != nil || got != i {
+				t.Errorf("request %d: %v %v", i, got, err)
+			}
+		}(nd, i)
+	}
+	wg.Wait()
+	// All requests run on b's single inbox goroutine, like its gossip.
+	if maxActive != 1 {
+		t.Fatalf("responder concurrency %d, want 1", maxActive)
+	}
+	if s := net.Stats(); s.Requests != 4 || s.Replies != 4 {
+		t.Fatalf("counters %+v", s)
+	}
+}
+
+func TestPeersInShard(t *testing.T) {
+	net := NewNetwork()
+	a := net.MustJoin("a")
+	b := net.MustJoin("b")
+	c := net.MustJoin("c")
+	d := net.MustJoin("d")
+	a.SetShard(1)
+	b.SetShard(1)
+	c.SetShard(1)
+	d.SetShard(2)
+	got := a.PeersInShard(1)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("peers %v", got)
+	}
+	if len(d.PeersInShard(1)) != 3 {
+		t.Fatalf("outsider sees %v", d.PeersInShard(1))
+	}
+	if len(a.PeersInShard(3)) != 0 {
+		t.Fatal("phantom shard has peers")
+	}
+}
