@@ -1,0 +1,81 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can publish benchmark numbers as a machine-
+// readable artifact (BENCH_chain.json) instead of a log to eyeball.
+//
+// Usage:
+//
+//	go test -bench . -run '^$' ./internal/chain/ | benchjson > BENCH_chain.json
+//
+// Each benchmark line ("BenchmarkFoo-8  100  12345 ns/op  67 B/op") becomes
+// one result object with its metrics keyed by unit; the goos/goarch/pkg/cpu
+// preamble lines are captured into the environment map. Non-benchmark lines
+// (PASS, ok, test logs) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Environment map[string]string `json:"environment"`
+	Results     []result          `json:"results"`
+}
+
+func main() {
+	doc := document{
+		Environment: map[string]string{},
+		Results:     []result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Environment[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a benchmark name alone on its line, not a result row
+		}
+		r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value/unit: "12345 ns/op 67 B/op ...".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

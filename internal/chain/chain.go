@@ -75,20 +75,60 @@ func DefaultConfig(shard types.ShardID) Config {
 	}
 }
 
+// blockEntry is one stored block with everything AddBlock derived for it.
+// Entries are immutable once published into Chain.blocks: every field is
+// fully written before the entry is linked under the write lock, and the
+// post-state has its root memoized (AddBlock's state-root check computes
+// it), so readers may Copy() the state without any lock — Copy is a pure
+// read of the account map.
 type blockEntry struct {
 	block    *types.Block
-	state    *state.State // post-state
+	state    *state.State // post-state; immutable after publication
 	td       uint64       // total difficulty up to and including this block
 	receipts []*types.Receipt
 }
 
+// canonEntry is one height of the canonical-number index: the canonical
+// block hash at that height plus cumulative counters over the canonical
+// prefix ending there, so chain-wide aggregates are O(1) reads instead of
+// O(n) head-to-genesis walks.
+type canonEntry struct {
+	hash     types.Hash
+	cumTxs   int // transactions confirmed on the canonical chain through this height
+	cumEmpty int // empty non-genesis canonical blocks through this height
+}
+
+// txRef locates one inclusion of a transaction: the containing block and the
+// transaction's position in its body. A transaction mined on competing forks
+// has one ref per containing block; which ref is *canonical* is decided at
+// query time against the number index, so the tx index itself is append-only
+// and needs no maintenance on reorgs.
+type txRef struct {
+	block types.Hash
+	index int
+}
+
 // Chain is one shard's ledger. It is safe for concurrent use.
+//
+// Lock discipline (see DESIGN.md "Chain lock discipline"): c.mu guards the
+// blocks map, head, and the canon/tx indexes. AddBlock is a staged pipeline
+// that holds the lock only briefly — stateless checks and body re-execution
+// run lock-free against immutable published entries, and only the final
+// TOCTOU re-check + linking takes the write lock — so block validations of
+// distinct blocks overlap with each other and with every reader.
 type Chain struct {
 	mu      sync.RWMutex
 	cfg     Config
 	blocks  map[types.Hash]*blockEntry
 	head    types.Hash
 	genesis types.Hash
+	// canon[n] is the canonical block at height n; canon[len-1] is the head.
+	// Rewritten atomically (under the write lock) when fork choice moves the
+	// head, including total-difficulty tie-break flips.
+	canon []canonEntry
+	// txIndex maps a transaction hash to every stored block containing it,
+	// canonical or not.
+	txIndex map[types.Hash][]txRef
 }
 
 // New creates a chain whose genesis state holds the given balances.
@@ -120,13 +160,15 @@ func New(cfg Config, alloc map[types.Address]uint64) (*Chain, error) {
 		GasLimit:   cfg.GasLimit,
 	}}
 	c := &Chain{
-		cfg:    cfg,
-		blocks: make(map[types.Hash]*blockEntry),
+		cfg:     cfg,
+		blocks:  make(map[types.Hash]*blockEntry),
+		txIndex: make(map[types.Hash][]txRef),
 	}
 	h := genesis.Hash()
 	c.blocks[h] = &blockEntry{block: genesis, state: st, td: cfg.Difficulty}
 	c.head = h
 	c.genesis = h
+	c.canon = []canonEntry{{hash: h}}
 	return c, nil
 }
 
@@ -150,6 +192,7 @@ func NewWithContracts(cfg Config, alloc map[types.Address]uint64, code map[types
 	c.blocks[h] = entry
 	c.genesis = h
 	c.head = h
+	c.canon = []canonEntry{{hash: h}}
 	return c, nil
 }
 
@@ -220,45 +263,51 @@ func (c *Chain) HeadSnapshot() (*types.Block, *state.State) {
 	return e.block, e.state.Copy()
 }
 
-// CanonicalBlocks returns the canonical chain from genesis to head.
+// CanonicalBlocks returns the canonical chain from genesis to head, served
+// from the number index (no parent-hash re-walk).
 func (c *Chain) CanonicalBlocks() []*types.Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	var rev []*types.Block
-	for h := c.head; ; {
-		e := c.blocks[h]
-		rev = append(rev, e.block)
-		if e.block.Number() == 0 {
-			break
-		}
-		h = e.block.Header.ParentHash
-	}
-	out := make([]*types.Block, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
+	out := make([]*types.Block, len(c.canon))
+	for i, ce := range c.canon {
+		out[i] = c.blocks[ce.hash].block
 	}
 	return out
 }
 
+// CanonicalHashAt returns the canonical block hash at height n, or false
+// when n is past the head.
+func (c *Chain) CanonicalHashAt(n uint64) (types.Hash, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if n >= uint64(len(c.canon)) {
+		return types.Hash{}, false
+	}
+	return c.canon[n].hash, true
+}
+
+// isCanonical reports whether b lies on the canonical chain. Caller holds
+// c.mu (read or write).
+func (c *Chain) isCanonical(b *types.Block) bool {
+	n := b.Number()
+	return n < uint64(len(c.canon)) && c.canon[n].hash == b.Hash()
+}
+
 // EmptyBlockCount counts canonical blocks that confirm no transactions,
 // excluding genesis. This is the waste metric of Fig. 3(b), 3(c), 3(f).
+// Served from the head's cumulative counter: O(1).
 func (c *Chain) EmptyBlockCount() int {
-	n := 0
-	for _, b := range c.CanonicalBlocks() {
-		if b.Number() > 0 && b.IsEmpty() {
-			n++
-		}
-	}
-	return n
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.canon[len(c.canon)-1].cumEmpty
 }
 
 // ConfirmedTxCount counts transactions confirmed on the canonical chain.
+// Served from the head's cumulative counter: O(1).
 func (c *Chain) ConfirmedTxCount() int {
-	n := 0
-	for _, b := range c.CanonicalBlocks() {
-		n += len(b.Txs)
-	}
-	return n
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.canon[len(c.canon)-1].cumTxs
 }
 
 // expectedDifficulty returns the difficulty a child of parent must declare.
@@ -273,29 +322,61 @@ func (c *Chain) expectedDifficulty(parent *types.Header, childTime uint64) uint6
 // AddBlock validates the block against its parent and stores it, updating
 // the head when the block extends the heaviest chain. Sibling blocks are
 // retained so a later heavier branch can win (longest-chain fork choice).
+//
+// Validation is a staged pipeline so distinct blocks on distinct parents
+// validate concurrently and readers never queue behind a slow block:
+//
+//	stage 1 — a brief read lock resolves the parent entry, then the
+//	          stateless checks (number, shard, time, difficulty, PoW seal,
+//	          tx root, tx count) run lock-free against the parent's
+//	          immutable header;
+//	stage 2 — the body re-executes lock-free on a copy of the parent's
+//	          immutable post-state;
+//	stage 3 — a short exclusive section re-checks the TOCTOU conditions
+//	          (block still unknown, parent still present) and links the
+//	          entry, updating fork choice and the indexes.
+//
+// Two concurrent calls for the same block both pay for validation, but
+// exactly one links it; the other returns ErrKnownBlock from the stage-3
+// re-check, so callers' duplicate accounting stays exact.
 func (c *Chain) AddBlock(b *types.Block) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
 	h := b.Hash()
-	if _, ok := c.blocks[h]; ok {
+
+	c.mu.RLock()
+	_, known := c.blocks[h]
+	parent, haveParent := c.blocks[b.Header.ParentHash]
+	c.mu.RUnlock()
+	if known {
 		return fmt.Errorf("%w: %s", ErrKnownBlock, h)
 	}
-	parent, ok := c.blocks[b.Header.ParentHash]
-	if !ok {
+	if !haveParent {
 		return fmt.Errorf("%w: %s", ErrUnknownParent, b.Header.ParentHash)
 	}
-	ph := parent.block.Header
-	if b.Number() != ph.Number+1 {
-		return fmt.Errorf("%w: %d after %d", ErrBadNumber, b.Number(), ph.Number)
+
+	if err := c.validateStateless(b, parent.block.Header); err != nil {
+		return err
+	}
+	entry, err := c.executeBody(b, parent)
+	if err != nil {
+		return err
+	}
+	return c.link(h, entry)
+}
+
+// validateStateless runs the stage-1 checks: everything decidable from the
+// block and its parent's header alone. The parent entry is immutable once
+// published, so no lock is held.
+func (c *Chain) validateStateless(b *types.Block, parent *types.Header) error {
+	if b.Number() != parent.Number+1 {
+		return fmt.Errorf("%w: %d after %d", ErrBadNumber, b.Number(), parent.Number)
 	}
 	if b.ShardID() != c.cfg.ShardID {
 		return fmt.Errorf("%w: got %s want %s", ErrWrongShard, b.ShardID(), c.cfg.ShardID)
 	}
-	if b.Header.Time < ph.Time {
-		return fmt.Errorf("%w: %d < %d", ErrNonMonotonicTime, b.Header.Time, ph.Time)
+	if b.Header.Time < parent.Time {
+		return fmt.Errorf("%w: %d < %d", ErrNonMonotonicTime, b.Header.Time, parent.Time)
 	}
-	if want := c.expectedDifficulty(ph, b.Header.Time); b.Header.Difficulty != want {
+	if want := c.expectedDifficulty(parent, b.Header.Time); b.Header.Difficulty != want {
 		return fmt.Errorf("%w: got %d want %d", ErrBadDifficulty, b.Header.Difficulty, want)
 	}
 	if !pow.Verify(b.Header) {
@@ -307,41 +388,102 @@ func (c *Chain) AddBlock(b *types.Block) error {
 	if len(b.Txs) > c.cfg.MaxBlockTxs {
 		return fmt.Errorf("%w: %d txs", ErrTooManyTxs, len(b.Txs))
 	}
+	return nil
+}
 
-	// Re-execute the body on the parent state.
+// executeBody runs stage 2: re-execute the block body on a copy of the
+// parent's post-state and verify the declared gas and state root. The
+// parent's state is immutable with a memoized root, so Copy is a pure read
+// and no lock is held — this is the expensive part of validation and it
+// overlaps freely with other validations and with readers.
+func (c *Chain) executeBody(b *types.Block, parent *blockEntry) (*blockEntry, error) {
 	st := parent.state.Copy()
 	receipts, gasUsed, err := c.process(st, b.Txs, b.Header.Coinbase)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, r := range receipts {
 		if r.Status == types.ReceiptInvalid {
-			return fmt.Errorf("%w: %s (%s)", ErrInvalidTx, r.TxHash, r.Err)
+			return nil, fmt.Errorf("%w: %s (%s)", ErrInvalidTx, r.TxHash, r.Err)
 		}
 	}
 	if gasUsed > c.cfg.GasLimit {
-		return fmt.Errorf("%w: %d > %d", ErrGasLimit, gasUsed, c.cfg.GasLimit)
+		return nil, fmt.Errorf("%w: %d > %d", ErrGasLimit, gasUsed, c.cfg.GasLimit)
 	}
 	if gasUsed != b.Header.GasUsed {
-		return fmt.Errorf("%w: got %d declared %d", ErrBadGasUsed, gasUsed, b.Header.GasUsed)
+		return nil, fmt.Errorf("%w: got %d declared %d", ErrBadGasUsed, gasUsed, b.Header.GasUsed)
 	}
+	// The root check also memoizes st's root, keeping the published-state
+	// invariant that later lock-free Copy calls are pure reads.
 	if root := st.Root(); root != b.Header.StateRoot {
-		return fmt.Errorf("%w: got %s declared %s", ErrBadStateRoot, root, b.Header.StateRoot)
+		return nil, fmt.Errorf("%w: got %s declared %s", ErrBadStateRoot, root, b.Header.StateRoot)
 	}
 	st.DiscardJournal()
 
+	h := b.Hash()
 	for _, r := range receipts {
 		r.BlockHash = h
 		r.BlockNum = b.Number()
 	}
-	entry := &blockEntry{block: b, state: st, td: parent.td + b.Header.Difficulty, receipts: receipts}
-	c.blocks[h] = entry
+	return &blockEntry{block: b, state: st, td: parent.td + b.Header.Difficulty, receipts: receipts}, nil
+}
 
+// link runs stage 3: the only exclusive section of AddBlock. It re-checks
+// the conditions stage 1 observed (the block may have been linked by a
+// concurrent AddBlock since), publishes the entry, and maintains fork
+// choice plus the canonical and transaction indexes.
+func (c *Chain) link(h types.Hash, entry *blockEntry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.blocks[h]; ok {
+		return fmt.Errorf("%w: %s", ErrKnownBlock, h)
+	}
+	if _, ok := c.blocks[entry.block.Header.ParentHash]; !ok {
+		// Unreachable today (blocks are never pruned), but the re-check
+		// keeps stage 3 correct on its own terms.
+		return fmt.Errorf("%w: %s", ErrUnknownParent, entry.block.Header.ParentHash)
+	}
+	c.blocks[h] = entry
+	for i, tx := range entry.block.Txs {
+		th := tx.Hash()
+		c.txIndex[th] = append(c.txIndex[th], txRef{block: h, index: i})
+	}
 	cur := c.blocks[c.head]
 	if entry.td > cur.td || (entry.td == cur.td && h.Compare(c.head) < 0) {
-		c.head = h
+		c.setCanonicalHead(h, entry)
 	}
 	return nil
+}
+
+// setCanonicalHead moves the head to entry and rewrites the canonical
+// number index for the new branch. Caller holds the write lock, so the head
+// flip and the index swap are one atomic step for every reader. The walk is
+// bounded by the depth of the reorg — one appended entry for a plain
+// head extension.
+func (c *Chain) setCanonicalHead(h types.Hash, entry *blockEntry) {
+	c.head = h
+	// Collect the new branch, newest first, back to the deepest block that
+	// is already canonical at its height — the fork point.
+	var branch []*blockEntry
+	for e := entry; !c.isCanonical(e.block); {
+		branch = append(branch, e)
+		e = c.blocks[e.block.Header.ParentHash]
+	}
+	fork := entry.block.Number() - uint64(len(branch))
+	c.canon = c.canon[:fork+1]
+	for i := len(branch) - 1; i >= 0; i-- {
+		e := branch[i]
+		prev := c.canon[len(c.canon)-1]
+		ce := canonEntry{
+			hash:     e.block.Hash(),
+			cumTxs:   prev.cumTxs + len(e.block.Txs),
+			cumEmpty: prev.cumEmpty,
+		}
+		if e.block.IsEmpty() {
+			ce.cumEmpty++
+		}
+		c.canon = append(c.canon, ce)
+	}
 }
 
 // process applies txs in order to st, crediting the coinbase with the block
@@ -543,25 +685,32 @@ func (c *Chain) MineNext(coinbase types.Address, pool *mempool.Pool, keep func(*
 // GetReceipt returns the execution receipt of a transaction on the
 // canonical chain, or nil when the transaction is unknown. Receipts come
 // from the chain's own re-execution during AddBlock, so they reflect what
-// this node verified, not what a producer claimed.
+// this node verified, not what a producer claimed. Served from the tx
+// index: a transaction included only on a losing fork yields nil, and the
+// answer flips with fork choice because canonicity is re-decided against
+// the number index on every call.
 func (c *Chain) GetReceipt(txHash types.Hash) *types.Receipt {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	for h := c.head; ; {
-		e := c.blocks[h]
-		for i, tx := range e.block.Txs {
-			if tx.Hash() == txHash {
-				if i < len(e.receipts) {
-					return e.receipts[i]
-				}
-				return nil
-			}
+	for _, ref := range c.txIndex[txHash] {
+		e := c.blocks[ref.block]
+		if !c.isCanonical(e.block) {
+			continue
 		}
-		if e.block.Number() == 0 {
-			return nil
+		if ref.index < len(e.receipts) {
+			return e.receipts[ref.index]
 		}
-		h = e.block.Header.ParentHash
+		return nil
 	}
+	return nil
+}
+
+// HeadBalance reads one account's balance at the head without copying the
+// whole state the way HeadState().GetBalance would.
+func (c *Chain) HeadBalance(addr types.Address) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[c.head].state.GetBalance(addr)
 }
 
 // BlockReceipts returns the receipts of a canonical-or-side block by hash.

@@ -1,0 +1,247 @@
+package chain
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+// walkCanonical re-derives the canonical chain by walking parent hashes
+// from the head — the pre-index O(n) computation — so tests can assert the
+// maintained indexes against an independent source of truth.
+func walkCanonical(t *testing.T, c *Chain) []*types.Block {
+	t.Helper()
+	var rev []*types.Block
+	b := c.Head()
+	for {
+		rev = append(rev, b)
+		if b.Number() == 0 {
+			break
+		}
+		b = c.GetBlock(b.Header.ParentHash)
+		if b == nil {
+			t.Fatal("canonical walk hit a missing parent")
+		}
+	}
+	out := make([]*types.Block, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// assertIndexesMatchWalk checks every maintained index against a fresh
+// parent-hash walk: the number index, the cumulative tx/empty counters, and
+// per-height hash lookups.
+func assertIndexesMatchWalk(t *testing.T, c *Chain) {
+	t.Helper()
+	walk := walkCanonical(t, c)
+	canon := c.CanonicalBlocks()
+	if len(canon) != len(walk) {
+		t.Fatalf("canonical index length %d, walk %d", len(canon), len(walk))
+	}
+	wantTxs, wantEmpty := 0, 0
+	for i := range walk {
+		if canon[i].Hash() != walk[i].Hash() {
+			t.Fatalf("canonical index diverges from walk at height %d: %s vs %s",
+				i, canon[i].Hash(), walk[i].Hash())
+		}
+		h, ok := c.CanonicalHashAt(uint64(i))
+		if !ok || h != walk[i].Hash() {
+			t.Fatalf("CanonicalHashAt(%d) = %s ok=%v, want %s", i, h, ok, walk[i].Hash())
+		}
+		wantTxs += len(walk[i].Txs)
+		if walk[i].Number() > 0 && walk[i].IsEmpty() {
+			wantEmpty++
+		}
+	}
+	if _, ok := c.CanonicalHashAt(uint64(len(walk))); ok {
+		t.Fatal("CanonicalHashAt answered past the head")
+	}
+	if got := c.ConfirmedTxCount(); got != wantTxs {
+		t.Fatalf("ConfirmedTxCount %d, fresh walk %d", got, wantTxs)
+	}
+	if got := c.EmptyBlockCount(); got != wantEmpty {
+		t.Fatalf("EmptyBlockCount %d, fresh walk %d", got, wantEmpty)
+	}
+}
+
+// TestCountersMatchFreshWalkAfterReorg asserts the O(1) counters equal a
+// fresh walk before and after a reorg that swaps out tx-carrying blocks for
+// empty ones.
+func TestCountersMatchFreshWalkAfterReorg(t *testing.T) {
+	f, branchX, branchY := forkFixture(t)
+	_ = branchX
+	assertIndexesMatchWalk(t, f.chain)
+	// The winning branch Y is all empty blocks.
+	if got := f.chain.EmptyBlockCount(); got != len(branchY) {
+		t.Fatalf("EmptyBlockCount %d, want %d", got, len(branchY))
+	}
+	if got := f.chain.ConfirmedTxCount(); got != 0 {
+		t.Fatalf("ConfirmedTxCount %d on an empty branch", got)
+	}
+}
+
+// TestCanonicalIndexTieBreakFlip exercises the total-difficulty tie-break
+// (lower hash wins) in both directions: a same-height sibling with a lower
+// hash flips the head and atomically swaps the indexed range; one with a
+// higher hash leaves it untouched. Insertion order is chosen from the
+// candidates' actual hashes so the test is deterministic regardless of
+// mining luck.
+func TestCanonicalIndexTieBreakFlip(t *testing.T) {
+	f := newFixture(t)
+	tx := f.signedTransfer(t, f.alice, f.bob.Address(), 1, 1)
+	a1, _, err := f.chain.BuildBlock(f.miner, []*types.Transaction{tx}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mine empty siblings (not yet inserted) until two have a higher hash
+	// than the tx block — those will lose the tie-break to it.
+	var losers []*types.Block
+	for i := 0; len(losers) < 2; i++ {
+		if i > 200 {
+			t.Fatal("no higher-hash sibling in 200 attempts")
+		}
+		sib := buildOnExec(t, f.chain, f.chain.Genesis(), types.BytesToAddress([]byte{0x90, byte(i)}),
+			f.bob, false, uint64(2000+i))
+		if sib.Hash().Compare(a1.Hash()) > 0 {
+			losers = append(losers, sib)
+		}
+	}
+
+	// Higher-hash sibling first: it takes the head unopposed.
+	if err := f.chain.AddBlock(losers[0]); err != nil {
+		t.Fatal(err)
+	}
+	if f.chain.Head().Hash() != losers[0].Hash() {
+		t.Fatal("first sibling did not take the head")
+	}
+	if _, _, err := f.chain.FindTx(tx.Hash()); !errors.Is(err, ErrTxNotFound) {
+		t.Fatalf("tx findable before its block is inserted: %v", err)
+	}
+
+	// Equal TD, lower hash: a1 must flip the head and the indexed range —
+	// the counters and tx lookups switch branches in the same step.
+	if err := f.chain.AddBlock(a1); err != nil {
+		t.Fatal(err)
+	}
+	if f.chain.Head().Hash() != a1.Hash() {
+		t.Fatal("lower-hash block did not win the tie-break")
+	}
+	assertIndexesMatchWalk(t, f.chain)
+	if got := f.chain.ConfirmedTxCount(); got != 1 {
+		t.Fatalf("ConfirmedTxCount %d after flip to the tx branch", got)
+	}
+	if _, idx, err := f.chain.FindTx(tx.Hash()); err != nil || idx != 0 {
+		t.Fatalf("tx lookup after flip: idx %d err %v", idx, err)
+	}
+
+	// Equal TD, higher hash: no flip, nothing moves.
+	if err := f.chain.AddBlock(losers[1]); err != nil {
+		t.Fatal(err)
+	}
+	if f.chain.Head().Hash() != a1.Hash() {
+		t.Fatal("higher-hash sibling stole the head on an equal-TD tie")
+	}
+	assertIndexesMatchWalk(t, f.chain)
+	if got := f.chain.ConfirmedTxCount(); got != 1 {
+		t.Fatalf("ConfirmedTxCount %d after losing sibling", got)
+	}
+}
+
+// TestCanonicalIndexPropertyRandomForks grows a random block DAG — each new
+// block picks a random existing parent, sometimes carrying a transaction —
+// and after every insert asserts the maintained indexes against a fresh
+// parent-hash walk.
+func TestCanonicalIndexPropertyRandomForks(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewSource(42))
+	parents := []*types.Block{f.chain.Genesis()}
+	for i := 0; i < 60; i++ {
+		parent := parents[rng.Intn(len(parents))]
+		withTx := rng.Intn(3) == 0
+		coinbase := types.BytesToAddress([]byte{0xA0, byte(rng.Intn(4))})
+		// Unique time per step keeps headers (and hashes) distinct even on
+		// the same parent.
+		b := buildOnExec(t, f.chain, parent, coinbase, f.alice, withTx,
+			parent.Header.Time+1000+uint64(i))
+		if err := f.chain.AddBlock(b); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		parents = append(parents, b)
+		assertIndexesMatchWalk(t, f.chain)
+	}
+	if f.chain.Height() == 0 {
+		t.Fatal("property run never extended the chain")
+	}
+}
+
+// TestTxIndexAcrossForks mines a transaction on branch A, reorgs to an
+// empty branch B (tx becomes non-canonical: lookups must miss), then
+// re-extends A past B (tx canonical again: lookups must hit, with the
+// original block and position).
+func TestTxIndexAcrossForks(t *testing.T) {
+	f := newFixture(t)
+	tx := f.signedTransfer(t, f.alice, f.bob.Address(), 100, 5)
+	a1, _, err := f.chain.BuildBlock(f.miner, []*types.Transaction{tx}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.chain.AddBlock(a1); err != nil {
+		t.Fatal(err)
+	}
+	if r := f.chain.GetReceipt(tx.Hash()); r == nil || r.BlockHash != a1.Hash() {
+		t.Fatalf("receipt before reorg: %+v", r)
+	}
+
+	// Branch B: two empty blocks from genesis — strictly heavier than A.
+	loser := types.BytesToAddress([]byte{0xB2})
+	b1 := buildOnExec(t, f.chain, f.chain.Genesis(), loser, f.bob, false, 1500)
+	if err := f.chain.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := buildOnExec(t, f.chain, b1, loser, f.bob, false, 2500)
+	if err := f.chain.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	if f.chain.Head().Hash() != b2.Hash() {
+		t.Fatal("branch B did not win")
+	}
+	// The tx now sits only on the losing fork: canonical lookups must miss.
+	if _, _, err := f.chain.FindTx(tx.Hash()); !errors.Is(err, ErrTxNotFound) {
+		t.Fatalf("FindTx on a non-canonical tx: %v", err)
+	}
+	if r := f.chain.GetReceipt(tx.Hash()); r != nil {
+		t.Fatalf("receipt served from a losing fork: %+v", r)
+	}
+	if _, _, err := f.chain.ProveInclusion(tx.Hash()); err == nil {
+		t.Fatal("inclusion proof built from a losing fork")
+	}
+
+	// Re-extend A to height 3: the tx's branch is canonical again.
+	a2 := buildOnExec(t, f.chain, a1, f.miner, f.bob, false, 3000)
+	if err := f.chain.AddBlock(a2); err != nil {
+		t.Fatal(err)
+	}
+	a3 := buildOnExec(t, f.chain, a2, f.miner, f.bob, false, 4000)
+	if err := f.chain.AddBlock(a3); err != nil {
+		t.Fatal(err)
+	}
+	if f.chain.Head().Hash() != a3.Hash() {
+		t.Fatal("branch A did not win back the head")
+	}
+	block, idx, err := f.chain.FindTx(tx.Hash())
+	if err != nil {
+		t.Fatalf("FindTx after winning back: %v", err)
+	}
+	if block.Hash() != a1.Hash() || idx != 0 {
+		t.Fatalf("tx located at %s[%d], want %s[0]", block.Hash(), idx, a1.Hash())
+	}
+	r := f.chain.GetReceipt(tx.Hash())
+	if r == nil || r.BlockHash != a1.Hash() || r.Status != types.ReceiptSuccess {
+		t.Fatalf("receipt after winning back: %+v", r)
+	}
+	assertIndexesMatchWalk(t, f.chain)
+}

@@ -14,13 +14,16 @@ import (
 var ErrTxNotFound = errors.New("chain: transaction not found on canonical chain")
 
 // FindTx locates a transaction on the canonical chain, returning its block
-// and position.
+// and position. Served from the tx index: inclusions on losing forks are
+// skipped, so a transaction mined only on a non-canonical branch is "not
+// found" until fork choice makes its branch canonical.
 func (c *Chain) FindTx(h types.Hash) (*types.Block, int, error) {
-	for _, b := range c.CanonicalBlocks() {
-		for i, tx := range b.Txs {
-			if tx.Hash() == h {
-				return b, i, nil
-			}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, ref := range c.txIndex[h] {
+		e := c.blocks[ref.block]
+		if c.isCanonical(e.block) {
+			return e.block, ref.index, nil
 		}
 	}
 	return nil, 0, fmt.Errorf("%w: %s", ErrTxNotFound, h)
@@ -61,18 +64,26 @@ func (c *Chain) BlocksByRange(from uint64, count int) [][]byte {
 	if count <= 0 {
 		return nil
 	}
-	blocks := c.CanonicalBlocks()
-	head := uint64(len(blocks) - 1)
+	// Snapshot just the requested block pointers from the number index;
+	// encoding happens outside the lock (blocks are immutable).
+	c.mu.RLock()
+	head := uint64(len(c.canon) - 1)
 	if from > head {
+		c.mu.RUnlock()
 		return nil
 	}
 	end := from + uint64(count)
 	if end > head+1 {
 		end = head + 1
 	}
-	out := make([][]byte, 0, end-from)
-	for _, b := range blocks[from:end] {
-		out = append(out, b.Encode())
+	blocks := make([]*types.Block, 0, end-from)
+	for n := from; n < end; n++ {
+		blocks = append(blocks, c.blocks[c.canon[n].hash].block)
+	}
+	c.mu.RUnlock()
+	out := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Encode()
 	}
 	return out
 }
@@ -83,16 +94,17 @@ func (c *Chain) BlocksByRange(from uint64, count int) [][]byte {
 // own canonical chain to find the fork point without either side shipping
 // full headers.
 func (c *Chain) Locator() []types.Hash {
-	blocks := c.CanonicalBlocks()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var loc []types.Hash
 	step := 1
-	for i := len(blocks) - 1; i > 0; i -= step {
-		loc = append(loc, blocks[i].Hash())
+	for i := len(c.canon) - 1; i > 0; i -= step {
+		loc = append(loc, c.canon[i].hash)
 		if len(loc) >= 8 {
 			step *= 2
 		}
 	}
-	return append(loc, blocks[0].Hash())
+	return append(loc, c.canon[0].hash)
 }
 
 // CommonAncestor returns the number of the newest locator entry that lies
@@ -100,13 +112,11 @@ func (c *Chain) Locator() []types.Hash {
 // the peer's chain shares no block with ours, not even genesis, so serving
 // it anything would be meaningless.
 func (c *Chain) CommonAncestor(locator []types.Hash) (uint64, bool) {
-	canonical := make(map[types.Hash]uint64)
-	for _, b := range c.CanonicalBlocks() {
-		canonical[b.Hash()] = b.Number()
-	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, h := range locator {
-		if n, ok := canonical[h]; ok {
-			return n, true
+		if e, ok := c.blocks[h]; ok && c.isCanonical(e.block) {
+			return e.block.Number(), true
 		}
 	}
 	return 0, false

@@ -32,6 +32,14 @@
 // chain's full re-execution in AddBlock — so a malicious serving peer can
 // waste a round but never inject a bad block; it is counted in BadReplies
 // and the rotation moves on.
+//
+// Concurrency: both halves lean on the chain's own synchronization rather
+// than a syncer-wide lock. Serving reads the maintained canonical indexes
+// (Locator, CommonAncestor, BlocksByRange take only a brief read lock and
+// encode outside it), and catch-up applies fetched blocks through AddBlock's
+// staged pipeline, whose body re-execution runs outside the chain lock — so
+// a node can serve ranges, validate gossip and catch up simultaneously
+// without any of the three serializing the others.
 package chainsync
 
 import (

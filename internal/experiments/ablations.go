@@ -258,6 +258,18 @@ func runProto(opts Options) (*Result, error) {
 				break
 			}
 		}
+		// The chains' O(1) canonical counters double as the drain check:
+		// every injected transaction must be confirmed somewhere, and any
+		// empty blocks are the waste metric the paper's merge targets.
+		confirmed, empty := 0, 0
+		for _, ch := range chains {
+			confirmed += ch.ConfirmedTxCount()
+			empty += ch.EmptyBlockCount()
+		}
+		if confirmed != contracts*perUser {
+			return 0, fmt.Errorf("proto: drained %d of %d injected txs", confirmed, contracts*perUser)
+		}
+		summary[fmt.Sprintf("empty_blocks_%d", contracts)] = float64(empty)
 		return float64(r), nil
 	}
 

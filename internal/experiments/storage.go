@@ -61,6 +61,7 @@ func runStorage(opts Options) (*Result, error) {
 	}
 	drain := func(ch *chain.Chain, pool *mempool.Pool) error {
 		miner := types.BytesToAddress([]byte{0xA1})
+		expected := pool.Size()
 		for r := 1; pool.Size() > 0; r++ {
 			if r > 10000 {
 				return fmt.Errorf("storage: pool stuck")
@@ -68,6 +69,11 @@ func runStorage(opts Options) (*Result, error) {
 			if _, err := ch.MineNext(miner, pool, nil, uint64(r)*1000); err != nil {
 				return err
 			}
+		}
+		// O(1) canonical counter as the drain check: every pooled tx must
+		// have been confirmed on the chain we are about to measure.
+		if got := ch.ConfirmedTxCount(); got != expected {
+			return fmt.Errorf("storage: confirmed %d of %d pooled txs", got, expected)
 		}
 		return nil
 	}

@@ -174,9 +174,10 @@ func (m *Miner) Head() *types.Block { return m.chain.Head() }
 // Pending returns the miner's pool size.
 func (m *Miner) Pending() int { return m.pool.Size() }
 
-// BalanceOf reads an account from the miner's shard ledger.
+// BalanceOf reads an account from the miner's shard ledger without copying
+// the whole head state.
 func (m *Miner) BalanceOf(addr types.Address) uint64 {
-	return m.chain.HeadState().GetBalance(addr)
+	return m.chain.HeadBalance(addr)
 }
 
 // handleTx routes an incoming transaction: pooled when it belongs to this
@@ -200,8 +201,11 @@ func (m *Miner) handleTx(tx *types.Transaction) {
 }
 
 // handleBlock performs the two verifications of Sec. III-C on a gossiped
-// block. Decoding and the membership proof are pure and run unlocked; the
-// acceptance path (selection check, AddBlock, pool removal, stats) holds
+// block. Decoding, the membership proof and the selection-discipline check
+// are pure and run unlocked — so does most of chain.AddBlock itself, whose
+// staged pipeline takes the chain's write lock only to link the validated
+// block, letting a concurrent CatchUp or Mine overlap with this delivery's
+// re-execution. The acceptance path (AddBlock, pool removal, stats) holds
 // m.mu so two concurrent deliveries of the same block cannot interleave —
 // one accepts, the other sees ErrKnownBlock and counts as a duplicate,
 // never a rejection, and BlocksAccepted moves in lockstep with the ledger.
@@ -227,25 +231,28 @@ func (m *Miner) handleBlock(raw []byte) {
 		m.mu.Unlock()
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	// Verification 3 (Sec. IV-C): with unified selection active, the block
-	// may only contain transactions the assignment gave its producer.
+	// may only contain transactions the assignment gave its producer. The
+	// check is a pure function of the (memoized) selection sets, so it needs
+	// no miner lock.
 	if m.cfg.Selection != nil && len(block.Txs) > 0 {
 		hashes := make([]types.Hash, len(block.Txs))
 		for i, tx := range block.Txs {
 			hashes[i] = tx.Hash()
 		}
 		sets, err := m.selectionSets(m.cfg.Selection)
-		if err != nil {
-			m.stats.BlocksRejected++
-			return
+		if err == nil {
+			err = unify.VerifyProducedBlockWithSets(m.cfg.Selection, sets, block.Header.Coinbase, hashes)
 		}
-		if err := unify.VerifyProducedBlockWithSets(m.cfg.Selection, sets, block.Header.Coinbase, hashes); err != nil {
+		if err != nil {
+			m.mu.Lock()
 			m.stats.BlocksRejected++
+			m.mu.Unlock()
 			return
 		}
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.chain.AddBlock(block); err != nil {
 		switch {
 		case errors.Is(err, chain.ErrKnownBlock):
