@@ -6,8 +6,13 @@
 //
 //	go test -bench . -run '^$' ./internal/chain/ | benchjson > BENCH_chain.json
 //
+// Output from several `go test -bench` runs can be concatenated on stdin:
+// each package's preamble updates the current "pkg", which is recorded on
+// every following result, so one artifact can merge benchmarks from
+// multiple packages (CI merges ./internal/chain and the repo root).
+//
 // Each benchmark line ("BenchmarkFoo-8  100  12345 ns/op  67 B/op") becomes
-// one result object with its metrics keyed by unit; the goos/goarch/pkg/cpu
+// one result object with its metrics keyed by unit; the goos/goarch/cpu
 // preamble lines are captured into the environment map. Non-benchmark lines
 // (PASS, ok, test logs) are ignored.
 package main
@@ -23,6 +28,7 @@ import (
 
 type result struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -39,12 +45,16 @@ func main() {
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := "" // the package whose preamble was seen most recently
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+		for _, key := range []string{"goos", "goarch", "cpu"} {
 			if v, ok := strings.CutPrefix(line, key+": "); ok {
 				doc.Environment[key] = strings.TrimSpace(v)
 			}
+		}
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(v)
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
@@ -57,7 +67,7 @@ func main() {
 		if err != nil {
 			continue // a benchmark name alone on its line, not a result row
 		}
-		r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		r := result{Name: fields[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
 		// The remainder alternates value/unit: "12345 ns/op 67 B/op ...".
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)

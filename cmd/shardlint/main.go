@@ -1,0 +1,106 @@
+// Command shardlint runs the repo's determinism and lock-discipline
+// analyzers (internal/lint) over the given packages and fails on any
+// unwaived diagnostic. It is a hard CI gate: consensus code that iterates a
+// map unsorted, reads the wall clock, self-deadlocks on its own mutex, or
+// drops an error does not merge.
+//
+// Usage:
+//
+//	go run ./cmd/shardlint ./...            # lint the module, human output
+//	go run ./cmd/shardlint -json ./...      # machine-readable diagnostics
+//	go run ./cmd/shardlint -waivers ./...   # audit every //shardlint: waiver
+//
+// Exit status: 0 clean, 1 diagnostics found (or, with -waivers, a waiver
+// with an empty reason), 2 operational failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"contractshard/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics (or waivers) as JSON")
+	waivers := flag.Bool("waivers", false, "list every //shardlint: waiver with its reason instead of linting")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: shardlint [-json] [-waivers] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers: detrange, detsource, locksafe, errdrop (see DESIGN.md \"Determinism discipline\").\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := lint.Run(cwd, patterns, lint.Config{})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *waivers {
+		// Audit mode: the full waiver inventory, plus any malformed
+		// waivers (empty reason, unknown key), which stay fatal.
+		bad := 0
+		if *jsonOut {
+			malformed := []lint.Diagnostic{}
+			for _, d := range res.Diagnostics {
+				if d.Analyzer == "waiver" {
+					malformed = append(malformed, d)
+				}
+			}
+			bad = len(malformed)
+			emitJSON(map[string]any{"waivers": res.Waivers, "malformed": malformed})
+		} else {
+			for _, w := range res.Waivers {
+				fmt.Printf("%s:%d: [%s] %s\n", w.File, w.Line, w.Key, w.Reason)
+			}
+			for _, d := range res.Diagnostics {
+				if d.Analyzer == "waiver" {
+					fmt.Println(d)
+					bad++
+				}
+			}
+			fmt.Printf("%d waiver(s), %d malformed\n", len(res.Waivers), bad)
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *jsonOut {
+		emitJSON(res)
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+		if n := len(res.Diagnostics); n > 0 {
+			fmt.Printf("shardlint: %d diagnostic(s)\n", n)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shardlint:", err)
+	os.Exit(2)
+}

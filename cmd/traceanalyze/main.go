@@ -41,7 +41,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, ferr)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer f.Close() //shardlint:errdrop read-only file; a close error cannot lose data
 		events, err = workload.LoadCSVTrace(f)
 	} else {
 		events, err = workload.Trace(rand.New(rand.NewSource(*seed)), workload.TraceConfig{

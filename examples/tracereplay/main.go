@@ -46,7 +46,7 @@ func main() {
 		if ferr != nil {
 			log.Fatal(ferr)
 		}
-		defer f.Close()
+		defer f.Close() //shardlint:errdrop read-only file; a close error cannot lose data
 		events, err = workload.LoadCSVTrace(f)
 	} else {
 		events, err = workload.LoadCSVTrace(strings.NewReader(sample))

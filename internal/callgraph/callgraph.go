@@ -120,6 +120,7 @@ func (g *Graph) Classify(sender types.Address) Classification {
 	case 0:
 		return Classification{Kind: KindUnknown}
 	case 1:
+		//shardlint:ordered single-element set; the loop extracts its only key
 		for c := range set {
 			return Classification{Kind: KindSingleContract, Contract: c}
 		}
@@ -147,9 +148,11 @@ func (g *Graph) Users() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	seen := make(map[types.Address]struct{}, len(g.contracts)+len(g.direct))
+	//shardlint:ordered set union into a map; insertion order cannot affect the result
 	for u := range g.contracts {
 		seen[u] = struct{}{}
 	}
+	//shardlint:ordered set union into a map; insertion order cannot affect the result
 	for u := range g.direct {
 		seen[u] = struct{}{}
 	}
@@ -162,13 +165,16 @@ func (g *Graph) Snapshot() *Graph {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := New()
+	//shardlint:ordered map-to-map deep copy; per-key writes commute
 	for u, set := range g.contracts {
 		ns := make(map[types.Address]struct{}, len(set))
+		//shardlint:ordered map-to-map deep copy; per-key writes commute
 		for c := range set {
 			ns[c] = struct{}{}
 		}
 		out.contracts[u] = ns
 	}
+	//shardlint:ordered map-to-map deep copy; per-key writes commute
 	for u := range g.direct {
 		out.direct[u] = struct{}{}
 	}

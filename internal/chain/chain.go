@@ -14,6 +14,7 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"contractshard/internal/contract"
@@ -146,8 +147,10 @@ func New(cfg Config, alloc map[types.Address]uint64) (*Chain, error) {
 		cfg.GasPerTx = cfg.GasLimit / uint64(cfg.MaxBlockTxs)
 	}
 	st := state.New()
-	for addr, bal := range alloc {
-		if err := st.AddBalance(addr, bal); err != nil {
+	// The genesis hash commits to this state, so apply the alloc in sorted
+	// address order rather than map order.
+	for _, addr := range sortedAddrKeys(alloc) {
+		if err := st.AddBalance(addr, alloc[addr]); err != nil {
 			return nil, fmt.Errorf("chain: genesis alloc: %w", err)
 		}
 	}
@@ -181,8 +184,8 @@ func NewWithContracts(cfg Config, alloc map[types.Address]uint64, code map[types
 		return nil, err
 	}
 	entry := c.blocks[c.genesis]
-	for addr, bytecode := range code {
-		entry.state.SetCode(addr, bytecode)
+	for _, addr := range sortedAddrKeys(code) {
+		entry.state.SetCode(addr, code[addr])
 	}
 	entry.state.DiscardJournal()
 	entry.block.Header.StateRoot = entry.state.Root()
@@ -194,6 +197,17 @@ func NewWithContracts(cfg Config, alloc map[types.Address]uint64, code map[types
 	c.head = h
 	c.canon = []canonEntry{{hash: h}}
 	return c, nil
+}
+
+// sortedAddrKeys returns the map's address keys in ascending order, so
+// genesis construction applies them deterministically.
+func sortedAddrKeys[V any](m map[types.Address]V) []types.Address {
+	keys := make([]types.Address, 0, len(m))
+	for addr := range m {
+		keys = append(keys, addr)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	return keys
 }
 
 // sealHeader runs the PoW search with a budget scaled to the difficulty.

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/types"
+)
+
+// detrange flags `for ... range m` over a map in consensus-critical
+// packages. Go randomizes map iteration order per run, so any consensus
+// computation that walks a map directly can diverge between two miners
+// replaying the same inputs. A site stays silent when it is the canonical
+// collect-then-sort idiom (the loop body is a single append into a slice
+// that the function sorts before its next use) — the keys are demonstrably
+// ordered before they matter — or when it carries a
+// `//shardlint:ordered <reason>` waiver.
+func detrange(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !cfg.isConsensus(pkg.RelPath) {
+			continue
+		}
+		for _, fn := range funcBodies(pkg) {
+			ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+				list := stmtList(n)
+				if list == nil {
+					return true
+				}
+				for i, stmt := range list {
+					loop, ok := stmt.(*ast.RangeStmt)
+					if !ok || !isMapType(pkg, loop.X) {
+						continue
+					}
+					if sortedCollect(pkg, loop, list[i+1:]) {
+						continue
+					}
+					file, line, col := posOf(loader, pkg, loop.Pos())
+					diags = append(diags, Diagnostic{
+						File: file, Line: line, Col: col,
+						Analyzer: "detrange",
+						Message: fmt.Sprintf("range over map %s has nondeterministic iteration order; sort the keys or waive with //shardlint:ordered <reason>",
+							exprString(loader, loop.X)),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// stmtList returns the statement list a node carries, so range statements
+// can be inspected together with the statements that follow them.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func isMapType(pkg *Package, expr ast.Expr) bool {
+	t := pkg.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// sortedCollect recognizes
+//
+//	for k := range m { s = append(s, ...) }
+//	sort.Slice(s, ...)        // or sort.Ints/Strings/Sort/slices.Sort...
+//
+// where the sort call is the first statement after the loop that touches s.
+// Anything else touching s first (or s escaping the block unsorted) fails
+// the proof and the range is reported.
+func sortedCollect(pkg *Package, loop *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(loop.Body.List) != 1 {
+		return false
+	}
+	body := loop.Body.List[0]
+	// Filtered collection: `if cond { s = append(s, ...) }` is the same
+	// proof — membership may depend on the condition, order still comes
+	// from the sort below.
+	if ifStmt, ok := body.(*ast.IfStmt); ok && ifStmt.Else == nil && ifStmt.Init == nil && len(ifStmt.Body.List) == 1 {
+		body = ifStmt.Body.List[0]
+	}
+	assign, ok := body.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != target.Name {
+		return false
+	}
+	obj := pkg.Info.ObjectOf(target)
+	for _, stmt := range rest {
+		if !mentionsObject(pkg, stmt, obj, target.Name) {
+			continue
+		}
+		return isSortCallOn(pkg, stmt, obj, target.Name)
+	}
+	return false
+}
+
+// mentionsObject reports whether the statement references the collected
+// slice (by object identity, falling back to name when type info is
+// incomplete).
+func mentionsObject(pkg *Package, n ast.Node, obj types.Object, name string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj != nil {
+			if pkg.Info.ObjectOf(id) == obj {
+				found = true
+			}
+		} else if id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCallOn reports whether stmt is a sort or slices package call taking
+// the collected slice as an argument (possibly wrapped, as in
+// sort.Sort(byID(s))).
+func isSortCallOn(pkg *Package, stmt ast.Stmt, obj types.Object, name string) bool {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pkg.Info.ObjectOf(base).(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkgName.Imported().Path() {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	for _, arg := range call.Args {
+		if mentionsObject(pkg, arg, obj, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprString(loader *Loader, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, loader.Fset, expr); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// detsource flags nondeterministic value sources reachable from
+// consensus-critical code: wall-clock reads (time.Now), ambient environment
+// reads (os.Getenv and friends), and the global math/rand stream (the
+// package-level functions share one unseeded source; two miners calling
+// rand.Intn replay different games). Seeded streams built with
+// rand.New(rand.NewSource(seed)) stay legal — determinism comes from the
+// seed being a consensus input.
+//
+// Reachability is computed over the module's own call graph: a consensus
+// function calling a helper in a non-consensus module package that reads
+// time.Now is flagged at the consensus call site, with the chain in the
+// message. Taint does not propagate through the standard library or through
+// interface calls (no bodies to analyze) — those stay a code-review matter.
+func detsource(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
+	// Pass 1: per-function direct forbidden uses and the module call graph.
+	graph := map[string][]string{}  // caller key -> callee keys
+	direct := map[string]string{}   // func key -> forbidden source it uses
+	defPkg := map[string]*Package{} // func key -> defining package
+	display := map[string]string{}  // func key -> short display name
+	for _, pkg := range pkgs {
+		for _, fn := range funcBodies(pkg) {
+			obj, ok := pkg.Info.Defs[fn.decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := obj.FullName()
+			defPkg[key] = pkg
+			display[key] = shortFuncName(obj)
+			ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				callee, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				if src := forbiddenSource(callee); src != "" {
+					if _, seen := direct[key]; !seen {
+						direct[key] = src
+					}
+					return true
+				}
+				ck := callee.FullName()
+				graph[key] = append(graph[key], ck)
+				if _, ok := display[ck]; !ok {
+					display[ck] = shortFuncName(callee)
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: propagate taint backwards to a fixpoint, keeping the chain of
+	// callees for the diagnostic message. Iteration is over sorted keys so
+	// the chosen chains (and thus the output) are deterministic.
+	chains := map[string][]string{}
+	callers := make([]string, 0, len(graph))
+	for k := range graph {
+		callers = append(callers, k)
+	}
+	sort.Strings(callers)
+	directKeys := make([]string, 0, len(direct))
+	for k := range direct {
+		directKeys = append(directKeys, k)
+	}
+	sort.Strings(directKeys)
+	for _, k := range directKeys {
+		chains[k] = []string{direct[k]}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, caller := range callers {
+			if _, done := chains[caller]; done {
+				continue
+			}
+			for _, callee := range graph[caller] {
+				tail, ok := chains[callee]
+				if !ok {
+					continue
+				}
+				chain := append([]string{display[callee]}, tail...)
+				if len(chain) > 5 {
+					chain = append(chain[:4], "…", chain[len(chain)-1])
+				}
+				chains[caller] = chain
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Pass 3: report, in consensus packages only: direct forbidden uses,
+	// and calls into tainted functions defined outside the consensus set
+	// (a tainted consensus callee is already reported at its own source).
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !cfg.isConsensus(pkg.RelPath) {
+			continue
+		}
+		for _, fn := range funcBodies(pkg) {
+			ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				callee, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				file, line, col := posOf(loader, pkg, id.Pos())
+				if src := forbiddenSource(callee); src != "" {
+					diags = append(diags, Diagnostic{
+						File: file, Line: line, Col: col,
+						Analyzer: "detsource",
+						Message: fmt.Sprintf("consensus code uses %s (%s); derive the value from consensus inputs or waive with //shardlint:detsource <reason>",
+							shortFuncName(callee), sourceKind(src)),
+					})
+					return true
+				}
+				key := callee.FullName()
+				chain, tainted := chains[key]
+				if !tainted {
+					return true
+				}
+				cp, known := defPkg[key]
+				if known && cfg.isConsensus(cp.RelPath) {
+					return true // root use reported in that package
+				}
+				diags = append(diags, Diagnostic{
+					File: file, Line: line, Col: col,
+					Analyzer: "detsource",
+					Message: fmt.Sprintf("consensus code calls %s, which reaches %s (%s → %s); plumb a deterministic value in or waive with //shardlint:detsource <reason>",
+						shortFuncName(callee), chain[len(chain)-1], display[key], strings.Join(chain, " → ")),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// forbiddenSource classifies a function object as a nondeterminism source,
+// returning its display name ("time.Now") or "".
+func forbiddenSource(f *types.Func) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return "" // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch pkg.Path() {
+	case "time":
+		if f.Name() == "Now" {
+			return "time.Now"
+		}
+	case "os":
+		switch f.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			return "os." + f.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		switch f.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return "" // constructors for seeded streams
+		}
+		return pkg.Path() + "." + f.Name()
+	}
+	return ""
+}
+
+// sourceKind explains why a source is forbidden.
+func sourceKind(src string) string {
+	switch {
+	case strings.HasPrefix(src, "time."):
+		return "wall-clock read; miners disagree on it"
+	case strings.HasPrefix(src, "os."):
+		return "ambient environment read; differs per machine"
+	default:
+		return "global rand stream; unseeded and shared, replays diverge"
+	}
+}
+
+// shortFuncName renders a *types.Func as pkg.Fn or Type.Method without the
+// full import path, for readable messages.
+func shortFuncName(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + f.Name()
+		}
+	}
+	if f.Pkg() != nil {
+		parts := strings.Split(f.Pkg().Path(), "/")
+		return parts[len(parts)-1] + "." + f.Name()
+	}
+	return f.Name()
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdrop flags call statements whose error result is silently discarded in
+// non-test code — `w.Flush()` as a bare statement, or inside go/defer. A
+// node that swallows an encode or flush error keeps running on state it
+// thinks it persisted. Printing helpers whose error is conventionally
+// ignored (fmt.Print*/Fprint* and the never-failing strings.Builder /
+// bytes.Buffer writers) are excluded; anything else needs handling or a
+// `//shardlint:errdrop <reason>` waiver.
+var errdropIgnorePrefixes = []string{
+	"fmt.Print",
+	"fmt.Fprint",
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func errdrop(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, fn := range funcBodies(pkg) {
+			ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = n.Call
+				case *ast.DeferStmt:
+					call = n.Call
+				}
+				if call == nil || !returnsError(pkg, call) || ignoredErrdrop(pkg, call) {
+					return true
+				}
+				file, line, col := posOf(loader, pkg, call.Pos())
+				diags = append(diags, Diagnostic{
+					File: file, Line: line, Col: col,
+					Analyzer: "errdrop",
+					Message: fmt.Sprintf("%s returns an error that is discarded; handle it or waive with //shardlint:errdrop <reason>",
+						calleeDisplay(loader, pkg, call)),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// returnsError reports whether the call's result type includes error.
+// Conversions and builtin calls never do.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return false
+	}
+	t := pkg.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+func ignoredErrdrop(pkg *Package, call *ast.CallExpr) bool {
+	f := calleeFunc(pkg, call)
+	if f == nil {
+		return false
+	}
+	name := f.FullName()
+	for _, prefix := range errdropIgnorePrefixes {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	// h.Write on a hash.Hash / hash.Hash32 / hash.Hash64 receiver: the
+	// hash contract documents that Write never returns an error.
+	if f.Name() == "Write" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if named, ok := pkg.Info.TypeOf(sel.X).(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "hash" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object when the callee is a plain
+// identifier or selector; nil for func-typed values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := pkg.Info.Uses[id].(*types.Func)
+	return f
+}
+
+func calleeDisplay(loader *Loader, pkg *Package, call *ast.CallExpr) string {
+	if f := calleeFunc(pkg, call); f != nil {
+		return shortFuncName(f)
+	}
+	return exprString(loader, call.Fun)
+}

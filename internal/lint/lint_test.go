@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixturePath returns the module-relative path of a fixture package.
+func fixturePath(name string) string {
+	return "internal/lint/testdata/src/" + name
+}
+
+// runFixture loads the named fixture packages and runs the suite with the
+// given config.
+func runFixture(t *testing.T, cfg Config, names ...string) (*Loader, *Result) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	var pkgs []*Package
+	for _, name := range names {
+		pkg, err := loader.LoadDir(fixturePath(name))
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", name, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s type error: %v", name, terr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return loader, RunPackages(loader, pkgs, cfg)
+}
+
+// checkGolden compares diagnostics against testdata/src/<name>/golden.txt.
+// Run with UPDATE_GOLDEN=1 to regenerate after an intentional change.
+func checkGolden(t *testing.T, name string, res *Result) {
+	t.Helper()
+	var got strings.Builder
+	for _, d := range res.Diagnostics {
+		got.WriteString(d.String())
+		got.WriteString("\n")
+	}
+	goldenFile := filepath.Join("testdata", "src", name, "golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenFile, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got.String(), want)
+	}
+}
+
+// only is a config running a single analyzer against fixture packages.
+func only(analyzer string, consensus ...string) Config {
+	all := []string{"detrange", "detsource", "locksafe", "errdrop"}
+	var disabled []string
+	for _, a := range all {
+		if a != analyzer {
+			disabled = append(disabled, a)
+		}
+	}
+	paths := make([]string, len(consensus))
+	for i, c := range consensus {
+		paths[i] = fixturePath(c)
+	}
+	return Config{ConsensusPackages: paths, Disabled: disabled}
+}
+
+func TestDetrangeFixture(t *testing.T) {
+	_, res := runFixture(t, only("detrange", "detrange"), "detrange")
+	checkGolden(t, "detrange", res)
+}
+
+func TestDetsourceFixture(t *testing.T) {
+	// The helper package is loaded too so taint propagates across the
+	// module call graph; it is outside the consensus set on purpose.
+	_, res := runFixture(t, only("detsource", "detsource"), "detsourcehelper", "detsource")
+	checkGolden(t, "detsource", res)
+}
+
+func TestLocksafeFixture(t *testing.T) {
+	cfg := only("locksafe", "locksafe")
+	cfg.LockUnsafeCallees = []string{fixturePath("fakenet")}
+	_, res := runFixture(t, cfg, "fakenet", "locksafe")
+	checkGolden(t, "locksafe", res)
+}
+
+func TestErrdropFixture(t *testing.T) {
+	_, res := runFixture(t, only("errdrop"), "errdrop")
+	checkGolden(t, "errdrop", res)
+}
+
+// TestWaiverInventory checks the -waivers plumbing: every well-formed
+// waiver in the fixtures is listed with its reason, and the reasonless one
+// is rejected as a diagnostic instead.
+func TestWaiverInventory(t *testing.T) {
+	_, res := runFixture(t, only("detrange", "detrange"), "detrange")
+	var found *Waiver
+	for i, w := range res.Waivers {
+		if strings.Contains(w.Reason, "order cannot affect a count") {
+			found = &res.Waivers[i]
+		}
+		if w.Reason == "" {
+			t.Errorf("empty-reason waiver leaked into the inventory: %+v", w)
+		}
+	}
+	if found == nil {
+		t.Fatalf("expected the justified waiver in the inventory, got %+v", res.Waivers)
+	}
+	if found.Key != "ordered" {
+		t.Errorf("waiver key = %q, want ordered", found.Key)
+	}
+	malformed := 0
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "waiver" && strings.Contains(d.Message, "requires a reason") {
+			malformed++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("want exactly 1 reasonless-waiver diagnostic, got %d", malformed)
+	}
+}
+
+// TestUnknownWaiverKey: a typo'd key is reported, not silently ignored.
+func TestUnknownWaiverKey(t *testing.T) {
+	dir := t.TempDir()
+	// A throwaway module so the loader treats the file as its own root.
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "package scratch\n\n//shardlint:orderd typo in the key\nfunc F() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dir, []string{"./..."}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "waiver" && strings.Contains(d.Message, "unknown shardlint waiver key") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unknown waiver key not reported; diagnostics: %v", res.Diagnostics)
+	}
+}
+
+// TestJSONShape locks the machine-readable output format: a diagnostics
+// array of {file,line,col,analyzer,message} plus the waiver inventory.
+func TestJSONShape(t *testing.T) {
+	_, res := runFixture(t, only("errdrop"), "errdrop")
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Diagnostics []map[string]any `json:"diagnostics"`
+		Waivers     []map[string]any `json:"waivers"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Diagnostics) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for _, key := range []string{"file", "line", "col", "analyzer", "message"} {
+		if _, ok := doc.Diagnostics[0][key]; !ok {
+			t.Errorf("diagnostic JSON missing %q: %v", key, doc.Diagnostics[0])
+		}
+	}
+	if len(doc.Waivers) == 0 {
+		t.Fatal("fixture waiver missing from JSON inventory")
+	}
+	for _, key := range []string{"file", "line", "key", "reason"} {
+		if _, ok := doc.Waivers[0][key]; !ok {
+			t.Errorf("waiver JSON missing %q: %v", key, doc.Waivers[0])
+		}
+	}
+}
+
+// TestRepoLintClean is the acceptance gate in test form: the shipped tree
+// must carry zero unwaived diagnostics.
+func TestRepoLintClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(loader.ModDir, []string{"./..."}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("unwaived diagnostic: %s", d)
+	}
+}

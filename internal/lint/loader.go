@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package of the module under
+// analysis. Test files (_test.go) are excluded: shardlint guards the shipped
+// consensus code, and test-only nondeterminism cannot fork a shard.
+type Package struct {
+	// Path is the full import path ("contractshard/internal/unify").
+	Path string
+	// RelPath is the path relative to the module root ("internal/unify");
+	// "" for the root package.
+	RelPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files holds the parsed non-test files, parallel to FileNames.
+	Files []*ast.File
+	// FileNames holds module-relative file names, parallel to Files.
+	FileNames []string
+	// Types is the type-checked package; always non-nil, possibly
+	// incomplete if TypeErrors is non-empty.
+	Types *types.Package
+	// Info carries the type-checker's expression/object maps.
+	Info *types.Info
+	// TypeErrors collects soft type-check errors; analysis proceeds on
+	// the partial information.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of a single module using only the
+// standard library: module-internal imports are resolved recursively from
+// source (so function objects are identical across the whole module, which
+// the cross-package call graph relies on), and everything else is delegated
+// to the stdlib source importer rooted at GOROOT.
+type Loader struct {
+	Fset         *token.FileSet
+	ModPath      string // module path from go.mod
+	ModDir       string // absolute module root directory
+	IncludeTests bool
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package // keyed by import path
+	busy map[string]bool     // cycle guard (import cycles are illegal anyway)
+}
+
+// NewLoader locates the enclosing module of dir by walking up to go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModDir:  root,
+		pkgs:    map[string]*Package{},
+		busy:    map[string]bool{},
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	l.std = std
+	return l, nil
+}
+
+// readModulePath extracts the module path from the first `module` directive.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadDir loads the package in the given directory (absolute or relative to
+// the module root).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.ModDir, dir)
+	}
+	rel, err := filepath.Rel(l.ModDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModDir)
+	}
+	path := l.ModPath
+	if rel != "." {
+		path = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, dir)
+}
+
+// Import implements types.Importer so the Loader can serve as its own
+// importer for the type-checker.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModDir, 0)
+}
+
+// ImportFrom resolves module-internal paths from source and delegates the
+// rest to the stdlib source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.load(path, filepath.Join(l.ModDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// load parses and type-checks one package directory, caching by import path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir}
+	if rel, err := filepath.Rel(l.ModDir, dir); err == nil && rel != "." {
+		pkg.RelPath = filepath.ToSlash(rel)
+	}
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		file, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+		relName := name
+		if pkg.RelPath != "" {
+			relName = pkg.RelPath + "/" + name
+		}
+		pkg.FileNames = append(pkg.FileNames, relName)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check never hard-fails here: with a non-nil Error hook it records
+	// problems and returns the partial package, which is what we want —
+	// analyzers degrade gracefully on missing type info.
+	tpkg, _ := conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadPatterns expands the given patterns ("./...", "dir/...", plain
+// directories) into loaded packages, in deterministic path order. Directories
+// named "testdata", hidden directories, and directories without non-test Go
+// files are skipped, mirroring the go tool's ./... semantics.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || pat == "./..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.ModDir, base)
+		}
+		if !recursive {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				dirs[p] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var pkgs []*Package
+	for _, d := range sorted {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

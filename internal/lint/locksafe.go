@@ -1,0 +1,514 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// locksafe mechanizes the lock rules from DESIGN.md "Chain lock discipline"
+// as a per-package call-graph walk over methods:
+//
+//  1. Self-deadlock: a method that acquires a sync.Mutex/RWMutex field of
+//     its receiver and — directly or through other methods on the same
+//     receiver — re-acquires the same field. Includes write→read on an
+//     RWMutex (RLock blocks behind a Lock already held) and read→read
+//     (recursive RLock deadlocks against a writer queued between the two).
+//  2. Blocking publication under the write lock: a channel send, or a call
+//     into the p2p/chainsync packages (gossip, catch-up — they block on
+//     peers), made while a write lock is held. The critical section must
+//     stay short and local; snapshot under the lock, publish after.
+//
+// The walk is intraprocedural per method but summaries are transitive
+// across same-receiver methods, so helper chains are caught. Branches are
+// walked with a copy of the held-lock set, so `if bad { mu.Unlock();
+// return }` does not leak an unlock to the fallthrough path.
+var defaultLockUnsafeCallees = []string{"internal/p2p", "internal/chainsync"}
+
+const (
+	lockRead  = 1
+	lockWrite = 2
+)
+
+// lockKey identifies a mutex field of a receiver type within one package.
+type lockKey struct {
+	recvType string
+	field    string
+}
+
+func (k lockKey) String() string { return k.recvType + "." + k.field }
+
+// methodSummary is what a method does to its receiver's locks, transitively
+// through same-receiver calls.
+type methodSummary struct {
+	decl      *ast.FuncDecl
+	recvName  string          // receiver identifier ("c"), "" if unnamed
+	recvType  string          // receiver named type ("Chain")
+	acquires  map[lockKey]int // lock modes the method (re)takes somewhere
+	publishes []string        // descriptions of sends / p2p calls inside
+	callees   []string        // same-receiver method names called
+}
+
+func locksafe(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
+	unsafeCallees := cfg.LockUnsafeCallees
+	if unsafeCallees == nil {
+		unsafeCallees = defaultLockUnsafeCallees
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, locksafePackage(loader, pkg, unsafeCallees)...)
+	}
+	return diags
+}
+
+func locksafePackage(loader *Loader, pkg *Package, unsafeCallees []string) []Diagnostic {
+	w := &lockWalker{loader: loader, pkg: pkg, unsafePkgs: unsafeCallees,
+		methods: map[string]*methodSummary{}}
+
+	// Pass 1: per-method summaries.
+	for _, fn := range funcBodies(pkg) {
+		sum := w.summarize(fn.decl)
+		if sum == nil {
+			continue
+		}
+		w.methods[sum.recvType+"."+fn.decl.Name.Name] = sum
+	}
+	// Transitive closure over same-receiver calls, to a fixpoint.
+	keys := make([]string, 0, len(w.methods))
+	for k := range w.methods {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			sum := w.methods[k]
+			for _, calleeName := range sum.callees {
+				callee, ok := w.methods[sum.recvType+"."+calleeName]
+				if !ok {
+					continue
+				}
+				for lk, mode := range callee.acquires {
+					if sum.acquires[lk]&mode != mode {
+						sum.acquires[lk] |= mode
+						changed = true
+					}
+				}
+				for _, p := range callee.publishes {
+					if !contains(sum.publishes, p) {
+						sum.publishes = append(sum.publishes, p)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: walk each method with a held-lock set and report.
+	for _, fn := range funcBodies(pkg) {
+		sum := w.summaryFor(fn.decl)
+		if sum == nil {
+			continue
+		}
+		w.current = sum
+		w.walkStmts(fn.decl.Body.List, map[lockKey]int{})
+	}
+	sort.Slice(w.diags, func(i, j int) bool {
+		a, b := w.diags[i], w.diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return w.diags
+}
+
+type lockWalker struct {
+	loader     *Loader
+	pkg        *Package
+	unsafePkgs []string
+	methods    map[string]*methodSummary
+	current    *methodSummary
+	diags      []Diagnostic
+}
+
+// summarize builds the direct (pre-closure) summary for a method; nil for
+// plain functions or bodiless declarations.
+func (w *lockWalker) summarize(fd *ast.FuncDecl) *methodSummary {
+	recvType, recvName := receiverOf(fd)
+	if recvType == "" {
+		return nil
+	}
+	sum := &methodSummary{decl: fd, recvName: recvName, recvType: recvType,
+		acquires: map[lockKey]int{}}
+	w.current = sum // lockOp/sameRecvCall resolve the receiver through current
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // runs on another goroutine / another time
+		case *ast.SendStmt:
+			sum.publishes = append(sum.publishes, "a channel send")
+		case *ast.CallExpr:
+			if op, key, ok := w.lockOp(n); ok {
+				if key.recvType == "" {
+					return true // not the receiver's own mutex
+				}
+				if op == "Lock" {
+					sum.acquires[key] |= lockWrite
+				} else if op == "RLock" {
+					sum.acquires[key] |= lockRead
+				}
+				return true
+			}
+			if name, ok := w.sameRecvCall(n); ok {
+				sum.callees = append(sum.callees, name)
+				return true
+			}
+			if desc := w.unsafeCallee(n); desc != "" {
+				sum.publishes = append(sum.publishes, desc)
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+func (w *lockWalker) summaryFor(fd *ast.FuncDecl) *methodSummary {
+	recvType, _ := receiverOf(fd)
+	if recvType == "" {
+		return nil
+	}
+	return w.methods[recvType+"."+fd.Name.Name]
+}
+
+// receiverOf returns the named receiver type and receiver identifier.
+func receiverOf(fd *ast.FuncDecl) (typeName, varName string) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", ""
+	}
+	field := fd.Recv.List[0]
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if gen, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = gen.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(field.Names) > 0 {
+		return id.Name, field.Names[0].Name
+	}
+	return id.Name, ""
+}
+
+// lockOp recognizes recv.field.Lock()/RLock()/Unlock()/RUnlock() where
+// field is a sync.Mutex or sync.RWMutex field of the current receiver.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (op string, key lockKey, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", lockKey{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", lockKey{}, false
+	}
+	fieldSel, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", lockKey{}, false
+	}
+	base, isIdent := fieldSel.X.(*ast.Ident)
+	if !isIdent {
+		return "", lockKey{}, false
+	}
+	if !isSyncMutex(w.pkg.Info.TypeOf(sel.X)) {
+		return "", lockKey{}, false
+	}
+	return sel.Sel.Name, lockKey{baseRecvType(w, base), fieldSel.Sel.Name}, true
+}
+
+// baseRecvType maps the base identifier of a lock expression to the
+// receiver type it belongs to; only same-receiver locks are tracked (locking
+// another instance's mutex is not a self-deadlock).
+func baseRecvType(w *lockWalker, base *ast.Ident) string {
+	if w.current != nil && base.Name == w.current.recvName {
+		return w.current.recvType
+	}
+	return ""
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// sameRecvCall recognizes recv.Method(...) on the current receiver.
+func (w *lockWalker) sameRecvCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || w.current == nil || base.Name != w.current.recvName || w.current.recvName == "" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// unsafeCallee reports a call into one of the publish-side packages
+// (p2p/chainsync by default) as a description, or "".
+func (w *lockWalker) unsafeCallee(call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	f, ok := w.pkg.Info.Uses[id].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return ""
+	}
+	path := f.Pkg().Path()
+	if path == w.pkg.Path {
+		return "" // intra-package call, not a publication boundary
+	}
+	for _, suffix := range w.unsafePkgs {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return "a call to " + shortFuncName(f) + " (" + suffix + ")"
+		}
+	}
+	return ""
+}
+
+// --- held-set walk -------------------------------------------------------
+
+func copyHeld(held map[lockKey]int) map[lockKey]int {
+	c := make(map[lockKey]int, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func writeHeld(held map[lockKey]int) (lockKey, bool) {
+	var keys []lockKey
+	for k, mode := range held {
+		if mode&lockWrite != 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return lockKey{}, false
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys[0], true
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt, held map[lockKey]int) {
+	for _, s := range list {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[lockKey]int) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the
+		// function, which is exactly how the held set already treats an
+		// un-released lock; other deferred calls run at return time with
+		// an unknowable held set, so they are skipped.
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks.
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.scanExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		inner := copyHeld(held)
+		w.walkStmt(s.Init, inner)
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, inner)
+		}
+		w.walkStmts(s.Body.List, inner)
+		w.walkStmt(s.Post, inner)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkStmt(s.Assign, held)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				w.walkStmt(cc.Comm, inner)
+				w.walkStmts(cc.Body, inner)
+			}
+		}
+	case *ast.SendStmt:
+		if key, isWrite := writeHeld(held); isWrite {
+			w.report(s.Pos(), fmt.Sprintf("channel send while %s is write-locked; snapshot under the lock and send after releasing it", key))
+		}
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		w.scanExpr(s.Decl, held)
+	default:
+		w.scanExpr(s, held)
+	}
+}
+
+// scanExpr inspects a non-statement subtree in source order, mutating the
+// held set on lock operations and checking calls against it. Function
+// literals are skipped: their bodies execute with their own lock context.
+func (w *lockWalker) scanExpr(n ast.Node, held map[lockKey]int) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.checkCall(c, held)
+		}
+		return true
+	})
+}
+
+// checkCall applies lock mutations and the deadlock/publication rules to
+// one call with the current held set.
+func (w *lockWalker) checkCall(call *ast.CallExpr, held map[lockKey]int) {
+	if op, key, ok := w.lockOp(call); ok {
+		if key.recvType == "" {
+			return // a mutex not owned by the receiver; out of scope
+		}
+		switch op {
+		case "Lock":
+			if prev, ok := held[key]; ok {
+				w.report(call.Pos(), reacquireMsg(key, prev, lockWrite, "this method"))
+			}
+			held[key] |= lockWrite
+		case "RLock":
+			if prev, ok := held[key]; ok {
+				w.report(call.Pos(), reacquireMsg(key, prev, lockRead, "this method"))
+			}
+			held[key] |= lockRead
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return
+	}
+	if name, ok := w.sameRecvCall(call); ok {
+		callee, exists := w.methods[w.current.recvType+"."+name]
+		if !exists {
+			return
+		}
+		for key, mode := range held {
+			acq, re := callee.acquires[key]
+			if !re {
+				continue
+			}
+			w.report(call.Pos(), reacquireMsg(key, mode, acq, w.current.recvType+"."+name))
+		}
+		if _, isWrite := writeHeld(held); isWrite && len(callee.publishes) > 0 {
+			key, _ := writeHeld(held)
+			w.report(call.Pos(), fmt.Sprintf("%s.%s makes %s while %s is write-locked; move the publication outside the critical section",
+				w.current.recvType, name, callee.publishes[0], key))
+		}
+		return
+	}
+	if desc := w.unsafeCallee(call); desc != "" {
+		if key, isWrite := writeHeld(held); isWrite {
+			w.report(call.Pos(), fmt.Sprintf("%s while %s is write-locked blocks the lock on peer I/O; release the lock first", desc, key))
+		}
+	}
+}
+
+func reacquireMsg(key lockKey, heldMode, acqMode int, via string) string {
+	held := "read"
+	if heldMode&lockWrite != 0 {
+		held = "write"
+	}
+	acq := "read"
+	if acqMode&lockWrite != 0 {
+		acq = "write"
+	}
+	hazard := "self-deadlock"
+	if held == "read" && acq == "read" {
+		hazard = "recursive RLock; deadlocks against a writer queued between the two"
+	}
+	if via == "this method" {
+		return fmt.Sprintf("%s is %s-locked while already %s-locked here; %s", key, acq, held, hazard)
+	}
+	return fmt.Sprintf("call to %s %s-locks %s, already %s-locked here; %s", via, acq, key, held, hazard)
+}
+
+func (w *lockWalker) report(pos token.Pos, msg string) {
+	file, line, col := posOf(w.loader, w.pkg, pos)
+	w.diags = append(w.diags, Diagnostic{
+		File: file, Line: line, Col: col,
+		Analyzer: "locksafe", Message: msg,
+	})
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Package detrange is a shardlint fixture: each function is a firing or
+// non-firing case for the range-over-map analyzer. Expected diagnostics
+// live in golden.txt next to this file.
+package detrange
+
+import "sort"
+
+// Fires: summing values in map order is only coincidentally deterministic
+// for ints; the analyzer cannot prove commutativity and flags it.
+func Fires(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// FiresCollectNoSort: collects keys but never sorts them, so the slice
+// order is the map's random order.
+func FiresCollectNoSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SilentSorted: the canonical collect-then-sort idiom auto-passes.
+func SilentSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SilentFiltered: a guarded append still ends in a sort.
+func SilentFiltered(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SilentSlice: ranging a slice is ordered; nothing to flag.
+func SilentSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Waived: a justified waiver on the line above suppresses the diagnostic.
+func Waived(m map[string]int) int {
+	n := 0
+	//shardlint:ordered counting entries; order cannot affect a count
+	for range m {
+		n++
+	}
+	return n
+}
+
+// WaivedEmptyReason: a reasonless waiver is itself reported and does not
+// suppress the range diagnostic.
+func WaivedEmptyReason(m map[string]int) {
+	//shardlint:ordered
+	for k := range m {
+		_ = k
+	}
+}

@@ -1,0 +1,38 @@
+// Package detsource is a shardlint fixture: firing and non-firing cases for
+// the nondeterministic-source analyzer. Expected diagnostics in golden.txt.
+package detsource
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	helper "contractshard/internal/lint/testdata/src/detsourcehelper"
+)
+
+// FiresClock reads the wall clock in consensus code.
+func FiresClock() int64 { return time.Now().Unix() }
+
+// FiresGlobalRand draws from the shared global stream.
+func FiresGlobalRand() int { return rand.Intn(10) }
+
+// FiresEnv reads the ambient environment.
+func FiresEnv() string { return os.Getenv("SHARD") }
+
+// FiresTransitive calls a helper outside the consensus set that reaches
+// time.Now two hops down; the diagnostic lands here, with the chain.
+func FiresTransitive() int64 { return helper.Indirect() }
+
+// SilentSeeded uses a seeded stream: determinism comes from the seed.
+func SilentSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// SilentPureHelper calls an untainted helper.
+func SilentPureHelper() int64 { return helper.Pure(7) }
+
+// Waived documents why this specific read is harmless.
+func Waived() int64 {
+	return time.Now().UnixNano() //shardlint:detsource diagnostic-only timing, never enters consensus state
+}

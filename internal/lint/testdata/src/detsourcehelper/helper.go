@@ -1,0 +1,15 @@
+// Package detsourcehelper is a shardlint fixture dependency: a non-consensus
+// helper whose taint (time.Now two hops down) must be reported at the
+// consensus call site in the detsource fixture.
+package detsourcehelper
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Indirect reaches the wall clock through another function.
+func Indirect() int64 { return Stamp() }
+
+// Pure is deterministic and must not taint its callers.
+func Pure(x int64) int64 { return x * 2 }

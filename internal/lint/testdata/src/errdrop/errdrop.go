@@ -1,0 +1,61 @@
+// Package errdrop is a shardlint fixture: firing and non-firing cases for
+// the discarded-error analyzer. Expected diagnostics in golden.txt.
+package errdrop
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func valueAndError() (int, error) { return 0, errors.New("boom") }
+
+// FiresBareCall drops the only return value.
+func FiresBareCall() {
+	mayFail()
+}
+
+// FiresTupleCall drops an error hiding in a tuple.
+func FiresTupleCall() {
+	valueAndError()
+}
+
+// FiresDefer drops the error at function exit.
+func FiresDefer() {
+	defer mayFail()
+}
+
+// FiresGo drops the error on another goroutine.
+func FiresGo() {
+	go mayFail()
+}
+
+// SilentHandled checks the error.
+func SilentHandled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SilentBlank discards explicitly; the blank assignment is visible intent.
+func SilentBlank() {
+	_ = mayFail()
+}
+
+// SilentIgnoredCallees: conventional never-fail or print callees.
+func SilentIgnoredCallees() {
+	fmt.Println("status")
+	var b strings.Builder
+	b.WriteString("x")
+	h := sha256.New()
+	h.Write([]byte("x"))
+}
+
+// Waived documents an intentional drop.
+func Waived() {
+	mayFail() //shardlint:errdrop best-effort cleanup; failure is retried next round
+}

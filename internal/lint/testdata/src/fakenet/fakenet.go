@@ -1,0 +1,6 @@
+// Package fakenet is a shardlint fixture dependency standing in for the
+// p2p/chainsync publication packages in locksafe tests.
+package fakenet
+
+// Broadcast pretends to block on peer I/O.
+func Broadcast(msg string) int { return len(msg) }

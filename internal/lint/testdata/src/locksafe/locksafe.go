@@ -1,0 +1,137 @@
+// Package locksafe is a shardlint fixture: firing and non-firing cases for
+// the lock-discipline analyzer. Expected diagnostics in golden.txt.
+package locksafe
+
+import (
+	"sync"
+
+	"contractshard/internal/lint/testdata/src/fakenet"
+)
+
+// S carries the mutexes and channel the cases exercise.
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+// lockedHelper assumes s.mu is NOT held; it takes it itself.
+func (s *S) lockedHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// plainHelper touches no locks.
+func (s *S) plainHelper() { s.n++ }
+
+// chainHelper reaches lockedHelper one hop down.
+func (s *S) chainHelper() { s.lockedHelper() }
+
+// FiresDoubleLock locks the same mutex twice in one method.
+func (s *S) FiresDoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// FiresHelperRelock holds s.mu and calls a method that re-takes it.
+func (s *S) FiresHelperRelock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockedHelper()
+}
+
+// FiresTransitiveRelock reaches the re-lock through an intermediate method.
+func (s *S) FiresTransitiveRelock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chainHelper()
+}
+
+// FiresRecursiveRLock re-read-locks an RWMutex; deadlocks against a queued
+// writer.
+func (s *S) FiresRecursiveRLock() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.readHelper()
+}
+
+func (s *S) readHelper() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_ = s.n
+}
+
+// FiresSendUnderLock sends on a channel inside the write-locked section.
+func (s *S) FiresSendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v
+}
+
+// FiresNetUnderLock calls into the publication package under the write lock.
+func (s *S) FiresNetUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fakenet.Broadcast("blk")
+}
+
+// FiresAfterBranch keeps the lock on the fallthrough path and re-locks.
+func (s *S) FiresAfterBranch(bad bool) {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return
+	}
+	s.lockedHelper()
+	s.mu.Unlock()
+}
+
+// SilentUnlockFirst releases the lock before calling the locking helper.
+func (s *S) SilentUnlockFirst() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.lockedHelper()
+}
+
+// SilentPlainHelper calls a lock-free method under the lock.
+func (s *S) SilentPlainHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plainHelper()
+}
+
+// SilentSendAfterUnlock snapshots under the lock and sends after.
+func (s *S) SilentSendAfterUnlock() {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// SilentNetUnderRLock: the publication rule only guards the write lock.
+func (s *S) SilentNetUnderRLock() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	fakenet.Broadcast("hdr")
+}
+
+// SilentGoroutine: a spawned goroutine does not inherit the caller's locks.
+func (s *S) SilentGoroutine(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.ch <- v }()
+}
+
+// Waived documents an intentional send under the lock.
+func (s *S) Waived(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//shardlint:locksafe buffered signal channel owned by this struct; send never blocks
+	s.ch <- v
+}

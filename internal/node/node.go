@@ -266,6 +266,7 @@ func (m *Miner) handleBlock(raw []byte) {
 			// as a duplicate, not as orphaned on top of applied.
 			if m.chain.HasBlock(block.Hash()) {
 				m.stats.BlocksDuplicate++
+				//shardlint:locksafe AddOrphan only buffers into the bounded in-memory orphan pool; no peer I/O
 			} else if m.syncer.AddOrphan(block) {
 				m.stats.BlocksOrphaned++
 			} else {

@@ -152,6 +152,7 @@ func (d *Directory) ShardIDs() []types.ShardID {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	set := map[types.ShardID]bool{types.MaxShard: true}
+	//shardlint:ordered set union into a map; insertion order cannot affect the result
 	for id := range d.byID {
 		set[d.resolve(id)] = true
 	}
@@ -215,6 +216,7 @@ var ErrBadFractions = errors.New("sharding: fractions must sum to 100")
 func ComputeFractions(counts map[types.ShardID]int) []Fraction {
 	ids := make([]types.ShardID, 0, len(counts))
 	total := 0
+	//shardlint:ordered ids are sorted below; total is a commutative sum
 	for id, c := range counts {
 		ids = append(ids, id)
 		total += c

@@ -245,6 +245,7 @@ func (s *State) Root() types.Hash {
 		return s.root
 	}
 	var tr trie.Trie
+	//shardlint:ordered trie commitment is insertion-order independent (trie_test.go proves it)
 	for addr, a := range s.accounts {
 		if a.empty() {
 			continue
@@ -255,6 +256,7 @@ func (s *State) Root() types.Hash {
 		e.WriteHash(crypto.HashBytes(a.code))
 		e.WriteBytes(nil) // reserved
 		tr.Put(append([]byte{'a'}, addr[:]...), e.Bytes())
+		//shardlint:ordered trie commitment is insertion-order independent (trie_test.go proves it)
 		for slot, val := range a.storage {
 			k := append([]byte{'s'}, addr[:]...)
 			k = append(k, slot...)
@@ -269,6 +271,7 @@ func (s *State) Root() types.Hash {
 // Copy returns a deep copy with an empty journal.
 func (s *State) Copy() *State {
 	out := New()
+	//shardlint:ordered map-to-map deep copy; per-key writes commute
 	for addr, a := range s.accounts {
 		na := &account{balance: a.balance, nonce: a.nonce}
 		if a.code != nil {
@@ -276,6 +279,7 @@ func (s *State) Copy() *State {
 		}
 		if len(a.storage) > 0 {
 			na.storage = make(map[string][]byte, len(a.storage))
+			//shardlint:ordered map-to-map deep copy; per-key writes commute
 			for k, v := range a.storage {
 				na.storage[k] = append([]byte(nil), v...)
 			}
