@@ -1,0 +1,132 @@
+package chain
+
+// Regression tests for the transaction-apply path: the solvency pre-check
+// overflow and the invalid-receipt state leakage. Both bugs let a
+// ReceiptInvalid transaction disturb state — the first by waving an
+// insolvent transaction past the pre-check, the second by bumping the
+// sender's nonce before a mid-apply failure returned.
+
+import (
+	"math"
+	"testing"
+
+	"contractshard/internal/crypto"
+	"contractshard/internal/types"
+)
+
+func signedTx(t *testing.T, from *crypto.Keypair, nonce uint64, to types.Address, value, fee uint64) *types.Transaction {
+	t.Helper()
+	tx := &types.Transaction{Nonce: nonce, From: from.Address(), To: to, Value: value, Fee: fee}
+	if err := crypto.SignTx(tx, from); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// TestSolvencyPrecheckOverflow: tx.Value+tx.Fee wraps around for
+// adversarial values, so the old comparison `bal < value+fee` saw a tiny
+// sum and let an insolvent transaction through to the balance mutations.
+func TestSolvencyPrecheckOverflow(t *testing.T) {
+	alice := crypto.KeypairFromSeed("overflow-alice")
+	c, err := New(testConfig(1), map[types.Address]uint64{alice.Address(): 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner := types.BytesToAddress([]byte{0xA1})
+	st := c.HeadState()
+	root := st.Root()
+
+	// value+fee == MaxUint64+1_000 ≡ 999 (mod 2^64), which is below the
+	// balance of 1_000: the wrapping comparison accepted this.
+	tx := signedTx(t, alice, 0, types.BytesToAddress([]byte{0xBB}), math.MaxUint64, 1_000)
+	r := c.applyTransaction(st, tx, miner)
+	if r.Status != types.ReceiptInvalid {
+		t.Fatalf("insolvent tx status = %s, want invalid", r.Status)
+	}
+	if r.Err == "" {
+		t.Fatal("invalid receipt missing error")
+	}
+	if st.Root() != root {
+		t.Fatal("invalid transaction mutated state")
+	}
+	if got := st.GetNonce(alice.Address()); got != 0 {
+		t.Fatalf("invalid transaction bumped nonce to %d", got)
+	}
+
+	// The block producer must also refuse to include it.
+	blk, _, err := c.BuildBlock(miner, []*types.Transaction{tx}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Txs) != 0 {
+		t.Fatal("producer included an insolvent transaction")
+	}
+}
+
+// TestInvalidReceiptLeavesStateUntouched: a transaction that passes the
+// pre-checks but fails mid-apply (its coinbase fee credit overflows) used
+// to return ReceiptInvalid with the sender's nonce already bumped and the
+// fee already debited, violating the documented contract.
+func TestInvalidReceiptLeavesStateUntouched(t *testing.T) {
+	alice := crypto.KeypairFromSeed("midapply-alice")
+	miner := types.BytesToAddress([]byte{0xA1})
+	c, err := New(testConfig(1), map[types.Address]uint64{
+		alice.Address(): 1_000,
+		miner:           math.MaxUint64 - 2, // two more units fit, no more
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.HeadState()
+	root := st.Root()
+
+	// Passes signature, nonce and solvency, then AddBalance(miner, 5)
+	// overflows mid-apply.
+	tx := signedTx(t, alice, 0, types.BytesToAddress([]byte{0xBB}), 10, 5)
+	r := c.applyTransaction(st, tx, miner)
+	if r.Status != types.ReceiptInvalid {
+		t.Fatalf("mid-apply failure status = %s (%s), want invalid", r.Status, r.Err)
+	}
+	if got := st.GetNonce(alice.Address()); got != 0 {
+		t.Fatalf("invalid receipt left nonce %d in state", got)
+	}
+	if got := st.GetBalance(alice.Address()); got != 1_000 {
+		t.Fatalf("invalid receipt left balance %d in state", got)
+	}
+	if st.Root() != root {
+		t.Fatal("invalid transaction mutated state")
+	}
+}
+
+// TestRevertedKeepsFeeAndNonce pins the other half of the contract: a
+// *reverted* execution (transfer fails after the fee was paid) keeps the
+// nonce bump and the fee, rolling back only the rest.
+func TestRevertedKeepsFeeAndNonce(t *testing.T) {
+	alice := crypto.KeypairFromSeed("revert-alice")
+	miner := types.BytesToAddress([]byte{0xA1})
+	c, err := New(testConfig(1), map[types.Address]uint64{
+		alice.Address(): 1_000,
+		// The recipient sits one unit below overflow: the value transfer's
+		// AddBalance fails after the fee payment succeeded.
+		types.BytesToAddress([]byte{0xBB}): math.MaxUint64 - 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.HeadState()
+
+	tx := signedTx(t, alice, 0, types.BytesToAddress([]byte{0xBB}), 10, 5)
+	r := c.applyTransaction(st, tx, miner)
+	if r.Status != types.ReceiptReverted {
+		t.Fatalf("status = %s (%s), want reverted", r.Status, r.Err)
+	}
+	if got := st.GetNonce(alice.Address()); got != 1 {
+		t.Fatalf("reverted tx nonce = %d, want 1", got)
+	}
+	if got := st.GetBalance(alice.Address()); got != 995 {
+		t.Fatalf("reverted tx sender balance = %d, want 995 (fee kept)", got)
+	}
+	if got := st.GetBalance(miner); got != 5 {
+		t.Fatalf("miner fee = %d, want 5", got)
+	}
+}

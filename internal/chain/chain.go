@@ -19,6 +19,7 @@ import (
 
 	"contractshard/internal/contract"
 	"contractshard/internal/crypto"
+	"contractshard/internal/exec"
 	"contractshard/internal/mempool"
 	"contractshard/internal/pow"
 	"contractshard/internal/state"
@@ -62,6 +63,14 @@ type Config struct {
 	// GasPerTx is the execution budget granted to a contract call when the
 	// transaction does not set one.
 	GasPerTx uint64
+	// ExecWorkers selects the block-body execution engine: 0 or 1 executes
+	// transactions serially (the reference semantics), larger values enable
+	// the optimistic parallel engine (internal/exec) with that many
+	// speculation workers, capped at GOMAXPROCS. The parallel engine is
+	// bit-identical to serial — same state roots, same receipts — so the
+	// knob is purely a performance choice (see DESIGN.md "Parallel
+	// intra-shard execution").
+	ExecWorkers int
 }
 
 // DefaultConfig returns the paper's testbed parameters for a shard.
@@ -500,18 +509,29 @@ func (c *Chain) setCanonicalHead(h types.Hash, entry *blockEntry) {
 	}
 }
 
-// process applies txs in order to st, crediting the coinbase with the block
-// reward and all fees. It returns the per-transaction receipts.
+// process applies txs in block order to st, crediting the coinbase with the
+// block reward and all fees, and returns the per-transaction receipts. The
+// heavy lifting goes through the execution engine: serial when
+// cfg.ExecWorkers is 0 or 1, otherwise optimistic parallel speculation with
+// deterministic in-order commit (internal/exec) — both produce identical
+// receipts and post-state.
 func (c *Chain) process(st *state.State, txs []*types.Transaction, coinbase types.Address) ([]*types.Receipt, uint64, error) {
 	if err := st.AddBalance(coinbase, c.cfg.BlockReward); err != nil {
 		return nil, 0, err
 	}
-	var receipts []*types.Receipt
+	receipts := make([]*types.Receipt, 0, len(txs))
 	var gasUsed uint64
-	for _, tx := range txs {
-		r := c.applyTransaction(st, tx, coinbase)
-		gasUsed += r.GasUsed
-		receipts = append(receipts, r)
+	err := exec.Run(st, txs, coinbase, exec.Workers(c.cfg.ExecWorkers),
+		func(s exec.TxState, tx *types.Transaction) *types.Receipt {
+			return c.applyTransaction(s, tx, coinbase)
+		},
+		func(i int, r *types.Receipt) exec.Decision {
+			gasUsed += r.GasUsed
+			receipts = append(receipts, r)
+			return exec.Commit
+		})
+	if err != nil {
+		return nil, 0, err
 	}
 	return receipts, gasUsed, nil
 }
@@ -519,11 +539,24 @@ func (c *Chain) process(st *state.State, txs []*types.Transaction, coinbase type
 // applyTransaction executes one transaction. Invalid transactions leave the
 // state untouched and yield a ReceiptInvalid; reverted contract calls keep
 // the fee and nonce change but roll everything else back.
-func (c *Chain) applyTransaction(st *state.State, tx *types.Transaction, coinbase types.Address) *types.Receipt {
+//
+// It is written against exec.TxState so the same code runs serially on the
+// ledger state and speculatively on a state.Recorder overlay under the
+// parallel engine.
+func (c *Chain) applyTransaction(st exec.TxState, tx *types.Transaction, coinbase types.Address) *types.Receipt {
 	r := &types.Receipt{TxHash: tx.Hash(), Shard: c.cfg.ShardID}
+	// The entry snapshot is taken before the first mutation so every
+	// invalid path can restore it: without the revert, a transaction whose
+	// coinbase credit overflows would leave the sender's bumped nonce and
+	// debited fee in state despite reporting ReceiptInvalid.
+	entry := st.Snapshot()
 	invalid := func(err error) *types.Receipt {
+		if rerr := st.RevertToSnapshot(entry); rerr != nil {
+			r.Err = rerr.Error()
+		} else {
+			r.Err = err.Error()
+		}
 		r.Status = types.ReceiptInvalid
-		r.Err = err.Error()
 		return r
 	}
 	if err := crypto.VerifyTx(tx); err != nil {
@@ -532,8 +565,10 @@ func (c *Chain) applyTransaction(st *state.State, tx *types.Transaction, coinbas
 	if got := st.GetNonce(tx.From); got != tx.Nonce {
 		return invalid(fmt.Errorf("%w: state %d tx %d", ErrBadNonce, got, tx.Nonce))
 	}
-	if bal := st.GetBalance(tx.From); bal < tx.Value+tx.Fee {
-		return invalid(fmt.Errorf("%w: balance %d, needs %d", ErrInsufficient, bal, tx.Value+tx.Fee))
+	// The solvency comparison must not compute tx.Value+tx.Fee: adversarial
+	// values make the sum wrap and an insolvent transaction passes.
+	if bal := st.GetBalance(tx.From); bal < tx.Value || bal-tx.Value < tx.Fee {
+		return invalid(fmt.Errorf("%w: balance %d, needs %d value + %d fee", ErrInsufficient, bal, tx.Value, tx.Fee))
 	}
 
 	st.SetNonce(tx.From, tx.Nonce+1)
@@ -608,34 +643,37 @@ func (c *Chain) BuildBlockWithProof(coinbase types.Address, proof []byte, txs []
 	}
 	st := headEntry.state.Copy()
 
-	// Dry-run to drop invalid transactions and respect block limits.
+	// Dry-run to drop invalid transactions and respect block limits; the
+	// execution engine parallelizes the speculation when cfg.ExecWorkers
+	// allows, with the inclusion policy decided in candidate order exactly
+	// as the serial loop would.
 	if err := st.AddBalance(coinbase, c.cfg.BlockReward); err != nil {
 		return nil, nil, err
 	}
 	var included []*types.Transaction
 	var receipts []*types.Receipt
 	var gasUsed uint64
-	for _, tx := range txs {
-		if len(included) >= c.cfg.MaxBlockTxs {
-			break
-		}
-		snap := st.Snapshot()
-		r := c.applyTransaction(st, tx, coinbase)
-		if r.Status == types.ReceiptInvalid {
-			if err := st.RevertToSnapshot(snap); err != nil {
-				return nil, nil, err
+	err := exec.Run(st, txs, coinbase, exec.Workers(c.cfg.ExecWorkers),
+		func(s exec.TxState, tx *types.Transaction) *types.Receipt {
+			return c.applyTransaction(s, tx, coinbase)
+		},
+		func(i int, r *types.Receipt) exec.Decision {
+			if len(included) >= c.cfg.MaxBlockTxs {
+				return exec.Stop
 			}
-			continue
-		}
-		if gasUsed+r.GasUsed > c.cfg.GasLimit {
-			if err := st.RevertToSnapshot(snap); err != nil {
-				return nil, nil, err
+			if r.Status == types.ReceiptInvalid {
+				return exec.Skip
 			}
-			break
-		}
-		gasUsed += r.GasUsed
-		included = append(included, tx)
-		receipts = append(receipts, r)
+			if gasUsed+r.GasUsed > c.cfg.GasLimit {
+				return exec.Stop
+			}
+			gasUsed += r.GasUsed
+			included = append(included, txs[i])
+			receipts = append(receipts, r)
+			return exec.Commit
+		})
+	if err != nil {
+		return nil, nil, err
 	}
 	st.DiscardJournal()
 

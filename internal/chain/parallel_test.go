@@ -1,0 +1,235 @@
+package chain
+
+// Differential tests proving the parallel execution engine is
+// observationally identical to serial execution: same receipts, same gas,
+// same state root, for random mixes of conflicting, non-conflicting,
+// contract-calling and invalid transactions.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"contractshard/internal/contract"
+	"contractshard/internal/crypto"
+	"contractshard/internal/types"
+)
+
+const fuzzTrials = 25
+
+// twinChains builds two chains over identical genesis data, one configured
+// for serial execution and one for the parallel engine.
+func twinChains(t *testing.T, alloc map[types.Address]uint64, code map[types.Address][]byte) (serial, parallel *Chain) {
+	t.Helper()
+	mk := func(workers int) *Chain {
+		cfg := testConfig(1)
+		cfg.ExecWorkers = workers
+		cfg.MaxBlockTxs = 1 << 16
+		cfg.GasLimit = math.MaxUint64
+		c, err := NewWithContracts(cfg, alloc, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial, parallel = mk(0), mk(8)
+	if serial.Genesis().Hash() != parallel.Genesis().Hash() {
+		t.Fatal("execution engine choice leaked into the genesis block")
+	}
+	return serial, parallel
+}
+
+// TestProcessDifferentialFuzz runs random transaction mixes through both
+// engines and requires bit-identical outcomes. Each trial varies the
+// signers, the coinbase (sometimes itself a signer, exercising the fee
+// delta's fold-on-observation path), and the transaction blend: plain
+// transfers, storage-hotspot contract calls, branchy conditional
+// transfers, wrong-nonce and value+fee-wraparound invalids.
+func TestProcessDifferentialFuzz(t *testing.T) {
+	counterAddr := types.BytesToAddress([]byte{0xEE})
+	condAddr := types.BytesToAddress([]byte{0xEF})
+	sinkAddr := types.BytesToAddress([]byte{0xED})
+
+	for trial := 0; trial < fuzzTrials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)*7919 + 1))
+
+			signers := make([]*crypto.Keypair, 6)
+			alloc := make(map[types.Address]uint64)
+			for i := range signers {
+				signers[i] = crypto.KeypairFromSeed(fmt.Sprintf("fuzz-%d-%d", trial, i))
+				alloc[signers[i].Address()] = 1_000_000
+			}
+			// The conditional-transfer contract needs escrow to forward and
+			// the threshold decides how often it reverts.
+			alloc[condAddr] = 10_000
+			coinbase := types.BytesToAddress([]byte{0xA1})
+			if trial%3 == 0 {
+				// A signer that mines its own fees: every fee credit targets
+				// an account the engine also reads and writes directly.
+				coinbase = signers[0].Address()
+			}
+			code := map[types.Address][]byte{
+				counterAddr: contract.CounterContract(),
+				condAddr:    contract.ConditionalTransfer(sinkAddr, uint64(200+rng.Intn(400))),
+			}
+
+			serialC, parallelC := twinChains(t, alloc, code)
+
+			nonces := make(map[types.Address]uint64)
+			n := 20 + rng.Intn(60)
+			txs := make([]*types.Transaction, 0, n)
+			for i := 0; i < n; i++ {
+				from := signers[rng.Intn(len(signers))]
+				tx := &types.Transaction{
+					Nonce: nonces[from.Address()],
+					From:  from.Address(),
+					Fee:   uint64(1 + rng.Intn(5)),
+				}
+				bump := true
+				switch k := rng.Intn(10); {
+				case k < 4: // plain transfer, sometimes to another signer or the coinbase
+					switch rng.Intn(3) {
+					case 0:
+						tx.To = signers[rng.Intn(len(signers))].Address()
+					case 1:
+						tx.To = coinbase
+					default:
+						tx.To = types.BytesToAddress([]byte{byte(0x40 + rng.Intn(8))})
+					}
+					tx.Value = uint64(rng.Intn(500))
+				case k < 6: // storage hotspot: every call bumps the same slot
+					tx.To = counterAddr
+					tx.Value = uint64(rng.Intn(10))
+				case k < 8: // branchy: reverts once the sink fills past the threshold
+					tx.To = condAddr
+					tx.Value = uint64(1 + rng.Intn(50))
+				case k < 9: // wrong nonce: invalid, state nonce must not move
+					tx.To = sinkAddr
+					tx.Nonce += 1000
+					bump = false
+				default: // value+fee wraps uint64: the solvency-overflow regression
+					tx.To = sinkAddr
+					tx.Value = math.MaxUint64 - uint64(rng.Intn(3))
+					tx.Fee = uint64(1000 + rng.Intn(1000))
+					bump = false
+				}
+				if err := crypto.SignTx(tx, from); err != nil {
+					t.Fatal(err)
+				}
+				if bump {
+					nonces[from.Address()]++
+				}
+				txs = append(txs, tx)
+			}
+
+			stS, stP := serialC.HeadState(), parallelC.HeadState()
+			rsS, gasS, errS := serialC.process(stS, txs, coinbase)
+			rsP, gasP, errP := parallelC.process(stP, txs, coinbase)
+			if errS != nil || errP != nil {
+				t.Fatalf("process errors: serial %v parallel %v", errS, errP)
+			}
+			if gasS != gasP {
+				t.Fatalf("gas diverges: serial %d parallel %d", gasS, gasP)
+			}
+			if !reflect.DeepEqual(rsS, rsP) {
+				for i := range rsS {
+					if !reflect.DeepEqual(rsS[i], rsP[i]) {
+						t.Errorf("receipt %d diverges:\nserial   %+v\nparallel %+v", i, rsS[i], rsP[i])
+					}
+				}
+				t.Fatal("receipts diverge")
+			}
+			if stS.Root() != stP.Root() {
+				t.Fatalf("state roots diverge: serial %s parallel %s", stS.Root(), stP.Root())
+			}
+		})
+	}
+}
+
+// TestBuildBlockCrossEngineInterchange proves blocks are interchangeable
+// between nodes running different engines: a block produced by a serial
+// node validates on a parallel node and vice versa, and both producers
+// build the identical block from identical inputs.
+func TestBuildBlockCrossEngineInterchange(t *testing.T) {
+	counterAddr := types.BytesToAddress([]byte{0xEE})
+	alice := crypto.KeypairFromSeed("interchange-alice")
+	bob := crypto.KeypairFromSeed("interchange-bob")
+	alloc := map[types.Address]uint64{
+		alice.Address(): 1_000_000,
+		bob.Address():   1_000_000,
+	}
+	code := map[types.Address][]byte{counterAddr: contract.CounterContract()}
+	serialC, parallelC := twinChains(t, alloc, code)
+	miner := types.BytesToAddress([]byte{0xA1})
+
+	nonces := make(map[types.Address]uint64)
+	mkTxs := func(t *testing.T) []*types.Transaction {
+		t.Helper()
+		var txs []*types.Transaction
+		for i, from := range []*crypto.Keypair{alice, bob, alice, bob, alice} {
+			to := counterAddr
+			if i%2 == 1 {
+				to = types.BytesToAddress([]byte{0x40})
+			}
+			tx := &types.Transaction{
+				Nonce: nonces[from.Address()], From: from.Address(),
+				To: to, Value: uint64(10 + i), Fee: 2,
+			}
+			if err := crypto.SignTx(tx, from); err != nil {
+				t.Fatal(err)
+			}
+			nonces[from.Address()]++
+			txs = append(txs, tx)
+		}
+		// One invalid transaction the producer must drop on both engines.
+		bad := &types.Transaction{
+			Nonce: 999, From: alice.Address(), To: counterAddr, Value: 1, Fee: 1,
+		}
+		if err := crypto.SignTx(bad, alice); err != nil {
+			t.Fatal(err)
+		}
+		return append(txs, bad)
+	}
+
+	for round := 0; round < 3; round++ {
+		txs := mkTxs(t)
+		// Alternate which engine produces the block.
+		producer, validator := serialC, parallelC
+		if round%2 == 1 {
+			producer, validator = parallelC, serialC
+		}
+		blk, _, err := producer.BuildBlock(miner, txs, uint64(1000+round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blk.Txs) != 5 {
+			t.Fatalf("round %d: producer included %d txs, want 5", round, len(blk.Txs))
+		}
+		// The other engine must build the byte-identical block from the
+		// same inputs (PoW search is deterministic).
+		blk2, _, err := validator.BuildBlock(miner, txs, uint64(1000+round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.Hash() != blk2.Hash() {
+			t.Fatalf("round %d: engines build different blocks: %s vs %s", round, blk.Hash(), blk2.Hash())
+		}
+		if err := serialC.AddBlock(blk); err != nil {
+			t.Fatalf("round %d: serial validator rejected block: %v", round, err)
+		}
+		if err := parallelC.AddBlock(blk); err != nil {
+			t.Fatalf("round %d: parallel validator rejected block: %v", round, err)
+		}
+		if serialC.Head().Hash() != parallelC.Head().Hash() {
+			t.Fatalf("round %d: heads diverge", round)
+		}
+	}
+	st := parallelC.HeadState()
+	if got := st.GetStorage(counterAddr, contract.WordFromU64(0).Bytes()); len(got) == 0 {
+		t.Fatal("counter contract never executed across the interchange rounds")
+	}
+}

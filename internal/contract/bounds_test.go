@@ -1,0 +1,99 @@
+package contract
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"contractshard/internal/state"
+)
+
+// TestCalldataLoadTail checks the in-range partial read: a load whose window
+// runs past the end of calldata zero-fills the tail.
+func TestCalldataLoadTail(t *testing.T) {
+	st := state.New()
+	data := []byte{0xAA, 0xBB, 0xCC}
+	code := NewProgram().PushU64(1).Op(CALLDATALOAD).PushU64(0).Op(SWAP).Op(SSTORE).MustAssemble()
+	if _, err := run(t, st, code, &Context{State: st, Data: data, Gas: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	got := st.GetStorage(addr(0xCC), WordFromU64(0).Bytes())
+	want := Word{}
+	want[0], want[1] = 0xBB, 0xCC // data[1:], zero-padded to 32 bytes
+	var gotW Word
+	copy(gotW[32-len(got):], got)
+	if gotW != want {
+		t.Fatalf("calldata tail load = %x, want %x", gotW, want)
+	}
+}
+
+// TestCalldataLoadOffsetWraparound is the regression test for the o+i
+// overflow: an offset near 2^64 made o+uint64(i) wrap to a small index and
+// read real calldata bytes where the semantics require zeros.
+func TestCalldataLoadOffsetWraparound(t *testing.T) {
+	st := state.New()
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	// Load at MaxUint64-1: wrapping arithmetic would read data[0..] for the
+	// bytes where o+i overflows past zero. The result must be all zeros,
+	// which ISZERO turns into 1 for the storage write.
+	code := NewProgram().
+		PushU64(math.MaxUint64 - 1).Op(CALLDATALOAD).
+		Op(ISZERO).
+		PushU64(0).Op(SWAP).Op(SSTORE).
+		MustAssemble()
+	if _, err := run(t, st, code, &Context{State: st, Data: data, Gas: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	v := st.GetStorage(addr(0xCC), WordFromU64(0).Bytes())
+	if len(v) == 0 || v[len(v)-1] != 1 {
+		t.Fatalf("out-of-range calldata load leaked bytes: stored %x, want 1 (all-zero word)", v)
+	}
+	// And exactly at the length boundary: first byte past the data is zero.
+	st2 := state.New()
+	code = NewProgram().
+		PushU64(uint64(len(data))).Op(CALLDATALOAD).
+		Op(ISZERO).
+		PushU64(0).Op(SWAP).Op(SSTORE).
+		MustAssemble()
+	if _, err := run(t, st2, code, &Context{State: st2, Data: data, Gas: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	v = st2.GetStorage(addr(0xCC), WordFromU64(0).Bytes())
+	if len(v) == 0 || v[len(v)-1] != 1 {
+		t.Fatalf("boundary calldata load leaked bytes: stored %x", v)
+	}
+}
+
+// TestJumpToCodeEnd is the off-by-one regression test: a destination equal
+// to len(code) used to fall out of the execution loop as a silent STOP; it
+// must be rejected like any other out-of-range destination.
+func TestJumpToCodeEnd(t *testing.T) {
+	st := state.New()
+	// PUSH with an 8-byte immediate is 10 bytes, so PUSH 11; JUMP is 11
+	// bytes long and 11 is exactly len(code).
+	code := NewProgram().PushU64(11).Op(JUMP).MustAssemble()
+	if len(code) != 11 {
+		t.Fatalf("program length = %d, expected 11", len(code))
+	}
+	if _, err := run(t, st, code, nil); !errors.Is(err, ErrBadJump) {
+		t.Fatalf("JUMP to len(code) = %v, want ErrBadJump", err)
+	}
+
+	codeI := NewProgram().PushU64(21).PushU64(1).Op(JUMPI).MustAssemble()
+	if len(codeI) != 21 {
+		t.Fatalf("program length = %d, expected 21", len(codeI))
+	}
+	if _, err := run(t, st, codeI, nil); !errors.Is(err, ErrBadJump) {
+		t.Fatalf("JUMPI to len(code) = %v, want ErrBadJump", err)
+	}
+
+	// One before the end is still a legal destination (here it lands on the
+	// JUMP opcode's final byte... use an explicit STOP to make it legal).
+	codeOK := NewProgram().PushU64(11).Op(JUMP).Op(STOP).MustAssemble()
+	if len(codeOK) != 12 {
+		t.Fatalf("program length = %d, expected 12", len(codeOK))
+	}
+	if _, err := run(t, st, codeOK, nil); err != nil {
+		t.Fatalf("JUMP to last instruction failed: %v", err)
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"errors"
 	"fmt"
 
-	"contractshard/internal/state"
 	"contractshard/internal/types"
 )
 
@@ -136,9 +135,20 @@ func (w Word) IsZero() bool { return w == Word{} }
 // Bytes returns the word as a 32-byte slice.
 func (w Word) Bytes() []byte { return w[:] }
 
+// StateDB is the ledger surface the VM reads and mutates. *state.State
+// implements it for serial execution and *state.Recorder for speculative
+// execution under the parallel engine (internal/exec); the VM itself cannot
+// tell the difference, which is what makes optimistic re-execution safe.
+type StateDB interface {
+	GetBalance(addr types.Address) uint64
+	Transfer(from, to types.Address, amount uint64) error
+	GetStorage(addr types.Address, slot []byte) []byte
+	SetStorage(addr types.Address, slot, value []byte)
+}
+
 // Context carries the execution environment of one contract call.
 type Context struct {
-	State    *state.State  // the ledger state being mutated
+	State    StateDB       // the ledger state being mutated
 	Contract types.Address // the contract account executing
 	Caller   types.Address // the transaction sender
 	Value    uint64        // value the call escrowed to the contract
@@ -297,7 +307,10 @@ func Execute(ctx *Context, code []byte) (*Result, error) {
 				return done(err)
 			}
 			d := dest.U64()
-			if d > uint64(len(code)) {
+			// d == len(code) is out of range too: landing one past the end
+			// would fall out of the loop as a silent STOP, turning a
+			// corrupted destination into a successful call.
+			if d >= uint64(len(code)) {
 				return done(fmt.Errorf("%w: %d", ErrBadJump, d))
 			}
 			pc = int(d)
@@ -315,7 +328,7 @@ func Execute(ctx *Context, code []byte) (*Result, error) {
 			}
 			if !cond.IsZero() {
 				d := dest.U64()
-				if d > uint64(len(code)) {
+				if d >= uint64(len(code)) {
 					return done(fmt.Errorf("%w: %d", ErrBadJump, d))
 				}
 				pc = int(d)
@@ -333,12 +346,12 @@ func Execute(ctx *Context, code []byte) (*Result, error) {
 			if err != nil {
 				return done(err)
 			}
+			// Bytes past the end of calldata read as zero. The offset is
+			// compared before any addition: o+i would wrap for offsets near
+			// 2^64 and read real calldata where the semantics require zeros.
 			var w Word
-			o := off.U64()
-			for i := 0; i < 32; i++ {
-				if o+uint64(i) < uint64(len(ctx.Data)) {
-					w[i] = ctx.Data[o+uint64(i)]
-				}
+			if o := off.U64(); o < uint64(len(ctx.Data)) {
+				copy(w[:], ctx.Data[o:])
 			}
 			if err := push(w); err != nil {
 				return done(err)

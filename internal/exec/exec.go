@@ -1,0 +1,203 @@
+// Package exec is the optimistic parallel transaction-execution engine.
+//
+// A block body is a totally ordered list of transactions, and consensus
+// requires every miner's re-execution to reach a bit-identical post-state.
+// The engine keeps that order as the *commit* order while extracting
+// parallelism from the execution itself, in the classic read/write-set
+// style (Thunderbolt; Meneghetti et al.'s parallelization survey — see
+// PAPERS.md):
+//
+//  1. speculate: each transaction in a window executes on its own
+//     state.Recorder overlay over the frozen pre-window state, on all
+//     workers at once. Writes buffer in the overlay; reads that fall
+//     through to the base are recorded.
+//  2. commit, serially in block order: a speculation is valid iff none of
+//     its base reads hit a key an earlier transaction committed. Valid
+//     speculations replay their buffered writes onto the live state;
+//     invalid ones are re-executed on a fresh overlay over the live state
+//     (which by induction equals the serial intermediate state, so the
+//     re-execution *is* the serial execution) and then committed.
+//
+// Fee credits would make every transaction conflict on the coinbase
+// balance; state.Recorder accrues them as commutative deltas instead, so
+// only a transaction that observes the coinbase balance serializes against
+// earlier fee payers. See DESIGN.md "Parallel intra-shard execution".
+//
+// The scheduler is deterministic by construction: speculation outcomes can
+// race, but a speculation is only used when the conflict check proves it
+// equals the serial execution, and everything else re-executes serially in
+// block order.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"contractshard/internal/state"
+	"contractshard/internal/types"
+)
+
+// TxState is the ledger surface one transaction's execution touches. Both
+// *state.State (serial execution) and *state.Recorder (speculative
+// execution) implement it; the chain's transaction processor is written
+// against this interface so the engine can run it either way.
+type TxState interface {
+	GetBalance(addr types.Address) uint64
+	AddBalance(addr types.Address, amount uint64) error
+	SubBalance(addr types.Address, amount uint64) error
+	Transfer(from, to types.Address, amount uint64) error
+	GetNonce(addr types.Address) uint64
+	SetNonce(addr types.Address, nonce uint64)
+	GetCode(addr types.Address) []byte
+	GetStorage(addr types.Address, slot []byte) []byte
+	SetStorage(addr types.Address, slot, value []byte)
+	Snapshot() int
+	RevertToSnapshot(rev int) error
+}
+
+// Apply executes one transaction against st and returns its receipt. It
+// must be a pure function of the visible state: no ambient inputs, no
+// mutation outside st. Receipts for invalid transactions must leave st
+// exactly as they found it (internal/chain's applyTransaction guarantees
+// this by snapshotting before its first mutation).
+type Apply func(st TxState, tx *types.Transaction) *types.Receipt
+
+// Decision is a caller's verdict on one executed transaction, delivered in
+// block order before anything is committed.
+type Decision int
+
+const (
+	// Commit applies the transaction's writes to the state.
+	Commit Decision = iota
+	// Skip discards the transaction's writes and moves on (a producer
+	// dropping an unprocessable pool entry).
+	Skip
+	// Stop discards the transaction's writes and ends the run (block gas
+	// or size limit reached).
+	Stop
+)
+
+// Workers returns the worker count the engine will actually use for the
+// configured knob: 0 or 1 mean serial, larger values are capped at the
+// scheduler's usable parallelism.
+func Workers(configured int) int {
+	if configured <= 1 {
+		return 1
+	}
+	if n := runtime.GOMAXPROCS(0); configured > n {
+		return n
+	}
+	return configured
+}
+
+// windowSize bounds how many transactions are speculated ahead of the
+// commit cursor: enough to keep every worker busy across a commit barrier,
+// small enough that a Stop verdict (block limits) wastes little work.
+func windowSize(workers int) int {
+	w := workers * 4
+	if w < 16 {
+		w = 16
+	}
+	return w
+}
+
+// Run executes txs against st with the given worker count. decide is called
+// exactly once per executed transaction, in block order, with the
+// transaction's final receipt — identical to the receipt a serial execution
+// would produce — and rules on it before any of its writes land. After a
+// Stop verdict no further transactions are executed or decided.
+//
+// Run with workers <= 1 is the serial path: a plain apply loop on st, with
+// a snapshot/revert bracket so Skip and Stop leave no trace. With workers
+// larger than one, the final state, receipts and decide sequence are
+// bit-identical to the serial path; only wall-clock time changes.
+func Run(st *state.State, txs []*types.Transaction, coinbase types.Address, workers int, apply Apply, decide func(i int, r *types.Receipt) Decision) error {
+	if workers <= 1 || len(txs) < 2 {
+		return runSerial(st, txs, apply, decide)
+	}
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+
+	written := make(map[string]bool)
+	window := windowSize(workers)
+	recs := make([]*state.Recorder, len(txs))
+	rcpts := make([]*types.Receipt, len(txs))
+
+	for lo := 0; lo < len(txs); lo += window {
+		hi := lo + window
+		if hi > len(txs) {
+			hi = len(txs)
+		}
+		speculate(st, txs, coinbase, workers, apply, recs, rcpts, lo, hi)
+		for i := lo; i < hi; i++ {
+			rec, r := recs[i], rcpts[i]
+			if rec.ConflictsWith(written) || !rec.CanCommitTo(st) {
+				// The speculation saw stale values (or its coinbase credit
+				// no longer fits): the live state is the serial intermediate
+				// state, so executing against it is the serial execution.
+				rec = state.NewRecorder(st, coinbase)
+				r = apply(rec, txs[i])
+			}
+			switch decide(i, r) {
+			case Skip:
+				continue
+			case Stop:
+				return nil
+			}
+			if err := rec.CommitTo(st); err != nil {
+				// Unreachable: CanCommitTo was checked against the state the
+				// commit lands on. Surface it rather than diverging.
+				return err
+			}
+			rec.MarkWrites(written)
+		}
+	}
+	return nil
+}
+
+// speculate executes txs[lo:hi] on per-transaction overlays over st, using
+// up to workers goroutines. st is only read until speculate returns.
+func speculate(st *state.State, txs []*types.Transaction, coinbase types.Address, workers int, apply Apply, recs []*state.Recorder, rcpts []*types.Receipt, lo, hi int) {
+	if n := hi - lo; workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	next.Store(int64(lo))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= hi {
+					return
+				}
+				rec := state.NewRecorder(st, coinbase)
+				recs[i] = rec
+				rcpts[i] = apply(rec, txs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runSerial is the serial fallback: the reference semantics the parallel
+// path must reproduce bit-for-bit.
+func runSerial(st *state.State, txs []*types.Transaction, apply Apply, decide func(i int, r *types.Receipt) Decision) error {
+	for i, tx := range txs {
+		snap := st.Snapshot()
+		r := apply(st, tx)
+		switch decide(i, r) {
+		case Skip:
+			if err := st.RevertToSnapshot(snap); err != nil {
+				return err
+			}
+		case Stop:
+			return st.RevertToSnapshot(snap)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package exec_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"contractshard/internal/exec"
+	"contractshard/internal/state"
+	"contractshard/internal/types"
+)
+
+func eaddr(b byte) types.Address { return types.BytesToAddress([]byte{b}) }
+
+// testApply is a miniature transaction processor over exec.TxState: nonce
+// check, solvency check, value transfer, fee to coinbase, and (when To has
+// "code") a storage counter bump — enough to exercise reads, writes, blind
+// writes, commutative fee credits and invalid paths without pulling the
+// chain package in.
+func testApply(coinbase types.Address) exec.Apply {
+	return func(st exec.TxState, tx *types.Transaction) *types.Receipt {
+		r := &types.Receipt{TxHash: tx.Hash()}
+		entry := st.Snapshot()
+		invalid := func(err error) *types.Receipt {
+			if rerr := st.RevertToSnapshot(entry); rerr != nil {
+				r.Err = rerr.Error()
+			} else {
+				r.Err = err.Error()
+			}
+			r.Status = types.ReceiptInvalid
+			return r
+		}
+		if st.GetNonce(tx.From) != tx.Nonce {
+			return invalid(fmt.Errorf("bad nonce"))
+		}
+		if bal := st.GetBalance(tx.From); bal < tx.Value || bal-tx.Value < tx.Fee {
+			return invalid(fmt.Errorf("insolvent"))
+		}
+		st.SetNonce(tx.From, tx.Nonce+1)
+		if err := st.SubBalance(tx.From, tx.Fee); err != nil {
+			return invalid(err)
+		}
+		if err := st.AddBalance(coinbase, tx.Fee); err != nil {
+			return invalid(err)
+		}
+		r.FeePaid = tx.Fee
+		if err := st.Transfer(tx.From, tx.To, tx.Value); err != nil {
+			return invalid(err)
+		}
+		if len(st.GetCode(tx.To)) > 0 {
+			cur := st.GetStorage(tx.To, []byte("n"))
+			var n byte
+			if len(cur) > 0 {
+				n = cur[0]
+			}
+			st.SetStorage(tx.To, []byte("n"), []byte{n + 1})
+			r.GasUsed = 100
+		} else {
+			r.GasUsed = 21
+		}
+		r.Status = types.ReceiptSuccess
+		return r
+	}
+}
+
+// runBoth executes the same transactions serially and with the parallel
+// engine on copies of the same state and requires identical receipts, gas
+// and state roots.
+func runBoth(t *testing.T, base *state.State, txs []*types.Transaction, coinbase types.Address, workers int) (*state.State, []*types.Receipt) {
+	t.Helper()
+	apply := testApply(coinbase)
+
+	collect := func(st *state.State, workers int) ([]*types.Receipt, *state.State) {
+		var rs []*types.Receipt
+		err := exec.Run(st, txs, coinbase, workers, apply, func(i int, r *types.Receipt) exec.Decision {
+			rs = append(rs, r)
+			return exec.Commit
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs, st
+	}
+
+	serialRs, serialSt := collect(base.Copy(), 1)
+	parRs, parSt := collect(base.Copy(), workers)
+
+	if serialSt.Root() != parSt.Root() {
+		t.Fatalf("state roots diverge: serial %s parallel %s", serialSt.Root(), parSt.Root())
+	}
+	if !reflect.DeepEqual(serialRs, parRs) {
+		t.Fatalf("receipts diverge:\nserial   %+v\nparallel %+v", serialRs, parRs)
+	}
+	return parSt, parRs
+}
+
+func fundedBase(t *testing.T, accounts int, balance uint64) *state.State {
+	t.Helper()
+	st := state.New()
+	for i := 0; i < accounts; i++ {
+		if err := st.AddBalance(eaddr(byte(i+1)), balance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.DiscardJournal()
+	return st
+}
+
+func TestRunDisjointTransfers(t *testing.T) {
+	base := fundedBase(t, 8, 1000)
+	coinbase := eaddr(0xC0)
+	var txs []*types.Transaction
+	for i := 0; i < 8; i++ {
+		txs = append(txs, &types.Transaction{
+			From: eaddr(byte(i + 1)), To: eaddr(byte(0x40 + i)), Value: 10, Fee: 1,
+		})
+	}
+	st, rs := runBoth(t, base, txs, coinbase, 4)
+	for i, r := range rs {
+		if r.Status != types.ReceiptSuccess {
+			t.Fatalf("tx %d status %s: %s", i, r.Status, r.Err)
+		}
+	}
+	if got := st.GetBalance(coinbase); got != 8 {
+		t.Fatalf("coinbase collected %d fees, want 8", got)
+	}
+}
+
+func TestRunSameSenderChain(t *testing.T) {
+	// Every transaction conflicts with its predecessor through the sender's
+	// nonce and balance: the engine must serialize them all and still match.
+	base := fundedBase(t, 1, 1000)
+	coinbase := eaddr(0xC0)
+	var txs []*types.Transaction
+	for i := 0; i < 6; i++ {
+		txs = append(txs, &types.Transaction{
+			Nonce: uint64(i), From: eaddr(1), To: eaddr(0x40), Value: 10, Fee: 1,
+		})
+	}
+	st, rs := runBoth(t, base, txs, coinbase, 4)
+	for i, r := range rs {
+		if r.Status != types.ReceiptSuccess {
+			t.Fatalf("tx %d status %s: %s", i, r.Status, r.Err)
+		}
+	}
+	if got := st.GetNonce(eaddr(1)); got != 6 {
+		t.Fatalf("final nonce %d, want 6", got)
+	}
+	if got := st.GetBalance(eaddr(0x40)); got != 60 {
+		t.Fatalf("recipient balance %d, want 60", got)
+	}
+}
+
+func TestRunContractHotspot(t *testing.T) {
+	// All transactions bump the same contract counter: a pure write-write +
+	// read-write hotspot. Order-dependent state (the counter) must come out
+	// exactly as serial.
+	base := fundedBase(t, 8, 1000)
+	con := eaddr(0xEE)
+	base.SetCode(con, []byte{1})
+	base.DiscardJournal()
+	coinbase := eaddr(0xC0)
+	var txs []*types.Transaction
+	for i := 0; i < 8; i++ {
+		txs = append(txs, &types.Transaction{
+			From: eaddr(byte(i + 1)), To: con, Value: 1, Fee: 1,
+		})
+	}
+	st, _ := runBoth(t, base, txs, coinbase, 4)
+	if got := st.GetStorage(con, []byte("n")); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("counter = %v, want [8]", got)
+	}
+}
+
+func TestRunInvalidAndDependent(t *testing.T) {
+	// tx0 is invalid (wrong nonce); tx1 from the same sender with the
+	// correct nonce must succeed — the invalid transaction leaves no trace,
+	// serially or speculatively.
+	base := fundedBase(t, 2, 1000)
+	coinbase := eaddr(0xC0)
+	txs := []*types.Transaction{
+		{Nonce: 5, From: eaddr(1), To: eaddr(0x40), Value: 10, Fee: 1},
+		{Nonce: 0, From: eaddr(1), To: eaddr(0x41), Value: 10, Fee: 1},
+	}
+	_, rs := runBoth(t, base, txs, coinbase, 4)
+	if rs[0].Status != types.ReceiptInvalid {
+		t.Fatalf("tx0 status %s, want invalid", rs[0].Status)
+	}
+	if rs[1].Status != types.ReceiptSuccess {
+		t.Fatalf("tx1 status %s: %s", rs[1].Status, rs[1].Err)
+	}
+}
+
+func TestRunSkipAndStop(t *testing.T) {
+	base := fundedBase(t, 4, 1000)
+	coinbase := eaddr(0xC0)
+	var txs []*types.Transaction
+	for i := 0; i < 4; i++ {
+		txs = append(txs, &types.Transaction{
+			From: eaddr(byte(i + 1)), To: eaddr(0x40), Value: 10, Fee: 1,
+		})
+	}
+	apply := testApply(coinbase)
+
+	run := func(workers int) (*state.State, []int) {
+		st := base.Copy()
+		var decided []int
+		err := exec.Run(st, txs, coinbase, workers, apply, func(i int, r *types.Receipt) exec.Decision {
+			decided = append(decided, i)
+			switch i {
+			case 1:
+				return exec.Skip
+			case 2:
+				return exec.Stop
+			default:
+				return exec.Commit
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, decided
+	}
+
+	serialSt, serialDec := run(1)
+	parSt, parDec := run(4)
+	if !reflect.DeepEqual(serialDec, parDec) {
+		t.Fatalf("decide sequences diverge: %v vs %v", serialDec, parDec)
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(serialDec, want) {
+		t.Fatalf("decide sequence %v, want %v (stop after 2)", serialDec, want)
+	}
+	if serialSt.Root() != parSt.Root() {
+		t.Fatal("skip/stop state roots diverge")
+	}
+	// Only tx0 committed: one fee, one transfer.
+	if got := parSt.GetBalance(coinbase); got != 1 {
+		t.Fatalf("coinbase %d, want 1 (only tx0 committed)", got)
+	}
+	if got := parSt.GetNonce(eaddr(2)); got != 0 {
+		t.Fatalf("skipped sender nonce %d, want 0", got)
+	}
+	if got := parSt.GetNonce(eaddr(3)); got != 0 {
+		t.Fatalf("stopped sender nonce %d, want 0", got)
+	}
+}
+
+func TestRunManyWindows(t *testing.T) {
+	// More transactions than one speculation window, with a mix of disjoint
+	// and chained senders, so the window barrier and cross-window conflict
+	// tracking both get exercised.
+	base := fundedBase(t, 16, 10_000)
+	coinbase := eaddr(0xC0)
+	var txs []*types.Transaction
+	nonces := make(map[types.Address]uint64)
+	for i := 0; i < 200; i++ {
+		from := eaddr(byte(i%16 + 1))
+		txs = append(txs, &types.Transaction{
+			Nonce: nonces[from], From: from, To: eaddr(byte(0x40 + i%7)), Value: 2, Fee: 1,
+		})
+		nonces[from]++
+	}
+	st, rs := runBoth(t, base, txs, coinbase, 8)
+	for i, r := range rs {
+		if r.Status != types.ReceiptSuccess {
+			t.Fatalf("tx %d status %s: %s", i, r.Status, r.Err)
+		}
+	}
+	if got := st.GetBalance(coinbase); got != 200 {
+		t.Fatalf("coinbase fees %d, want 200", got)
+	}
+}

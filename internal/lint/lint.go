@@ -48,6 +48,7 @@ var DefaultConsensusPackages = []string{
 	"internal/chain",
 	"internal/contract",
 	"internal/callgraph",
+	"internal/exec",
 }
 
 // Diagnostic is one analyzer finding.

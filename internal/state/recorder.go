@@ -1,0 +1,380 @@
+package state
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"contractshard/internal/types"
+)
+
+// Recorder is a copy-on-write overlay over an immutable base State that the
+// optimistic parallel execution engine (internal/exec) runs speculative
+// transactions against. It serves three jobs at once:
+//
+//   - isolation: every write lands in the overlay, never in the base, so any
+//     number of Recorders over one base may execute concurrently, and a
+//     transaction that turns out invalid has touched nothing;
+//   - read/write-set tracking: every read that falls through to the base is
+//     recorded, and every key the overlay will write is recorded, so the
+//     scheduler can detect conflicts by intersecting a transaction's base
+//     reads with the keys earlier transactions committed;
+//   - commutative coinbase credits: fee payments all credit the block's
+//     coinbase, which would make every pair of transactions conflict. Plain
+//     AddBalance calls against the coinbase are therefore accrued as a
+//     delta (a pure credit commutes — its value depends on nothing) and
+//     replayed at commit time in block order. The moment a transaction
+//     *observes* the coinbase balance the delta is folded into an explicit
+//     overlay value and the observation is recorded as a base read, so the
+//     conflict check serializes it against earlier coinbase writers.
+//
+// The tracked key space is one string per account field — balance, nonce,
+// code — and one per storage slot. Snapshot/RevertToSnapshot mirror State's
+// journaling so contract reverts inside a speculative execution behave
+// exactly as they do serially. Reads are deliberately *not* journaled: a
+// read that was later reverted still influenced control flow, so keeping it
+// in the read set is the conservative (and correct) choice.
+//
+// A Recorder is not safe for concurrent use; the engine gives each
+// speculative transaction its own.
+type Recorder struct {
+	base     *State
+	coinbase types.Address
+
+	balances map[types.Address]uint64
+	nonces   map[types.Address]uint64
+	storage  map[types.Address]map[string][]byte // nil value = slot cleared
+
+	// feeDelta is the commutative coinbase credit accrued by AddBalance
+	// calls that never observed the coinbase balance. Invariant:
+	// base.GetBalance(coinbase) + feeDelta never overflows.
+	feeDelta uint64
+	// deltaEver reports whether any delta was ever accrued, even if later
+	// folded or reverted; the commit bookkeeping marks the coinbase balance
+	// as written conservatively.
+	deltaEver bool
+
+	reads    map[string]struct{}
+	readList []string // insertion-ordered copy of reads, for deterministic iteration
+
+	writes    map[string]struct{}
+	writeList []string
+
+	journal []recUndo
+}
+
+// recUndo undoes one overlay mutation.
+type recUndo struct {
+	kind    recKind
+	addr    types.Address
+	slot    string
+	present bool // key existed in the overlay before this mutation
+	prevU64 uint64
+	prevVal []byte
+}
+
+type recKind uint8
+
+const (
+	ruBalance recKind = iota
+	ruNonce
+	ruStorage
+	ruDelta
+)
+
+// NewRecorder returns an overlay over base for one speculative transaction
+// of a block whose producer is coinbase. The base must not be mutated while
+// the Recorder is live.
+func NewRecorder(base *State, coinbase types.Address) *Recorder {
+	return &Recorder{
+		base:     base,
+		coinbase: coinbase,
+		balances: make(map[types.Address]uint64),
+		nonces:   make(map[types.Address]uint64),
+		reads:    make(map[string]struct{}),
+		writes:   make(map[string]struct{}),
+	}
+}
+
+// Tracked-key encoding: one byte of kind, the address bytes, and for storage
+// the slot bytes.
+func balanceKey(addr types.Address) string { return "b" + string(addr[:]) }
+func nonceKey(addr types.Address) string   { return "n" + string(addr[:]) }
+func codeKey(addr types.Address) string    { return "c" + string(addr[:]) }
+func storageKey(addr types.Address, slot string) string {
+	return "s" + string(addr[:]) + slot
+}
+
+func (r *Recorder) readKey(k string) {
+	if _, ok := r.reads[k]; !ok {
+		r.reads[k] = struct{}{}
+		r.readList = append(r.readList, k)
+	}
+}
+
+func (r *Recorder) writeKey(k string) {
+	if _, ok := r.writes[k]; !ok {
+		r.writes[k] = struct{}{}
+		r.writeList = append(r.writeList, k)
+	}
+}
+
+// GetBalance returns the visible balance: the overlay value when written,
+// otherwise the base value (plus the accrued coinbase delta), recorded as a
+// base read.
+func (r *Recorder) GetBalance(addr types.Address) uint64 {
+	if v, ok := r.balances[addr]; ok {
+		return v
+	}
+	r.readKey(balanceKey(addr))
+	v := r.base.GetBalance(addr)
+	if addr == r.coinbase {
+		v += r.feeDelta // cannot overflow by the feeDelta invariant
+	}
+	return v
+}
+
+// setBalance writes the overlay balance, folding an accrued coinbase delta
+// into the explicit value first (v was computed from the visible balance,
+// which already includes it).
+func (r *Recorder) setBalance(addr types.Address, v uint64) {
+	if addr == r.coinbase && r.feeDelta != 0 {
+		if _, ok := r.balances[addr]; !ok {
+			r.journal = append(r.journal, recUndo{kind: ruDelta, prevU64: r.feeDelta})
+			r.feeDelta = 0
+		}
+	}
+	prev, present := r.balances[addr]
+	r.journal = append(r.journal, recUndo{kind: ruBalance, addr: addr, present: present, prevU64: prev})
+	r.balances[addr] = v
+	r.writeKey(balanceKey(addr))
+}
+
+// AddBalance credits amount to addr. A credit to the coinbase that has not
+// observed the coinbase balance accrues into the commutative delta instead
+// of the overlay, so fee payments by different transactions do not conflict.
+func (r *Recorder) AddBalance(addr types.Address, amount uint64) error {
+	if addr == r.coinbase {
+		if _, ok := r.balances[addr]; !ok {
+			base := r.base.GetBalance(addr)
+			if amount > math.MaxUint64-base-r.feeDelta {
+				// The overflow verdict depends on the base value: record the
+				// read so an earlier coinbase writer forces serial
+				// re-execution rather than trusting this speculation.
+				r.readKey(balanceKey(addr))
+				return errOverflow(addr, amount)
+			}
+			r.journal = append(r.journal, recUndo{kind: ruDelta, prevU64: r.feeDelta})
+			r.feeDelta += amount
+			r.deltaEver = true
+			return nil
+		}
+	}
+	cur := r.GetBalance(addr)
+	if cur+amount < cur {
+		return errOverflow(addr, amount)
+	}
+	r.setBalance(addr, cur+amount)
+	return nil
+}
+
+// SubBalance debits amount from addr, failing if the visible balance is too
+// low.
+func (r *Recorder) SubBalance(addr types.Address, amount uint64) error {
+	cur := r.GetBalance(addr)
+	if cur < amount {
+		return errInsufficient(addr, cur, amount)
+	}
+	r.setBalance(addr, cur-amount)
+	return nil
+}
+
+// Transfer moves amount from one account to another atomically, exactly as
+// State.Transfer does.
+func (r *Recorder) Transfer(from, to types.Address, amount uint64) error {
+	snap := r.Snapshot()
+	if err := r.SubBalance(from, amount); err != nil {
+		return err
+	}
+	if err := r.AddBalance(to, amount); err != nil {
+		if rerr := r.RevertToSnapshot(snap); rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return nil
+}
+
+// GetNonce returns the visible nonce.
+func (r *Recorder) GetNonce(addr types.Address) uint64 {
+	if v, ok := r.nonces[addr]; ok {
+		return v
+	}
+	r.readKey(nonceKey(addr))
+	return r.base.GetNonce(addr)
+}
+
+// SetNonce writes the overlay nonce (a blind write: no base read recorded).
+func (r *Recorder) SetNonce(addr types.Address, nonce uint64) {
+	prev, present := r.nonces[addr]
+	r.journal = append(r.journal, recUndo{kind: ruNonce, addr: addr, present: present, prevU64: prev})
+	r.nonces[addr] = nonce
+	r.writeKey(nonceKey(addr))
+}
+
+// GetCode returns the contract code at addr. The transaction path never
+// writes code, so code reads always fall through to the base.
+func (r *Recorder) GetCode(addr types.Address) []byte {
+	r.readKey(codeKey(addr))
+	return r.base.GetCode(addr)
+}
+
+// GetStorage reads a contract storage slot through the overlay.
+func (r *Recorder) GetStorage(addr types.Address, slot []byte) []byte {
+	if slots, ok := r.storage[addr]; ok {
+		if v, ok := slots[string(slot)]; ok {
+			return append([]byte(nil), v...) // nil stays nil: cleared slot
+		}
+	}
+	r.readKey(storageKey(addr, string(slot)))
+	return r.base.GetStorage(addr, slot)
+}
+
+// SetStorage writes a contract storage slot into the overlay; an empty value
+// clears the slot.
+func (r *Recorder) SetStorage(addr types.Address, slot, value []byte) {
+	key := string(slot)
+	slots, ok := r.storage[addr]
+	if !ok {
+		if r.storage == nil {
+			r.storage = make(map[types.Address]map[string][]byte)
+		}
+		slots = make(map[string][]byte)
+		r.storage[addr] = slots
+	}
+	prev, present := slots[key]
+	r.journal = append(r.journal, recUndo{kind: ruStorage, addr: addr, slot: key, present: present, prevVal: prev})
+	if len(value) == 0 {
+		slots[key] = nil
+	} else {
+		slots[key] = append([]byte(nil), value...)
+	}
+	r.writeKey(storageKey(addr, key))
+}
+
+// Snapshot returns a revision token for RevertToSnapshot.
+func (r *Recorder) Snapshot() int { return len(r.journal) }
+
+// RevertToSnapshot undoes every overlay mutation made after the snapshot was
+// taken. Recorded reads are kept: they happened, and conflict detection must
+// see them.
+func (r *Recorder) RevertToSnapshot(rev int) error {
+	if rev < 0 || rev > len(r.journal) {
+		return fmt.Errorf("%w: %d (journal %d)", ErrBadSnapshot, rev, len(r.journal))
+	}
+	for len(r.journal) > rev {
+		e := r.journal[len(r.journal)-1]
+		r.journal = r.journal[:len(r.journal)-1]
+		switch e.kind {
+		case ruBalance:
+			if e.present {
+				r.balances[e.addr] = e.prevU64
+			} else {
+				delete(r.balances, e.addr)
+			}
+		case ruNonce:
+			if e.present {
+				r.nonces[e.addr] = e.prevU64
+			} else {
+				delete(r.nonces, e.addr)
+			}
+		case ruStorage:
+			if e.present {
+				r.storage[e.addr][e.slot] = e.prevVal
+			} else {
+				delete(r.storage[e.addr], e.slot)
+			}
+		case ruDelta:
+			r.feeDelta = e.prevU64
+		}
+	}
+	return nil
+}
+
+// ConflictsWith reports whether any base read of this speculation touched a
+// key in written — if so, the values the speculation saw may be stale and it
+// must be re-executed against the live state.
+func (r *Recorder) ConflictsWith(written map[string]bool) bool {
+	for _, k := range r.readList {
+		if written[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkWrites adds every key this execution may have written — including the
+// coinbase balance when any delta was accrued — into written. Keys whose
+// writes were later reverted are included too: over-marking only ever forces
+// an unnecessary serial re-execution, never a wrong commit.
+func (r *Recorder) MarkWrites(written map[string]bool) {
+	for _, k := range r.writeList {
+		written[k] = true
+	}
+	if r.deltaEver {
+		written[balanceKey(r.coinbase)] = true
+	}
+}
+
+// CanCommitTo reports whether replaying the accrued coinbase delta onto st
+// cannot overflow. The speculative overflow check ran against the base
+// balance; by commit time earlier transactions may have raised it.
+func (r *Recorder) CanCommitTo(st *State) bool {
+	return r.feeDelta == 0 || st.GetBalance(r.coinbase) <= math.MaxUint64-r.feeDelta
+}
+
+// CommitTo replays the overlay onto st in sorted key order (deterministic,
+// and order-independent for the final state: these are final values, not
+// operations). The caller is responsible for ordering commits across
+// transactions and for snapshotting st if it wants atomicity on error; the
+// only possible error is a coinbase-delta overflow, which CanCommitTo
+// rules out.
+func (r *Recorder) CommitTo(st *State) error {
+	if r.feeDelta > 0 {
+		if err := st.AddBalance(r.coinbase, r.feeDelta); err != nil {
+			return err
+		}
+	}
+	baddrs := make([]types.Address, 0, len(r.balances))
+	for a := range r.balances {
+		baddrs = append(baddrs, a)
+	}
+	sort.Slice(baddrs, func(i, j int) bool { return baddrs[i].Compare(baddrs[j]) < 0 })
+	for _, a := range baddrs {
+		st.SetBalance(a, r.balances[a])
+	}
+	naddrs := make([]types.Address, 0, len(r.nonces))
+	for a := range r.nonces {
+		naddrs = append(naddrs, a)
+	}
+	sort.Slice(naddrs, func(i, j int) bool { return naddrs[i].Compare(naddrs[j]) < 0 })
+	for _, a := range naddrs {
+		st.SetNonce(a, r.nonces[a])
+	}
+	saddrs := make([]types.Address, 0, len(r.storage))
+	for a := range r.storage {
+		saddrs = append(saddrs, a)
+	}
+	sort.Slice(saddrs, func(i, j int) bool { return saddrs[i].Compare(saddrs[j]) < 0 })
+	for _, a := range saddrs {
+		slots := make([]string, 0, len(r.storage[a]))
+		for k := range r.storage[a] {
+			slots = append(slots, k)
+		}
+		sort.Strings(slots)
+		for _, k := range slots {
+			st.SetStorage(a, []byte(k), r.storage[a][k])
+		}
+	}
+	return nil
+}

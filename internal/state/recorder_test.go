@@ -1,0 +1,315 @@
+package state
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func raddr(b byte) types.Address { return types.BytesToAddress([]byte{b}) }
+
+// newRecBase builds a base state with two funded users, a coinbase, and a
+// contract holding one storage slot.
+func newRecBase(t *testing.T) (*State, types.Address, types.Address, types.Address, types.Address) {
+	t.Helper()
+	base := New()
+	alice, bob, coinbase, con := raddr(1), raddr(2), raddr(0xC0), raddr(0xCC)
+	if err := base.AddBalance(alice, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddBalance(bob, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddBalance(coinbase, 10); err != nil {
+		t.Fatal(err)
+	}
+	base.SetCode(con, []byte{0x01, 0x02})
+	base.SetStorage(con, []byte("slot"), []byte{9})
+	base.DiscardJournal()
+	return base, alice, bob, coinbase, con
+}
+
+func TestRecorderIsolatesBase(t *testing.T) {
+	base, alice, bob, coinbase, con := newRecBase(t)
+	before := base.Root()
+
+	rec := NewRecorder(base, coinbase)
+	if err := rec.Transfer(alice, bob, 100); err != nil {
+		t.Fatal(err)
+	}
+	rec.SetNonce(alice, 7)
+	rec.SetStorage(con, []byte("slot"), []byte{42})
+	if err := rec.AddBalance(coinbase, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := rec.GetBalance(alice); got != 900 {
+		t.Fatalf("overlay alice balance = %d, want 900", got)
+	}
+	if got := rec.GetBalance(bob); got != 600 {
+		t.Fatalf("overlay bob balance = %d, want 600", got)
+	}
+	if got := rec.GetNonce(alice); got != 7 {
+		t.Fatalf("overlay nonce = %d, want 7", got)
+	}
+	if got := rec.GetStorage(con, []byte("slot")); !bytes.Equal(got, []byte{42}) {
+		t.Fatalf("overlay storage = %v, want [42]", got)
+	}
+	// The fee credit is visible through the overlay...
+	if got := rec.GetBalance(coinbase); got != 15 {
+		t.Fatalf("overlay coinbase balance = %d, want 15", got)
+	}
+	// ...and nothing touched the base.
+	if base.Root() != before {
+		t.Fatal("speculative execution mutated the base state")
+	}
+	if base.GetBalance(alice) != 1000 || base.GetNonce(alice) != 0 {
+		t.Fatal("base account changed under the overlay")
+	}
+}
+
+func TestRecorderCommitMatchesSerial(t *testing.T) {
+	base, alice, bob, coinbase, con := newRecBase(t)
+
+	// Serial reference on a copy.
+	serial := base.Copy()
+	if err := serial.Transfer(alice, bob, 100); err != nil {
+		t.Fatal(err)
+	}
+	serial.SetNonce(alice, 1)
+	serial.SetStorage(con, []byte("slot"), []byte{42})
+	serial.SetStorage(con, []byte("gone"), nil)
+	if err := serial.AddBalance(coinbase, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same operations speculated and committed.
+	target := base.Copy()
+	rec := NewRecorder(target, coinbase)
+	if err := rec.Transfer(alice, bob, 100); err != nil {
+		t.Fatal(err)
+	}
+	rec.SetNonce(alice, 1)
+	rec.SetStorage(con, []byte("slot"), []byte{42})
+	rec.SetStorage(con, []byte("gone"), nil)
+	if err := rec.AddBalance(coinbase, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.CanCommitTo(target) {
+		t.Fatal("commit precheck failed")
+	}
+	if err := rec.CommitTo(target); err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.Root() != target.Root() {
+		t.Fatalf("committed root %s != serial root %s", target.Root(), serial.Root())
+	}
+}
+
+func TestRecorderReadWriteSets(t *testing.T) {
+	base, alice, bob, coinbase, _ := newRecBase(t)
+
+	// Tx A transfers alice->bob; tx B transfers bob->alice. They conflict
+	// in both directions. Tx C touches neither.
+	recA := NewRecorder(base, coinbase)
+	if err := recA.Transfer(alice, bob, 1); err != nil {
+		t.Fatal(err)
+	}
+	recB := NewRecorder(base, coinbase)
+	if err := recB.Transfer(bob, alice, 1); err != nil {
+		t.Fatal(err)
+	}
+	recC := NewRecorder(base, coinbase)
+	recC.SetNonce(raddr(0x77), 1)
+
+	written := make(map[string]bool)
+	recA.MarkWrites(written)
+	if !recB.ConflictsWith(written) {
+		t.Fatal("B reads balances A wrote; must conflict")
+	}
+	if recC.ConflictsWith(written) {
+		t.Fatal("C touches nothing A wrote; must not conflict")
+	}
+}
+
+func TestRecorderFeeDeltaDoesNotConflict(t *testing.T) {
+	base, alice, bob, coinbase, _ := newRecBase(t)
+
+	// Two disjoint transfers, each paying a coinbase fee: the classic case
+	// the commutative delta exists for. Neither may conflict with the other.
+	recA := NewRecorder(base, coinbase)
+	if err := recA.Transfer(alice, raddr(0x50), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := recA.AddBalance(coinbase, 3); err != nil {
+		t.Fatal(err)
+	}
+	recB := NewRecorder(base, coinbase)
+	if err := recB.Transfer(bob, raddr(0x51), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := recB.AddBalance(coinbase, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	written := make(map[string]bool)
+	recA.MarkWrites(written)
+	if recB.ConflictsWith(written) {
+		t.Fatal("pure fee credits must not serialize fee payers")
+	}
+
+	// But a transaction that *observes* the coinbase balance does conflict
+	// with an earlier fee payer.
+	recD := NewRecorder(base, coinbase)
+	_ = recD.GetBalance(coinbase)
+	if !recD.ConflictsWith(written) {
+		t.Fatal("observing the coinbase balance must conflict with fee credits")
+	}
+
+	// Committing both applies the sum.
+	target := base.Copy()
+	if err := recA.CommitTo(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := recB.CommitTo(target); err != nil {
+		t.Fatal(err)
+	}
+	if got := target.GetBalance(coinbase); got != 17 {
+		t.Fatalf("coinbase after commits = %d, want 10+3+4", got)
+	}
+}
+
+func TestRecorderDeltaFoldsOnObservation(t *testing.T) {
+	base, _, _, coinbase, _ := newRecBase(t)
+
+	rec := NewRecorder(base, coinbase)
+	if err := rec.AddBalance(coinbase, 5); err != nil {
+		t.Fatal(err)
+	}
+	// SubBalance observes the visible balance (10 base + 5 delta) and must
+	// fold the delta into an explicit value so commit does not double-pay.
+	if err := rec.SubBalance(coinbase, 12); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.GetBalance(coinbase); got != 3 {
+		t.Fatalf("visible coinbase = %d, want 3", got)
+	}
+	target := base.Copy()
+	if err := rec.CommitTo(target); err != nil {
+		t.Fatal(err)
+	}
+	if got := target.GetBalance(coinbase); got != 3 {
+		t.Fatalf("committed coinbase = %d, want 3 (delta folded exactly once)", got)
+	}
+}
+
+func TestRecorderSnapshotRevert(t *testing.T) {
+	base, alice, bob, coinbase, con := newRecBase(t)
+
+	rec := NewRecorder(base, coinbase)
+	if err := rec.AddBalance(coinbase, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if err := rec.Transfer(alice, bob, 100); err != nil {
+		t.Fatal(err)
+	}
+	rec.SetNonce(alice, 9)
+	rec.SetStorage(con, []byte("slot"), []byte{1})
+	if err := rec.SubBalance(coinbase, 1); err != nil { // folds the delta
+		t.Fatal(err)
+	}
+	if err := rec.RevertToSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.GetBalance(alice); got != 1000 {
+		t.Fatalf("alice after revert = %d, want 1000", got)
+	}
+	if got := rec.GetNonce(alice); got != 0 {
+		t.Fatalf("nonce after revert = %d, want 0", got)
+	}
+	if got := rec.GetStorage(con, []byte("slot")); !bytes.Equal(got, []byte{9}) {
+		t.Fatalf("storage after revert = %v, want [9]", got)
+	}
+	if got := rec.GetBalance(coinbase); got != 12 {
+		t.Fatalf("coinbase after revert = %d, want base 10 + delta 2", got)
+	}
+	if err := rec.RevertToSnapshot(10_000); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("stale snapshot error = %v", err)
+	}
+}
+
+func TestRecorderOverflowParity(t *testing.T) {
+	base := New()
+	coinbase, rich := raddr(0xC0), raddr(0x01)
+	if err := base.AddBalance(coinbase, math.MaxUint64-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddBalance(rich, 100); err != nil {
+		t.Fatal(err)
+	}
+	base.DiscardJournal()
+
+	// Serial overflow error...
+	serial := base.Copy()
+	serr := serial.AddBalance(coinbase, 2)
+	if serr == nil {
+		t.Fatal("serial overflow not detected")
+	}
+	// ...must be byte-identical through the delta path.
+	rec := NewRecorder(base, coinbase)
+	rerr := rec.AddBalance(coinbase, 2)
+	if rerr == nil || rerr.Error() != serr.Error() {
+		t.Fatalf("overflow parity: serial %q vs recorder %q", serr, rerr)
+	}
+	// The failed credit read the base balance, so it conflicts with any
+	// earlier coinbase writer instead of trusting the stale verdict.
+	written := map[string]bool{balanceKey(coinbase): true}
+	if !rec.ConflictsWith(written) {
+		t.Fatal("overflow verdict must be guarded by a recorded read")
+	}
+
+	// CanCommitTo catches the commit-time raced credit: delta fits the
+	// base but no longer fits after another transaction's credit landed.
+	rec2 := NewRecorder(base, coinbase)
+	if err := rec2.AddBalance(coinbase, 1); err != nil {
+		t.Fatal(err)
+	}
+	target := base.Copy()
+	if err := target.AddBalance(coinbase, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rec2.CanCommitTo(target) {
+		t.Fatal("commit precheck must reject an overflowing delta replay")
+	}
+}
+
+func TestRecorderInvalidLeavesOverlayEmpty(t *testing.T) {
+	base, alice, bob, coinbase, _ := newRecBase(t)
+	rec := NewRecorder(base, coinbase)
+	snap := rec.Snapshot()
+	if err := rec.Transfer(alice, bob, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.RevertToSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	target := base.Copy()
+	before := target.Root()
+	if err := rec.CommitTo(target); err != nil {
+		t.Fatal(err)
+	}
+	if target.Root() != before {
+		t.Fatal("reverted-out writes leaked through commit")
+	}
+	// The reads stay recorded: a reverted execution still observed them.
+	written := make(map[string]bool)
+	written[balanceKey(alice)] = true
+	if !rec.ConflictsWith(written) {
+		t.Fatal("reverted execution's reads must stay in the read set")
+	}
+}

@@ -111,6 +111,29 @@ func TestCodeAndStorage(t *testing.T) {
 	}
 }
 
+// TestGetStorageDefensiveCopy is the regression test for GetStorage handing
+// out the live internal slice: a caller mutating the returned bytes was
+// rewriting committed state behind the journal's back — no undo entry, and
+// a memoized root that no longer matched the accounts.
+func TestGetStorageDefensiveCopy(t *testing.T) {
+	s := New()
+	s.SetStorage(addr(1), []byte("slot"), []byte{1, 2, 3})
+	s.DiscardJournal()
+	root := s.Root()
+
+	got := s.GetStorage(addr(1), []byte("slot"))
+	got[0] = 0xFF
+
+	if again := s.GetStorage(addr(1), []byte("slot")); again[0] != 1 {
+		t.Fatalf("caller mutation reached committed storage: %v", again)
+	}
+	// Recompute from the accounts (Copy drops the memoized root): the
+	// commitment must still match what was committed.
+	if s.Copy().Root() != root {
+		t.Fatal("caller mutation changed the state root")
+	}
+}
+
 func TestSnapshotRevert(t *testing.T) {
 	s := New()
 	if err := s.AddBalance(addr(1), 100); err != nil {
