@@ -15,7 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
+	"sync"
+	"syscall"
 	"time"
 
 	contractshard "contractshard"
@@ -27,6 +31,7 @@ import (
 	"contractshard/internal/node"
 	"contractshard/internal/p2p"
 	"contractshard/internal/sharding"
+	"contractshard/internal/store"
 	"contractshard/internal/types"
 )
 
@@ -43,11 +48,12 @@ func main() {
 		dup       = flag.Float64("dup", 0, "gossip demo: per-link duplicate probability (async only)")
 		partition = flag.Int("partition", 0, "gossip demo: cut this many shard miners off during mining, heal before catch-up (async only)")
 		seed      = flag.Int64("seed", 1, "gossip demo: fault-model RNG seed (async only)")
+		datadir   = flag.String("datadir", "", "gossip demo: persist each miner's ledger under this directory; a restart with the same directory recovers the chains")
 	)
 	flag.Parse()
 	var err error
 	if *gossip {
-		err = runGossip(*netMode, *miners, *txs, *loss, *dup, *partition, *seed)
+		err = runGossip(*netMode, *miners, *txs, *loss, *dup, *partition, *seed, *datadir)
 	} else {
 		err = run(*contracts, *users, *txs)
 	}
@@ -127,7 +133,12 @@ func run(contracts, users, txs int) error {
 // faults (-loss/-dup/-partition) a catch-up phase runs after mining: every
 // shard miner syncs from its peers until the shard reconverges, and the
 // per-node chain-sync counters are printed.
-func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int, seed int64) error {
+//
+// With -datadir every miner persists its ledger to a file store under that
+// directory: a re-run with the same -datadir recovers each chain to its
+// previous head before mining continues, and SIGINT/SIGTERM shut the stores
+// down cleanly (flushed, head snapshotted) before exiting.
+func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int, seed int64, datadir string) error {
 	var network *p2p.Network
 	faulty := loss > 0 || dup > 0 || partition > 0
 	switch mode {
@@ -176,18 +187,63 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 		assigned, _ := out.ShardOf(p.Key.Public)
 		cc := chain.DefaultConfig(assigned)
 		cc.Difficulty = 16
+		var st store.Store
+		if datadir != "" {
+			st, err = store.Open(filepath.Join(datadir, fmt.Sprintf("miner-%d", i)))
+			if err != nil {
+				return err
+			}
+			// Durable miners bound their resident states; the hot window and
+			// checkpoint cadence keep recovery replay short.
+			cc.StateHistory = 32
+			cc.FinalityDepth = 64
+		}
 		m, err := node.New(network, p2p.NodeID(fmt.Sprintf("miner-%d", i)), node.Config{
 			Key: p.Key, Shard: assigned,
 			Randomness: out.Randomness, Fractions: out.Fractions,
 			ChainConfig: cc, GenesisAlloc: alloc, Contracts: code,
-			Directory: dir,
-			Sync:      chainsync.Config{Timeout: 50 * time.Millisecond, Seed: int64(i)},
+			Directory: dir, Store: st,
+			Sync: chainsync.Config{Timeout: 50 * time.Millisecond, Seed: int64(i)},
 		})
 		if err != nil {
 			return err
 		}
+		if datadir != "" && m.Height() > 0 {
+			fmt.Printf("miner-%d: recovered shard=%s height=%d head=%s\n", i, m.Shard(), m.Height(), m.Head().Hash())
+		}
 		cluster = append(cluster, m)
 	}
+
+	// Shutdown path shared by normal completion and SIGINT/SIGTERM: flush
+	// and close every durable ledger exactly once, logging the final heads.
+	var shutdownOnce sync.Once
+	shutdown := func() {
+		shutdownOnce.Do(func() {
+			for i, m := range cluster {
+				if err := m.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "miner-%d: close: %v\n", i, err)
+				}
+			}
+			if datadir != "" {
+				for i, m := range cluster {
+					fmt.Printf("miner-%d: final head shard=%s height=%d hash=%s\n", i, m.Shard(), m.Height(), m.Head().Hash())
+				}
+			}
+		})
+	}
+	defer shutdown()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "shardnode: %v: flushing stores\n", sig)
+		shutdown()
+		os.Exit(0)
+	}()
 
 	var producer *node.Miner
 	for _, m := range cluster {
@@ -198,6 +254,26 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 	}
 	if producer == nil {
 		return fmt.Errorf("shardnode: epoch left shard %s without miners; re-run with more -miners", shard)
+	}
+
+	// Recovered miners can legitimately disagree by a block or two (a kill
+	// can land mid-broadcast), so reconverge the shard through chain sync
+	// before mining resumes.
+	if datadir != "" {
+		for sweep := 0; sweep < 5; sweep++ {
+			for _, m := range cluster {
+				_, _ = m.CatchUp()
+			}
+			agreed := true
+			for _, m := range cluster {
+				if m.Shard() == shard && m.Head().Hash() != producer.Head().Hash() {
+					agreed = false
+				}
+			}
+			if agreed {
+				break
+			}
+		}
 	}
 
 	// -partition: the last N shard miners (never the producer) lose every
@@ -219,10 +295,17 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 		}
 	}
 
+	// Nonces continue from the producer's (possibly recovered) ledger, so a
+	// -datadir re-run submits fresh transactions instead of replaying spent
+	// nonces.
+	baseNonce := make(map[types.Address]uint64, len(users))
+	for _, u := range users {
+		baseNonce[u.Address()] = producer.NonceOf(u.Address())
+	}
 	for i := 0; i < nTxs; i++ {
 		u := users[i%len(users)]
 		tx := &types.Transaction{
-			Nonce: uint64(i / len(users)), From: u.Address(), To: caddr,
+			Nonce: baseNonce[u.Address()] + uint64(i/len(users)), From: u.Address(), To: caddr,
 			Value: 10, Fee: uint64(1 + i%7), Data: []byte{1},
 		}
 		if err := crypto.SignTx(tx, u); err != nil {
@@ -233,9 +316,17 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 		}
 	}
 	network.Drain()
-	for producer.Pending() > 0 {
-		if _, err := producer.Mine(); err != nil {
+	// Guard against a wedged pool (e.g. unprocessable transactions): stop
+	// once a few consecutive blocks confirm nothing.
+	for stalls := 0; producer.Pending() > 0 && stalls < 3; {
+		block, err := producer.Mine()
+		if err != nil {
 			return err
+		}
+		if len(block.Txs) == 0 {
+			stalls++
+		} else {
+			stalls = 0
 		}
 		network.Drain()
 	}

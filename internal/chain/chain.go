@@ -23,6 +23,7 @@ import (
 	"contractshard/internal/mempool"
 	"contractshard/internal/pow"
 	"contractshard/internal/state"
+	"contractshard/internal/store"
 	"contractshard/internal/types"
 )
 
@@ -71,7 +72,39 @@ type Config struct {
 	// knob is purely a performance choice (see DESIGN.md "Parallel
 	// intra-shard execution").
 	ExecWorkers int
+
+	// StateHistory, when positive, bounds the resident full post-states:
+	// only the last StateHistory canonical blocks keep their state in
+	// memory, plus genesis and the periodic checkpoints below. Older states
+	// are rebuilt on demand by replaying block bodies from the nearest
+	// resident ancestor (DESIGN.md "Durable storage and recovery
+	// invariants"). 0 keeps every block's state resident — the original
+	// behavior, and still the default for short-lived test chains.
+	StateHistory int
+	// CheckpointInterval is the flat-state checkpoint cadence in blocks:
+	// the state of every canonical block at a multiple of this height stays
+	// resident (and is persisted to the Store when one is configured),
+	// bounding replay depth for deep StateAt queries and crash recovery.
+	// When StateHistory is positive and this is 0 it defaults to
+	// DefaultCheckpointInterval.
+	CheckpointInterval uint64
+	// FinalityDepth, when positive, prunes non-canonical fork entries
+	// buried more than this many blocks below the head: their states,
+	// bodies and transaction-index references are reclaimed. A pruned-depth
+	// reorg is assumed impossible (the same assumption every finality
+	// heuristic makes). 0 retains forks forever — the original behavior.
+	FinalityDepth uint64
+	// Store, when set, persists the chain: every linked block is appended
+	// to the store's block log and checkpoints land in its key-value
+	// backend, so a crashed node reopens the same Store and recovers its
+	// ledger instead of restarting from genesis. nil keeps the chain purely
+	// in-memory.
+	Store store.Store
 }
+
+// DefaultCheckpointInterval is the checkpoint cadence used when bounded
+// state history is enabled without an explicit interval.
+const DefaultCheckpointInterval = 64
 
 // DefaultConfig returns the paper's testbed parameters for a shard.
 func DefaultConfig(shard types.ShardID) Config {
@@ -86,14 +119,18 @@ func DefaultConfig(shard types.ShardID) Config {
 }
 
 // blockEntry is one stored block with everything AddBlock derived for it.
-// Entries are immutable once published into Chain.blocks: every field is
-// fully written before the entry is linked under the write lock, and the
-// post-state has its root memoized (AddBlock's state-root check computes
-// it), so readers may Copy() the state without any lock — Copy is a pure
-// read of the account map.
+// Every field except state is immutable once the entry is published into
+// Chain.blocks: fully written before linking under the write lock. The
+// state field is a *reference slot*: the State object it points to is
+// itself immutable with a memoized root (AddBlock's state-root check
+// computes it), so a reader that captured the pointer under c.mu may Copy()
+// it without any lock — but the slot may be swapped to nil by state
+// eviction (bounded StateHistory) or refilled by checkpoint recovery, both
+// under the write lock. Readers must therefore capture the pointer while
+// holding c.mu and never re-read entry.state outside it.
 type blockEntry struct {
 	block    *types.Block
-	state    *state.State // post-state; immutable after publication
+	state    *state.State // post-state reference; nil when evicted
 	td       uint64       // total difficulty up to and including this block
 	receipts []*types.Receipt
 }
@@ -139,10 +176,52 @@ type Chain struct {
 	// txIndex maps a transaction hash to every stored block containing it,
 	// canonical or not.
 	txIndex map[types.Hash][]txRef
+	// byNumber lists every stored block hash (canonical and forks) at each
+	// height, feeding state eviction and fork pruning without full-map
+	// walks.
+	byNumber map[uint64][]types.Hash
+
+	// evictFloor and pruneFloor are watermarks: heights below them have
+	// already been swept by state eviction / fork pruning, so each new head
+	// only pays for the heights that newly crossed a boundary.
+	evictFloor uint64
+	pruneFloor uint64
+	// recovering is true while openStore replays the block log, so link
+	// does not re-append recovered blocks to the store. Set only during
+	// construction, before the chain is shared.
+	recovering bool
+	// storeErr is the first background persistence failure (checkpoint
+	// writes happen after a block is already linked, so they cannot fail
+	// AddBlock retroactively); surfaced by Flush and Close.
+	storeErr error
 }
 
-// New creates a chain whose genesis state holds the given balances.
+// New creates a chain whose genesis state holds the given balances. When
+// cfg.Store is set and already holds blocks, the stored ledger is recovered
+// (see openStore in storage.go).
 func New(cfg Config, alloc map[types.Address]uint64) (*Chain, error) {
+	return NewWithContracts(cfg, alloc, nil)
+}
+
+// NewWithContracts creates a chain whose genesis state additionally has the
+// given contract code pre-deployed, the way the paper's evaluation registers
+// its transfer contracts before injecting transactions (Sec. VI-A). When
+// cfg.Store is set, any previously persisted blocks are replayed and the
+// chain resumes at its recovered head.
+func NewWithContracts(cfg Config, alloc map[types.Address]uint64, code map[types.Address][]byte) (*Chain, error) {
+	c, err := newMemChain(cfg, alloc, code)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.openStore(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newMemChain builds the genesis-only in-memory chain; storage attach and
+// recovery happen afterwards, once the genesis hash is final.
+func newMemChain(cfg Config, alloc map[types.Address]uint64, code map[types.Address][]byte) (*Chain, error) {
 	if cfg.GasLimit == 0 {
 		cfg.GasLimit = 0x300000
 	}
@@ -155,13 +234,19 @@ func New(cfg Config, alloc map[types.Address]uint64) (*Chain, error) {
 	if cfg.GasPerTx == 0 {
 		cfg.GasPerTx = cfg.GasLimit / uint64(cfg.MaxBlockTxs)
 	}
+	if cfg.StateHistory > 0 && cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = DefaultCheckpointInterval
+	}
 	st := state.New()
-	// The genesis hash commits to this state, so apply the alloc in sorted
-	// address order rather than map order.
+	// The genesis hash commits to this state, so apply the alloc and code in
+	// sorted address order rather than map order.
 	for _, addr := range sortedAddrKeys(alloc) {
 		if err := st.AddBalance(addr, alloc[addr]); err != nil {
 			return nil, fmt.Errorf("chain: genesis alloc: %w", err)
 		}
+	}
+	for _, addr := range sortedAddrKeys(code) {
+		st.SetCode(addr, code[addr])
 	}
 	st.DiscardJournal()
 	genesis := &types.Block{Header: &types.Header{
@@ -172,39 +257,17 @@ func New(cfg Config, alloc map[types.Address]uint64) (*Chain, error) {
 		GasLimit:   cfg.GasLimit,
 	}}
 	c := &Chain{
-		cfg:     cfg,
-		blocks:  make(map[types.Hash]*blockEntry),
-		txIndex: make(map[types.Hash][]txRef),
+		cfg:      cfg,
+		blocks:   make(map[types.Hash]*blockEntry),
+		txIndex:  make(map[types.Hash][]txRef),
+		byNumber: make(map[uint64][]types.Hash),
 	}
 	h := genesis.Hash()
 	c.blocks[h] = &blockEntry{block: genesis, state: st, td: cfg.Difficulty}
 	c.head = h
 	c.genesis = h
 	c.canon = []canonEntry{{hash: h}}
-	return c, nil
-}
-
-// NewWithContracts creates a chain whose genesis state additionally has the
-// given contract code pre-deployed, the way the paper's evaluation registers
-// its transfer contracts before injecting transactions (Sec. VI-A).
-func NewWithContracts(cfg Config, alloc map[types.Address]uint64, code map[types.Address][]byte) (*Chain, error) {
-	c, err := New(cfg, alloc)
-	if err != nil {
-		return nil, err
-	}
-	entry := c.blocks[c.genesis]
-	for _, addr := range sortedAddrKeys(code) {
-		entry.state.SetCode(addr, code[addr])
-	}
-	entry.state.DiscardJournal()
-	entry.block.Header.StateRoot = entry.state.Root()
-	// Re-key the genesis entry since its hash changed with the state root.
-	delete(c.blocks, c.genesis)
-	h := entry.block.Hash()
-	c.blocks[h] = entry
-	c.genesis = h
-	c.head = h
-	c.canon = []canonEntry{{hash: h}}
+	c.byNumber[0] = []types.Hash{h}
 	return c, nil
 }
 
@@ -257,13 +320,31 @@ func (c *Chain) HasBlock(h types.Hash) bool { return c.GetBlock(h) != nil }
 
 // StateAt returns a copy of the post-state of the block with hash h, or nil
 // when the block is unknown. Mutating the copy does not affect the chain.
+//
+// With bounded state history the block's state may have been evicted; it is
+// then rebuilt by replaying block bodies from the nearest resident ancestor
+// (genesis, a checkpoint, or a hot block), with every replayed block's
+// state root re-verified against its header. Resident states answer in
+// O(copy); evicted ones cost one bounded replay.
 func (c *Chain) StateAt(h types.Hash) *state.State {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if e, ok := c.blocks[h]; ok {
-		return e.state.Copy()
+	e, ok := c.blocks[h]
+	var st *state.State
+	if ok {
+		st = e.state
 	}
-	return nil
+	c.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	if st != nil {
+		return st.Copy()
+	}
+	rebuilt, err := c.rebuildState(h)
+	if err != nil {
+		return nil
+	}
+	return rebuilt
 }
 
 // HeadState returns a copy of the state at the head block. Head lookup and
@@ -365,9 +446,17 @@ func (c *Chain) expectedDifficulty(parent *types.Header, childTime uint64) uint6
 func (c *Chain) AddBlock(b *types.Block) error {
 	h := b.Hash()
 
+	// The parent's state pointer is captured under the same read lock as the
+	// entry: eviction may swap the entry's slot to nil at any time, but the
+	// State object a captured pointer refers to is immutable, so stage 2 can
+	// execute against it lock-free.
 	c.mu.RLock()
 	_, known := c.blocks[h]
 	parent, haveParent := c.blocks[b.Header.ParentHash]
+	var pstate *state.State
+	if haveParent {
+		pstate = parent.state
+	}
 	c.mu.RUnlock()
 	if known {
 		return fmt.Errorf("%w: %s", ErrKnownBlock, h)
@@ -379,7 +468,17 @@ func (c *Chain) AddBlock(b *types.Block) error {
 	if err := c.validateStateless(b, parent.block.Header); err != nil {
 		return err
 	}
-	entry, err := c.executeBody(b, parent)
+	if pstate == nil {
+		// The parent's state was evicted (a deep fork attach, or the first
+		// block after crash recovery): rebuild it by replay before the body
+		// can execute.
+		rebuilt, err := c.rebuildState(b.Header.ParentHash)
+		if err != nil {
+			return err
+		}
+		pstate = rebuilt
+	}
+	entry, err := c.executeBody(b, parent, pstate)
 	if err != nil {
 		return err
 	}
@@ -415,12 +514,13 @@ func (c *Chain) validateStateless(b *types.Block, parent *types.Header) error {
 }
 
 // executeBody runs stage 2: re-execute the block body on a copy of the
-// parent's post-state and verify the declared gas and state root. The
-// parent's state is immutable with a memoized root, so Copy is a pure read
-// and no lock is held — this is the expensive part of validation and it
-// overlaps freely with other validations and with readers.
-func (c *Chain) executeBody(b *types.Block, parent *blockEntry) (*blockEntry, error) {
-	st := parent.state.Copy()
+// parent's post-state and verify the declared gas and state root. pstate is
+// the parent's post-state as captured (or rebuilt) by AddBlock — immutable
+// with a memoized root, so Copy is a pure read and no lock is held. This is
+// the expensive part of validation and it overlaps freely with other
+// validations and with readers.
+func (c *Chain) executeBody(b *types.Block, parent *blockEntry, pstate *state.State) (*blockEntry, error) {
+	st := pstate.Copy()
 	receipts, gasUsed, err := c.process(st, b.Txs, b.Header.Coinbase)
 	if err != nil {
 		return nil, err
@@ -462,11 +562,24 @@ func (c *Chain) link(h types.Hash, entry *blockEntry) error {
 		return fmt.Errorf("%w: %s", ErrKnownBlock, h)
 	}
 	if _, ok := c.blocks[entry.block.Header.ParentHash]; !ok {
-		// Unreachable today (blocks are never pruned), but the re-check
+		// Reachable when fork pruning reclaimed the parent between stage 1
+		// and here (a block attaching below the finality horizon); also
 		// keeps stage 3 correct on its own terms.
 		return fmt.Errorf("%w: %s", ErrUnknownParent, entry.block.Header.ParentHash)
 	}
+	// Persist before publishing: if the append fails the block is rejected
+	// whole, so the log never lags a block the in-memory chain serves. The
+	// log therefore always holds parents before children — link order is
+	// serialized by this lock and a child only reaches stage 3 after its
+	// parent published.
+	if c.cfg.Store != nil && !c.recovering {
+		if err := c.cfg.Store.AppendBlock(entry.block.Encode()); err != nil {
+			return fmt.Errorf("chain: persisting block: %w", err)
+		}
+	}
 	c.blocks[h] = entry
+	n := entry.block.Number()
+	c.byNumber[n] = append(c.byNumber[n], h)
 	for i, tx := range entry.block.Txs {
 		th := tx.Hash()
 		c.txIndex[th] = append(c.txIndex[th], txRef{block: h, index: i})
@@ -474,6 +587,14 @@ func (c *Chain) link(h types.Hash, entry *blockEntry) error {
 	cur := c.blocks[c.head]
 	if entry.td > cur.td || (entry.td == cur.td && h.Compare(c.head) < 0) {
 		c.setCanonicalHead(h, entry)
+		// The head moved: sweep the heights that just fell out of the hot
+		// window or past the finality horizon. Suppressed during log replay —
+		// pruning a fork parent mid-replay would orphan its children that
+		// appear later in the log; openStore sweeps once at the end instead.
+		if !c.recovering {
+			c.evictStatesLocked()
+			c.pruneForksLocked()
+		}
 	}
 	return nil
 }
@@ -633,15 +754,26 @@ func (c *Chain) BuildBlock(coinbase types.Address, txs []*types.Transaction, tim
 // in the header (the miner's public key, Sec. III-B/C); the proof is sealed
 // under the PoW so it cannot be swapped after mining.
 func (c *Chain) BuildBlockWithProof(coinbase types.Address, proof []byte, txs []*types.Transaction, timeMillis uint64) (*types.Block, []*types.Receipt, error) {
+	// Capture the state pointer under the same lock as the entry: a reorg
+	// plus eviction could null the slot after the head slides, but a captured
+	// pointer stays valid (State objects are immutable once published).
 	c.mu.RLock()
 	headEntry := c.blocks[c.head]
+	hstate := headEntry.state
 	c.mu.RUnlock()
 
 	parent := headEntry.block.Header
 	if timeMillis < parent.Time {
 		timeMillis = parent.Time
 	}
-	st := headEntry.state.Copy()
+	if hstate == nil {
+		rebuilt, err := c.rebuildState(headEntry.block.Hash())
+		if err != nil {
+			return nil, nil, err
+		}
+		hstate = rebuilt
+	}
+	st := hstate.Copy()
 
 	// Dry-run to drop invalid transactions and respect block limits; the
 	// execution engine parallelizes the speculation when cfg.ExecWorkers
@@ -763,6 +895,15 @@ func (c *Chain) HeadBalance(addr types.Address) uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.blocks[c.head].state.GetBalance(addr)
+}
+
+// HeadNonce reads one account's nonce at the head — what a client must use
+// as the next transaction nonce, e.g. to resume submitting against a
+// recovered ledger.
+func (c *Chain) HeadNonce(addr types.Address) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[c.head].state.GetNonce(addr)
 }
 
 // BlockReceipts returns the receipts of a canonical-or-side block by hash.

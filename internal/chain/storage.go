@@ -1,0 +1,434 @@
+// Durable storage for the shard chain: block-log persistence, flat-state
+// checkpoints, bounded state residency, fork pruning and crash recovery.
+// See DESIGN.md "Durable storage and recovery invariants".
+//
+// The chain keeps its working set in memory exactly as before; the Store is
+// written through on the hot path only for block bodies (one append per
+// linked block, inside the stage-3 lock so log order is parent-before-child)
+// and checkpoints (one flat snapshot every CheckpointInterval canonical
+// blocks, written when the checkpoint leaves the hot window). Everything
+// else — canonical index, tx index, fork choice — is derived state and is
+// rebuilt from the log on open.
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"contractshard/internal/state"
+	"contractshard/internal/types"
+)
+
+// Store key for the genesis pin; mismatch means the datadir belongs to a
+// chain built from a different genesis (wrong shard, wrong alloc).
+const genesisKey = "genesis"
+
+// finalKey holds the head's flat state written by a clean Close, letting the
+// next open skip the head-rebuild replay entirely. It is ignored (and
+// rebuilt by replay) when its root does not match the recovered head —
+// exactly what happens after a crash, when the key is stale.
+const finalKey = "ckpt/final"
+
+// checkpointKey names the persisted flat state of the canonical block at
+// height n.
+func checkpointKey(n uint64) string { return fmt.Sprintf("ckpt/%d", n) }
+
+// errStopReplay aborts the Store.Blocks scan once a record fails to link;
+// everything from that record on is discarded by truncation.
+var errStopReplay = errors.New("chain: stop replay")
+
+// openStore attaches the configured Store to a freshly built genesis chain:
+// it verifies the genesis pin, replays the persisted block log to rebuild
+// the in-memory chain (canonical index, tx index, fork choice), attaches
+// persisted checkpoint states, rebuilds the head state by replay if no
+// stored snapshot matches, and finally runs one eviction+pruning sweep so
+// residency bounds hold from the first block onward.
+//
+// Replay is trusted re-linking: the log is this node's own append of blocks
+// it fully validated (and the record layer checksums every byte), so bodies
+// are not re-executed per block — stateless checks still run, and every
+// state that is rebuilt verifies each replayed block's root against its
+// header, so corruption cannot survive into an answered query. A record
+// that fails to decode or link stops the scan and truncates the log there:
+// later records descend from it and are unrecoverable. Receipts are not
+// persisted; recovered blocks serve nil receipts until re-derived.
+func (c *Chain) openStore() error {
+	s := c.cfg.Store
+	if s == nil {
+		return nil
+	}
+	if v, ok := s.Get(genesisKey); ok {
+		if !bytes.Equal(v, c.genesis[:]) {
+			return fmt.Errorf("chain: store holds a different chain (genesis %x, ours %s)", v, c.genesis)
+		}
+	} else if err := s.Put(genesisKey, c.genesis[:]); err != nil {
+		return fmt.Errorf("chain: pinning genesis: %w", err)
+	}
+
+	c.recovering = true
+	defer func() { c.recovering = false }()
+
+	good := 0
+	var replayErr error
+	err := s.Blocks(func(i int, raw []byte) error {
+		b, err := types.DecodeBlock(raw)
+		if err != nil {
+			replayErr = fmt.Errorf("chain: log record %d: %w", i, err)
+			return errStopReplay
+		}
+		if err := c.addRecovered(b); err != nil {
+			replayErr = fmt.Errorf("chain: log record %d (%s): %w", i, b.Hash(), err)
+			return errStopReplay
+		}
+		good = i + 1
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopReplay) {
+		return fmt.Errorf("chain: scanning block log: %w", err)
+	}
+	if replayErr != nil {
+		// The bad record and everything after it (its descendants) are lost;
+		// the chain resumes from the last good prefix.
+		if terr := s.TruncateBlocks(good); terr != nil {
+			return fmt.Errorf("chain: truncating bad log suffix after %v: %w", replayErr, terr)
+		}
+	}
+
+	if err := c.attachCheckpoints(); err != nil {
+		return err
+	}
+
+	// The head state must be resident before the chain is shared: HeadState,
+	// HeadBalance and block building read it without a rebuild fallback.
+	c.mu.RLock()
+	head := c.head
+	headResident := c.blocks[head].state != nil
+	c.mu.RUnlock()
+	if !headResident {
+		st, err := c.rebuildState(head)
+		if err != nil {
+			return fmt.Errorf("chain: rebuilding head state: %w", err)
+		}
+		c.mu.Lock()
+		c.blocks[head].state = st
+		c.mu.Unlock()
+	}
+
+	// One sweep now (still under the recovering flag, so checkpoints loaded
+	// a moment ago are not immediately re-persisted) establishes the
+	// residency and finality invariants for the recovered chain.
+	c.mu.Lock()
+	c.evictStatesLocked()
+	c.pruneForksLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// addRecovered links one block from the log without re-executing its body:
+// stateless validation only, state and receipts nil. Total difficulty is
+// recomputed from the parent, so fork choice during replay converges to the
+// same head the chain had before the crash.
+func (c *Chain) addRecovered(b *types.Block) error {
+	h := b.Hash()
+	c.mu.RLock()
+	_, known := c.blocks[h]
+	parent, haveParent := c.blocks[b.Header.ParentHash]
+	c.mu.RUnlock()
+	if known {
+		return fmt.Errorf("%w: %s", ErrKnownBlock, h)
+	}
+	if !haveParent {
+		return fmt.Errorf("%w: %s", ErrUnknownParent, b.Header.ParentHash)
+	}
+	if err := c.validateStateless(b, parent.block.Header); err != nil {
+		return err
+	}
+	return c.link(h, &blockEntry{block: b, td: parent.td + b.Header.Difficulty})
+}
+
+// attachCheckpoints loads every persisted flat-state snapshot that matches a
+// canonical block of the recovered chain and fills the corresponding state
+// slots. A snapshot whose root does not match the block header at its height
+// is stale (written on a branch that later lost fork choice) and is skipped;
+// replay from an earlier resident state covers the gap.
+func (c *Chain) attachCheckpoints() error {
+	s := c.cfg.Store
+	interval := c.cfg.CheckpointInterval
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	headNum := uint64(len(c.canon) - 1)
+	if interval > 0 {
+		for n := interval; n <= headNum; n += interval {
+			raw, ok := s.Get(checkpointKey(n))
+			if !ok {
+				continue
+			}
+			e := c.blocks[c.canon[n].hash]
+			if e.state != nil {
+				continue
+			}
+			st, err := state.Decode(raw)
+			if err != nil {
+				return fmt.Errorf("chain: checkpoint %d: %w", n, err)
+			}
+			if st.Root() != e.block.Header.StateRoot {
+				continue
+			}
+			e.state = st
+		}
+	}
+	if raw, ok := s.Get(finalKey); ok {
+		e := c.blocks[c.head]
+		if e.state == nil {
+			st, err := state.Decode(raw)
+			if err != nil {
+				return fmt.Errorf("chain: final snapshot: %w", err)
+			}
+			if st.Root() == e.block.Header.StateRoot {
+				e.state = st
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildState reconstructs the post-state of block h by replaying block
+// bodies forward from the nearest ancestor whose state is resident (the
+// head-side hot window, a checkpoint, or at worst genesis — genesis is never
+// evicted, so the walk always terminates). Every replayed block's resulting
+// root is verified against its header, so a corrupted body cannot produce a
+// silently wrong state. The returned state is freshly built and owned by the
+// caller. Replay depth is bounded by CheckpointInterval plus the hot window
+// on canonical blocks; fork blocks add the distance to their fork point.
+func (c *Chain) rebuildState(h types.Hash) (*state.State, error) {
+	// Collect the replay segment under a read lock; the blocks themselves
+	// are immutable, so execution below runs lock-free.
+	c.mu.RLock()
+	e, ok := c.blocks[h]
+	if !ok {
+		c.mu.RUnlock()
+		return nil, fmt.Errorf("chain: rebuild: unknown block %s", h)
+	}
+	var segment []*blockEntry
+	var base *state.State
+	for {
+		if e.state != nil {
+			base = e.state
+			break
+		}
+		segment = append(segment, e)
+		parent, ok := c.blocks[e.block.Header.ParentHash]
+		if !ok {
+			c.mu.RUnlock()
+			return nil, fmt.Errorf("chain: rebuild: ancestry of %s pruned at %s", h, e.block.Header.ParentHash)
+		}
+		e = parent
+	}
+	c.mu.RUnlock()
+
+	st := base.Copy()
+	for i := len(segment) - 1; i >= 0; i-- {
+		b := segment[i].block
+		if _, _, err := c.process(st, b.Txs, b.Header.Coinbase); err != nil {
+			return nil, fmt.Errorf("chain: replaying %s: %w", b.Hash(), err)
+		}
+		if root := st.Root(); root != b.Header.StateRoot {
+			return nil, fmt.Errorf("%w: replay of %s yields %s", ErrBadStateRoot, b.Hash(), root)
+		}
+		st.DiscardJournal()
+	}
+	return st, nil
+}
+
+// evictStatesLocked enforces the bounded-residency invariant after a head
+// move: canonical blocks more than StateHistory below the head lose their
+// resident state unless they sit on a checkpoint height (whose state is
+// persisted to the Store, if any, as it leaves the hot window) — and fork
+// entries in that cold region lose theirs unconditionally. Genesis is never
+// evicted. The evictFloor watermark makes each sweep pay only for heights
+// that newly crossed the boundary. Caller holds the write lock.
+func (c *Chain) evictStatesLocked() {
+	k := uint64(c.cfg.StateHistory)
+	if k == 0 {
+		return
+	}
+	headNum := uint64(len(c.canon) - 1)
+	if headNum < k {
+		return
+	}
+	limit := headNum - k // heights <= limit are outside the hot window
+	for n := c.evictFloor; n <= limit; n++ {
+		if n == 0 {
+			continue
+		}
+		canonHash := c.canon[n].hash
+		for _, h := range c.byNumber[n] {
+			e := c.blocks[h]
+			if e == nil || e.state == nil {
+				continue
+			}
+			if h == canonHash && c.isCheckpointHeight(n) {
+				c.persistCheckpointLocked(n, e.state)
+				continue
+			}
+			e.state = nil
+		}
+	}
+	c.evictFloor = limit + 1
+}
+
+// isCheckpointHeight reports whether the canonical state at height n is kept
+// resident (and persisted) as a replay base.
+func (c *Chain) isCheckpointHeight(n uint64) bool {
+	return n > 0 && c.cfg.CheckpointInterval > 0 && n%c.cfg.CheckpointInterval == 0
+}
+
+// persistCheckpointLocked writes one canonical flat-state snapshot to the
+// Store. The block it belongs to is already linked and announced, so a
+// failure here cannot un-accept it; the error is made sticky instead and
+// surfaces on the next Flush or Close. Caller holds the write lock.
+func (c *Chain) persistCheckpointLocked(n uint64, st *state.State) {
+	if c.cfg.Store == nil || c.recovering {
+		return
+	}
+	if err := c.cfg.Store.Put(checkpointKey(n), st.Encode()); err != nil && c.storeErr == nil {
+		c.storeErr = fmt.Errorf("chain: persisting checkpoint %d: %w", n, err)
+	}
+}
+
+// pruneForksLocked reclaims non-canonical entries buried more than
+// FinalityDepth below the head: the entry, its state and its tx-index
+// references all go. An entry is kept, canonical or not, while any stored
+// descendant chain reaches the protected region — pruning works level by
+// level downward carrying the set of parent hashes still needed, so a live
+// fork branch is never cut mid-way. The descent normally stops at the
+// pruneFloor watermark; it continues below it only while the previous level
+// actually pruned something, because removing a child can orphan a parent
+// that an earlier sweep had to keep. Caller holds the write lock.
+func (c *Chain) pruneForksLocked() {
+	depth := c.cfg.FinalityDepth
+	if depth == 0 {
+		return
+	}
+	headNum := uint64(len(c.canon) - 1)
+	if headNum <= depth {
+		return
+	}
+	limit := headNum - depth // heights >= limit are protected
+	needed := make(map[types.Hash]struct{})
+	for _, h := range c.byNumber[limit] {
+		needed[c.blocks[h].block.Header.ParentHash] = struct{}{}
+	}
+	for n := limit; n > 0; {
+		n--
+		pruned := false
+		next := make(map[types.Hash]struct{})
+		kept := c.byNumber[n][:0]
+		canonHash := c.canon[n].hash
+		for _, h := range c.byNumber[n] {
+			e := c.blocks[h]
+			if _, need := needed[h]; need || h == canonHash {
+				kept = append(kept, h)
+				next[e.block.Header.ParentHash] = struct{}{}
+				continue
+			}
+			c.removeEntryLocked(h, e)
+			pruned = true
+		}
+		c.byNumber[n] = kept
+		needed = next
+		if n < c.pruneFloor && !pruned {
+			break
+		}
+	}
+	c.pruneFloor = limit
+}
+
+// removeEntryLocked deletes one block entry and its transaction-index
+// references. The byNumber slot is maintained by the caller. Caller holds
+// the write lock.
+func (c *Chain) removeEntryLocked(h types.Hash, e *blockEntry) {
+	delete(c.blocks, h)
+	for _, tx := range e.block.Txs {
+		th := tx.Hash()
+		refs := c.txIndex[th]
+		kept := refs[:0]
+		for _, ref := range refs {
+			if ref.block != h {
+				kept = append(kept, ref)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.txIndex, th)
+		} else {
+			c.txIndex[th] = kept
+		}
+	}
+}
+
+// ResidentStates counts block entries currently holding a resident state —
+// the quantity bounded by StateHistory + checkpoints (+ genesis). Exposed
+// for tests and memory accounting.
+func (c *Chain) ResidentStates() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	// Heights are contiguous from genesis to the highest stored tip (a block
+	// only links onto a stored parent), so walking up from 0 until an empty
+	// level visits every entry without ranging over the map.
+	for height := uint64(0); ; height++ {
+		hashes := c.byNumber[height]
+		if len(hashes) == 0 {
+			break
+		}
+		for _, h := range hashes {
+			if e := c.blocks[h]; e != nil && e.state != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush forces buffered store writes to durable media and surfaces any
+// background persistence failure (sticky checkpoint errors). A chain without
+// a Store flushes trivially.
+func (c *Chain) Flush() error {
+	c.mu.RLock()
+	err := c.storeErr
+	c.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if c.cfg.Store == nil {
+		return nil
+	}
+	if err := c.cfg.Store.Flush(); err != nil {
+		return fmt.Errorf("chain: flushing store: %w", err)
+	}
+	return nil
+}
+
+// Close persists the head's flat state under the final-snapshot key (so the
+// next open skips the head replay), then closes the Store. The first error
+// encountered — including a sticky background persistence failure — is
+// returned; the chain must not be used afterwards when a Store is
+// configured. Closing a store-less chain is a no-op.
+func (c *Chain) Close() error {
+	if c.cfg.Store == nil {
+		return nil
+	}
+	c.mu.Lock()
+	firstErr := c.storeErr
+	if e := c.blocks[c.head]; e.state != nil {
+		if err := c.cfg.Store.Put(finalKey, e.state.Encode()); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("chain: persisting final snapshot: %w", err)
+		}
+	}
+	c.mu.Unlock()
+	if err := c.cfg.Store.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("chain: closing store: %w", err)
+	}
+	return firstErr
+}

@@ -1,0 +1,620 @@
+package chain
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"contractshard/internal/contract"
+	"contractshard/internal/crypto"
+	"contractshard/internal/state"
+	"contractshard/internal/store"
+	"contractshard/internal/types"
+)
+
+// durableConfig is the storage-test chain configuration: bounded state
+// history with a short checkpoint cadence and finality horizon, so every
+// storage mechanism exercises within a few dozen blocks.
+func durableConfig(shard types.ShardID, s store.Store) Config {
+	cfg := testConfig(shard)
+	cfg.StateHistory = 3
+	cfg.CheckpointInterval = 4
+	cfg.FinalityDepth = 6
+	cfg.Store = s
+	return cfg
+}
+
+// durableFixture drives a chain with funded accounts and a storage-using
+// counter contract, so persisted state covers balances, nonces, code and
+// contract storage.
+type durableFixture struct {
+	alice    *crypto.Keypair
+	bob      *crypto.Keypair
+	counter  types.Address
+	miner    types.Address
+	alloc    map[types.Address]uint64
+	code     map[types.Address][]byte
+	nonces   map[types.Address]uint64
+	lastTime uint64
+}
+
+func newDurableFixture() *durableFixture {
+	alice := crypto.KeypairFromSeed("durable-alice")
+	bob := crypto.KeypairFromSeed("durable-bob")
+	counter := types.BytesToAddress([]byte{0xCC})
+	return &durableFixture{
+		alice:   alice,
+		bob:     bob,
+		counter: counter,
+		miner:   types.BytesToAddress([]byte{0xA1}),
+		alloc: map[types.Address]uint64{
+			alice.Address(): 10_000_000,
+			bob.Address():   10_000_000,
+		},
+		code:   map[types.Address][]byte{counter: contract.CounterContract()},
+		nonces: make(map[types.Address]uint64),
+	}
+}
+
+func (f *durableFixture) open(t testing.TB, s store.Store) *Chain {
+	t.Helper()
+	c, err := NewWithContracts(durableConfig(1, s), f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// mine extends the head with one block carrying n transactions alternating
+// plain transfers and counter-contract calls.
+func (f *durableFixture) mine(t testing.TB, c *Chain, n int) *types.Block {
+	t.Helper()
+	var txs []*types.Transaction
+	for i := 0; i < n; i++ {
+		from := f.alice
+		if i%2 == 1 {
+			from = f.bob
+		}
+		tx := &types.Transaction{
+			Nonce: f.nonces[from.Address()],
+			From:  from.Address(),
+			To:    f.bob.Address(),
+			Value: 10,
+			Fee:   1,
+		}
+		if i%3 == 0 {
+			tx.To = f.counter
+			tx.Data = []byte{1}
+		}
+		if err := crypto.SignTx(tx, from); err != nil {
+			t.Fatal(err)
+		}
+		f.nonces[from.Address()]++
+		txs = append(txs, tx)
+	}
+	f.lastTime += 100
+	b, _, err := c.BuildBlock(f.miner, txs, f.lastTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestReopenRecoversHead: a chain persisted to a FileStore and cleanly
+// closed reopens to the identical canonical head (hash and state root) and
+// keeps accepting blocks.
+func TestReopenRecoversHead(t *testing.T) {
+	dir := t.TempDir()
+	f := newDurableFixture()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.open(t, s)
+	for i := 0; i < 20; i++ {
+		f.mine(t, c, i%4)
+	}
+	wantHead := c.Head().Hash()
+	wantRoot := c.Head().Header.StateRoot
+	wantBalance := c.HeadBalance(f.bob.Address())
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := f.open(t, s2)
+	if got := c2.Head().Hash(); got != wantHead {
+		t.Fatalf("recovered head %s, want %s", got, wantHead)
+	}
+	if got := c2.HeadState().Root(); got != wantRoot {
+		t.Fatalf("recovered head root %s, want %s", got, wantRoot)
+	}
+	if got := c2.HeadBalance(f.bob.Address()); got != wantBalance {
+		t.Fatalf("recovered balance %d, want %d", got, wantBalance)
+	}
+	// The recovered chain must stay live: extend it and flush cleanly.
+	f.mine(t, c2, 2)
+	if c2.Height() != 21 {
+		t.Fatalf("height after post-recovery block: %d", c2.Height())
+	}
+	if err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenAfterTornWrite simulates a crash during the final block append:
+// the block log is cut at every byte offset inside the last record, and the
+// reopened chain must recover to the previous head and keep mining.
+func TestReopenAfterTornWrite(t *testing.T) {
+	master := t.TempDir()
+	f := newDurableFixture()
+	s, err := store.Open(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.open(t, s)
+	var prevHead types.Hash
+	for i := 0; i < 6; i++ {
+		prevHead = c.Head().Hash()
+		f.mine(t, c, i%3)
+	}
+	lastHead := c.Head().Hash()
+	// Crash, don't Close: no final snapshot, recovery must replay.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	blockLog, err := os.ReadFile(filepath.Join(master, store.BlocksLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateLog, err := os.ReadFile(filepath.Join(master, store.StateLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRaw := c.GetBlock(lastHead).Encode()
+	lastStart := bytes.LastIndex(blockLog, lastRaw) - 8 // record header precedes payload
+
+	for cut := lastStart; cut < len(blockLog); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, store.BlocksLogName), blockLog[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, store.StateLogName), stateLog, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := store.Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		c2, err := NewWithContracts(durableConfig(1, s2), f.alloc, f.code)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got := c2.Head().Hash(); got != prevHead {
+			t.Fatalf("cut %d: recovered head %s, want %s", cut, got, prevHead)
+		}
+		// The torn block is gone; the chain accepts a replacement.
+		nonces := cloneNonces(f.nonces)
+		f.nonces = rollbackNonces(c2, f)
+		f.mine(t, c2, 1)
+		f.nonces = nonces
+		if c2.Height() != 6 {
+			t.Fatalf("cut %d: height %d after replacement block", cut, c2.Height())
+		}
+		if err := c2.Close(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+	}
+}
+
+func cloneNonces(m map[types.Address]uint64) map[types.Address]uint64 {
+	out := make(map[types.Address]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// rollbackNonces resets the fixture's nonce tracking to the recovered head
+// state, since recovery dropped the torn block's transactions.
+func rollbackNonces(c *Chain, f *durableFixture) map[types.Address]uint64 {
+	st := c.HeadState()
+	return map[types.Address]uint64{
+		f.alice.Address(): st.GetNonce(f.alice.Address()),
+		f.bob.Address():   st.GetNonce(f.bob.Address()),
+	}
+}
+
+// TestGenesisPinRejectsForeignStore: a datadir written by one chain must be
+// refused by a chain with a different genesis.
+func TestGenesisPinRejectsForeignStore(t *testing.T) {
+	dir := t.TempDir()
+	f := newDurableFixture()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.open(t, s)
+	f.mine(t, c, 0)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s2.Close() }()
+	cfg := durableConfig(1, s2)
+	if _, err := NewWithContracts(cfg, map[types.Address]uint64{f.alice.Address(): 1}, nil); err == nil {
+		t.Fatal("foreign store accepted")
+	}
+}
+
+// TestStateAtReplayDifferential grows random fork shapes on two chains fed
+// identical blocks — one retaining every state (the reference), one with
+// bounded history that must replay — and checks that StateAt agrees on
+// root, balances, nonces and contract storage for every live block.
+func TestStateAtReplayDifferential(t *testing.T) {
+	f := newDurableFixture()
+	refCfg := testConfig(1) // retain-all, no pruning: the oracle
+	ref, err := NewWithContracts(refCfg, f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundedCfg := testConfig(1)
+	boundedCfg.StateHistory = 2
+	boundedCfg.CheckpointInterval = 3
+	boundedCfg.Store = store.NewMem()
+	bounded, err := NewWithContracts(boundedCfg, f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	blocks := []*types.Block{ref.Genesis()}
+	for step := 0; step < 40; step++ {
+		var b *types.Block
+		if rng.Intn(10) < 7 || len(blocks) < 3 {
+			// Extend the head with a block carrying transactions.
+			b = f.mine(t, ref, rng.Intn(3))
+		} else {
+			// Fork: an empty block off a random recent ancestor.
+			parent := blocks[len(blocks)-1-rng.Intn(3)]
+			b = buildOn(t, ref, parent, types.BytesToAddress([]byte{byte(step)}), nil, f.lastTime+uint64(step))
+			if err := ref.AddBlock(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bounded.AddBlock(b); err != nil {
+			t.Fatalf("step %d: bounded chain rejected block: %v", step, b)
+		}
+		blocks = append(blocks, b)
+		if ref.Head().Hash() != bounded.Head().Hash() {
+			t.Fatalf("step %d: fork choice diverged", step)
+		}
+	}
+
+	slot := make([]byte, 32)
+	for _, b := range blocks {
+		want := ref.StateAt(b.Hash())
+		got := bounded.StateAt(b.Hash())
+		if want == nil || got == nil {
+			t.Fatalf("block %d %s: StateAt nil (ref=%v bounded=%v)", b.Number(), b.Hash(), want == nil, got == nil)
+		}
+		if want.Root() != got.Root() {
+			t.Fatalf("block %d: root %s != %s", b.Number(), got.Root(), want.Root())
+		}
+		for _, addr := range []types.Address{f.alice.Address(), f.bob.Address(), f.miner, f.counter} {
+			if want.GetBalance(addr) != got.GetBalance(addr) {
+				t.Fatalf("block %d: balance of %s diverged", b.Number(), addr)
+			}
+			if want.GetNonce(addr) != got.GetNonce(addr) {
+				t.Fatalf("block %d: nonce of %s diverged", b.Number(), addr)
+			}
+		}
+		if !bytes.Equal(want.GetStorage(f.counter, slot), got.GetStorage(f.counter, slot)) {
+			t.Fatalf("block %d: contract storage diverged", b.Number())
+		}
+	}
+}
+
+// TestForkStatePruning: with a finality depth configured (and no Store —
+// pure memory mode), losing-fork entries buried past the horizon are
+// reclaimed entirely: block, state and transaction-index references.
+func TestForkStatePruning(t *testing.T) {
+	f := newFixture(t)
+	cfg := testConfig(1)
+	cfg.FinalityDepth = 3
+	c, err := New(cfg, map[types.Address]uint64{f.alice.Address(): 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Canonical-for-now branch A: one block carrying a transaction.
+	tx := f.signedTransfer(t, f.alice, f.bob.Address(), 100, 5)
+	blockA, _, err := c.BuildBlock(f.miner, []*types.Transaction{tx}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddBlock(blockA); err != nil {
+		t.Fatal(err)
+	}
+	if c.GetReceipt(tx.Hash()) == nil {
+		t.Fatal("receipt missing while branch A is canonical")
+	}
+	// Built now (while A's state is live), added after A is pruned.
+	otherMinerLate := types.BytesToAddress([]byte{0x77})
+	late := buildOn(t, c, blockA, otherMinerLate, nil, 9000)
+
+	// Competing branch B out-mines it from genesis and keeps growing.
+	otherMiner := types.BytesToAddress([]byte{0x99})
+	parent := c.Genesis()
+	for i := 0; i < 8; i++ {
+		b := buildOn(t, c, parent, otherMiner, nil, uint64(2000+i*100))
+		if err := c.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		parent = b
+	}
+	if c.Head().Hash() != parent.Hash() {
+		t.Fatal("branch B should be canonical")
+	}
+
+	// Branch A's block is now 7 below the head with depth 3: pruned.
+	if c.GetBlock(blockA.Hash()) != nil {
+		t.Fatal("losing fork block survived past finality depth")
+	}
+	if c.StateAt(blockA.Hash()) != nil {
+		t.Fatal("losing fork state survived past finality depth")
+	}
+	if c.GetReceipt(tx.Hash()) != nil {
+		t.Fatal("pruned fork still answers receipts")
+	}
+	// A block attaching below the horizon is rejected (its parent is gone).
+	if err := c.AddBlock(late); err == nil {
+		t.Fatal("block on pruned parent accepted")
+	}
+	// Canonical data is untouched.
+	if got := len(c.CanonicalBlocks()); got != 9 {
+		t.Fatalf("canonical length %d", got)
+	}
+	if c.HeadBalance(otherMiner) != 8*c.Config().BlockReward {
+		t.Fatal("canonical balances disturbed by pruning")
+	}
+}
+
+// TestBoundedResidentStates: with bounded history the number of resident
+// full states stays at hot window + checkpoints + genesis, regardless of
+// chain length, and evicted states remain reachable through replay.
+func TestBoundedResidentStates(t *testing.T) {
+	f := newDurableFixture()
+	cfg := testConfig(1)
+	cfg.StateHistory = 3
+	cfg.CheckpointInterval = 5
+	cfg.Store = store.NewMem()
+	c, err := NewWithContracts(cfg, f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mined []*types.Block
+	for i := 0; i < 40; i++ {
+		mined = append(mined, f.mine(t, c, i%3))
+	}
+	head := c.Height()
+	// Genesis + checkpoints at multiples of 5 up to the cold boundary + the
+	// hot window (head-2..head). Allow the boundary block itself as slack.
+	maxResident := 1 + int((head)/cfg.CheckpointInterval) + cfg.StateHistory + 1
+	if got := c.ResidentStates(); got > maxResident {
+		t.Fatalf("%d resident states, want <= %d", got, maxResident)
+	}
+	// Deep queries still answer, verified against the header roots.
+	for _, b := range []*types.Block{mined[0], mined[7], mined[20]} {
+		st := c.StateAt(b.Hash())
+		if st == nil {
+			t.Fatalf("StateAt(%d) nil after eviction", b.Number())
+		}
+		if st.Root() != b.Header.StateRoot {
+			t.Fatalf("StateAt(%d) root mismatch", b.Number())
+		}
+	}
+	// Replay does not re-grow residency.
+	if got := c.ResidentStates(); got > maxResident {
+		t.Fatalf("%d resident states after queries, want <= %d", got, maxResident)
+	}
+}
+
+// TestCheckpointStickyError: a checkpoint persistence failure does not fail
+// block acceptance but surfaces on Flush.
+func TestCheckpointStickyError(t *testing.T) {
+	f := newDurableFixture()
+	fs := &failingStore{Store: store.NewMem()}
+	cfg := testConfig(1)
+	cfg.StateHistory = 2
+	cfg.CheckpointInterval = 2
+	cfg.Store = fs
+	c, err := NewWithContracts(cfg, f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.failPuts = true
+	for i := 0; i < 10; i++ {
+		f.mine(t, c, 0) // must keep succeeding
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("sticky checkpoint error not surfaced by Flush")
+	}
+}
+
+// failingStore wraps a Store and fails Put on demand.
+type failingStore struct {
+	store.Store
+	failPuts bool
+}
+
+func (f *failingStore) Put(key string, value []byte) error {
+	if f.failPuts {
+		return fmt.Errorf("injected put failure for %q", key)
+	}
+	return f.Store.Put(key, value)
+}
+
+// TestRecoveryRebuildsAcrossForks reopens a store whose log contains fork
+// blocks and checks fork choice converges to the same head it had live.
+func TestRecoveryRebuildsAcrossForks(t *testing.T) {
+	dir := t.TempDir()
+	f := newDurableFixture()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No pruning so the log's fork blocks are still linkable on reopen
+	// before the final sweep.
+	cfg := testConfig(1)
+	cfg.StateHistory = 2
+	cfg.CheckpointInterval = 3
+	cfg.Store = s
+	c, err := NewWithContracts(cfg, f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	blocks := []*types.Block{c.Genesis()}
+	for step := 0; step < 15; step++ {
+		if rng.Intn(10) < 7 || len(blocks) < 3 {
+			blocks = append(blocks, f.mine(t, c, rng.Intn(2)))
+		} else {
+			parent := blocks[len(blocks)-1-rng.Intn(3)]
+			b := buildOn(t, c, parent, types.BytesToAddress([]byte{byte(0x40 + step)}), nil, f.lastTime+uint64(step))
+			if err := c.AddBlock(b); err != nil {
+				t.Fatal(err)
+			}
+			blocks = append(blocks, b)
+		}
+	}
+	wantHead := c.Head().Hash()
+	wantRoot := c.HeadState().Root()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Store = s2
+	c2, err := NewWithContracts(cfg2, f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Head().Hash(); got != wantHead {
+		t.Fatalf("recovered head %s, want %s", got, wantHead)
+	}
+	if got := c2.HeadState().Root(); got != wantRoot {
+		t.Fatalf("recovered root %s, want %s", got, wantRoot)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkReopenReplay measures crash-recovery cost: reopening a FileStore
+// holding a 64-block chain (no final snapshot, so the head state is rebuilt
+// by replay from the last checkpoint).
+func BenchmarkReopenReplay(b *testing.B) {
+	dir := b.TempDir()
+	f := newDurableFixture()
+	s, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := durableConfig(1, s)
+	cfg.CheckpointInterval = 16
+	c, err := NewWithContracts(cfg, f.alloc, f.code)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		f.mine(b, c, i%4)
+	}
+	// Flush but do not Close: the benchmark measures the crash path, where
+	// no head snapshot exists and replay runs from the newest checkpoint.
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		si, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci, err := NewWithContracts(durableConfig(1, si), f.alloc, f.code)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ci.Height() != 64 {
+			b.Fatalf("recovered height %d", ci.Height())
+		}
+		if err := si.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointAttachSkipsStale: a checkpoint persisted for a branch that
+// later lost fork choice must be ignored on recovery (root mismatch), with
+// replay covering the gap.
+func TestCheckpointAttachSkipsStale(t *testing.T) {
+	f := newDurableFixture()
+	s := store.NewMem()
+	cfg := testConfig(1)
+	cfg.StateHistory = 2
+	cfg.CheckpointInterval = 2
+	cfg.Store = s
+	c, err := NewWithContracts(cfg, f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		f.mine(t, c, 1)
+	}
+	// Poison a checkpoint with a state that decodes but has the wrong root.
+	if err := s.Put(checkpointKey(4), state.New().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	wantHead := c.Head().Hash()
+
+	// Recover into a fresh chain over the same MemStore.
+	cfg2 := cfg
+	c2, err := NewWithContracts(cfg2, f.alloc, f.code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Head().Hash() != wantHead {
+		t.Fatal("recovery head mismatch with stale checkpoint present")
+	}
+	// Height 4's state must come from replay, not the poisoned snapshot.
+	h4, ok := c2.CanonicalHashAt(4)
+	if !ok {
+		t.Fatal("no canonical block at 4")
+	}
+	st := c2.StateAt(h4)
+	if st == nil {
+		t.Fatal("StateAt(4) nil")
+	}
+	if st.Root() != c2.GetBlock(h4).Header.StateRoot {
+		t.Fatal("stale checkpoint leaked into StateAt")
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -14,11 +15,28 @@ import (
 // ignored (fmt.Print*/Fprint* and the never-failing strings.Builder /
 // bytes.Buffer writers) are excluded; anything else needs handling or a
 // `//shardlint:errdrop <reason>` waiver.
+//
+// Durability methods get one extra rule: assigning their results entirely to
+// blanks (`_ = f.Close()`, `_, _ = w.Write(buf)`) is the same silent discard
+// dressed up as intent, so those statements are flagged too. Other calls may
+// still be blank-assigned — that form stays available for genuinely
+// don't-care errors outside the persistence path.
 var errdropIgnorePrefixes = []string{
 	"fmt.Print",
 	"fmt.Fprint",
 	"(*strings.Builder).",
 	"(*bytes.Buffer).",
+}
+
+// errdropDurabilityMethods are the I/O methods whose errors must not be
+// discarded even via an explicit blank assignment: dropping a Write or Flush
+// error means believing data is on disk when it is not.
+var errdropDurabilityMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Flush":       true,
+	"Close":       true,
+	"Sync":        true,
 }
 
 func errdrop(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
@@ -34,6 +52,8 @@ func errdrop(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
 					call = n.Call
 				case *ast.DeferStmt:
 					call = n.Call
+				case *ast.AssignStmt:
+					call = blankDurabilityCall(pkg, n)
 				}
 				if call == nil || !returnsError(pkg, call) || ignoredErrdrop(pkg, call) {
 					return true
@@ -50,6 +70,30 @@ func errdrop(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
 		}
 	}
 	return diags
+}
+
+// blankDurabilityCall returns the called expression when the assignment
+// discards every result of a durability-method call into blanks
+// (`_ = f.Close()`); nil for any other assignment shape.
+func blankDurabilityCall(pkg *Package, assign *ast.AssignStmt) *ast.CallExpr {
+	if assign.Tok != token.ASSIGN || len(assign.Rhs) != 1 {
+		return nil
+	}
+	for _, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return nil
+		}
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	f := calleeFunc(pkg, call)
+	if f == nil || !errdropDurabilityMethods[f.Name()] {
+		return nil
+	}
+	return call
 }
 
 // returnsError reports whether the call's result type includes error.

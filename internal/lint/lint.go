@@ -35,8 +35,9 @@ import (
 // DefaultConsensusPackages lists the module-relative package paths whose
 // re-execution must be bit-for-bit deterministic across miners (parameter
 // unification, the merging and transaction-selection games, and the state
-// machine they replay against). A package matches by exact path or by
-// prefix, so internal/game covers internal/game/replicator too.
+// machine they replay against), plus the durable store a restarted miner
+// replays its ledger from. A package matches by exact path or by prefix, so
+// internal/game covers internal/game/replicator too.
 var DefaultConsensusPackages = []string{
 	"internal/unify",
 	"internal/merge",
@@ -49,6 +50,7 @@ var DefaultConsensusPackages = []string{
 	"internal/contract",
 	"internal/callgraph",
 	"internal/exec",
+	"internal/store",
 }
 
 // Diagnostic is one analyzer finding.

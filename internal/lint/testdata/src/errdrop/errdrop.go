@@ -59,3 +59,48 @@ func SilentIgnoredCallees() {
 func Waived() {
 	mayFail() //shardlint:errdrop best-effort cleanup; failure is retried next round
 }
+
+type sink struct{}
+
+func (sink) Close() error                { return nil }
+func (sink) Flush() error                { return nil }
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+func (sink) Detach() error               { return nil }
+
+// FiresBlankClose: blanking a durability method is still a silent discard.
+func FiresBlankClose() {
+	var s sink
+	_ = s.Close()
+}
+
+// FiresBlankFlush: same through an explicit blank on Flush.
+func FiresBlankFlush() {
+	var s sink
+	_ = s.Flush()
+}
+
+// FiresBlankWrite: tuple form with every result blanked.
+func FiresBlankWrite() {
+	var s sink
+	_, _ = s.Write(nil)
+}
+
+// SilentBlankOther: blank-assigning a non-durability method stays visible
+// intent, same as SilentBlank.
+func SilentBlankOther() {
+	var s sink
+	_ = s.Detach()
+}
+
+// SilentBlankBuilder: never-failing writers are exempt even when blanked.
+func SilentBlankBuilder() {
+	var b strings.Builder
+	_, _ = b.WriteString("x")
+}
+
+// SilentPartialBlank keeps the error, dropping only the count.
+func SilentPartialBlank() error {
+	var s sink
+	_, err := s.Write(nil)
+	return err
+}

@@ -25,6 +25,7 @@ import (
 	"contractshard/internal/mempool"
 	"contractshard/internal/p2p"
 	"contractshard/internal/sharding"
+	"contractshard/internal/store"
 	"contractshard/internal/txsel"
 	"contractshard/internal/types"
 	"contractshard/internal/unify"
@@ -61,6 +62,12 @@ type Config struct {
 	// owned by the miner and overwritten: catch-up always re-runs the same
 	// membership/selection verifications as gossip.
 	Sync chainsync.Config
+	// Store, when set, makes the miner's ledger durable: blocks and state
+	// checkpoints persist to it, and a restarted miner handed the same store
+	// recovers its chain instead of restarting from genesis (then reconverges
+	// with shard peers through the usual chain sync). Shorthand for setting
+	// ChainConfig.Store; when both are set, Store wins.
+	Store store.Store
 }
 
 // Stats counts what the miner saw and rejected.
@@ -113,6 +120,9 @@ func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
 		cfg.Directory = sharding.NewDirectory()
 	}
 	cfg.ChainConfig.ShardID = cfg.Shard
+	if cfg.Store != nil {
+		cfg.ChainConfig.Store = cfg.Store
+	}
 	ch, err := chain.NewWithContracts(cfg.ChainConfig, cfg.GenesisAlloc, cfg.Contracts)
 	if err != nil {
 		return nil, err
@@ -178,6 +188,13 @@ func (m *Miner) Pending() int { return m.pool.Size() }
 // the whole head state.
 func (m *Miner) BalanceOf(addr types.Address) uint64 {
 	return m.chain.HeadBalance(addr)
+}
+
+// NonceOf reads an account's next nonce from the miner's shard ledger, so a
+// client submitting against a recovered ledger can resume where the
+// persisted chain left off.
+func (m *Miner) NonceOf(addr types.Address) uint64 {
+	return m.chain.HeadNonce(addr)
 }
 
 // handleTx routes an incoming transaction: pooled when it belongs to this
@@ -314,6 +331,20 @@ func (m *Miner) onSyncApply(block *types.Block) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.pool.RemoveTxs(block.Txs)
+}
+
+// Flush forces the miner's ledger store (if any) to durable media and
+// surfaces any background persistence failure.
+func (m *Miner) Flush() error { return m.chain.Flush() }
+
+// Close shuts the miner's ledger down cleanly: the head state is snapshotted
+// and the store flushed and closed, so the next start with the same store
+// recovers to this exact head without replay. A miner without a store closes
+// trivially. The miner must not mine or accept blocks afterwards.
+func (m *Miner) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.chain.Close()
 }
 
 // CatchUp runs chain-sync rounds against this miner's shard peers until they

@@ -1,0 +1,135 @@
+package node
+
+import (
+	"testing"
+
+	"contractshard/internal/chain"
+	"contractshard/internal/chainsync"
+	"contractshard/internal/contract"
+	"contractshard/internal/crypto"
+	"contractshard/internal/epoch"
+	"contractshard/internal/p2p"
+	"contractshard/internal/sharding"
+	"contractshard/internal/store"
+	"contractshard/internal/types"
+)
+
+// TestRestartRecoversAndReconverges is the durable-miner lifecycle: a miner
+// with a file-backed store shuts down cleanly, restarts on the same datadir
+// at its old head, then catches up with its shard peers on what it missed.
+func TestRestartRecoversAndReconverges(t *testing.T) {
+	net := p2p.NewNetwork()
+	dir := sharding.NewDirectory()
+	caddr := types.BytesToAddress([]byte{0xC1})
+	dest := types.BytesToAddress([]byte{0xDD})
+	shard := dir.Register(caddr)
+
+	parts := []epoch.Participant{
+		{Key: crypto.KeypairFromSeed("restart-a"), Seed: []byte{1}},
+		{Key: crypto.KeypairFromSeed("restart-b"), Seed: []byte{2}},
+	}
+	// One shard takes everyone, so both miners share a ledger.
+	out, err := epoch.Run(1, parts, map[types.ShardID]int{shard: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	user := crypto.KeypairFromSeed("restart-user")
+	alloc := map[types.Address]uint64{user.Address(): 1_000_000}
+	code := map[types.Address][]byte{caddr: contract.UnconditionalTransfer(dest)}
+	datadir := t.TempDir()
+
+	newMiner := func(i int, id p2p.NodeID, s store.Store) *Miner {
+		t.Helper()
+		cc := chain.DefaultConfig(shard)
+		cc.Difficulty = 16
+		cc.StateHistory = 4
+		cc.CheckpointInterval = 4
+		m, err := New(net, id, Config{
+			Key: parts[i].Key, Shard: shard,
+			Randomness: out.Randomness, Fractions: out.Fractions,
+			ChainConfig: cc, GenesisAlloc: alloc, Contracts: code,
+			Directory: dir, Store: s,
+			Sync: chainsync.Config{Seed: int64(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	s, err := store.Open(datadir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := newMiner(0, "miner-a", s)
+	peer := newMiner(1, "miner-b", nil)
+
+	// Phase 1: the durable miner produces blocks (with a transaction in the
+	// mix) that the peer follows.
+	tx := &types.Transaction{Nonce: 0, From: user.Address(), To: caddr, Value: 100, Fee: 5, Data: []byte{1}}
+	if err := crypto.SignTx(tx, user); err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := durable.Mine(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if peer.Height() != 6 {
+		t.Fatalf("peer height %d before shutdown", peer.Height())
+	}
+	headAtClose := durable.Head().Hash()
+	rootAtClose := durable.Head().Header.StateRoot
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: the shard moves on while the durable miner is down.
+	for i := 0; i < 3; i++ {
+		if _, err := peer.Mine(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 3: restart on the same datadir. The miner comes back at its
+	// persisted head — hash AND state root — before any networking.
+	s2, err := store.Open(datadir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := newMiner(0, "miner-a2", s2)
+	if got := restarted.Head().Hash(); got != headAtClose {
+		t.Fatalf("restarted head %s, want %s", got, headAtClose)
+	}
+	if got := restarted.chain.HeadState().Root(); got != rootAtClose {
+		t.Fatalf("restarted state root %s, want %s", got, rootAtClose)
+	}
+	if got := restarted.chain.HeadBalance(dest); got != 100 {
+		t.Fatalf("recovered contract payout %d, want 100", got)
+	}
+
+	// Phase 4: chain sync closes the gap the downtime opened.
+	if _, err := restarted.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if restarted.Head().Hash() != peer.Head().Hash() {
+		t.Fatalf("restarted miner did not reconverge: %d vs %d", restarted.Height(), peer.Height())
+	}
+	// And it keeps producing on the reconverged chain, persisting as it goes.
+	if _, err := restarted.Mine(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if peer.Head().Hash() != restarted.Head().Hash() {
+		t.Fatal("shard diverged after post-restart mining")
+	}
+}

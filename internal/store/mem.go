@@ -1,0 +1,125 @@
+package store
+
+import "sync"
+
+// MemStore is the in-memory Store: the default for tests and simulations,
+// where durability is irrelevant but the chain still wants the same
+// append/scan/checkpoint interface it runs against on disk. All data is
+// lost when the process exits; Flush is a no-op.
+type MemStore struct {
+	mu     sync.Mutex
+	blocks [][]byte
+	kv     map[string][]byte
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore {
+	return &MemStore{kv: make(map[string][]byte)}
+}
+
+// AppendBlock appends a copy of raw to the block log.
+func (m *MemStore) AppendBlock(raw []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.blocks = append(m.blocks, append([]byte(nil), raw...))
+	return nil
+}
+
+// Blocks replays the log in append order.
+func (m *MemStore) Blocks(fn func(i int, raw []byte) error) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	// Snapshot the slice so fn (which may re-enter the store) runs unlocked;
+	// records are immutable once appended.
+	blocks := make([][]byte, len(m.blocks))
+	copy(blocks, m.blocks)
+	m.mu.Unlock()
+	for i, raw := range blocks {
+		if err := fn(i, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlockCount reports the number of records in the block log.
+func (m *MemStore) BlockCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blocks)
+}
+
+// TruncateBlocks discards records from index keep onward.
+func (m *MemStore) TruncateBlocks(keep int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if keep < 0 || keep > len(m.blocks) {
+		return ErrRange
+	}
+	m.blocks = m.blocks[:keep]
+	return nil
+}
+
+// Put stores a copy of value under key.
+func (m *MemStore) Put(key string, value []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.kv[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Get reads a key.
+func (m *MemStore) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.kv[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Delete removes a key.
+func (m *MemStore) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	delete(m.kv, key)
+	return nil
+}
+
+// Flush is a no-op: memory is as durable as a MemStore gets.
+func (m *MemStore) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close marks the store closed.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.closed = true
+	return nil
+}

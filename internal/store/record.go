@@ -1,0 +1,81 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The log record format, shared by the block log and the key-value log:
+//
+//	record := length(4, big-endian) || crc32c(4, big-endian) || payload
+//
+// The checksum covers the payload only; the length is validated against the
+// remaining bytes, so every way a record can tear — a partial header, a
+// length pointing past the write that made it, a payload cut short, payload
+// bytes flipped — fails either the bounds check or the checksum. scanRecords
+// distinguishes the one legal failure (a torn tail, the suffix written by an
+// append the crash interrupted) from corruption in the body of the log.
+
+// recordHeaderSize is the fixed per-record framing overhead.
+const recordHeaderSize = 8
+
+// maxRecordSize bounds a single record. It exists so a corrupt length field
+// cannot make a reader allocate gigabytes; real payloads (blocks, state
+// checkpoints) are far smaller.
+const maxRecordSize = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord appends the framed payload to dst and returns the result.
+func appendRecord(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// parseRecord reads one record at the start of data. It returns the payload
+// (aliasing data) and the total framed size, or ok=false when data does not
+// begin with a complete, checksum-valid record.
+func parseRecord(data []byte) (payload []byte, size int, ok bool) {
+	if len(data) < recordHeaderSize {
+		return nil, 0, false
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > maxRecordSize || uint64(recordHeaderSize)+uint64(n) > uint64(len(data)) {
+		return nil, 0, false
+	}
+	sum := binary.BigEndian.Uint32(data[4:])
+	payload = data[recordHeaderSize : recordHeaderSize+int(n)]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, false
+	}
+	return payload, recordHeaderSize + int(n), true
+}
+
+// scanRecords walks every complete record in data, calling fn with each
+// record's byte offset and payload. It returns the number of bytes covered
+// by valid records — a torn tail (any invalid suffix) is excluded, which is
+// how both logs discard the record a crash interrupted. An error from fn
+// stops the scan.
+func scanRecords(data []byte, fn func(off int64, payload []byte) error) (valid int64, err error) {
+	off := 0
+	for off < len(data) {
+		payload, size, ok := parseRecord(data[off:])
+		if !ok {
+			break
+		}
+		if fn != nil {
+			if err := fn(int64(off), payload); err != nil {
+				return int64(off), err
+			}
+		}
+		off += size
+	}
+	return int64(off), nil
+}
+
+// errCorruptAt builds an ErrCorrupt with position context.
+func errCorruptAt(what string, off int64) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, off)
+}

@@ -1,0 +1,65 @@
+// Package store is the durable storage layer under a shard chain: an
+// append-only block log plus a key-value state backend, behind one Store
+// interface with an in-memory implementation (the test and simulation
+// default) and an on-disk file-backed implementation (cmd/shardnode
+// -datadir).
+//
+// The split mirrors how the chain uses storage. Blocks are written exactly
+// once, in topological order (a parent is always appended before its
+// children), and are only ever read back as a whole scan during
+// crash-recovery replay — an append-only log of length-prefixed, checksummed
+// records is the exact shape of that access pattern. Everything derived —
+// canonical index, transaction index, head state — is rebuilt from the log
+// on open, so the log is the single source of truth and recovery never
+// trusts a secondary structure that could have torn separately. The
+// key-value side holds the small mutable leftovers: the genesis pin that
+// ties a store to one ledger, and the flat-state checkpoints the chain
+// drops every N blocks so replay cost is bounded by the checkpoint cadence
+// instead of the chain length (DESIGN.md "Durable storage and recovery
+// invariants").
+package store
+
+import "errors"
+
+// Errors shared by the implementations.
+var (
+	// ErrClosed is returned by every operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrCorrupt reports a structurally invalid record before the log tail.
+	// A torn *tail* record is not an error — crash recovery drops it — but
+	// corruption before the tail means the medium lied.
+	ErrCorrupt = errors.New("store: corrupt record")
+	// ErrRange reports an out-of-range block index.
+	ErrRange = errors.New("store: block index out of range")
+)
+
+// Store persists one shard ledger. Implementations are safe for concurrent
+// use. Writes become durable at the latest on a successful Flush; a crash
+// between writes may lose the un-flushed suffix but never corrupts what a
+// prior Flush covered, and a crash mid-append costs at most the record
+// being appended (the torn tail is detected and dropped on open).
+type Store interface {
+	// AppendBlock appends one encoded block to the block log.
+	AppendBlock(raw []byte) error
+	// Blocks replays the log in append order. Returning an error from fn
+	// stops the scan and surfaces that error.
+	Blocks(fn func(i int, raw []byte) error) error
+	// BlockCount reports the number of records in the block log.
+	BlockCount() int
+	// TruncateBlocks discards every record from index keep onward, so a
+	// recovery that rejects a mid-log record can cut the log back to its
+	// last coherent prefix before appending continues.
+	TruncateBlocks(keep int) error
+
+	// Put stores a key-value pair in the state backend (last write wins).
+	Put(key string, value []byte) error
+	// Get reads a key; ok is false when the key is absent.
+	Get(key string) (value []byte, ok bool)
+	// Delete removes a key; deleting an absent key is a no-op.
+	Delete(key string) error
+
+	// Flush makes every prior write durable.
+	Flush() error
+	// Close flushes and releases the store. Further use returns ErrClosed.
+	Close() error
+}

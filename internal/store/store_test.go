@@ -1,0 +1,346 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// conformance runs the same behavioral suite against any Store, so the
+// in-memory and file-backed implementations cannot drift apart.
+func conformance(t *testing.T, open func(t *testing.T) Store) {
+	t.Helper()
+
+	t.Run("blocks", func(t *testing.T) {
+		s := open(t)
+		defer mustClose(t, s)
+		want := [][]byte{[]byte("b0"), []byte("b1"), []byte("block two")}
+		for _, b := range want {
+			if err := s.AppendBlock(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := s.BlockCount(); n != len(want) {
+			t.Fatalf("BlockCount %d, want %d", n, len(want))
+		}
+		var got [][]byte
+		if err := s.Blocks(func(i int, raw []byte) error {
+			if i != len(got) {
+				return fmt.Errorf("index %d out of order", i)
+			}
+			got = append(got, append([]byte(nil), raw...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("block %d: got %q want %q", i, got[i], want[i])
+			}
+		}
+		if err := s.TruncateBlocks(1); err != nil {
+			t.Fatal(err)
+		}
+		if n := s.BlockCount(); n != 1 {
+			t.Fatalf("BlockCount after truncate %d, want 1", n)
+		}
+		if err := s.AppendBlock([]byte("replacement")); err != nil {
+			t.Fatal(err)
+		}
+		got = got[:0]
+		if err := s.Blocks(func(i int, raw []byte) error {
+			got = append(got, append([]byte(nil), raw...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || !bytes.Equal(got[1], []byte("replacement")) {
+			t.Fatalf("log after truncate+append: %q", got)
+		}
+		if err := s.TruncateBlocks(5); !errors.Is(err, ErrRange) {
+			t.Fatalf("out-of-range truncate: %v", err)
+		}
+	})
+
+	t.Run("kv", func(t *testing.T) {
+		s := open(t)
+		defer mustClose(t, s)
+		if _, ok := s.Get("missing"); ok {
+			t.Fatal("Get on empty store")
+		}
+		if err := s.Put("a", []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("a", []byte("2")); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := s.Get("a"); !ok || string(v) != "2" {
+			t.Fatalf("Get a: %q %v", v, ok)
+		}
+		if err := s.Delete("a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("a"); ok {
+			t.Fatal("deleted key still present")
+		}
+		if err := s.Delete("never-existed"); err != nil {
+			t.Fatal(err)
+		}
+		// Mutating the returned value must not corrupt the store.
+		if err := s.Put("iso", []byte("xyz")); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := s.Get("iso")
+		v[0] = '!'
+		if v2, _ := s.Get("iso"); string(v2) != "xyz" {
+			t.Fatalf("aliasing: store value became %q", v2)
+		}
+	})
+
+	t.Run("closed", func(t *testing.T) {
+		s := open(t)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AppendBlock([]byte("x")); !errors.Is(err, ErrClosed) {
+			t.Fatalf("append after close: %v", err)
+		}
+		if err := s.Put("k", nil); !errors.Is(err, ErrClosed) {
+			t.Fatalf("put after close: %v", err)
+		}
+		if err := s.Flush(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("flush after close: %v", err)
+		}
+		if err := s.Close(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("double close: %v", err)
+		}
+	})
+}
+
+func mustClose(t *testing.T, s Store) {
+	t.Helper()
+	if err := s.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStoreConformance(t *testing.T) {
+	conformance(t, func(t *testing.T) Store { return NewMem() })
+}
+
+func TestFileStoreConformance(t *testing.T) {
+	conformance(t, func(t *testing.T) Store {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+// TestFileStoreReopen checks that both logs survive a clean close/reopen.
+func TestFileStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.AppendBlock([]byte(fmt.Sprintf("block-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("head", []byte("h5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("gone", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s2)
+	if n := s2.BlockCount(); n != 5 {
+		t.Fatalf("reopened BlockCount %d", n)
+	}
+	if err := s2.Blocks(func(i int, raw []byte) error {
+		if want := fmt.Sprintf("block-%d", i); string(raw) != want {
+			return fmt.Errorf("block %d: %q", i, raw)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get("head"); !ok || string(v) != "h5" {
+		t.Fatalf("reopened head: %q %v", v, ok)
+	}
+	if _, ok := s2.Get("gone"); ok {
+		t.Fatal("delete did not survive reopen")
+	}
+}
+
+// TestFileStoreTornBlockTail simulates a crash mid-append: the block log is
+// truncated at every byte offset of its final record, and reopening must
+// recover every earlier record with the torn one dropped — and keep the log
+// appendable from that point.
+func TestFileStoreTornBlockTail(t *testing.T) {
+	master := t.TempDir()
+	s, err := Open(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := [][]byte{[]byte("alpha"), []byte("beta"), bytes.Repeat([]byte{7}, 64)}
+	for _, b := range blocks {
+		if err := s.AppendBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logBytes, err := os.ReadFile(filepath.Join(master, BlocksLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := len(logBytes) - (recordHeaderSize + len(blocks[2]))
+
+	for cut := lastStart; cut < len(logBytes); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, BlocksLogName), logBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if n := s2.BlockCount(); n != 2 {
+			t.Fatalf("cut %d: recovered %d blocks, want 2", cut, n)
+		}
+		if err := s2.AppendBlock([]byte("after-crash")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		var last []byte
+		if err := s2.Blocks(func(i int, raw []byte) error {
+			last = append([]byte(nil), raw...)
+			return nil
+		}); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if string(last) != "after-crash" {
+			t.Fatalf("cut %d: post-recovery append not last: %q", cut, last)
+		}
+		mustClose(t, s2)
+	}
+}
+
+// TestFileStoreTornKVTail does the same for the key-value log: a torn tail
+// loses only the interrupted operation.
+func TestFileStoreTornKVTail(t *testing.T) {
+	master := t.TempDir()
+	s, err := Open(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("stable", []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("torn", []byte("this operation gets interrupted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logBytes, err := os.ReadFile(filepath.Join(master, StateLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := encodeKVRecord(kvOpPut, "torn", []byte("this operation gets interrupted"))
+	lastStart := len(logBytes) - (recordHeaderSize + len(payload))
+
+	for cut := lastStart; cut < len(logBytes); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, StateLogName), logBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if v, ok := s2.Get("stable"); !ok || string(v) != "yes" {
+			t.Fatalf("cut %d: stable key lost: %q %v", cut, v, ok)
+		}
+		if _, ok := s2.Get("torn"); ok {
+			t.Fatalf("cut %d: torn put surfaced", cut)
+		}
+		mustClose(t, s2)
+	}
+}
+
+// TestFileStoreKVCompaction overwrites one key until the log crosses the
+// compaction threshold and checks the live data survives with the log
+// shrunk back near the live size.
+func TestFileStoreKVCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := bytes.Repeat([]byte{0xCC}, 2048)
+	for i := 0; i < 200; i++ {
+		if err := s.Put("hot", value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("cold", []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, StateLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 overwrites of a 2 KiB value would be ~400 KiB un-compacted; the
+	// live data is ~2 KiB. Allow generous slack over the threshold formula.
+	if info.Size() > 3*int64(len(value))+2*compactSlack {
+		t.Fatalf("state log %d bytes: compaction never ran", info.Size())
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s2)
+	if v, ok := s2.Get("hot"); !ok || !bytes.Equal(v, value) {
+		t.Fatal("hot key lost in compaction")
+	}
+	if v, ok := s2.Get("cold"); !ok || string(v) != "keep me" {
+		t.Fatalf("cold key lost in compaction: %q %v", v, ok)
+	}
+}
+
+// TestFileStoreCorruptMidLogKV: corruption before the tail of the state log
+// (framing valid, payload garbage) must be reported, not silently dropped.
+func TestFileStoreCorruptMidLogKV(t *testing.T) {
+	dir := t.TempDir()
+	var log []byte
+	log = appendRecord(log, []byte("not a kv record"))
+	log = appendRecord(log, encodeKVRecord(kvOpPut, "k", []byte("v")))
+	if err := os.WriteFile(filepath.Join(dir, StateLogName), log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt kv record: %v", err)
+	}
+}
