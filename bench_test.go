@@ -195,6 +195,21 @@ func BenchmarkFullSystemComposition(b *testing.B) {
 	benchExperiment(b, "ext-full", "gain", "fraction")
 }
 
+// BenchmarkXShardReceiptsComm measures cross-shard messages per transfer
+// under the receipts method, end-to-end on real chains — below MaxShard
+// routing's 1 + K/blocksize and far below S-BAC's 3·(m−1) (extension
+// experiment).
+func BenchmarkXShardReceiptsComm(b *testing.B) {
+	benchExperiment(b, "ext-xshard", "receipts_msgs_per_tx", "msgs/transfer")
+}
+
+// BenchmarkXShardReceiptsThroughput measures the confirmed-transfer
+// throughput gain of receipts over serializing every cross-shard transfer
+// through the MaxShard (extension experiment).
+func BenchmarkXShardReceiptsThroughput(b *testing.B) {
+	benchExperiment(b, "ext-xshard", "tput_gain", "x-vs-maxshard")
+}
+
 // --- Substrate micro-benchmarks ----------------------------------------------
 
 func BenchmarkVMUnconditionalTransfer(b *testing.B) {

@@ -33,6 +33,7 @@ import (
 	"contractshard/internal/sharding"
 	"contractshard/internal/store"
 	"contractshard/internal/types"
+	"contractshard/internal/xshard"
 )
 
 func main() {
@@ -49,11 +50,13 @@ func main() {
 		partition = flag.Int("partition", 0, "gossip demo: cut this many shard miners off during mining, heal before catch-up (async only)")
 		seed      = flag.Int64("seed", 1, "gossip demo: fault-model RNG seed (async only)")
 		datadir   = flag.String("datadir", "", "gossip demo: persist each miner's ledger under this directory; a restart with the same directory recovers the chains")
+		xshard    = flag.Bool("xshard", false, "gossip demo: register a second contract shard and complete a cross-shard receipts transfer (burn -> relay -> mint) after mining")
+		xfinality = flag.Uint64("xfinality", 1, "gossip demo: confirmation depth a burn needs on the source chain before it relays (with -xshard)")
 	)
 	flag.Parse()
 	var err error
 	if *gossip {
-		err = runGossip(*netMode, *miners, *txs, *loss, *dup, *partition, *seed, *datadir)
+		err = runGossip(*netMode, *miners, *txs, *loss, *dup, *partition, *seed, *datadir, *xshard, *xfinality)
 	} else {
 		err = run(*contracts, *users, *txs)
 	}
@@ -138,7 +141,12 @@ func run(contracts, users, txs int) error {
 // directory: a re-run with the same -datadir recovers each chain to its
 // previous head before mining continues, and SIGINT/SIGTERM shut the stores
 // down cleanly (flushed, head snapshotted) before exiting.
-func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int, seed int64, datadir string) error {
+// With -xshard a second contract shard joins the epoch and, once normal
+// mining drains, one cross-shard receipts transfer runs end to end: a burn
+// mined on the first shard, buried -xfinality blocks deep, relayed (header
+// announcement + mint candidate), and the mint mined on the second shard —
+// no MaxShard involvement.
+func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int, seed int64, datadir string, xshardDemo bool, xfinality uint64) error {
 	var network *p2p.Network
 	faulty := loss > 0 || dup > 0 || partition > 0
 	switch mode {
@@ -161,6 +169,12 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 	caddr := types.BytesToAddress([]byte{0xC1})
 	dest := types.BytesToAddress([]byte{0xDD})
 	shard := dir.Register(caddr)
+	fractions := map[types.ShardID]int{types.MaxShard: 50, shard: 50}
+	var shard2 types.ShardID
+	if xshardDemo {
+		shard2 = dir.Register(types.BytesToAddress([]byte{0xC2}))
+		fractions = map[types.ShardID]int{types.MaxShard: 34, shard: 33, shard2: 33}
+	}
 
 	parts := make([]epoch.Participant, nMiners)
 	for i := range parts {
@@ -169,7 +183,7 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 			Seed: []byte{byte(i)},
 		}
 	}
-	out, err := epoch.Run(1, parts, map[types.ShardID]int{types.MaxShard: 50, shard: 50})
+	out, err := epoch.Run(1, parts, fractions)
 	if err != nil {
 		return err
 	}
@@ -202,7 +216,7 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 			Key: p.Key, Shard: assigned,
 			Randomness: out.Randomness, Fractions: out.Fractions,
 			ChainConfig: cc, GenesisAlloc: alloc, Contracts: code,
-			Directory: dir, Store: st,
+			Directory: dir, Store: st, XShardFinality: xfinality,
 			Sync: chainsync.Config{Timeout: 50 * time.Millisecond, Seed: int64(i)},
 		})
 		if err != nil {
@@ -331,6 +345,12 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 		network.Drain()
 	}
 
+	if xshardDemo {
+		if err := runXShardDemo(network, cluster, users[0], users[1].Address(), shard, shard2, xfinality); err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("gossip demo: %d miners, %d txs, net=%s loss=%.2f dup=%.2f partition=%d\n\n",
 		nMiners, nTxs, mode, loss, dup, partition)
 	shardMiners := func() (ms []*node.Miner) {
@@ -412,5 +432,57 @@ func runGossip(mode string, nMiners, nTxs int, loss, dup float64, partition int,
 	for _, topic := range topics {
 		fmt.Printf("  topic %-12s %d\n", topic, st.ByTopic[topic])
 	}
+	return nil
+}
+
+// runXShardDemo completes one receipts-method transfer between the two
+// contract shards: burn mined on src, buried to finality, relayed, mint
+// mined on dst. The MaxShard's miners see only gossip they ignore.
+func runXShardDemo(network *p2p.Network, cluster []*node.Miner, sender *crypto.Keypair, recv types.Address, src, dst types.ShardID, finality uint64) error {
+	producerIn := func(s types.ShardID) *node.Miner {
+		for _, m := range cluster {
+			if m.Shard() == s {
+				return m
+			}
+		}
+		return nil
+	}
+	srcMiner, dstMiner := producerIn(src), producerIn(dst)
+	if srcMiner == nil || dstMiner == nil {
+		return fmt.Errorf("shardnode: -xshard needs miners in %s and %s; re-run with more -miners", src, dst)
+	}
+
+	const value, fee = 500, 1
+	burn := xshard.NewBurn(sender.Address(), recv, value, fee, srcMiner.NonceOf(sender.Address()), src, dst)
+	if err := crypto.SignTx(burn, sender); err != nil {
+		return err
+	}
+	if err := srcMiner.SubmitTx(burn); err != nil {
+		return err
+	}
+	network.Drain()
+	if _, err := srcMiner.Mine(); err != nil {
+		return err
+	}
+	for i := uint64(0); i < finality; i++ { // bury the burn to relay depth
+		if _, err := srcMiner.Mine(); err != nil {
+			return err
+		}
+	}
+	network.Drain()
+	relayed, err := srcMiner.RelayXShard()
+	if err != nil {
+		return err
+	}
+	network.Drain()
+	mintBlk, err := dstMiner.Mine()
+	if err != nil {
+		return err
+	}
+	network.Drain()
+	fmt.Printf("xshard demo: burn %d (fee %d) on %s -> relayed %d mint(s) at finality %d -> %s mined %d tx(s)\n",
+		value, fee, src, relayed, finality, dst, len(mintBlk.Txs))
+	fmt.Printf("xshard demo: recipient balance on %s = %d, headers booked by %s's miner = %d\n\n",
+		dst, dstMiner.BalanceOf(recv), dst, dstMiner.XHeaders())
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"contractshard/internal/state"
 	"contractshard/internal/store"
 	"contractshard/internal/types"
+	"contractshard/internal/xshard"
 )
 
 // Validation errors.
@@ -100,6 +101,13 @@ type Config struct {
 	// ledger instead of restarting from genesis. nil keeps the chain purely
 	// in-memory.
 	Store store.Store
+	// XShard, when set, enables cross-shard receipt redemption: mint
+	// transactions are valid only against source headers this book has
+	// accepted. The book must be populated (Attach on the same Store)
+	// BEFORE the chain is constructed, because crash recovery replays
+	// block bodies — including mints — through the same verification. nil
+	// rejects every mint, keeping single-shard chains closed.
+	XShard *xshard.HeaderBook
 }
 
 // DefaultCheckpointInterval is the checkpoint cadence used when bounded
@@ -679,6 +687,16 @@ func (c *Chain) applyTransaction(st exec.TxState, tx *types.Transaction, coinbas
 		}
 		r.Status = types.ReceiptInvalid
 		return r
+	}
+	switch tx.Kind {
+	case types.TxTransfer:
+		// The ordinary path below.
+	case types.TxXShardBurn:
+		return c.applyBurn(st, tx, coinbase, r, invalid)
+	case types.TxXShardMint:
+		return c.applyMint(st, tx, r, invalid)
+	default:
+		return invalid(fmt.Errorf("%w: %s", ErrBadTxKind, tx.Kind))
 	}
 	if err := crypto.VerifyTx(tx); err != nil {
 		return invalid(fmt.Errorf("%w: %v", ErrBadSignature, err))

@@ -25,6 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5a", "fig5b",
 		"sec-inter", "sec-intra",
 		"abl-conflict", "abl-epoch", "abl-bound", "proto", "storage", "ext-steady", "ext-trace", "ext-full",
+		"ext-xshard",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -345,5 +346,26 @@ func TestFig4cSyncAsyncParity(t *testing.T) {
 		if asyncRes.Summary[key] != 2 {
 			t.Fatalf("async merge round cost %.2f messages per shard, want 2", asyncRes.Summary[key])
 		}
+	}
+}
+
+// TestXShardReceiptsBeatMaxShard is the acceptance claim of the receipts
+// extension: measured end-to-end on real chains, the burn/mint pipeline
+// costs fewer cross-shard messages per transfer than MaxShard routing and
+// confirms transfers faster (the MaxShard serializes what the ring of
+// shards pipelines in parallel), with ChainSpace's S-BAC costliest of all.
+func TestXShardReceiptsBeatMaxShard(t *testing.T) {
+	res := run(t, "ext-xshard")
+	if r, m := res.Summary["receipts_msgs_per_tx"], res.Summary["maxshard_msgs_per_tx"]; r >= m {
+		t.Fatalf("receipts %.3f msgs/transfer, MaxShard routing %.3f — receipts must cost less", r, m)
+	}
+	if s := res.Summary["sbac_msgs_per_tx"]; s <= res.Summary["maxshard_msgs_per_tx"] {
+		t.Fatalf("S-BAC %.3f msgs/transfer should be the costliest", s)
+	}
+	if gain := res.Summary["tput_gain"]; gain <= 1 {
+		t.Fatalf("throughput gain over MaxShard routing %.2f, want > 1", gain)
+	}
+	if res.Summary["receipts_tput"] <= res.Summary["maxshard_tput"] {
+		t.Fatal("receipts throughput must exceed the MaxShard bottleneck's")
 	}
 }

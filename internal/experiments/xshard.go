@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contractshard/internal/baseline/chainspace"
+	"contractshard/internal/chain"
+	"contractshard/internal/crypto"
+	"contractshard/internal/metrics"
+	"contractshard/internal/types"
+	"contractshard/internal/workload"
+	"contractshard/internal/xshard"
+)
+
+func init() {
+	register(Runner{
+		ID:    "ext-xshard",
+		Title: "Extension: cross-shard transfers — receipts vs MaxShard routing vs S-BAC",
+		Run:   runXShard,
+	})
+}
+
+// runXShard compares the three ways this codebase can complete a transfer
+// between accounts homed on different shards, on the Fig. 4 axes
+// (communication count, confirmed-transfer throughput):
+//
+//   - MaxShard routing (the paper's Sec. III-A fallback): the transfer is
+//     validated inside the MaxShard. Measured on a real MaxShard chain.
+//     Communication: the transaction gossips into the MaxShard (1 message)
+//     and every MaxShard block is announced to all K shards so the parties'
+//     home shards observe outcomes (K messages per block). Throughput: all
+//     K·N transfers serialize through the one chain.
+//
+//   - Receipts (DESIGN.md "Cross-shard receipts"): burn on the source
+//     shard, finality-gated relay, mint on the destination shard. Measured
+//     end-to-end on K real shard chains wired through real xshard.Relay
+//     instances whose Announce/Submit closures count every message: one
+//     header announcement per burn-carrying source block (amortized over
+//     its burns) plus one mint relay per transfer. Throughput: shards burn
+//     and mint in parallel, one block per shard per slot.
+//
+//   - ChainSpace S-BAC (internal/baseline/chainspace): prepare/vote/commit
+//     with each foreign input shard, 3·(m−1) messages per transfer under
+//     random placement. Throughput modeled in the same slot metric: a
+//     transfer occupies a validation slot-unit in each of its m shards
+//     (lock at the inputs, commit at the output) and each block of
+//     cross-shard transfers needs two slots — one for the prepare/vote
+//     round, one for commit.
+//
+// The workload is a ring: shard s's sender pays a recipient homed on shard
+// s+1, N transfers per shard over K shards, so every shard is both a source
+// and a destination and the receipts pipeline is symmetric.
+func runXShard(opts Options) (*Result, error) {
+	const (
+		shards      = 4
+		txsPerBlock = 16
+		finality    = 2
+		value       = 100
+		fee         = 1
+	)
+	perShard := 96
+	if opts.Quick {
+		perShard = 24
+	}
+	total := shards * perShard
+	reps := opts.reps(5, 2)
+
+	recv, err := runXShardReceipts(shards, perShard, txsPerBlock, finality, value, fee)
+	if err != nil {
+		return nil, err
+	}
+	maxr, err := runXShardMaxShard(shards, perShard, txsPerBlock, value, fee)
+	if err != nil {
+		return nil, err
+	}
+
+	// S-BAC over the same transfer count, averaged over placement draws.
+	sbacMsgs, sbacSlots := 0.0, 0.0
+	for rep := 0; rep < reps; rep++ {
+		seed := opts.seed() + int64(rep)*7919
+		rng := rand.New(rand.NewSource(seed))
+		txs := workload.MultiInputTxs(rng, total, 1, 100)
+		res, err := chainspace.SimulateComm(chainspace.Config{Shards: shards, Seed: seed}, txs)
+		if err != nil {
+			return nil, err
+		}
+		sbacMsgs += float64(res.TotalMessages)
+		// Slot model: per-shard validation work is one slot-unit per shard a
+		// transfer touches (m units for an m-shard transfer; TotalMessages/3
+		// recovers the foreign-shard count, the local share adds one each),
+		// spread evenly, two slots per block for the two S-BAC phases.
+		units := float64(total) + float64(res.TotalMessages)/3
+		blocks := units / float64(shards) / float64(txsPerBlock)
+		sbacSlots += 2 * blocks
+	}
+	sbacMsgs /= float64(reps)
+	sbacSlots /= float64(reps)
+	sbacTput := float64(total) / sbacSlots
+
+	tbl := metrics.Table{
+		Title: fmt.Sprintf(
+			"Cross-shard transfers: %d transfers over %d shards, %d txs/block, finality %d",
+			total, shards, txsPerBlock, finality),
+		Headers: []string{"Scheme", "Messages", "Msgs/transfer", "Slots", "Transfers/slot"},
+	}
+	row := func(name string, msgs, slots float64) {
+		tbl.AddRow(name,
+			fmt.Sprintf("%.0f", msgs),
+			fmt.Sprintf("%.3f", msgs/float64(total)),
+			fmt.Sprintf("%.1f", slots),
+			fmt.Sprintf("%.1f", float64(total)/slots))
+	}
+	row("receipts (burn/mint)", float64(recv.msgs), float64(recv.slots))
+	row("MaxShard routing", float64(maxr.msgs), float64(maxr.slots))
+	row("ChainSpace S-BAC", sbacMsgs, sbacSlots)
+
+	return &Result{
+		ID:     "ext-xshard",
+		Title:  "Cross-shard receipts comparison",
+		Output: tbl.String(),
+		Summary: map[string]float64{
+			"receipts_msgs_per_tx": float64(recv.msgs) / float64(total),
+			"maxshard_msgs_per_tx": float64(maxr.msgs) / float64(total),
+			"sbac_msgs_per_tx":     sbacMsgs / float64(total),
+			"receipts_tput":        float64(total) / float64(recv.slots),
+			"maxshard_tput":        float64(total) / float64(maxr.slots),
+			"sbac_tput":            sbacTput,
+			"tput_gain":            float64(maxr.slots) / float64(recv.slots),
+		},
+	}, nil
+}
+
+// xshardRunResult is one scheme's measured cost.
+type xshardRunResult struct {
+	msgs  int // cross-shard protocol messages
+	slots int // block slots until the last transfer confirmed
+}
+
+// xshardExpChain is one ring member during the receipts run.
+type xshardExpChain struct {
+	ch    *chain.Chain
+	book  *xshard.HeaderBook
+	relay *xshard.Relay
+	burns []*types.Transaction // signed, not yet included
+	mints []*types.Transaction // relayed in, not yet mined
+}
+
+// runXShardReceipts executes the full burn→relay→mint pipeline over K real
+// chains and counts the relay's actual messages. Every slot each shard mines
+// one block — mints first, then queued burns, empty filler otherwise so
+// finality keeps advancing — and then every relay steps.
+func runXShardReceipts(shards, perShard, txsPerBlock int, finality uint64, value, fee uint64) (*xshardRunResult, error) {
+	runs := make([]*xshardExpChain, shards) // index s-1 holds shard s
+	keys := make([]*crypto.Keypair, shards)
+	for s := 0; s < shards; s++ {
+		keys[s] = crypto.KeypairFromSeed(fmt.Sprintf("ext-xshard-sender-%d", s+1))
+		cfg := chain.DefaultConfig(types.ShardID(s + 1))
+		cfg.Difficulty = 16
+		cfg.MaxBlockTxs = txsPerBlock
+		book := xshard.NewHeaderBook(nil)
+		cfg.XShard = book
+		need := uint64(perShard) * (value + fee)
+		ch, err := chain.New(cfg, map[types.Address]uint64{keys[s].Address(): need})
+		if err != nil {
+			return nil, err
+		}
+		runs[s] = &xshardExpChain{ch: ch, book: book}
+	}
+
+	res := &xshardRunResult{}
+	for s := 0; s < shards; s++ {
+		dst := runs[(s+1)%shards]
+		dstID := types.ShardID((s+1)%shards + 1)
+		relay := xshard.NewRelay(runs[s].ch, finality)
+		relay.AddDestination(&xshard.Destination{
+			Shards: []types.ShardID{dstID},
+			Announce: func(h *types.Header) error {
+				res.msgs++
+				return dst.book.Add(h)
+			},
+			Submit: func(tx *types.Transaction) error {
+				res.msgs++
+				dst.mints = append(dst.mints, tx)
+				return nil
+			},
+		})
+		runs[s].relay = relay
+
+		to := crypto.KeypairFromSeed(fmt.Sprintf("ext-xshard-recv-%d", s+1)).Address()
+		for i := 0; i < perShard; i++ {
+			burn := xshard.NewBurn(keys[s].Address(), to, value, fee, uint64(i),
+				types.ShardID(s+1), dstID)
+			if err := crypto.SignTx(burn, keys[s]); err != nil {
+				return nil, err
+			}
+			runs[s].burns = append(runs[s].burns, burn)
+		}
+	}
+
+	minted := 0
+	coinbase := types.BytesToAddress([]byte{0xEE})
+	for minted < shards*perShard {
+		if res.slots > 100*(perShard/txsPerBlock+int(finality)+2) {
+			return nil, fmt.Errorf("ext-xshard: receipts pipeline stalled at %d/%d mints", minted, shards*perShard)
+		}
+		for _, r := range runs {
+			var cand []*types.Transaction
+			take := len(r.mints)
+			if take > txsPerBlock {
+				take = txsPerBlock
+			}
+			cand = append(cand, r.mints[:take]...)
+			r.mints = r.mints[take:]
+			nb := txsPerBlock - len(cand)
+			if nb > len(r.burns) {
+				nb = len(r.burns)
+			}
+			cand = append(cand, r.burns[:nb]...)
+			r.burns = r.burns[nb:]
+
+			blk, _, err := r.ch.BuildBlock(coinbase, cand, r.ch.Head().Header.Time+1000)
+			if err != nil {
+				return nil, err
+			}
+			if len(blk.Txs) != len(cand) {
+				return nil, fmt.Errorf("ext-xshard: producer dropped %d of %d candidates",
+					len(cand)-len(blk.Txs), len(cand))
+			}
+			if err := r.ch.AddBlock(blk); err != nil {
+				return nil, err
+			}
+			minted += take
+		}
+		for _, r := range runs {
+			if _, err := r.relay.Step(); err != nil {
+				return nil, err
+			}
+		}
+		res.slots++
+	}
+	return res, nil
+}
+
+// runXShardMaxShard routes the same transfers the paper's way: plain
+// transfers validated in the MaxShard, all on one real chain. Messages:
+// one gossip into the MaxShard per transfer plus one block announcement to
+// each of the K home shards per MaxShard block.
+func runXShardMaxShard(shards, perShard, txsPerBlock int, value, fee uint64) (*xshardRunResult, error) {
+	cfg := chain.DefaultConfig(types.MaxShard)
+	cfg.Difficulty = 16
+	cfg.MaxBlockTxs = txsPerBlock
+	alloc := map[types.Address]uint64{}
+	keys := make([]*crypto.Keypair, shards)
+	for s := 0; s < shards; s++ {
+		keys[s] = crypto.KeypairFromSeed(fmt.Sprintf("ext-xshard-sender-%d", s+1))
+		alloc[keys[s].Address()] = uint64(perShard) * (value + fee)
+	}
+	ch, err := chain.New(cfg, alloc)
+	if err != nil {
+		return nil, err
+	}
+
+	var txs []*types.Transaction
+	for s := 0; s < shards; s++ {
+		to := crypto.KeypairFromSeed(fmt.Sprintf("ext-xshard-recv-%d", s+1)).Address()
+		for i := 0; i < perShard; i++ {
+			tx := &types.Transaction{
+				Nonce: uint64(i), From: keys[s].Address(), To: to, Value: value, Fee: fee,
+			}
+			if err := crypto.SignTx(tx, keys[s]); err != nil {
+				return nil, err
+			}
+			txs = append(txs, tx)
+		}
+	}
+	// Interleave senders round-robin so nonces stay in order within a block.
+	ordered := make([]*types.Transaction, 0, len(txs))
+	for i := 0; i < perShard; i++ {
+		for s := 0; s < shards; s++ {
+			ordered = append(ordered, txs[s*perShard+i])
+		}
+	}
+
+	res := &xshardRunResult{msgs: len(ordered)} // ingress gossip, 1 per transfer
+	coinbase := types.BytesToAddress([]byte{0xEE})
+	for len(ordered) > 0 {
+		n := txsPerBlock
+		if n > len(ordered) {
+			n = len(ordered)
+		}
+		blk, _, err := ch.BuildBlock(coinbase, ordered[:n], ch.Head().Header.Time+1000)
+		if err != nil {
+			return nil, err
+		}
+		if len(blk.Txs) != n {
+			return nil, fmt.Errorf("ext-xshard: MaxShard producer dropped %d of %d", n-len(blk.Txs), n)
+		}
+		if err := ch.AddBlock(blk); err != nil {
+			return nil, err
+		}
+		ordered = ordered[n:]
+		res.msgs += shards // outcome announcement to every home shard
+		res.slots++
+	}
+	return res, nil
+}

@@ -51,6 +51,7 @@ var DefaultConsensusPackages = []string{
 	"internal/callgraph",
 	"internal/exec",
 	"internal/store",
+	"internal/xshard",
 }
 
 // Diagnostic is one analyzer finding.

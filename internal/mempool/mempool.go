@@ -79,6 +79,18 @@ func (p *Pool) add(tx *types.Transaction) (replaced bool, err error) {
 	if _, ok := p.byHash[h]; ok {
 		return false, fmt.Errorf("%w: %s", ErrKnownTx, h)
 	}
+	// Cross-shard mints are unsigned, fee-free and all share nonce 0, so
+	// the (sender, nonce) slot means nothing for them: two mints redeeming
+	// different burns from one sender must coexist, and a signed
+	// transaction must never replace-by-fee-evict a pending mint (or vice
+	// versa). Mints are deduplicated by hash only.
+	if tx.Kind == types.TxXShardMint {
+		if len(p.byHash) >= p.maxSize {
+			return false, ErrPoolFull
+		}
+		p.byHash[h] = tx
+		return false, nil
+	}
 	sl := slot{from: tx.From, nonce: tx.Nonce}
 	if prevHash, ok := p.bySlot[sl]; ok {
 		prev := p.byHash[prevHash]

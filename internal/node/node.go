@@ -29,12 +29,16 @@ import (
 	"contractshard/internal/txsel"
 	"contractshard/internal/types"
 	"contractshard/internal/unify"
+	"contractshard/internal/xshard"
 )
 
 // Gossip topics.
 const (
 	TopicBlocks = "node/blocks"
 	TopicTxs    = "node/txs"
+	// TopicXHeaders carries finalized source-shard headers for cross-shard
+	// receipt verification (DESIGN.md "Cross-shard receipts").
+	TopicXHeaders = "node/xheaders"
 )
 
 // Config assembles a miner.
@@ -68,6 +72,11 @@ type Config struct {
 	// with shard peers through the usual chain sync). Shorthand for setting
 	// ChainConfig.Store; when both are set, Store wins.
 	Store store.Store
+	// XShardFinality is how many descendants a source block needs on this
+	// miner's canonical chain before RelayXShard forwards its burns as mint
+	// candidates to destination shards. 0 relays the head immediately —
+	// fine for tests, unsafe under reorgs.
+	XShardFinality uint64
 }
 
 // Stats counts what the miner saw and rejected.
@@ -79,6 +88,9 @@ type Stats struct {
 	BlocksOrphaned   int // valid-looking blocks buffered for a missing parent
 	TxsPooled        int // transactions routed to this miner's shard
 	TxsOtherShard    int // transactions routed elsewhere (ignored)
+	XHeadersBooked   int // finalized source-shard headers accepted into the book
+	XHeadersRejected int // announced headers failing PoW or membership
+	MintsRelayed     int // mint candidates this miner forwarded via RelayXShard
 }
 
 // Miner is one sharded mining node. It is safe under asynchronous delivery:
@@ -95,6 +107,14 @@ type Miner struct {
 	syncer *chainsync.Syncer
 	stats  Stats
 	clock  uint64
+
+	// book tracks finalized source-shard headers this miner accepts mint
+	// proofs against; relay forwards this miner's own finalized burns out.
+	// relayMu makes RelayXShard single-owner (the relay itself holds no
+	// lock so it can publish to the network freely).
+	book    *xshard.HeaderBook
+	relayMu sync.Mutex
+	relay   *xshard.Relay
 
 	// selSets memoizes cfg.Selection.RunSelection() per Params instance:
 	// the selection is a deterministic pure function of the Params, yet it
@@ -123,6 +143,20 @@ func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
 	if cfg.Store != nil {
 		cfg.ChainConfig.Store = cfg.Store
 	}
+	// The header book must exist — and, on a durable miner, be reloaded
+	// from the store — BEFORE the chain is constructed: crash recovery
+	// replays block bodies, and any mint in them verifies against the book.
+	// Announced headers pass the same membership verification as gossiped
+	// blocks (Sec. III-C), so a non-member cannot feed us fake receipts.
+	book := xshard.NewHeaderBook(func(h *types.Header) error {
+		return sharding.VerifyMembership(h, cfg.Randomness, cfg.Fractions)
+	})
+	if cfg.ChainConfig.Store != nil {
+		if err := book.Attach(cfg.ChainConfig.Store); err != nil {
+			return nil, err
+		}
+	}
+	cfg.ChainConfig.XShard = book
 	ch, err := chain.NewWithContracts(cfg.ChainConfig, cfg.GenesisAlloc, cfg.Contracts)
 	if err != nil {
 		return nil, err
@@ -138,7 +172,22 @@ func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
 		pool:  mempool.New(0),
 		node:  pnode,
 		graph: callgraph.New(),
+		book:  book,
 	}
+	m.relay = xshard.NewRelay(ch, cfg.XShardFinality)
+	m.relay.AddDestination(&xshard.Destination{
+		// nil Shards: broadcast reaches every shard; receivers route.
+		Announce: func(h *types.Header) error {
+			e := types.NewEncoder()
+			h.Encode(e)
+			pnode.Broadcast(TopicXHeaders, e.Bytes())
+			return nil
+		},
+		Submit: func(tx *types.Transaction) error {
+			pnode.Broadcast(TopicTxs, tx)
+			return nil
+		},
+	})
 	// The syncer re-validates every fetched or reconnected block with the
 	// same verifications gossip gets (validateSynced), and cleans the pool of
 	// synced confirmations (onSyncApply). Hooks are forced so a caller cannot
@@ -157,6 +206,11 @@ func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
 	pnode.Subscribe(TopicBlocks, func(msg p2p.Message) {
 		if raw, ok := msg.Payload.([]byte); ok {
 			m.handleBlock(raw)
+		}
+	})
+	pnode.Subscribe(TopicXHeaders, func(msg p2p.Message) {
+		if raw, ok := msg.Payload.([]byte); ok {
+			m.handleXHeader(raw)
 		}
 	})
 	return m, nil
@@ -200,14 +254,20 @@ func (m *Miner) NonceOf(addr types.Address) uint64 {
 // handleTx routes an incoming transaction: pooled when it belongs to this
 // miner's shard, counted and dropped otherwise.
 func (m *Miner) handleTx(tx *types.Transaction) {
-	if crypto.VerifyTx(tx) != nil {
+	if err := m.admissible(tx); err != nil {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	_, isContract := m.cfg.Directory.ShardOf(tx.To)
 	shard := sharding.RouteTx(tx, m.graph, m.cfg.Directory)
-	m.graph.ObserveTx(tx, isContract)
+	if tx.Kind == types.TxTransfer {
+		// Cross-shard kinds carry explicit routing; feeding them to the
+		// call graph would mutate sender classifications — and with them
+		// future MaxShard routing — based on transactions that never route
+		// by classification.
+		m.graph.ObserveTx(tx, isContract)
+	}
 	if shard != m.cfg.Shard {
 		m.stats.TxsOtherShard++
 		return
@@ -215,6 +275,17 @@ func (m *Miner) handleTx(tx *types.Transaction) {
 	if m.pool.Add(tx) == nil {
 		m.stats.TxsPooled++
 	}
+}
+
+// admissible is the gossip/submit admission check. Signed kinds need a
+// valid signature; mints are unsigned and instead pass the stateless proof
+// verification (the stateful half — tracked header, unconsumed receipt —
+// is the chain's job at apply time).
+func (m *Miner) admissible(tx *types.Transaction) error {
+	if tx.Kind == types.TxXShardMint {
+		return xshard.CheckMint(tx)
+	}
+	return crypto.VerifyTx(tx)
 }
 
 // handleBlock performs the two verifications of Sec. III-C on a gossiped
@@ -362,7 +433,7 @@ func (m *Miner) SyncStats() chainsync.Stats { return m.syncer.Stats() }
 // SubmitTx verifies and gossips a transaction network-wide (users broadcast
 // to all miners; each decides locally whether it cares).
 func (m *Miner) SubmitTx(tx *types.Transaction) error {
-	if err := crypto.VerifyTx(tx); err != nil {
+	if err := m.admissible(tx); err != nil {
 		return err
 	}
 	m.handleTx(tx)

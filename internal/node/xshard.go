@@ -1,0 +1,55 @@
+package node
+
+// Cross-shard receipt plumbing (DESIGN.md "Cross-shard receipts"): every
+// miner keeps a header book of finalized foreign-shard headers (fed by the
+// TopicXHeaders gossip) and can act as a relay for its own shard's burns,
+// broadcasting the finalized source header plus the mint candidate so the
+// destination shard's miners can pool and confirm the mint.
+
+import (
+	"contractshard/internal/types"
+)
+
+// handleXHeader books a gossiped source-shard header. The book verifies the
+// PoW seal and the producer's shard membership (the same Sec. III-C replay
+// gossiped blocks get) and persists accepted headers to the miner's store.
+// Headers of this miner's own shard are harmless to book and not special-
+// cased; duplicates are idempotent.
+func (m *Miner) handleXHeader(raw []byte) {
+	h, err := types.DecodeHeader(types.NewDecoder(raw))
+	if err == nil {
+		err = m.book.Add(h)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.stats.XHeadersRejected++
+		return
+	}
+	m.stats.XHeadersBooked++
+}
+
+// XHeaders returns how many foreign-shard headers this miner has booked.
+func (m *Miner) XHeaders() int { return m.book.Len() }
+
+// RelayXShard forwards every burn on this miner's canonical chain that has
+// been finalized (buried Config.XShardFinality blocks deep) and not yet
+// relayed: for each, the containing header is announced on TopicXHeaders
+// and the mint candidate broadcast on TopicTxs. Miners call it after mining
+// or catching up; duplicate forwarding across miners of the same shard is
+// safe — books are idempotent and the consumed-receipt set makes a second
+// mint invalid.
+//
+// The relay watermark is in-memory only: a restarted miner re-relays from
+// genesis, which the same idempotence absorbs.
+func (m *Miner) RelayXShard() (int, error) {
+	m.relayMu.Lock()
+	defer m.relayMu.Unlock()
+	n, err := m.relay.Step()
+	if n > 0 {
+		m.mu.Lock()
+		m.stats.MintsRelayed += n
+		m.mu.Unlock()
+	}
+	return n, err
+}

@@ -172,6 +172,17 @@ func (d *Directory) ShardIDs() []types.ShardID {
 //   - everyone else — multi-contract senders, direct transfers, calls to
 //     unregistered contracts — routes to the MaxShard.
 func RouteTx(tx *types.Transaction, g *callgraph.Graph, d *Directory) types.ShardID {
+	// Cross-shard kinds carry their own routing (DESIGN.md "Cross-shard
+	// receipts"): a burn executes on the shard whose ledger destroys the
+	// value, a mint on the shard that recreates it. Neither touches the
+	// call-graph classification, so a multi-contract sender using receipts
+	// never collapses to the MaxShard.
+	switch tx.Kind {
+	case types.TxXShardBurn:
+		return tx.SrcShard
+	case types.TxXShardMint:
+		return tx.DstShard
+	}
 	cls := g.Classify(tx.From)
 	switch cls.Kind {
 	case callgraph.KindSingleContract:

@@ -3,6 +3,7 @@ package types
 import (
 	"crypto/sha256"
 	"fmt"
+	"math"
 )
 
 // Transaction is an account-model transaction. Following the paper's setting
@@ -31,6 +32,20 @@ type Transaction struct {
 	Data   []byte  // contract call input; empty for direct transfers
 	Inputs []Address
 
+	// Kind selects the transaction's semantics; the zero value is an
+	// ordinary transfer/contract call. SrcShard and DstShard are meaningful
+	// for the cross-shard kinds only (see xshard.go): a burn destroys value
+	// on SrcShard for recreation on DstShard, and both are covered by the
+	// sender's signature so a receipt is bound to exactly one lane.
+	Kind     TxKind
+	SrcShard ShardID
+	DstShard ShardID
+	// Mint carries the burn receipt of a TxXShardMint: the mined burn
+	// transaction, its inclusion proof and the source block header. nil for
+	// every other kind. Mint transactions are unsigned — the proof is the
+	// authorization — and their hash commits to the full proof contents.
+	Mint *MintProof
+
 	// PubKey and Sig authenticate the transaction. PubKey must hash to From.
 	PubKey []byte
 	Sig    []byte
@@ -44,6 +59,11 @@ type Transaction struct {
 var txDomain = []byte("contractshard/tx/v1")
 
 // SigHash returns the digest a sender signs: everything except PubKey/Sig.
+// The kind and shard lane are covered, so a signed transfer cannot be
+// replayed as a burn (or re-routed to another destination shard); a mint's
+// digest additionally covers its full proof, so two mints carrying different
+// proofs for the same receipt have distinct hashes and cannot mask each
+// other in a pool.
 func (tx *Transaction) SigHash() Hash {
 	e := NewEncoder()
 	e.WriteBytes(txDomain)
@@ -57,6 +77,15 @@ func (tx *Transaction) SigHash() Hash {
 	e.BeginList(len(tx.Inputs))
 	for _, in := range tx.Inputs {
 		e.WriteAddress(in)
+	}
+	e.WriteUint64(uint64(tx.Kind))
+	e.WriteUint64(uint64(tx.SrcShard))
+	e.WriteUint64(uint64(tx.DstShard))
+	if tx.Mint != nil {
+		e.WriteUint64(1)
+		tx.Mint.encode(e)
+	} else {
+		e.WriteUint64(0)
 	}
 	return sha256.Sum256(e.Bytes())
 }
@@ -94,12 +123,29 @@ func (tx *Transaction) Encode(e *Encoder) {
 	for _, in := range tx.Inputs {
 		e.WriteAddress(in)
 	}
+	e.WriteUint64(uint64(tx.Kind))
+	e.WriteUint64(uint64(tx.SrcShard))
+	e.WriteUint64(uint64(tx.DstShard))
+	if tx.Mint != nil {
+		e.WriteUint64(1)
+		tx.Mint.encode(e)
+	} else {
+		e.WriteUint64(0)
+	}
 	e.WriteBytes(tx.PubKey)
 	e.WriteBytes(tx.Sig)
 }
 
 // DecodeTransaction reads a transaction previously written by Encode.
 func DecodeTransaction(d *Decoder) (*Transaction, error) {
+	return decodeTransactionDepth(d, 0)
+}
+
+// decodeTransactionDepth implements DecodeTransaction; depth > 0 marks the
+// burn transaction nested inside a mint proof, which must not itself carry a
+// proof — otherwise an attacker could nest mints arbitrarily deep and blow
+// the decoder's stack.
+func decodeTransactionDepth(d *Decoder, depth int) (*Transaction, error) {
 	tx := &Transaction{}
 	var err error
 	if tx.Nonce, err = d.ReadUint64(); err != nil {
@@ -132,6 +178,42 @@ func DecodeTransaction(d *Decoder) (*Transaction, error) {
 		if tx.Inputs[i], err = d.ReadAddress(); err != nil {
 			return nil, fmt.Errorf("tx input %d: %w", i, err)
 		}
+	}
+	kind, err := d.ReadUint64()
+	if err != nil {
+		return nil, fmt.Errorf("tx kind: %w", err)
+	}
+	if kind > uint64(TxXShardMint) {
+		return nil, fmt.Errorf("%w: unknown tx kind %d", ErrBadEncoding, kind)
+	}
+	tx.Kind = TxKind(kind)
+	src, err := d.ReadUint64()
+	if err != nil {
+		return nil, fmt.Errorf("tx src shard: %w", err)
+	}
+	dst, err := d.ReadUint64()
+	if err != nil {
+		return nil, fmt.Errorf("tx dst shard: %w", err)
+	}
+	if src > math.MaxUint32 || dst > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: tx shard id overflows", ErrBadEncoding)
+	}
+	tx.SrcShard, tx.DstShard = ShardID(src), ShardID(dst)
+	hasMint, err := d.ReadUint64()
+	if err != nil {
+		return nil, fmt.Errorf("tx mint flag: %w", err)
+	}
+	switch hasMint {
+	case 0:
+	case 1:
+		if depth > 0 {
+			return nil, fmt.Errorf("%w: nested mint proof", ErrBadEncoding)
+		}
+		if tx.Mint, err = decodeMintProof(d); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: tx mint flag %d", ErrBadEncoding, hasMint)
 	}
 	if tx.PubKey, err = d.ReadBytes(); err != nil {
 		return nil, fmt.Errorf("tx pubkey: %w", err)

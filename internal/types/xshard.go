@@ -1,0 +1,145 @@
+package types
+
+import "fmt"
+
+// Cross-shard transaction kinds (the "receipts method" of the Prysmatic
+// sharding reference, DESIGN.md "Cross-shard receipts"): a transfer between
+// accounts homed on two different shards is split into a burn on the source
+// shard and a mint on the destination shard, coupled by a Merkle-proven
+// receipt instead of by routing the sender to the MaxShard.
+//
+//   - TxXShardBurn debits the sender on the source shard and destroys the
+//     value. The mined burn transaction *is* the receipt: its hash — which
+//     the sender's signature binds to (srcShard, dstShard, recipient,
+//     amount, nonce) — is committed by the source block's TxRoot.
+//   - TxXShardMint recreates the value on the destination shard. It carries
+//     the full burn transaction, a TxInclusionProof against the source block
+//     header's TxRoot, and that header; it is valid only if the header is a
+//     tracked finalized source-shard header and the receipt has not been
+//     consumed before.
+//
+// TxKind is part of the signed payload, so a transfer cannot be replayed as
+// a burn or vice versa.
+type TxKind uint8
+
+// Transaction kinds.
+const (
+	// TxTransfer is an ordinary intra-shard transfer or contract call — the
+	// only kind the paper's design has.
+	TxTransfer TxKind = iota
+	// TxXShardBurn destroys value on the source shard and emits a receipt.
+	TxXShardBurn
+	// TxXShardMint recreates burned value on the destination shard under a
+	// Merkle inclusion proof.
+	TxXShardMint
+)
+
+// String renders the kind for logs and errors.
+func (k TxKind) String() string {
+	switch k {
+	case TxTransfer:
+		return "transfer"
+	case TxXShardBurn:
+		return "xshard-burn"
+	case TxXShardMint:
+		return "xshard-mint"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// XShardConsumedAddress is the reserved system account under whose storage
+// each shard ledger records consumed cross-shard receipts: slot = burn
+// transaction hash, value = one byte. Keeping the consumed set *in state*
+// gives replay protection every property the state already has — it is
+// covered by the state root, journaled for snapshot/revert, persisted by
+// flat-state checkpoints, and rebuilt by body replay after a crash. The
+// address cannot collide with a user account: user addresses are derived
+// from public-key hashes, and no key pair for this constant is known.
+var XShardConsumedAddress = Address{'x', 's', 'h', 'a', 'r', 'd', '/', 'c', 'o', 'n', 's', 'u', 'm', 'e', 'd', '/', 'v', '1', 0, 0}
+
+// MintProof is the receipt a TxXShardMint carries: the full burn transaction
+// (so its hash can be recomputed and its signature re-verified on the
+// destination shard), the Merkle inclusion proof of that hash under the
+// source block header's TxRoot, and the source header itself.
+type MintProof struct {
+	Burn   *Transaction
+	Proof  *TxInclusionProof
+	Header *Header
+}
+
+// encode appends the proof to e. The inner burn is encoded with the regular
+// transaction encoding; decode rejects a nested mint, so recursion is
+// bounded at depth one.
+func (mp *MintProof) encode(e *Encoder) {
+	mp.Burn.Encode(e)
+	e.WriteUint64(uint64(mp.Proof.Index))
+	e.WriteUint64(uint64(mp.Proof.Count))
+	e.BeginList(len(mp.Proof.Siblings))
+	for _, s := range mp.Proof.Siblings {
+		e.WriteHash(s)
+	}
+	e.BeginList(len(mp.Proof.Lefts))
+	for _, l := range mp.Proof.Lefts {
+		if l {
+			e.WriteUint64(1)
+		} else {
+			e.WriteUint64(0)
+		}
+	}
+	mp.Header.Encode(e)
+}
+
+// decodeMintProof reads a MintProof written by encode.
+func decodeMintProof(d *Decoder) (*MintProof, error) {
+	mp := &MintProof{Proof: &TxInclusionProof{}}
+	burn, err := decodeTransactionDepth(d, 1)
+	if err != nil {
+		return nil, fmt.Errorf("mint burn: %w", err)
+	}
+	mp.Burn = burn
+	idx, err := d.ReadUint64()
+	if err != nil {
+		return nil, fmt.Errorf("mint proof index: %w", err)
+	}
+	cnt, err := d.ReadUint64()
+	if err != nil {
+		return nil, fmt.Errorf("mint proof count: %w", err)
+	}
+	// Index/Count are ints; reject values that would wrap on a 32-bit int
+	// rather than letting two encodings alias one proof.
+	const maxInt = int(^uint(0) >> 1)
+	if idx > uint64(maxInt) || cnt > uint64(maxInt) {
+		return nil, fmt.Errorf("%w: mint proof index/count overflow", ErrBadEncoding)
+	}
+	mp.Proof.Index, mp.Proof.Count = int(idx), int(cnt)
+	ns, err := d.ReadList()
+	if err != nil {
+		return nil, fmt.Errorf("mint proof siblings: %w", err)
+	}
+	mp.Proof.Siblings = make([]Hash, ns)
+	for i := range mp.Proof.Siblings {
+		if mp.Proof.Siblings[i], err = d.ReadHash(); err != nil {
+			return nil, fmt.Errorf("mint proof sibling %d: %w", i, err)
+		}
+	}
+	nl, err := d.ReadList()
+	if err != nil {
+		return nil, fmt.Errorf("mint proof lefts: %w", err)
+	}
+	mp.Proof.Lefts = make([]bool, nl)
+	for i := range mp.Proof.Lefts {
+		v, err := d.ReadUint64()
+		if err != nil {
+			return nil, fmt.Errorf("mint proof left %d: %w", i, err)
+		}
+		if v > 1 {
+			return nil, fmt.Errorf("%w: mint proof left flag %d", ErrBadEncoding, v)
+		}
+		mp.Proof.Lefts[i] = v == 1
+	}
+	if mp.Header, err = DecodeHeader(d); err != nil {
+		return nil, fmt.Errorf("mint header: %w", err)
+	}
+	return mp, nil
+}

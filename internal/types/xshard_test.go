@@ -1,0 +1,175 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+// burnFixture builds an unsigned burn transaction (signatures are exercised
+// by the crypto and chain suites; encoding does not care).
+func burnFixture() *Transaction {
+	return &Transaction{
+		Kind:     TxXShardBurn,
+		Nonce:    7,
+		From:     BytesToAddress([]byte{0xAA}),
+		To:       BytesToAddress([]byte{0xBB}),
+		Value:    1234,
+		Fee:      5,
+		SrcShard: 1,
+		DstShard: 2,
+		PubKey:   []byte{1, 2, 3},
+		Sig:      []byte{4, 5, 6},
+	}
+}
+
+func mintFixture(t *testing.T) *Transaction {
+	t.Helper()
+	burn := burnFixture()
+	other := &Transaction{From: BytesToAddress([]byte{0xCC})}
+	txs := []*Transaction{other, burn}
+	proof, err := BuildTxProof(txs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := &Header{
+		Number:  9,
+		ShardID: 1,
+		TxRoot:  TxRoot(txs),
+	}
+	return &Transaction{
+		Kind:     TxXShardMint,
+		From:     burn.From,
+		To:       burn.To,
+		Value:    burn.Value,
+		SrcShard: burn.SrcShard,
+		DstShard: burn.DstShard,
+		Mint:     &MintProof{Burn: burn, Proof: proof, Header: header},
+	}
+}
+
+// TestXShardTxRoundTrip: burn and mint transactions survive Encode/Decode
+// with every field — including the nested proof — intact, and the decoded
+// copy hashes identically.
+func TestXShardTxRoundTrip(t *testing.T) {
+	for _, tx := range []*Transaction{burnFixture(), mintFixture(t)} {
+		e := NewEncoder()
+		tx.Encode(e)
+		got, err := DecodeTransaction(NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tx.Kind, err)
+		}
+		if got.Hash() != tx.Hash() {
+			t.Fatalf("%s: hash changed across round trip", tx.Kind)
+		}
+		if got.Kind != tx.Kind || got.SrcShard != tx.SrcShard || got.DstShard != tx.DstShard {
+			t.Fatalf("%s: lane fields lost: %+v", tx.Kind, got)
+		}
+		if tx.Mint != nil {
+			if got.Mint == nil {
+				t.Fatalf("mint proof lost")
+			}
+			if got.Mint.Burn.Hash() != tx.Mint.Burn.Hash() {
+				t.Fatalf("nested burn changed")
+			}
+			if got.Mint.Header.Hash() != tx.Mint.Header.Hash() {
+				t.Fatalf("source header changed")
+			}
+			if !VerifyTxProof(got.Mint.Header.TxRoot, got.Mint.Burn.Hash(), got.Mint.Proof) {
+				t.Fatalf("decoded proof no longer verifies")
+			}
+		}
+	}
+}
+
+// TestXShardSigHashBindsLane: flipping kind, source or destination shard
+// changes the signed digest, so a signature over one lane cannot authorize
+// another.
+func TestXShardSigHashBindsLane(t *testing.T) {
+	base := burnFixture()
+	digest := base.SigHash()
+	mutations := []func(*Transaction){
+		func(tx *Transaction) { tx.Kind = TxTransfer },
+		func(tx *Transaction) { tx.SrcShard = 3 },
+		func(tx *Transaction) { tx.DstShard = 3 },
+		func(tx *Transaction) { tx.Value++ },
+	}
+	for i, mutate := range mutations {
+		tx := burnFixture()
+		mutate(tx)
+		if tx.SigHash() == digest {
+			t.Fatalf("mutation %d did not change the signed digest", i)
+		}
+	}
+}
+
+// TestMintHashCommitsToProof: two mints for the same receipt but different
+// proof bytes must have different hashes — otherwise a poisoned mint
+// arriving first would shadow the valid one in a pool keyed by hash.
+func TestMintHashCommitsToProof(t *testing.T) {
+	a := mintFixture(t)
+	b := mintFixture(t)
+	if len(b.Mint.Proof.Siblings) == 0 {
+		t.Fatal("fixture proof has no siblings")
+	}
+	b.Mint.Proof.Siblings[0][0] ^= 0xFF
+	if a.Hash() == b.Hash() {
+		t.Fatal("tampered proof did not change the mint hash")
+	}
+}
+
+// TestNestedMintRejected: a mint whose embedded burn itself carries a mint
+// proof must fail to decode — recursion is bounded at depth one.
+func TestNestedMintRejected(t *testing.T) {
+	outer := mintFixture(t)
+	inner := mintFixture(t)
+	outer.Mint.Burn = inner // burn slot now holds a mint with its own proof
+	e := NewEncoder()
+	outer.Encode(e)
+	if _, err := DecodeTransaction(NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("nested mint proof decoded without error")
+	}
+}
+
+// TestUnknownKindRejected: a kind beyond the defined range fails decoding
+// instead of aliasing to a known one.
+func TestUnknownKindRejected(t *testing.T) {
+	tx := burnFixture()
+	e := NewEncoder()
+	tx.Encode(e)
+	raw := e.Bytes()
+	// Corrupt by re-encoding with an out-of-range kind.
+	bad := &Transaction{}
+	*bad = *tx
+	bad.Kind = TxKind(200)
+	e2 := NewEncoder()
+	bad.Encode(e2)
+	if bytes.Equal(raw, e2.Bytes()) {
+		t.Fatal("kind not part of the encoding")
+	}
+	if _, err := DecodeTransaction(NewDecoder(e2.Bytes())); err == nil {
+		t.Fatal("unknown kind decoded without error")
+	}
+}
+
+// TestXShardConsumedAddressIsStable: the reserved system address is a fixed
+// constant — consensus state is keyed under it, so it must never drift.
+func TestXShardConsumedAddressIsStable(t *testing.T) {
+	want := "0x7873686172642f636f6e73756d65642f76310000"
+	if got := XShardConsumedAddress.Hex(); got != want {
+		t.Fatalf("XShardConsumedAddress = %s, want %s", got, want)
+	}
+}
+
+// TestTruncatedMintRejected: every truncation of an encoded mint fails to
+// decode rather than panicking or decoding partially.
+func TestTruncatedMintRejected(t *testing.T) {
+	tx := mintFixture(t)
+	e := NewEncoder()
+	tx.Encode(e)
+	raw := e.Bytes()
+	for cut := 0; cut < len(raw); cut += 7 {
+		if _, err := DecodeTransaction(NewDecoder(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}

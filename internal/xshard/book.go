@@ -1,0 +1,174 @@
+// Package xshard implements the receipts method for cross-shard transfers
+// (DESIGN.md "Cross-shard receipts"): a transfer between accounts homed on
+// two shards burns on the source shard, is proven by a Merkle receipt
+// against a finalized source block header, and mints on the destination
+// shard. The package provides the three protocol objects the rest of the
+// system threads together:
+//
+//   - HeaderBook: the destination shard's view of finalized source-shard
+//     headers, verified on entry and persisted through the durable store so
+//     a restarted miner can still validate mints during recovery replay.
+//   - CheckMint: the stateless half of mint verification — structural
+//     shape, burn signature, lane consistency, and Merkle inclusion — used
+//     both at mempool admission and at block apply.
+//   - Relay: watches a source chain, waits FinalityDepth blocks, and
+//     forwards each finalized burn as a mint candidate (plus the source
+//     header) to destination shards.
+//
+// The consensus-critical pieces (HeaderBook, CheckMint) are deterministic:
+// no wall clock, no map iteration, no ambient randomness.
+package xshard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"contractshard/internal/pow"
+	"contractshard/internal/store"
+	"contractshard/internal/types"
+)
+
+// Store keys for persisted headers: a sequential log "xhdr/<seq>" plus the
+// running count under "xhdr/count". A sequential log — not per-hash keys —
+// lets Attach reload the book without ranging over store internals, keeping
+// enumeration deterministic.
+const (
+	hdrCountKey  = "xhdr/count"
+	hdrKeyPrefix = "xhdr/"
+)
+
+// Errors returned by HeaderBook.
+var (
+	// ErrBadHeaderSeal means the header's PoW seal does not meet its own
+	// difficulty target.
+	ErrBadHeaderSeal = errors.New("xshard: header seal invalid")
+	// ErrHeaderRejected wraps a failure of the book's extra verification
+	// hook (typically shard-membership verification).
+	ErrHeaderRejected = errors.New("xshard: header rejected")
+)
+
+// HeaderBook tracks source-shard block headers a destination shard accepts
+// mint proofs against. Every header is verified on entry: the PoW seal must
+// meet the header's difficulty, and an optional hook (the node installs
+// sharding membership verification) must pass. Accepted headers persist to
+// an attached store so that crash-recovery replay — which re-executes block
+// bodies, including mints — sees the same book the miner had before the
+// crash.
+//
+// The residual trust assumption is documented in DESIGN.md: a rogue source
+// shard member could mine a private, never-canonical block and mint from
+// it. Defending fully requires light-client cumulative-difficulty tracking
+// of the source chain; the relay's finality gate covers the honest path.
+//
+// HeaderBook is safe for concurrent use: the chain's parallel execution
+// engine calls Has from worker goroutines while the node's gossip handler
+// may be adding a freshly announced header.
+type HeaderBook struct {
+	mu     sync.RWMutex
+	verify func(*types.Header) error // optional extra check, may be nil
+	have   map[types.Hash]bool       // membership only; never ranged
+	count  uint64                    // persisted-log length
+	db     store.Store               // nil until Attach
+}
+
+// NewHeaderBook returns an empty book. verify, if non-nil, runs on every
+// candidate header after the PoW check; the node installs shard-membership
+// verification here.
+func NewHeaderBook(verify func(*types.Header) error) *HeaderBook {
+	return &HeaderBook{verify: verify, have: make(map[types.Hash]bool)}
+}
+
+// Attach loads previously persisted headers from s and makes future Add
+// calls persist there. Persisted headers are re-verified on load: a store
+// that fails verification is corrupt and Attach reports it rather than
+// poisoning the book.
+func (b *HeaderBook) Attach(s store.Store) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	raw, ok := s.Get(hdrCountKey)
+	if ok {
+		if len(raw) != 8 {
+			return fmt.Errorf("xshard: corrupt header count (%d bytes)", len(raw))
+		}
+		n := binary.BigEndian.Uint64(raw)
+		for seq := uint64(0); seq < n; seq++ {
+			hraw, ok := s.Get(hdrKey(seq))
+			if !ok {
+				return fmt.Errorf("xshard: missing persisted header %d of %d", seq, n)
+			}
+			h, err := types.DecodeHeader(types.NewDecoder(hraw))
+			if err != nil {
+				return fmt.Errorf("xshard: persisted header %d: %w", seq, err)
+			}
+			if err := b.check(h); err != nil {
+				return fmt.Errorf("xshard: persisted header %d: %w", seq, err)
+			}
+			b.have[h.Hash()] = true
+		}
+		b.count = n
+	}
+	b.db = s
+	return nil
+}
+
+// check runs the entry verification without touching book state.
+func (b *HeaderBook) check(h *types.Header) error {
+	if !pow.Verify(h) {
+		return ErrBadHeaderSeal
+	}
+	if b.verify != nil {
+		if err := b.verify(h); err != nil {
+			return fmt.Errorf("%w: %v", ErrHeaderRejected, err)
+		}
+	}
+	return nil
+}
+
+// Add verifies and records a header. Adding a header the book already has
+// is a no-op: relays re-announce on retry and gossip duplicates freely.
+func (b *HeaderBook) Add(h *types.Header) error {
+	hash := h.Hash()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.have[hash] {
+		return nil
+	}
+	if err := b.check(h); err != nil {
+		return err
+	}
+	if b.db != nil {
+		e := types.NewEncoder()
+		h.Encode(e)
+		if err := b.db.Put(hdrKey(b.count), e.Bytes()); err != nil {
+			return fmt.Errorf("xshard: persist header: %w", err)
+		}
+		var cnt [8]byte
+		binary.BigEndian.PutUint64(cnt[:], b.count+1)
+		if err := b.db.Put(hdrCountKey, cnt[:]); err != nil {
+			return fmt.Errorf("xshard: persist header count: %w", err)
+		}
+		b.count++
+	}
+	b.have[hash] = true
+	return nil
+}
+
+// Has reports whether the header with the given hash has been accepted.
+func (b *HeaderBook) Has(h types.Hash) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.have[h]
+}
+
+// Len returns the number of accepted headers.
+func (b *HeaderBook) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.have)
+}
+
+func hdrKey(seq uint64) string {
+	return fmt.Sprintf("%s%d", hdrKeyPrefix, seq)
+}

@@ -1,0 +1,118 @@
+package xshard
+
+import (
+	"errors"
+	"fmt"
+
+	"contractshard/internal/crypto"
+	"contractshard/internal/types"
+)
+
+// Errors returned by CheckMint. Chain apply maps them onto its invalid-tx
+// receipt path; mempool admission and gossip handlers reject on them
+// directly.
+var (
+	// ErrNotMint means the transaction is not of kind TxXShardMint.
+	ErrNotMint = errors.New("xshard: not a mint transaction")
+	// ErrMintShape means a structural field a mint must not use (fee, gas,
+	// data, signature, ...) is set, or the proof is missing.
+	ErrMintShape = errors.New("xshard: malformed mint")
+	// ErrBadBurn means the embedded burn transaction is not a validly
+	// signed cross-shard burn.
+	ErrBadBurn = errors.New("xshard: invalid burn receipt")
+	// ErrLaneMismatch means the mint's visible fields disagree with the
+	// burn it claims to redeem — a receipt authorizes exactly one
+	// (from, to, value, srcShard, dstShard) tuple.
+	ErrLaneMismatch = errors.New("xshard: mint does not match burn receipt")
+	// ErrBadProof means the Merkle inclusion proof does not place the burn
+	// under the carried source header's transaction root.
+	ErrBadProof = errors.New("xshard: inclusion proof invalid")
+)
+
+// NewBurn builds an unsigned cross-shard burn: the sender destroys value on
+// the source shard so it can be recreated on the destination shard. The
+// caller signs it like any other transaction; the signature covers the
+// (srcShard, dstShard) lane, so a burn cannot be re-routed.
+func NewBurn(from, to types.Address, value, fee, nonce uint64, src, dst types.ShardID) *types.Transaction {
+	return &types.Transaction{
+		Kind:     types.TxXShardBurn,
+		Nonce:    nonce,
+		From:     from,
+		To:       to,
+		Value:    value,
+		Fee:      fee,
+		SrcShard: src,
+		DstShard: dst,
+	}
+}
+
+// NewMint builds the mint transaction redeeming a mined burn: the burn
+// itself, its inclusion proof, and the source block header it was mined in.
+// Mints are unsigned — the proof is the authorization — and carry no fee;
+// the destination miner confirms them because consensus obliges it to, the
+// same way it applies the coinbase reward. The mint's hash commits to the
+// full proof, so a corrupted copy cannot mask the valid mint in a pool.
+func NewMint(burn *types.Transaction, proof *types.TxInclusionProof, header *types.Header) *types.Transaction {
+	return &types.Transaction{
+		Kind:     types.TxXShardMint,
+		From:     burn.From,
+		To:       burn.To,
+		Value:    burn.Value,
+		SrcShard: burn.SrcShard,
+		DstShard: burn.DstShard,
+		Mint:     &types.MintProof{Burn: burn, Proof: proof, Header: header},
+	}
+}
+
+// CheckMint performs the stateless half of mint verification: structural
+// shape, burn signature, lane consistency between mint and burn, and Merkle
+// inclusion of the burn under the carried header's transaction root.
+//
+// It deliberately does NOT check the stateful half — that the header is a
+// tracked finalized source-shard header (HeaderBook.Has) and that the
+// receipt is unconsumed (the state's consumed set) — because those answers
+// depend on which chain and which block the mint is judged against. Chain
+// apply layers them on top.
+func CheckMint(tx *types.Transaction) error {
+	if tx.Kind != types.TxXShardMint {
+		return ErrNotMint
+	}
+	mp := tx.Mint
+	if mp == nil || mp.Burn == nil || mp.Proof == nil || mp.Header == nil {
+		return fmt.Errorf("%w: missing proof", ErrMintShape)
+	}
+	// Mints are unsigned, free, and carry no execution payload; enforcing
+	// the zero fields keeps the encoding canonical (one valid byte string
+	// per receipt) and stops a relay from smuggling state into them.
+	if tx.Fee != 0 || tx.Gas != 0 || tx.Nonce != 0 ||
+		len(tx.Data) != 0 || len(tx.Inputs) != 0 ||
+		len(tx.PubKey) != 0 || len(tx.Sig) != 0 {
+		return fmt.Errorf("%w: non-zero fee/gas/nonce/data/sig fields", ErrMintShape)
+	}
+	burn := mp.Burn
+	if burn.Kind != types.TxXShardBurn {
+		return fmt.Errorf("%w: embedded tx is %s, not a burn", ErrBadBurn, burn.Kind)
+	}
+	if burn.SrcShard == burn.DstShard {
+		return fmt.Errorf("%w: burn source equals destination shard", ErrBadBurn)
+	}
+	if err := crypto.VerifyTx(burn); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBurn, err)
+	}
+	// The burn must have been mined on its own source shard: the carried
+	// header's shard is the shard whose ledger destroyed the value.
+	if mp.Header.ShardID != burn.SrcShard {
+		return fmt.Errorf("%w: header is for shard %d, burn source is %d",
+			ErrLaneMismatch, mp.Header.ShardID, burn.SrcShard)
+	}
+	// The mint's visible fields must restate the burn exactly; a mint is
+	// never allowed to redirect or re-denominate a receipt.
+	if tx.From != burn.From || tx.To != burn.To || tx.Value != burn.Value ||
+		tx.SrcShard != burn.SrcShard || tx.DstShard != burn.DstShard {
+		return fmt.Errorf("%w: mint fields disagree with burn", ErrLaneMismatch)
+	}
+	if !types.VerifyTxProof(mp.Header.TxRoot, burn.Hash(), mp.Proof) {
+		return ErrBadProof
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package xshard
+
+import (
+	"fmt"
+
+	"contractshard/internal/types"
+)
+
+// SourceChain is the view of a source shard's ledger the relay needs. It is
+// defined here — not in internal/chain — so that chain can depend on xshard
+// for mint verification without a cycle; *chain.Chain satisfies it as-is.
+type SourceChain interface {
+	// Head returns the current canonical tip, or nil before genesis.
+	Head() *types.Block
+	// CanonicalHashAt returns the canonical block hash at a height.
+	CanonicalHashAt(n uint64) (types.Hash, bool)
+	// GetBlock returns a block by hash, or nil if unknown.
+	GetBlock(h types.Hash) *types.Block
+}
+
+// Destination is one delivery target for relayed receipts: typically a
+// destination-shard node's header book (Announce) and mempool (Submit).
+// The experiments layer passes counting closures instead.
+type Destination struct {
+	// Shards limits delivery to burns destined for these shards; nil means
+	// deliver everything (a gossip broadcaster).
+	Shards []types.ShardID
+	// Announce delivers a finalized source header; called before any mint
+	// proven against it, and only for blocks that contain relevant burns.
+	Announce func(*types.Header) error
+	// Submit delivers a mint candidate.
+	Submit func(*types.Transaction) error
+}
+
+func (d *Destination) wants(shard types.ShardID) bool {
+	if d.Shards == nil {
+		return true
+	}
+	for _, s := range d.Shards {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// Relay watches a source chain and, once a block is buried FinalityDepth
+// blocks deep, forwards each cross-shard burn in it as a mint candidate —
+// together with the source header the proof verifies against — to every
+// destination that wants the burn's target shard.
+//
+// The relay is pull-based and single-owner: one goroutine (the node's mine
+// loop, or a test) calls Step after the source chain advances. It holds no
+// lock, so it can never publish to the network while holding one —
+// DESIGN.md "Chain lock discipline". Delivery is at-least-once: a failed
+// destination keeps the watermark pinned and the whole height is retried on
+// the next Step, so destinations must tolerate duplicates (the header book
+// is idempotent and the consumed-receipt set makes double-mints invalid).
+type Relay struct {
+	src      SourceChain
+	finality uint64
+	next     uint64 // first height not yet fully relayed
+	dests    []*Destination
+}
+
+// NewRelay creates a relay over src that considers a block final once it
+// has `finality` descendants on the canonical chain. Height 0 (genesis) is
+// never relayed.
+func NewRelay(src SourceChain, finality uint64) *Relay {
+	return &Relay{src: src, finality: finality, next: 1}
+}
+
+// AddDestination registers a delivery target.
+func (r *Relay) AddDestination(d *Destination) { r.dests = append(r.dests, d) }
+
+// Next returns the first height that has not been fully relayed yet.
+func (r *Relay) Next() uint64 { return r.next }
+
+// Step relays every newly finalized height and returns the number of mint
+// candidates forwarded. On a delivery failure it returns the count so far
+// and the error; the failed height is retried in full on the next call.
+func (r *Relay) Step() (int, error) {
+	head := r.src.Head()
+	if head == nil || head.Number() < r.finality {
+		return 0, nil
+	}
+	last := head.Number() - r.finality
+	forwarded := 0
+	for r.next <= last {
+		hash, ok := r.src.CanonicalHashAt(r.next)
+		if !ok {
+			return forwarded, fmt.Errorf("xshard: no canonical block at height %d", r.next)
+		}
+		blk := r.src.GetBlock(hash)
+		if blk == nil {
+			return forwarded, fmt.Errorf("xshard: canonical block %s at height %d not found", hash, r.next)
+		}
+		n, err := r.relayBlock(blk)
+		forwarded += n
+		if err != nil {
+			return forwarded, err
+		}
+		r.next++
+	}
+	return forwarded, nil
+}
+
+// relayBlock forwards every burn in blk to the destinations that want it.
+func (r *Relay) relayBlock(blk *types.Block) (int, error) {
+	// Collect the burns once; most blocks have none and cost one scan.
+	type burnAt struct {
+		tx    *types.Transaction
+		index int
+	}
+	var burns []burnAt
+	for i, tx := range blk.Txs {
+		if tx.Kind == types.TxXShardBurn {
+			burns = append(burns, burnAt{tx, i})
+		}
+	}
+	if len(burns) == 0 {
+		return 0, nil
+	}
+	// One mint per burn, shared read-only across destinations.
+	mints := make([]*types.Transaction, len(burns))
+	for i, b := range burns {
+		proof, err := types.BuildTxProof(blk.Txs, b.index)
+		if err != nil {
+			return 0, fmt.Errorf("xshard: prove burn %s: %w", b.tx.Hash(), err)
+		}
+		mints[i] = NewMint(b.tx, proof, blk.Header)
+	}
+	forwarded := 0
+	for _, d := range r.dests {
+		announced := false
+		for i, b := range burns {
+			if !d.wants(b.tx.DstShard) {
+				continue
+			}
+			if !announced {
+				if err := d.Announce(blk.Header); err != nil {
+					return forwarded, fmt.Errorf("xshard: announce header %d: %w", blk.Number(), err)
+				}
+				announced = true
+			}
+			if err := d.Submit(mints[i]); err != nil {
+				return forwarded, fmt.Errorf("xshard: submit mint for burn %s: %w", b.tx.Hash(), err)
+			}
+			forwarded++
+		}
+	}
+	return forwarded, nil
+}
