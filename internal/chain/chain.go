@@ -102,12 +102,23 @@ type Config struct {
 	// in-memory.
 	Store store.Store
 	// XShard, when set, enables cross-shard receipt redemption: mint
-	// transactions are valid only against source headers this book has
-	// accepted. The book must be populated (Attach on the same Store)
-	// BEFORE the chain is constructed, because crash recovery replays
-	// block bodies — including mints — through the same verification. nil
-	// rejects every mint, keeping single-shard chains closed.
+	// transactions are valid only if the header chain they carry passes
+	// the book's deterministic verification (PoW + membership hook + the
+	// shard's finality depth of descendants). The book caches verdicts;
+	// attach it to the same Store BEFORE the chain is constructed, so
+	// crash recovery — which replays block bodies, including mints —
+	// reuses and persists the cache. nil rejects every mint, keeping
+	// single-shard chains closed.
 	XShard *xshard.HeaderBook
+	// OnReorg, when set, receives the transactions of formerly canonical
+	// blocks that a head switch abandoned and the new branch does not
+	// re-include. The node re-injects them into its mempool — like
+	// go-Ethereum — so a reorged-out transaction (in particular a
+	// cross-shard mint, whose source relay has already advanced past its
+	// burn) is re-mined on the winning branch instead of stranded. Called
+	// after the new head is published, outside the chain lock; never
+	// called during crash-recovery replay.
+	OnReorg func(dropped []*types.Transaction)
 }
 
 // DefaultCheckpointInterval is the checkpoint cadence used when bounded
@@ -490,7 +501,14 @@ func (c *Chain) AddBlock(b *types.Block) error {
 	if err != nil {
 		return err
 	}
-	return c.link(h, entry)
+	dropped, err := c.link(h, entry)
+	if err != nil {
+		return err
+	}
+	if len(dropped) > 0 {
+		c.cfg.OnReorg(dropped)
+	}
+	return nil
 }
 
 // validateStateless runs the stage-1 checks: everything decidable from the
@@ -562,18 +580,20 @@ func (c *Chain) executeBody(b *types.Block, parent *blockEntry, pstate *state.St
 // link runs stage 3: the only exclusive section of AddBlock. It re-checks
 // the conditions stage 1 observed (the block may have been linked by a
 // concurrent AddBlock since), publishes the entry, and maintains fork
-// choice plus the canonical and transaction indexes.
-func (c *Chain) link(h types.Hash, entry *blockEntry) error {
+// choice plus the canonical and transaction indexes. The returned slice
+// holds reorg-dropped transactions for the caller to hand to cfg.OnReorg
+// after the lock is released (hook code must not run under c.mu).
+func (c *Chain) link(h types.Hash, entry *blockEntry) ([]*types.Transaction, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.blocks[h]; ok {
-		return fmt.Errorf("%w: %s", ErrKnownBlock, h)
+		return nil, fmt.Errorf("%w: %s", ErrKnownBlock, h)
 	}
 	if _, ok := c.blocks[entry.block.Header.ParentHash]; !ok {
 		// Reachable when fork pruning reclaimed the parent between stage 1
 		// and here (a block attaching below the finality horizon); also
 		// keeps stage 3 correct on its own terms.
-		return fmt.Errorf("%w: %s", ErrUnknownParent, entry.block.Header.ParentHash)
+		return nil, fmt.Errorf("%w: %s", ErrUnknownParent, entry.block.Header.ParentHash)
 	}
 	// Persist before publishing: if the append fails the block is rejected
 	// whole, so the log never lags a block the in-memory chain serves. The
@@ -582,7 +602,7 @@ func (c *Chain) link(h types.Hash, entry *blockEntry) error {
 	// parent published.
 	if c.cfg.Store != nil && !c.recovering {
 		if err := c.cfg.Store.AppendBlock(entry.block.Encode()); err != nil {
-			return fmt.Errorf("chain: persisting block: %w", err)
+			return nil, fmt.Errorf("chain: persisting block: %w", err)
 		}
 	}
 	c.blocks[h] = entry
@@ -593,8 +613,9 @@ func (c *Chain) link(h types.Hash, entry *blockEntry) error {
 		c.txIndex[th] = append(c.txIndex[th], txRef{block: h, index: i})
 	}
 	cur := c.blocks[c.head]
+	var dropped []*types.Transaction
 	if entry.td > cur.td || (entry.td == cur.td && h.Compare(c.head) < 0) {
-		c.setCanonicalHead(h, entry)
+		dropped = c.setCanonicalHead(h, entry)
 		// The head moved: sweep the heights that just fell out of the hot
 		// window or past the finality horizon. Suppressed during log replay —
 		// pruning a fork parent mid-replay would orphan its children that
@@ -604,7 +625,7 @@ func (c *Chain) link(h types.Hash, entry *blockEntry) error {
 			c.pruneForksLocked()
 		}
 	}
-	return nil
+	return dropped, nil
 }
 
 // setCanonicalHead moves the head to entry and rewrites the canonical
@@ -612,7 +633,12 @@ func (c *Chain) link(h types.Hash, entry *blockEntry) error {
 // flip and the index swap are one atomic step for every reader. The walk is
 // bounded by the depth of the reorg — one appended entry for a plain
 // head extension.
-func (c *Chain) setCanonicalHead(h types.Hash, entry *blockEntry) {
+//
+// It returns the transactions of abandoned canonical blocks that the new
+// branch does not re-include (nil on a plain extension, or when no OnReorg
+// hook would consume them): the caller hands these to cfg.OnReorg once the
+// lock is released.
+func (c *Chain) setCanonicalHead(h types.Hash, entry *blockEntry) []*types.Transaction {
 	c.head = h
 	// Collect the new branch, newest first, back to the deepest block that
 	// is already canonical at its height — the fork point.
@@ -622,6 +648,26 @@ func (c *Chain) setCanonicalHead(h types.Hash, entry *blockEntry) {
 		e = c.blocks[e.block.Header.ParentHash]
 	}
 	fork := entry.block.Number() - uint64(len(branch))
+	var dropped []*types.Transaction
+	if c.cfg.OnReorg != nil && !c.recovering && uint64(len(c.canon)) > fork+1 {
+		inNew := make(map[types.Hash]bool)
+		for _, e := range branch {
+			for _, tx := range e.block.Txs {
+				inNew[tx.Hash()] = true
+			}
+		}
+		for n := fork + 1; n < uint64(len(c.canon)); n++ {
+			old, ok := c.blocks[c.canon[n].hash]
+			if !ok {
+				continue // pruned below the finality horizon; nothing to salvage
+			}
+			for _, tx := range old.block.Txs {
+				if !inNew[tx.Hash()] {
+					dropped = append(dropped, tx)
+				}
+			}
+		}
+	}
 	c.canon = c.canon[:fork+1]
 	for i := len(branch) - 1; i >= 0; i-- {
 		e := branch[i]
@@ -636,6 +682,7 @@ func (c *Chain) setCanonicalHead(h types.Hash, entry *blockEntry) {
 		}
 		c.canon = append(c.canon, ce)
 	}
+	return dropped
 }
 
 // process applies txs in block order to st, crediting the coinbase with the

@@ -144,7 +144,10 @@ func (c *Chain) addRecovered(b *types.Block) error {
 	if err := c.validateStateless(b, parent.block.Header); err != nil {
 		return err
 	}
-	return c.link(h, &blockEntry{block: b, td: parent.td + b.Header.Difficulty})
+	// Recovery replay never fires OnReorg (link suppresses collection under
+	// c.recovering), so the dropped list is always empty here.
+	_, err := c.link(h, &blockEntry{block: b, td: parent.td + b.Header.Difficulty})
+	return err
 }
 
 // attachCheckpoints loads every persisted flat-state snapshot that matches a

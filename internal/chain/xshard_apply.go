@@ -17,7 +17,7 @@ var (
 	ErrWrongSrcShard = errors.New("chain: burn source is another shard")
 	ErrWrongDstShard = errors.New("chain: mint destined for another shard")
 	ErrNoHeaderBook  = errors.New("chain: cross-shard minting not enabled on this shard")
-	ErrUntrackedHdr  = errors.New("chain: mint header is not a tracked finalized source header")
+	ErrBadSrcHeader  = errors.New("chain: mint source header fails verification or finality")
 	ErrReceiptSpent  = errors.New("chain: cross-shard receipt already consumed")
 )
 
@@ -76,10 +76,18 @@ func (c *Chain) applyBurn(st exec.TxState, tx *types.Transaction, coinbase types
 }
 
 // applyMint executes a TxXShardMint: after the stateless proof checks
-// (xshard.CheckMint), the carried source header must be one this shard's
-// header book has accepted as finalized, and the receipt must be fresh in
-// the consumed set. Then the burned value is recreated in the recipient's
-// account and the receipt is marked consumed.
+// (xshard.CheckMint), the carried source header chain must satisfy the
+// header book's deterministic verification — membership per header plus the
+// shard's finality depth of descendants (xshard.AcceptProof) — and the
+// receipt must be fresh in the consumed set. Then the burned value is
+// recreated in the recipient's account and the receipt is marked consumed.
+//
+// Every input to this decision travels inside the transaction or is a
+// shared consensus parameter, never this node's gossip history: an honest
+// validator that missed the TopicXHeaders announcement reaches the same
+// verdict as the miner that produced the block, so receipt transactions
+// cannot fork honest nodes. Verified headers are booked as a side effect,
+// which both warms the cache and persists them for crash-recovery replay.
 //
 // The consumed set lives in state storage under a reserved system address
 // (slot = burn transaction hash), so replay protection inherits every
@@ -96,8 +104,8 @@ func (c *Chain) applyMint(st exec.TxState, tx *types.Transaction, r *types.Recei
 	if c.cfg.XShard == nil {
 		return invalid(ErrNoHeaderBook)
 	}
-	if !c.cfg.XShard.Has(tx.Mint.Header.Hash()) {
-		return invalid(fmt.Errorf("%w: header %s", ErrUntrackedHdr, tx.Mint.Header.Hash()))
+	if err := c.cfg.XShard.AcceptProof(tx.Mint); err != nil {
+		return invalid(fmt.Errorf("%w: %v", ErrBadSrcHeader, err))
 	}
 	burnHash := tx.Mint.Burn.Hash()
 	if len(st.GetStorage(types.XShardConsumedAddress, burnHash[:])) != 0 {

@@ -40,7 +40,7 @@ func newXFix(t *testing.T, dstStore store.Store) *xfix {
 	if err != nil {
 		t.Fatal(err)
 	}
-	book := xshard.NewHeaderBook(nil)
+	book := xshard.NewHeaderBook(1, nil)
 	if dstStore != nil {
 		if err := book.Attach(dstStore); err != nil {
 			t.Fatal(err)
@@ -61,8 +61,11 @@ func newXFix(t *testing.T, dstStore store.Store) *xfix {
 	}
 }
 
-// burnAndProve signs a burn, mines it on the source shard, registers the
-// containing header with the destination's book, and returns the mint.
+// burnAndProve signs a burn, mines it on the source shard, buries it under
+// one more source block (the fixture book's finality depth), and returns the
+// mint carrying the proof plus that descendant as finality evidence. The
+// destination's book is deliberately NOT fed the header — mints must verify
+// from their own carried evidence, never from gossip history.
 func (f *xfix) burnAndProve(t *testing.T, nonce, value, fee uint64) *types.Transaction {
 	t.Helper()
 	burn := xshard.NewBurn(f.alice.Address(), f.bob, value, fee, nonce, 1, 2)
@@ -82,14 +85,19 @@ func (f *xfix) burnAndProve(t *testing.T, nonce, value, fee uint64) *types.Trans
 	if len(blk.Txs) != 2 {
 		t.Fatalf("burn not mined: %d txs", len(blk.Txs))
 	}
+	// One empty block on top buries the burn to the book's finality depth.
+	child, _, err := f.src.BuildBlock(f.miner, nil, f.src.Head().Header.Time+2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.src.AddBlock(child); err != nil {
+		t.Fatal(err)
+	}
 	proof, header, err := f.src.ProveInclusion(burn.Hash())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.book.Add(header); err != nil {
-		t.Fatal(err)
-	}
-	return xshard.NewMint(burn, proof, header)
+	return xshard.NewMint(burn, proof, header, []*types.Header{child.Header})
 }
 
 // mineOnDst mines the given transactions into the destination chain and
@@ -143,7 +151,8 @@ func TestXShardTransferEndToEnd(t *testing.T) {
 	if got := f.src.HeadBalance(f.alice.Address()); got != 1_000_000-value-fee-1 {
 		t.Fatalf("alice after burn = %d", got)
 	}
-	if got := f.src.HeadBalance(f.miner); got != f.src.cfg.BlockReward+fee+1 {
+	// Two source blocks were mined: the burn's and the burial block.
+	if got := f.src.HeadBalance(f.miner); got != 2*f.src.cfg.BlockReward+fee+1 {
 		t.Fatalf("src miner after burn = %d", got)
 	}
 	if got := f.src.HeadNonce(f.alice.Address()); got != 2 {
@@ -209,14 +218,14 @@ func TestMintAdversarialSweep(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := f.book.Add(header); err != nil {
-				t.Fatal(err)
-			}
-			return xshard.NewMint(burn, proof, header)
+			// Lane check fires before the book, so no descendants needed.
+			return xshard.NewMint(burn, proof, header, nil)
 		}},
 		{"unfinalized source header", func(f *xfix, m *types.Transaction) *types.Transaction {
-			// A header the relay never announced: absent from the book even
-			// though the proof against it is internally consistent.
+			// A privately mined source block the adversary never buried:
+			// internally consistent proof, valid seal, but zero descendant
+			// headers — short of the destination's finality depth, so a
+			// source-shard member cannot mint off a never-canonical burn.
 			burn := m.Mint.Burn
 			fake := &types.Header{
 				Number:     99,
@@ -231,7 +240,7 @@ func TestMintAdversarialSweep(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return xshard.NewMint(burn, proof, fake)
+			return xshard.NewMint(burn, proof, fake, nil)
 		}},
 	}
 	for _, tc := range cases {
@@ -291,7 +300,7 @@ func TestReceiptNeverMintsTwice(t *testing.T) {
 
 	// Same block: the producer keeps only the first copy; a hand-built
 	// block with both is rejected wholesale.
-	dup := xshard.NewMint(mint.Mint.Burn, mint.Mint.Proof, mint.Mint.Header)
+	dup := xshard.NewMint(mint.Mint.Burn, mint.Mint.Proof, mint.Mint.Header, mint.Mint.Descendants)
 	blk, _, err := f.dst.BuildBlock(f.miner, []*types.Transaction{mint, dup}, f.dst.Head().Header.Time+1000)
 	if err != nil {
 		t.Fatal(err)
@@ -385,6 +394,97 @@ func TestReceiptAcrossReorg(t *testing.T) {
 	}
 }
 
+// TestMintValidityIsObjective: the consensus-safety property behind the
+// receipts design. A validator that missed every TopicXHeaders announcement
+// — its header book is empty and was never fed by gossip — must accept the
+// exact block an up-to-date miner produced, because mint validity is a pure
+// function of the transaction's carried evidence plus shared consensus
+// parameters. Were it keyed on node-local gossip history, the shard would
+// fork on message loss.
+func TestMintValidityIsObjective(t *testing.T) {
+	f := newXFix(t, nil)
+	mint := f.burnAndProve(t, 0, 40_000, 7)
+	blk := f.mineOnDst(t, mint)
+	if len(blk.Txs) != 1 {
+		t.Fatalf("mint not mined: %d txs", len(blk.Txs))
+	}
+
+	// A second destination validator: same genesis and consensus parameters,
+	// cold header book, zero gossip history.
+	cfg := testConfig(2)
+	cfg.XShard = xshard.NewHeaderBook(1, nil)
+	cold, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.AddBlock(blk); err != nil {
+		t.Fatalf("cold validator rejected a valid mint block: %v", err)
+	}
+	if got := cold.HeadBalance(f.bob); got != 40_000 {
+		t.Fatalf("bob on cold validator = %d", got)
+	}
+}
+
+// TestReorgReinjectsDroppedTxs: Config.OnReorg hands back the transactions a
+// losing branch confirmed and the winning branch did not — the hook the node
+// uses to return reorged-out mints to its pool (the relay's watermark has
+// already advanced past them, so nothing upstream would ever resend).
+func TestReorgReinjectsDroppedTxs(t *testing.T) {
+	f := newXFix(t, nil)
+	mint := f.burnAndProve(t, 0, 40_000, 7)
+
+	var dropped []*types.Transaction
+	cfg := testConfig(2)
+	cfg.XShard = xshard.NewHeaderBook(1, nil)
+	cfg.OnReorg = func(txs []*types.Transaction) { dropped = append(dropped, txs...) }
+	dst, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.dst = dst
+
+	// Branch A confirms the mint at height 1.
+	branchA := f.mineOnDst(t, mint)
+	if len(branchA.Txs) != 1 {
+		t.Fatal("mint not mined on branch A")
+	}
+	// Branch B: two empty blocks win fork choice; the mint falls out.
+	b1 := f.sealChildOf(t, dst.Genesis().Header, nil)
+	if err := dst.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 0 {
+		t.Fatalf("hook fired before the reorg: %d txs", len(dropped))
+	}
+	b2 := f.sealChildOf(t, b1.Header, nil)
+	if err := dst.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0].Hash() != mint.Hash() {
+		t.Fatalf("reorged-out mint not handed back: %d txs", len(dropped))
+	}
+	// A transaction the winning branch re-confirms is NOT handed back.
+	dropped = nil
+	blk, _, err := dst.BuildBlock(f.miner, []*types.Transaction{mint}, dst.Head().Header.Time+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AddBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	c1 := f.sealChildOf(t, b2.Header, []*types.Transaction{mint})
+	if err := dst.AddBlock(c1); err != nil {
+		t.Fatal(err)
+	}
+	c2 := f.sealChildOf(t, c1.Header, nil)
+	if err := dst.AddBlock(c2); err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 0 {
+		t.Fatalf("re-confirmed mint handed back as dropped: %d txs", len(dropped))
+	}
+}
+
 // sealChildOf hand-mines an empty block on an arbitrary parent (BuildBlock
 // only extends the head, reorg tests need side branches).
 func (f *xfix) sealChildOf(t *testing.T, parent *types.Header, txs []*types.Transaction) *types.Block {
@@ -456,7 +556,7 @@ func TestReceiptSurvivesRestart(t *testing.T) {
 			t.Fatal(err)
 		}
 	}()
-	book := xshard.NewHeaderBook(nil)
+	book := xshard.NewHeaderBook(1, nil)
 	if err := book.Attach(s2); err != nil {
 		t.Fatal(err)
 	}
@@ -484,9 +584,10 @@ func TestReceiptSurvivesRestart(t *testing.T) {
 }
 
 // TestBurnRestartBetweenBurnAndMint: the acceptance criterion's restart
-// point — the crash happens BETWEEN burn and mint. The burn is mined and
-// the header announced, then the destination restarts; the mint must still
-// verify afterwards purely from recovered store contents.
+// point — the crash happens BETWEEN burn and mint. The burn is mined on the
+// source, then the destination restarts; the mint must still verify
+// afterwards with no gossip history at all, purely from the evidence it
+// carries (the restarted book is empty — and that must not matter).
 func TestBurnRestartBetweenBurnAndMint(t *testing.T) {
 	dir := t.TempDir()
 	s, err := store.Open(dir)
@@ -512,7 +613,7 @@ func TestBurnRestartBetweenBurnAndMint(t *testing.T) {
 			t.Fatal(err)
 		}
 	}()
-	book := xshard.NewHeaderBook(nil)
+	book := xshard.NewHeaderBook(1, nil)
 	if err := book.Attach(s2); err != nil {
 		t.Fatal(err)
 	}
@@ -601,7 +702,7 @@ func TestXShardDifferentialFuzz(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			book := xshard.NewHeaderBook(nil)
+			book := xshard.NewHeaderBook(0, nil)
 			nBurns := 2 + rng.Intn(3)
 			mints := make([]*types.Transaction, 0, nBurns)
 			for i := 0; i < nBurns; i++ {
@@ -624,7 +725,7 @@ func TestXShardDifferentialFuzz(t *testing.T) {
 				if err := book.Add(header); err != nil {
 					t.Fatal(err)
 				}
-				mints = append(mints, xshard.NewMint(burn, proof, header))
+				mints = append(mints, xshard.NewMint(burn, proof, header, nil))
 			}
 
 			mk := func(workers int) *Chain {
@@ -646,10 +747,10 @@ func TestXShardDifferentialFuzz(t *testing.T) {
 			for _, m := range mints {
 				txs = append(txs, m)
 				if rng.Intn(2) == 0 { // duplicate delivery: second copy invalid
-					txs = append(txs, xshard.NewMint(m.Mint.Burn, m.Mint.Proof, m.Mint.Header))
+					txs = append(txs, xshard.NewMint(m.Mint.Burn, m.Mint.Proof, m.Mint.Header, nil))
 				}
 				if rng.Intn(2) == 0 { // tampered amount: invalid
-					bad := xshard.NewMint(m.Mint.Burn, m.Mint.Proof, m.Mint.Header)
+					bad := xshard.NewMint(m.Mint.Burn, m.Mint.Proof, m.Mint.Header, nil)
 					bad.Value++
 					txs = append(txs, bad)
 				}

@@ -158,7 +158,7 @@ func runXShardReceipts(shards, perShard, txsPerBlock int, finality uint64, value
 		cfg := chain.DefaultConfig(types.ShardID(s + 1))
 		cfg.Difficulty = 16
 		cfg.MaxBlockTxs = txsPerBlock
-		book := xshard.NewHeaderBook(nil)
+		book := xshard.NewHeaderBook(finality, nil)
 		cfg.XShard = book
 		need := uint64(perShard) * (value + fee)
 		ch, err := chain.New(cfg, map[types.Address]uint64{keys[s].Address(): need})

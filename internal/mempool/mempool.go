@@ -22,6 +22,7 @@ var (
 	ErrUnknownTx   = errors.New("mempool: transaction not in pool")
 	ErrNilTx       = errors.New("mempool: nil transaction")
 	ErrUnderpriced = errors.New("mempool: replacement fee not higher than existing")
+	ErrBadMint     = errors.New("mempool: mint transaction carries no burn receipt")
 )
 
 // Pool holds pending transactions, ordered by fee. It is safe for concurrent
@@ -32,7 +33,16 @@ type Pool struct {
 	// bySlot indexes pending transactions by (sender, nonce) so a sender
 	// can replace a stuck transaction by re-submitting with a higher fee,
 	// as in go-Ethereum's replace-by-fee rule.
-	bySlot  map[slot]types.Hash
+	bySlot map[slot]types.Hash
+	// byBurn indexes pending cross-shard mints by the hash of the burn they
+	// redeem. At most one mint per receipt is pooled: a later proof variant
+	// for the same burn (e.g. built against a forked source header, so a
+	// different transaction hash) replaces the pending one instead of
+	// accumulating beside it, and once either variant is mined the pooled
+	// one is evicted by burn hash — otherwise unmineable twins would be
+	// re-selected and re-skipped every block build and leak pool capacity
+	// forever.
+	byBurn  map[types.Hash]types.Hash
 	maxSize int
 }
 
@@ -52,6 +62,7 @@ func New(capacity int) *Pool {
 	return &Pool{
 		byHash:  make(map[types.Hash]*types.Transaction),
 		bySlot:  make(map[slot]types.Hash),
+		byBurn:  make(map[types.Hash]types.Hash),
 		maxSize: capacity,
 	}
 }
@@ -83,13 +94,22 @@ func (p *Pool) add(tx *types.Transaction) (replaced bool, err error) {
 	// the (sender, nonce) slot means nothing for them: two mints redeeming
 	// different burns from one sender must coexist, and a signed
 	// transaction must never replace-by-fee-evict a pending mint (or vice
-	// versa). Mints are deduplicated by hash only.
+	// versa). Mints are keyed by the burn they redeem — one pooled mint per
+	// receipt; a different proof variant for the same burn replaces it.
 	if tx.Kind == types.TxXShardMint {
-		if len(p.byHash) >= p.maxSize {
+		if tx.Mint == nil || tx.Mint.Burn == nil {
+			return false, ErrBadMint
+		}
+		bh := tx.Mint.Burn.Hash()
+		if prevHash, ok := p.byBurn[bh]; ok {
+			delete(p.byHash, prevHash)
+			replaced = true
+		} else if len(p.byHash) >= p.maxSize {
 			return false, ErrPoolFull
 		}
 		p.byHash[h] = tx
-		return false, nil
+		p.byBurn[bh] = h
+		return replaced, nil
 	}
 	sl := slot{from: tx.From, nonce: tx.Nonce}
 	if prevHash, ok := p.bySlot[sl]; ok {
@@ -126,23 +146,48 @@ func (p *Pool) Remove(hashes ...types.Hash) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, h := range hashes {
-		if tx, ok := p.byHash[h]; ok {
-			sl := slot{from: tx.From, nonce: tx.Nonce}
-			if p.bySlot[sl] == h {
-				delete(p.bySlot, sl)
-			}
-			delete(p.byHash, h)
-		}
+		p.removeLocked(h)
 	}
 }
 
-// RemoveTxs deletes the given transactions by hash.
-func (p *Pool) RemoveTxs(txs []*types.Transaction) {
-	hashes := make([]types.Hash, len(txs))
-	for i, tx := range txs {
-		hashes[i] = tx.Hash()
+// removeLocked deletes one pooled transaction and its index entries.
+func (p *Pool) removeLocked(h types.Hash) {
+	tx, ok := p.byHash[h]
+	if !ok {
+		return
 	}
-	p.Remove(hashes...)
+	sl := slot{from: tx.From, nonce: tx.Nonce}
+	if p.bySlot[sl] == h {
+		delete(p.bySlot, sl)
+	}
+	if tx.Kind == types.TxXShardMint && tx.Mint != nil && tx.Mint.Burn != nil {
+		bh := tx.Mint.Burn.Hash()
+		if p.byBurn[bh] == h {
+			delete(p.byBurn, bh)
+		}
+	}
+	delete(p.byHash, h)
+}
+
+// RemoveTxs deletes the given transactions by hash. A confirmed mint
+// additionally evicts the pooled mint for the same burn even when the
+// pooled copy is a different proof variant (different transaction hash):
+// the consumed-receipt set makes every variant unmineable the moment one
+// lands, so keeping it would leak pool capacity.
+func (p *Pool) RemoveTxs(txs []*types.Transaction) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tx := range txs {
+		if tx == nil {
+			continue
+		}
+		p.removeLocked(tx.Hash())
+		if tx.Kind == types.TxXShardMint && tx.Mint != nil && tx.Mint.Burn != nil {
+			if variant, ok := p.byBurn[tx.Mint.Burn.Hash()]; ok {
+				p.removeLocked(variant)
+			}
+		}
+	}
 }
 
 // Contains reports whether the pool holds the hash.

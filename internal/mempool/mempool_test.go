@@ -331,3 +331,120 @@ func TestReplaceByFeeAtCapacity(t *testing.T) {
 		t.Fatalf("equal-fee bump: %v", err)
 	}
 }
+
+// mintFor builds a pooled-shaped mint redeeming the given burn, proven
+// against a header with the given number — two variants of one receipt built
+// against different source headers have different transaction hashes but the
+// same burn hash, exactly the collision the byBurn index must resolve.
+func mintFor(burn *types.Transaction, headerNumber uint64) *types.Transaction {
+	return &types.Transaction{
+		Kind:  types.TxXShardMint,
+		From:  burn.From,
+		To:    burn.To,
+		Value: burn.Value,
+		Mint: &types.MintProof{
+			Burn:   burn,
+			Proof:  &types.TxInclusionProof{},
+			Header: &types.Header{Number: headerNumber, ShardID: 1},
+		},
+	}
+}
+
+func burnTx(nonce uint64) *types.Transaction {
+	return &types.Transaction{
+		Kind:  types.TxXShardBurn,
+		Nonce: nonce,
+		From:  types.BytesToAddress([]byte{7}),
+		To:    types.BytesToAddress([]byte{8}),
+		Value: 100,
+	}
+}
+
+// TestMintKeyedByBurn: one pooled mint per receipt. A second proof variant
+// for the same burn replaces the pending one instead of accumulating; mints
+// for distinct burns coexist even though all mints share (sender, nonce 0).
+func TestMintKeyedByBurn(t *testing.T) {
+	p := New(0)
+	burnA, burnB := burnTx(0), burnTx(1)
+	a1, a2 := mintFor(burnA, 5), mintFor(burnA, 6)
+	if a1.Hash() == a2.Hash() {
+		t.Fatal("fixture variants share a hash")
+	}
+	b := mintFor(burnB, 5)
+
+	if err := p.Add(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(b); err != nil {
+		t.Fatalf("mint for a distinct burn rejected: %v", err)
+	}
+	if err := p.Add(a2); err != nil {
+		t.Fatalf("proof variant rejected: %v", err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("size %d, want 2 (variant must replace, not accumulate)", p.Size())
+	}
+	if p.Contains(a1.Hash()) || !p.Contains(a2.Hash()) || !p.Contains(b.Hash()) {
+		t.Fatal("variant did not replace the pending mint")
+	}
+	// Malformed mints never reach the index.
+	if err := p.Add(&types.Transaction{Kind: types.TxXShardMint}); !errors.Is(err, ErrBadMint) {
+		t.Fatalf("proofless mint: %v", err)
+	}
+}
+
+// TestRemoveTxsEvictsMintVariants: when a block confirms one proof variant,
+// the pooled twin for the same burn is evicted too — the consumed set makes
+// it forever unmineable, so keeping it would leak capacity.
+func TestRemoveTxsEvictsMintVariants(t *testing.T) {
+	p := New(0)
+	burn := burnTx(0)
+	pooled, confirmed := mintFor(burn, 5), mintFor(burn, 6)
+	if err := p.Add(pooled); err != nil {
+		t.Fatal(err)
+	}
+	// The confirmed variant was never pooled; its arrival in a block must
+	// still evict the pooled twin.
+	p.RemoveTxs([]*types.Transaction{confirmed})
+	if p.Size() != 0 {
+		t.Fatalf("size %d: unmineable twin left pooled", p.Size())
+	}
+	// A later re-add works (e.g. after a reorg un-confirms the receipt).
+	if err := p.Add(pooled); err != nil {
+		t.Fatalf("re-add after eviction: %v", err)
+	}
+	// Plain Remove by hash cleans the burn index as well.
+	p.Remove(pooled.Hash())
+	if err := p.Add(mintFor(burn, 7)); err != nil {
+		t.Fatalf("burn index stale after Remove: %v", err)
+	}
+	if p.Size() != 1 {
+		t.Fatalf("size %d, want 1", p.Size())
+	}
+}
+
+// TestMintsDoNotCollideWithSigned: a signed transfer and a mint sharing
+// (sender, nonce) never replace-by-fee each other.
+func TestMintsDoNotCollideWithSigned(t *testing.T) {
+	p := New(0)
+	burn := burnTx(0)
+	m := mintFor(burn, 5) // nonce 0, fee 0
+	signed := &types.Transaction{
+		Nonce: 0,
+		From:  m.From,
+		To:    m.To,
+		Fee:   10,
+	}
+	if err := p.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(signed); err != nil {
+		t.Fatalf("signed tx sharing the mint's slot rejected: %v", err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("size %d, want 2", p.Size())
+	}
+	if !p.Contains(m.Hash()) || !p.Contains(signed.Hash()) {
+		t.Fatal("mint and signed tx must coexist")
+	}
+}

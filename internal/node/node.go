@@ -146,9 +146,12 @@ func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
 	// The header book must exist — and, on a durable miner, be reloaded
 	// from the store — BEFORE the chain is constructed: crash recovery
 	// replays block bodies, and any mint in them verifies against the book.
-	// Announced headers pass the same membership verification as gossiped
-	// blocks (Sec. III-C), so a non-member cannot feed us fake receipts.
-	book := xshard.NewHeaderBook(func(h *types.Header) error {
+	// Each header in a mint's carried chain passes the same membership
+	// verification as gossiped blocks (Sec. III-C), so a non-member cannot
+	// feed us fake receipts, and the finality depth binds the mint itself:
+	// a receipt needs XShardFinality member-mined descendants no matter
+	// which relay forwarded it.
+	book := xshard.NewHeaderBook(cfg.XShardFinality, func(h *types.Header) error {
 		return sharding.VerifyMembership(h, cfg.Randomness, cfg.Fractions)
 	})
 	if cfg.ChainConfig.Store != nil {
@@ -157,6 +160,15 @@ func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
 		}
 	}
 	cfg.ChainConfig.XShard = book
+	// A reorg strands reorged-out transactions unless they return to the
+	// pool: in particular a dropped mint is otherwise lost until some
+	// source-shard relay restarts, because relay watermarks only advance.
+	// Stale re-injections (nonce already used, receipt consumed on the new
+	// branch) are filtered by the producer's dry-run at build time.
+	pool := mempool.New(0)
+	cfg.ChainConfig.OnReorg = func(dropped []*types.Transaction) {
+		pool.AddAll(dropped)
+	}
 	ch, err := chain.NewWithContracts(cfg.ChainConfig, cfg.GenesisAlloc, cfg.Contracts)
 	if err != nil {
 		return nil, err
@@ -169,7 +181,7 @@ func New(net *p2p.Network, id p2p.NodeID, cfg Config) (*Miner, error) {
 	m := &Miner{
 		cfg:   cfg,
 		chain: ch,
-		pool:  mempool.New(0),
+		pool:  pool,
 		node:  pnode,
 		graph: callgraph.New(),
 		book:  book,

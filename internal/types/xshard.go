@@ -61,11 +61,23 @@ var XShardConsumedAddress = Address{'x', 's', 'h', 'a', 'r', 'd', '/', 'c', 'o',
 // MintProof is the receipt a TxXShardMint carries: the full burn transaction
 // (so its hash can be recomputed and its signature re-verified on the
 // destination shard), the Merkle inclusion proof of that hash under the
-// source block header's TxRoot, and the source header itself.
+// source block header's TxRoot, the source header itself, and the header's
+// finality evidence.
 type MintProof struct {
 	Burn   *Transaction
 	Proof  *TxInclusionProof
 	Header *Header
+	// Descendants are the headers of the source-chain blocks built on top of
+	// Header, oldest first: Descendants[0] names Header as its parent and
+	// each subsequent entry extends the previous one. They are the mint's
+	// embedded finality evidence — the destination shard demands at least
+	// its finality depth of them, each PoW-sealed and membership-verified,
+	// so redeeming a receipt from a block nobody built on costs an adversary
+	// that many real seals by real source-shard members. Carrying the
+	// evidence inside the transaction keeps mint validity objective: every
+	// validator judges the same bytes, none depends on what gossip happened
+	// to deliver it.
+	Descendants []*Header
 }
 
 // encode appends the proof to e. The inner burn is encoded with the regular
@@ -88,6 +100,10 @@ func (mp *MintProof) encode(e *Encoder) {
 		}
 	}
 	mp.Header.Encode(e)
+	e.BeginList(len(mp.Descendants))
+	for _, dh := range mp.Descendants {
+		dh.Encode(e)
+	}
 }
 
 // decodeMintProof reads a MintProof written by encode.
@@ -140,6 +156,16 @@ func decodeMintProof(d *Decoder) (*MintProof, error) {
 	}
 	if mp.Header, err = DecodeHeader(d); err != nil {
 		return nil, fmt.Errorf("mint header: %w", err)
+	}
+	nd, err := d.ReadList()
+	if err != nil {
+		return nil, fmt.Errorf("mint descendants: %w", err)
+	}
+	mp.Descendants = make([]*Header, nd)
+	for i := range mp.Descendants {
+		if mp.Descendants[i], err = DecodeHeader(d); err != nil {
+			return nil, fmt.Errorf("mint descendant %d: %w", i, err)
+		}
 	}
 	return mp, nil
 }

@@ -36,6 +36,9 @@ func mintFixture(t *testing.T) *Transaction {
 		ShardID: 1,
 		TxRoot:  TxRoot(txs),
 	}
+	// Finality evidence: two descendants burying the source header.
+	d1 := &Header{Number: 10, ShardID: 1, ParentHash: header.Hash()}
+	d2 := &Header{Number: 11, ShardID: 1, ParentHash: d1.Hash()}
 	return &Transaction{
 		Kind:     TxXShardMint,
 		From:     burn.From,
@@ -43,7 +46,10 @@ func mintFixture(t *testing.T) *Transaction {
 		Value:    burn.Value,
 		SrcShard: burn.SrcShard,
 		DstShard: burn.DstShard,
-		Mint:     &MintProof{Burn: burn, Proof: proof, Header: header},
+		Mint: &MintProof{
+			Burn: burn, Proof: proof, Header: header,
+			Descendants: []*Header{d1, d2},
+		},
 	}
 }
 
@@ -73,6 +79,14 @@ func TestXShardTxRoundTrip(t *testing.T) {
 			}
 			if got.Mint.Header.Hash() != tx.Mint.Header.Hash() {
 				t.Fatalf("source header changed")
+			}
+			if len(got.Mint.Descendants) != len(tx.Mint.Descendants) {
+				t.Fatalf("descendants lost: %d != %d", len(got.Mint.Descendants), len(tx.Mint.Descendants))
+			}
+			for i := range got.Mint.Descendants {
+				if got.Mint.Descendants[i].Hash() != tx.Mint.Descendants[i].Hash() {
+					t.Fatalf("descendant %d changed", i)
+				}
 			}
 			if !VerifyTxProof(got.Mint.Header.TxRoot, got.Mint.Burn.Hash(), got.Mint.Proof) {
 				t.Fatalf("decoded proof no longer verifies")
@@ -114,6 +128,14 @@ func TestMintHashCommitsToProof(t *testing.T) {
 	b.Mint.Proof.Siblings[0][0] ^= 0xFF
 	if a.Hash() == b.Hash() {
 		t.Fatal("tampered proof did not change the mint hash")
+	}
+	// The finality evidence is committed too: stripping a descendant must
+	// change the hash, or a relayed mint could be weakened in flight without
+	// detection.
+	c := mintFixture(t)
+	c.Mint.Descendants = c.Mint.Descendants[:1]
+	if a.Hash() == c.Hash() {
+		t.Fatal("stripped descendants did not change the mint hash")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"contractshard/internal/crypto"
+	"contractshard/internal/pow"
 	"contractshard/internal/types"
 )
 
@@ -27,6 +28,10 @@ var (
 	// ErrBadProof means the Merkle inclusion proof does not place the burn
 	// under the carried source header's transaction root.
 	ErrBadProof = errors.New("xshard: inclusion proof invalid")
+	// ErrBadDescendants means the carried finality evidence is broken: a
+	// descendant header does not extend its predecessor by parent hash,
+	// height and shard.
+	ErrBadDescendants = errors.New("xshard: descendant headers do not form a chain")
 )
 
 // NewBurn builds an unsigned cross-shard burn: the sender destroys value on
@@ -47,12 +52,14 @@ func NewBurn(from, to types.Address, value, fee, nonce uint64, src, dst types.Sh
 }
 
 // NewMint builds the mint transaction redeeming a mined burn: the burn
-// itself, its inclusion proof, and the source block header it was mined in.
-// Mints are unsigned — the proof is the authorization — and carry no fee;
-// the destination miner confirms them because consensus obliges it to, the
-// same way it applies the coinbase reward. The mint's hash commits to the
-// full proof, so a corrupted copy cannot mask the valid mint in a pool.
-func NewMint(burn *types.Transaction, proof *types.TxInclusionProof, header *types.Header) *types.Transaction {
+// itself, its inclusion proof, the source block header it was mined in, and
+// the descendant headers that bury it (the finality evidence — the relay
+// passes the canonical headers above the burn's block). Mints are unsigned —
+// the proof is the authorization — and carry no fee; the destination miner
+// confirms them because consensus obliges it to, the same way it applies the
+// coinbase reward. The mint's hash commits to the full proof, so a corrupted
+// copy cannot mask the valid mint in a pool.
+func NewMint(burn *types.Transaction, proof *types.TxInclusionProof, header *types.Header, descendants []*types.Header) *types.Transaction {
 	return &types.Transaction{
 		Kind:     types.TxXShardMint,
 		From:     burn.From,
@@ -60,19 +67,22 @@ func NewMint(burn *types.Transaction, proof *types.TxInclusionProof, header *typ
 		Value:    burn.Value,
 		SrcShard: burn.SrcShard,
 		DstShard: burn.DstShard,
-		Mint:     &types.MintProof{Burn: burn, Proof: proof, Header: header},
+		Mint:     &types.MintProof{Burn: burn, Proof: proof, Header: header, Descendants: descendants},
 	}
 }
 
 // CheckMint performs the stateless half of mint verification: structural
-// shape, burn signature, lane consistency between mint and burn, and Merkle
-// inclusion of the burn under the carried header's transaction root.
+// shape, burn signature, lane consistency between mint and burn, Merkle
+// inclusion of the burn under the carried header's transaction root, and the
+// carried headers themselves — the source header and every descendant must
+// hold a valid PoW seal and the descendants must form a parent-linked chain
+// on top of the header.
 //
-// It deliberately does NOT check the stateful half — that the header is a
-// tracked finalized source-shard header (HeaderBook.Has) and that the
-// receipt is unconsumed (the state's consumed set) — because those answers
-// depend on which chain and which block the mint is judged against. Chain
-// apply layers them on top.
+// It deliberately does NOT check the two remaining halves — that the header
+// chain satisfies the destination's finality depth and membership rules
+// (HeaderBook.AcceptProof) and that the receipt is unconsumed (the state's
+// consumed set) — because those answers depend on which chain and which
+// block the mint is judged against. Chain apply layers them on top.
 func CheckMint(tx *types.Transaction) error {
 	if tx.Kind != types.TxXShardMint {
 		return ErrNotMint
@@ -113,6 +123,25 @@ func CheckMint(tx *types.Transaction) error {
 	}
 	if !types.VerifyTxProof(mp.Header.TxRoot, burn.Hash(), mp.Proof) {
 		return ErrBadProof
+	}
+	// The carried headers are the finality evidence. Seals and linkage are
+	// stateless, so pools reject garbage here; whether the chain is *long
+	// enough* (and mined by members) is AcceptProof's call.
+	prev := mp.Header
+	if !pow.Verify(prev) {
+		return fmt.Errorf("%w: source header", ErrBadHeaderSeal)
+	}
+	for i, dh := range mp.Descendants {
+		if dh == nil {
+			return fmt.Errorf("%w: descendant %d missing", ErrBadDescendants, i)
+		}
+		if dh.ShardID != prev.ShardID || dh.Number != prev.Number+1 || dh.ParentHash != prev.Hash() {
+			return fmt.Errorf("%w: descendant %d does not extend its parent", ErrBadDescendants, i)
+		}
+		if !pow.Verify(dh) {
+			return fmt.Errorf("%w: descendant %d", ErrBadHeaderSeal, i)
+		}
+		prev = dh
 	}
 	return nil
 }

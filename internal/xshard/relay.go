@@ -87,15 +87,24 @@ func (r *Relay) Step() (int, error) {
 	last := head.Number() - r.finality
 	forwarded := 0
 	for r.next <= last {
-		hash, ok := r.src.CanonicalHashAt(r.next)
-		if !ok {
-			return forwarded, fmt.Errorf("xshard: no canonical block at height %d", r.next)
+		blk, err := r.canonicalBlock(r.next)
+		if err != nil {
+			return forwarded, err
 		}
-		blk := r.src.GetBlock(hash)
-		if blk == nil {
-			return forwarded, fmt.Errorf("xshard: canonical block %s at height %d not found", hash, r.next)
+		// The finality evidence rides inside each mint: the canonical
+		// headers burying the burn's block, oldest first. Destination
+		// validators re-verify this chain from the transaction alone
+		// (CheckMint + HeaderBook.AcceptProof), so the burn's depth is
+		// provable without trusting the relay or the gossip layer.
+		desc := make([]*types.Header, 0, r.finality)
+		for n := r.next + 1; n <= r.next+r.finality; n++ {
+			db, err := r.canonicalBlock(n)
+			if err != nil {
+				return forwarded, err
+			}
+			desc = append(desc, db.Header)
 		}
-		n, err := r.relayBlock(blk)
+		n, err := r.relayBlock(blk, desc)
 		forwarded += n
 		if err != nil {
 			return forwarded, err
@@ -105,8 +114,23 @@ func (r *Relay) Step() (int, error) {
 	return forwarded, nil
 }
 
-// relayBlock forwards every burn in blk to the destinations that want it.
-func (r *Relay) relayBlock(blk *types.Block) (int, error) {
+// canonicalBlock fetches the canonical block at a height, erroring out on
+// gaps (a concurrent reorg between Head and here; the height is retried).
+func (r *Relay) canonicalBlock(n uint64) (*types.Block, error) {
+	hash, ok := r.src.CanonicalHashAt(n)
+	if !ok {
+		return nil, fmt.Errorf("xshard: no canonical block at height %d", n)
+	}
+	blk := r.src.GetBlock(hash)
+	if blk == nil {
+		return nil, fmt.Errorf("xshard: canonical block %s at height %d not found", hash, n)
+	}
+	return blk, nil
+}
+
+// relayBlock forwards every burn in blk — each bundled with the descendant
+// headers that finalize blk — to the destinations that want it.
+func (r *Relay) relayBlock(blk *types.Block, desc []*types.Header) (int, error) {
 	// Collect the burns once; most blocks have none and cost one scan.
 	type burnAt struct {
 		tx    *types.Transaction
@@ -128,7 +152,7 @@ func (r *Relay) relayBlock(blk *types.Block) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("xshard: prove burn %s: %w", b.tx.Hash(), err)
 		}
-		mints[i] = NewMint(b.tx, proof, blk.Header)
+		mints[i] = NewMint(b.tx, proof, blk.Header, desc)
 	}
 	forwarded := 0
 	for _, d := range r.dests {

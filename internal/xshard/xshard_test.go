@@ -45,7 +45,29 @@ func minedBurn(t *testing.T, src, dst types.ShardID) (*types.Transaction, *types
 		t.Fatal(err)
 	}
 	header := sealedHeader(t, src, 3, types.TxRoot(txs))
-	return NewMint(burn, proof, header), header
+	return NewMint(burn, proof, header, nil), header
+}
+
+// descend mines n sealed headers extending parent, the finality evidence a
+// mint embeds.
+func descend(t *testing.T, parent *types.Header, n int) []*types.Header {
+	t.Helper()
+	out := make([]*types.Header, n)
+	prev := parent
+	for i := range out {
+		h := &types.Header{
+			Number:     prev.Number + 1,
+			ShardID:    prev.ShardID,
+			Difficulty: 2,
+			ParentHash: prev.Hash(),
+		}
+		if err := pow.Seal(h, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = h
+		prev = h
+	}
+	return out
 }
 
 func TestCheckMintAccepts(t *testing.T) {
@@ -102,8 +124,126 @@ func TestCheckMintAdversarial(t *testing.T) {
 // header to still pass PoW, but CheckMint runs before any header-book
 // lookup, so the lane check fires first regardless.
 
+// TestCheckMintDescendants: the finality evidence a mint carries is verified
+// statelessly — each descendant must be a sealed child of its predecessor —
+// so a source-shard member cannot fabricate burial depth without mining it.
+func TestCheckMintDescendants(t *testing.T) {
+	mint, header := minedBurn(t, 1, 2)
+	mint.Mint.Descendants = descend(t, header, 2)
+	if err := CheckMint(mint); err != nil {
+		t.Fatalf("mint with valid descendants rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(m *types.Transaction)
+		wantErr error
+	}{
+		{"nil descendant", func(m *types.Transaction) {
+			m.Mint.Descendants[1] = nil
+		}, ErrBadDescendants},
+		{"broken linkage", func(m *types.Transaction) {
+			m.Mint.Descendants[1].ParentHash[0] ^= 0xFF
+		}, ErrBadDescendants},
+		{"skipped height", func(m *types.Transaction) {
+			m.Mint.Descendants[1].Number++
+		}, ErrBadDescendants},
+		{"foreign shard descendant", func(m *types.Transaction) {
+			m.Mint.Descendants[1].ShardID = 9
+		}, ErrBadDescendants},
+		{"unsealed descendant", func(m *types.Transaction) {
+			m.Mint.Descendants[1].PowNonce++
+		}, ErrBadHeaderSeal},
+		{"unsealed source header", func(m *types.Transaction) {
+			m.Mint.Header.PowNonce++
+		}, ErrBadHeaderSeal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mint, header := minedBurn(t, 1, 2)
+			mint.Mint.Descendants = descend(t, header, 2)
+			tc.mutate(mint)
+			err := CheckMint(mint)
+			if err == nil {
+				t.Fatal("adversarial descendants accepted")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestAcceptProofFinality: a book with finality depth N rejects mints that
+// carry less than N descendants and books the full verified chain otherwise.
+func TestAcceptProofFinality(t *testing.T) {
+	book := NewHeaderBook(2, nil)
+	if book.Finality() != 2 {
+		t.Fatalf("finality: %d", book.Finality())
+	}
+	mint, header := minedBurn(t, 1, 2)
+	mint.Mint.Descendants = descend(t, header, 1)
+	if err := book.AcceptProof(mint.Mint); !errors.Is(err, ErrNotFinalized) {
+		t.Fatalf("shallow mint: got %v, want ErrNotFinalized", err)
+	}
+	if book.Len() != 0 {
+		t.Fatal("rejected proof left headers booked")
+	}
+	mint.Mint.Descendants = descend(t, header, 2)
+	if err := book.AcceptProof(mint.Mint); err != nil {
+		t.Fatalf("finalized mint rejected: %v", err)
+	}
+	if !book.Has(header.Hash()) ||
+		!book.Has(mint.Mint.Descendants[0].Hash()) ||
+		!book.Has(mint.Mint.Descendants[1].Hash()) {
+		t.Fatal("verified chain not booked")
+	}
+	// Idempotent: re-accepting the same proof is a cache hit.
+	if err := book.AcceptProof(mint.Mint); err != nil || book.Len() != 3 {
+		t.Fatalf("re-accept: err=%v len=%d", err, book.Len())
+	}
+	// The membership hook gates descendants too: a book whose hook rejects
+	// everything must refuse the proof even though every seal is fine.
+	strict := NewHeaderBook(2, func(*types.Header) error {
+		return errors.New("not a member")
+	})
+	if err := strict.AcceptProof(mint.Mint); !errors.Is(err, ErrHeaderRejected) {
+		t.Fatalf("hook bypass: got %v", err)
+	}
+}
+
+// TestHeaderBookBounded: the cache evicts oldest-first at its limit, and a
+// mint whose header was evicted still verifies from its carried evidence.
+func TestHeaderBookBounded(t *testing.T) {
+	book := NewHeaderBook(0, nil)
+	book.SetLimit(2)
+	h1 := sealedHeader(t, 1, 1, types.Hash{1})
+	h2 := sealedHeader(t, 1, 2, types.Hash{2})
+	h3 := sealedHeader(t, 1, 3, types.Hash{3})
+	for _, h := range []*types.Header{h1, h2, h3} {
+		if err := book.Add(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if book.Len() != 2 {
+		t.Fatalf("len=%d, want 2", book.Len())
+	}
+	if book.Has(h1.Hash()) || !book.Has(h2.Hash()) || !book.Has(h3.Hash()) {
+		t.Fatal("eviction order wrong: oldest must go first")
+	}
+	// Eviction never affects validity: the evicted header re-verifies as
+	// part of a proof and is simply re-booked.
+	mint, header := minedBurn(t, 1, 2)
+	if err := book.AcceptProof(mint.Mint); err != nil {
+		t.Fatalf("mint with evicted/unknown header rejected: %v", err)
+	}
+	if !book.Has(header.Hash()) {
+		t.Fatal("re-verified header not re-booked")
+	}
+}
+
 func TestHeaderBookVerifies(t *testing.T) {
-	book := NewHeaderBook(nil)
+	book := NewHeaderBook(0, nil)
 	h := sealedHeader(t, 1, 5, types.Hash{})
 	if err := book.Add(h); err != nil {
 		t.Fatalf("valid header rejected: %v", err)
@@ -133,7 +273,7 @@ func TestHeaderBookVerifies(t *testing.T) {
 
 func TestHeaderBookHook(t *testing.T) {
 	reject := errors.New("not a member")
-	book := NewHeaderBook(func(h *types.Header) error {
+	book := NewHeaderBook(0, func(h *types.Header) error {
 		if h.ShardID != 1 {
 			return reject
 		}
@@ -160,7 +300,7 @@ func TestHeaderBookPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	book := NewHeaderBook(nil)
+	book := NewHeaderBook(0, nil)
 	if err := book.Attach(s); err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +328,7 @@ func TestHeaderBookPersistence(t *testing.T) {
 			t.Fatal(err)
 		}
 	}()
-	reopened := NewHeaderBook(nil)
+	reopened := NewHeaderBook(0, nil)
 	if err := reopened.Attach(s2); err != nil {
 		t.Fatal(err)
 	}
@@ -209,8 +349,51 @@ func TestHeaderBookPersistence(t *testing.T) {
 	if err := s2.Put(hdrKey(0), e.Bytes()); err != nil {
 		t.Fatal(err)
 	}
-	if err := NewHeaderBook(nil).Attach(s2); err == nil {
+	if err := NewHeaderBook(0, nil).Attach(s2); err == nil {
 		t.Fatal("corrupt persisted header accepted")
+	}
+}
+
+// TestHeaderBookPreAttachPersist: headers booked before the store exists are
+// flushed to it at Attach, so an early-gossiped header survives a restart.
+func TestHeaderBookPreAttachPersist(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := NewHeaderBook(0, nil)
+	h := sealedHeader(t, 1, 7, types.Hash{0x07})
+	if err := book.Add(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := book.Attach(s); err != nil {
+		t.Fatal(err)
+	}
+	if !book.Has(h.Hash()) {
+		t.Fatal("pre-attach header lost by Attach")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	reopened := NewHeaderBook(0, nil)
+	if err := reopened.Attach(s2); err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.Has(h.Hash()) || reopened.Len() != 1 {
+		t.Fatalf("pre-attach header not persisted: len=%d", reopened.Len())
 	}
 }
 
@@ -301,6 +484,20 @@ func TestRelayFinalityGate(t *testing.T) {
 	}
 	if mints[0].Mint.Burn.Hash() != burn.Hash() {
 		t.Fatal("relayed mint redeems the wrong burn")
+	}
+	// The mint embeds its own finality evidence: the FinalityDepth canonical
+	// headers burying the burn, so a destination with matching finality
+	// accepts it with no gossip history at all.
+	desc := mints[0].Mint.Descendants
+	if len(desc) != 2 {
+		t.Fatalf("embedded descendants: %d, want 2", len(desc))
+	}
+	if desc[0].Hash() != src.blocks[2].Hash() || desc[1].Hash() != src.blocks[3].Hash() {
+		t.Fatal("descendants are not the canonical burying headers")
+	}
+	cold := NewHeaderBook(2, nil)
+	if err := cold.AcceptProof(mints[0].Mint); err != nil {
+		t.Fatalf("cold destination book rejected relayed mint: %v", err)
 	}
 	// Further steps do not re-deliver.
 	if n, err := relay.Step(); err != nil || n != 0 {
