@@ -15,6 +15,16 @@
 // one result object with its metrics keyed by unit; the goos/goarch/cpu
 // preamble lines are captured into the environment map. Non-benchmark lines
 // (PASS, ok, test logs) are ignored.
+//
+// With -diff the command instead compares two artifacts and acts as CI's
+// perf-regression gate:
+//
+//	benchjson -diff -threshold 0.15 -gate 'AddBlock|ProcessBlock' BENCH_chain.json BENCH_new.json
+//
+// It prints a per-benchmark delta table and exits 1 when any benchmark
+// matching -gate got more than -threshold slower (ns/op), or disappeared
+// from the candidate artifact — a rename must not silently disable the
+// gate. Improvements and ungated changes are informational.
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,6 +50,59 @@ type document struct {
 }
 
 func main() {
+	var (
+		diffMode  = false
+		threshold = 0.15
+		gatePat   = ""
+	)
+	// Tiny hand-rolled flag scan: the default (stdin conversion) mode must
+	// keep accepting a bare `benchjson < bench.txt` with no arguments.
+	args := os.Args[1:]
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-diff":
+			diffMode = true
+			args = args[1:]
+		case args[0] == "-threshold" && len(args) > 1:
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: -threshold wants a positive fraction, e.g. 0.15")
+				os.Exit(2)
+			}
+			threshold = v
+			args = args[2:]
+		case args[0] == "-gate" && len(args) > 1:
+			gatePat = args[1]
+			args = args[2:]
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %s\n", args[0])
+			os.Exit(2)
+		}
+	}
+	if diffMode {
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-threshold 0.15] [-gate regexp] OLD.json NEW.json")
+			os.Exit(2)
+		}
+		var gate *regexp.Regexp
+		if gatePat != "" {
+			var err error
+			if gate, err = regexp.Compile(gatePat); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -gate:", err)
+				os.Exit(2)
+			}
+		}
+		failed, err := runDiff(args[0], args[1], threshold, gate, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	doc := document{
 		Environment: map[string]string{},
 		Results:     []result{},

@@ -745,7 +745,7 @@ func (c *Chain) applyTransaction(st exec.TxState, tx *types.Transaction, coinbas
 	default:
 		return invalid(fmt.Errorf("%w: %s", ErrBadTxKind, tx.Kind))
 	}
-	if err := crypto.VerifyTx(tx); err != nil {
+	if err := crypto.VerifyTxCached(tx); err != nil {
 		return invalid(fmt.Errorf("%w: %v", ErrBadSignature, err))
 	}
 	if got := st.GetNonce(tx.From); got != tx.Nonce {
@@ -914,21 +914,43 @@ func sealBudget(difficulty uint64) uint64 {
 // MaxBlockTxs highest-fee transactions from the pool that pass keep, build
 // and add the block, and remove confirmed transactions from the pool.
 func (c *Chain) MineNext(coinbase types.Address, pool *mempool.Pool, keep func(*types.Transaction) bool, timeMillis uint64) (*types.Block, error) {
-	var candidates []*types.Transaction
-	if keep == nil {
-		candidates = pool.Pending()
-	} else {
-		candidates = pool.Filter(keep)
-	}
+	// Selection walks the pool in fee order and stops once MaxBlockTxs apply,
+	// so a bounded top-of-pool prefix almost always suffices — O(n log P)
+	// instead of Pending's full O(P log P) sort. The prefix is oversized to
+	// absorb inapplicable candidates (nonce gaps, consumed mints); if the
+	// block still comes back short while the prefix was truncated, the build
+	// falls back to the full fee-sorted pool, which reproduces the unbounded
+	// behaviour exactly.
+	budget := 4 * c.cfg.MaxBlockTxs
+	candidates := topCandidates(pool, keep, budget)
 	block, _, err := c.BuildBlock(coinbase, candidates, timeMillis)
 	if err != nil {
 		return nil, err
+	}
+	if len(block.Txs) < c.cfg.MaxBlockTxs && len(candidates) == budget {
+		if keep == nil {
+			candidates = pool.Pending()
+		} else {
+			candidates = pool.Filter(keep)
+		}
+		if block, _, err = c.BuildBlock(coinbase, candidates, timeMillis); err != nil {
+			return nil, err
+		}
 	}
 	if err := c.AddBlock(block); err != nil {
 		return nil, err
 	}
 	pool.RemoveTxs(block.Txs)
 	return block, nil
+}
+
+// topCandidates fetches the best budget pool transactions in selection
+// order, optionally restricted by keep.
+func topCandidates(pool *mempool.Pool, keep func(*types.Transaction) bool, budget int) []*types.Transaction {
+	if keep == nil {
+		return pool.TakeTop(budget)
+	}
+	return pool.FilterTop(budget, keep)
 }
 
 // GetReceipt returns the execution receipt of a transaction on the

@@ -138,28 +138,28 @@ func TestAddBlockRejections(t *testing.T) {
 	}
 
 	// Wrong shard.
-	wrong := *good.Header
+	wrong := good.Header.Clone()
 	wrong.ShardID = 9
-	if err := f.chain.AddBlock(&types.Block{Header: &wrong, Txs: good.Txs}); !errors.Is(err, ErrWrongShard) {
+	if err := f.chain.AddBlock(&types.Block{Header: wrong, Txs: good.Txs}); !errors.Is(err, ErrWrongShard) {
 		t.Fatalf("wrong shard: %v", err)
 	}
 	// Unknown parent.
-	orphan := *good.Header
+	orphan := good.Header.Clone()
 	orphan.ParentHash = types.BytesToHash([]byte{0xAB})
-	if err := f.chain.AddBlock(&types.Block{Header: &orphan, Txs: good.Txs}); !errors.Is(err, ErrUnknownParent) {
+	if err := f.chain.AddBlock(&types.Block{Header: orphan, Txs: good.Txs}); !errors.Is(err, ErrUnknownParent) {
 		t.Fatalf("orphan: %v", err)
 	}
 	// Bad state root.
-	badRoot := *good.Header
+	badRoot := good.Header.Clone()
 	badRoot.StateRoot = types.BytesToHash([]byte{0xCD})
-	if err := f.chain.AddBlock(&types.Block{Header: &badRoot, Txs: good.Txs}); !errors.Is(err, ErrBadSeal) && !errors.Is(err, ErrBadStateRoot) {
+	if err := f.chain.AddBlock(&types.Block{Header: badRoot, Txs: good.Txs}); !errors.Is(err, ErrBadSeal) && !errors.Is(err, ErrBadStateRoot) {
 		// Changing the root invalidates the seal too; either rejection is correct.
 		t.Fatalf("bad root: %v", err)
 	}
 	// Bad gas used declaration.
-	badGas := *good.Header
+	badGas := good.Header.Clone()
 	badGas.GasUsed += 7
-	if err := f.chain.AddBlock(&types.Block{Header: &badGas, Txs: good.Txs}); err == nil {
+	if err := f.chain.AddBlock(&types.Block{Header: badGas, Txs: good.Txs}); err == nil {
 		t.Fatal("bad gas accepted")
 	}
 
@@ -534,12 +534,12 @@ func TestRetargetModeRejectsWrongDifficulty(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Declare a lazy difficulty (keeping genesis value) — must be rejected.
-	forged := *block.Header
+	forged := block.Header.Clone()
 	forged.Difficulty = cfg.Difficulty / 2
-	if err := sealHeader(&forged); err != nil {
+	if err := sealHeader(forged); err != nil {
 		t.Fatal(err)
 	}
-	err = c.AddBlock(&types.Block{Header: &forged, Txs: nil})
+	err = c.AddBlock(&types.Block{Header: forged, Txs: nil})
 	if !errors.Is(err, ErrBadDifficulty) {
 		t.Fatalf("wrong difficulty: %v", err)
 	}
@@ -610,5 +610,47 @@ func TestHeadSnapshotConsistentUnderConcurrentAddBlock(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMineNextBoundedSelectionFallback: MineNext now feeds BuildBlock a
+// bounded top-of-pool prefix. When that whole prefix is inapplicable — here,
+// high-fee transactions with far-future nonces outranking every currently
+// valid one — the miner must fall back to the full pool and still fill the
+// block exactly as the unbounded selection did.
+func TestMineNextBoundedSelectionFallback(t *testing.T) {
+	f := newFixture(t)
+	pool := mempool.New(0)
+	budget := 4 * f.chain.Config().MaxBlockTxs
+	// budget high-fee txs with unreachable nonces occupy the entire prefix.
+	for i := 0; i < budget; i++ {
+		tx := &types.Transaction{
+			Nonce: uint64(1000 + i),
+			From:  f.alice.Address(),
+			To:    f.bob.Address(),
+			Value: 1,
+			Fee:   1 << 30,
+		}
+		if err := crypto.SignTx(tx, f.alice); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One applicable low-fee transfer ranked below all of them.
+	valid := f.signedTransfer(t, f.bob, f.alice.Address(), 1, 1)
+	if err := pool.Add(valid); err != nil {
+		t.Fatal(err)
+	}
+	block, err := f.chain.MineNext(f.miner, pool, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Txs) != 1 || block.Txs[0].Hash() != valid.Hash() {
+		t.Fatalf("bounded selection missed the applicable tx: block has %d txs", len(block.Txs))
+	}
+	if pool.Contains(valid.Hash()) {
+		t.Fatal("confirmed tx still pooled")
 	}
 }

@@ -48,7 +48,7 @@ func (c *Chain) applyBurn(st exec.TxState, tx *types.Transaction, coinbase types
 	if tx.DstShard == tx.SrcShard {
 		return invalid(fmt.Errorf("%w: source equals destination shard", ErrBurnShape))
 	}
-	if err := crypto.VerifyTx(tx); err != nil {
+	if err := crypto.VerifyTxCached(tx); err != nil {
 		return invalid(fmt.Errorf("%w: %v", ErrBadSignature, err))
 	}
 	if got := st.GetNonce(tx.From); got != tx.Nonce {

@@ -1,0 +1,119 @@
+package crypto
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"contractshard/internal/types"
+)
+
+// VerifyCache memoizes successful VerifyTx results keyed by transaction hash.
+//
+// The transaction hash covers the signing digest, the public key and the
+// signature bytes, so a hash that verified once verifies always — caching the
+// positive outcome is sound everywhere in the process, not just at one call
+// site. Failures are never cached: a rejected transaction is dropped at
+// admission and re-verifying the rare retry is cheaper than reasoning about
+// negative-entry poisoning.
+//
+// The same transaction is verified up to three times on the hot path today —
+// at submit, at block build and at block re-execution — and an ed25519 verify
+// costs ~50µs; the cache collapses the repeats to one map probe.
+//
+// Eviction is two-generation clock: inserts go to the current generation, and
+// when it fills the previous generation is dropped wholesale. Entries
+// therefore survive between capacity and 2×capacity inserts, with no
+// per-entry bookkeeping.
+type VerifyCache struct {
+	mu   sync.Mutex
+	cur  map[types.Hash]struct{}
+	prev map[types.Hash]struct{}
+	cap  int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// DefaultVerifyCacheSize is the per-generation capacity of caches created by
+// NewVerifyCache(0) and of the package-level cache behind VerifyTxCached.
+const DefaultVerifyCacheSize = 1 << 16
+
+// NewVerifyCache returns a cache holding up to 2×capacity verified hashes.
+// capacity <= 0 selects DefaultVerifyCacheSize.
+func NewVerifyCache(capacity int) *VerifyCache {
+	if capacity <= 0 {
+		capacity = DefaultVerifyCacheSize
+	}
+	return &VerifyCache{
+		cur: make(map[types.Hash]struct{}, capacity),
+		cap: capacity,
+	}
+}
+
+// VerifyTx behaves exactly like the package function VerifyTx but returns a
+// memoized nil for a transaction whose hash already verified.
+func (c *VerifyCache) VerifyTx(tx *types.Transaction) error {
+	h := tx.Hash()
+	c.mu.Lock()
+	if _, ok := c.cur[h]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return nil
+	}
+	if _, ok := c.prev[h]; ok {
+		// Promote so a steadily re-verified entry survives rotation.
+		c.insertLocked(h)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return nil
+	}
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	if err := VerifyTx(tx); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.insertLocked(h)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *VerifyCache) insertLocked(h types.Hash) {
+	c.cur[h] = struct{}{}
+	if len(c.cur) >= c.cap {
+		c.prev = c.cur
+		c.cur = make(map[types.Hash]struct{}, c.cap)
+	}
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *VerifyCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached hashes across both generations. Promoted
+// entries present in both count once per generation; Len is a capacity
+// gauge, not an exact distinct count.
+func (c *VerifyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cur) + len(c.prev)
+}
+
+// defaultVerifyCache backs VerifyTxCached. Process-wide sharing is what makes
+// the cache effective: the same signed transaction flows through submit
+// (shardsys/node), block building and block re-execution, each of which
+// verifies independently.
+var defaultVerifyCache = NewVerifyCache(0)
+
+// VerifyTxCached is VerifyTx through the shared process-wide cache.
+func VerifyTxCached(tx *types.Transaction) error {
+	return defaultVerifyCache.VerifyTx(tx)
+}
+
+// DefaultVerifyCacheStats exposes the shared cache's counters for soak and
+// benchmark reporting.
+func DefaultVerifyCacheStats() (hits, misses uint64) {
+	return defaultVerifyCache.Stats()
+}

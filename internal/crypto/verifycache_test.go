@@ -1,0 +1,176 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+func cacheTx(t testing.TB, label string, nonce uint64) *types.Transaction {
+	t.Helper()
+	k := KeypairFromSeed(label)
+	tx := &types.Transaction{
+		Nonce: nonce,
+		From:  k.Address(),
+		To:    types.BytesToAddress([]byte{0xBB}),
+		Value: 10,
+		Fee:   1,
+	}
+	if err := SignTx(tx, k); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// TestVerifyCacheDifferential: for every category of input — valid, corrupted
+// signature, wrong sender, malformed pubkey — the cached verifier returns the
+// same outcome as the plain verifier, on first and repeated calls.
+func TestVerifyCacheDifferential(t *testing.T) {
+	good := cacheTx(t, "vc-good", 0)
+
+	badSig := cacheTx(t, "vc-badsig", 0)
+	badSig.Sig = append([]byte(nil), badSig.Sig...)
+	badSig.Sig[0] ^= 0xFF
+
+	wrongSender := cacheTx(t, "vc-sender", 0)
+	wrongSender.From[0] ^= 0xFF
+
+	shortKey := cacheTx(t, "vc-key", 0)
+	shortKey.PubKey = shortKey.PubKey[:16]
+
+	cases := []*types.Transaction{good, badSig, wrongSender, shortKey}
+	c := NewVerifyCache(8)
+	for i, tx := range cases {
+		want := VerifyTx(tx)
+		for rep := 0; rep < 3; rep++ {
+			got := c.VerifyTx(tx)
+			if (got == nil) != (want == nil) {
+				t.Fatalf("case %d rep %d: cached %v, plain %v", i, rep, got, want)
+			}
+			if got != nil && !errors.Is(got, ErrBadSignature) && !errors.Is(got, ErrWrongSender) {
+				t.Fatalf("case %d: unexpected error class %v", i, got)
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	// Only the valid tx populates the cache: 1 miss + 2 hits for it, pure
+	// misses for the three invalid ones.
+	if hits != 2 || misses != 10 {
+		t.Fatalf("stats hits=%d misses=%d, want 2/10", hits, misses)
+	}
+}
+
+// TestVerifyCacheFailuresNotCached: an invalid transaction is re-verified on
+// every call (no negative caching), and a *different* transaction with the
+// same shape but a fixed signature verifies fine.
+func TestVerifyCacheFailuresNotCached(t *testing.T) {
+	c := NewVerifyCache(8)
+	tx := cacheTx(t, "vc-nofix", 0)
+	goodSig := tx.Sig
+	tx.Sig = append([]byte(nil), tx.Sig...)
+	tx.Sig[0] ^= 0xFF
+	if err := c.VerifyTx(tx); err == nil {
+		t.Fatal("corrupted signature accepted")
+	}
+	// Repairing the signature changes the tx hash, so the cached failure (if
+	// one existed) could not mask it — but also assert the failure itself was
+	// not recorded under the broken hash.
+	if err := c.VerifyTx(tx); err == nil {
+		t.Fatal("corrupted signature accepted on retry")
+	}
+	fixed := cacheTx(t, "vc-nofix", 0)
+	fixed.Sig = goodSig
+	if err := c.VerifyTx(fixed); err != nil {
+		t.Fatalf("valid twin rejected: %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1 (failures must not be cached)", c.Len())
+	}
+}
+
+// TestVerifyCacheRotation: the two-generation clock keeps the cache bounded
+// at < 2×capacity while recently promoted entries stay resident.
+func TestVerifyCacheRotation(t *testing.T) {
+	const capacity = 4
+	c := NewVerifyCache(capacity)
+	hot := cacheTx(t, "vc-hot", 0)
+	if err := c.VerifyTx(hot); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10*capacity; i++ {
+		tx := cacheTx(t, fmt.Sprintf("vc-rot-%d", i), 0)
+		if err := c.VerifyTx(tx); err != nil {
+			t.Fatal(err)
+		}
+		// Touch the hot entry each round so promotion keeps it alive.
+		if err := c.VerifyTx(hot); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Len(); got > 2*capacity {
+			t.Fatalf("cache grew to %d entries, bound is %d", got, 2*capacity)
+		}
+	}
+	before, _ := c.Stats()
+	if err := c.VerifyTx(hot); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := c.Stats(); after != before+1 {
+		t.Fatal("hot entry fell out of the cache despite constant promotion")
+	}
+}
+
+// TestVerifyCacheConcurrent hammers one cache from many goroutines over a
+// shared transaction set; run under -race this proves the locking.
+func TestVerifyCacheConcurrent(t *testing.T) {
+	c := NewVerifyCache(32)
+	txs := make([]*types.Transaction, 8)
+	for i := range txs {
+		txs[i] = cacheTx(t, fmt.Sprintf("vc-conc-%d", i), uint64(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := c.VerifyTx(txs[(g+i)%len(txs)]); err != nil {
+					panic(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 400 {
+		t.Fatalf("lost calls: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func BenchmarkVerifyTxUncached(b *testing.B) {
+	tx := cacheTx(b, "vc-bench", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyTx(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyTxCached(b *testing.B) {
+	c := NewVerifyCache(0)
+	tx := cacheTx(b, "vc-bench", 0)
+	if err := c.VerifyTx(tx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.VerifyTx(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

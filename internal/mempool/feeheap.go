@@ -1,0 +1,91 @@
+package mempool
+
+import "contractshard/internal/types"
+
+// feeLess reports whether a sorts strictly before b in the canonical
+// selection order: fee descending, then sender ascending, then nonce
+// ascending, then hash ascending. It is the comparator SortByFee applies,
+// factored out so the maintained heap and the full sort cannot drift apart.
+func feeLess(a, b *types.Transaction) bool {
+	if a.Fee != b.Fee {
+		return a.Fee > b.Fee
+	}
+	if c := a.From.Compare(b.From); c != 0 {
+		return c < 0
+	}
+	if a.Nonce != b.Nonce {
+		return a.Nonce < b.Nonce
+	}
+	return a.Hash().Compare(b.Hash()) < 0
+}
+
+// txHeap is a binary max-priority heap under feeLess: the root is the
+// transaction every miner would pick first. The pool uses it with lazy
+// deletion — removed or replaced transactions stay in the heap as stale
+// entries until they surface at the root (or a rebuild sweeps them), so
+// removal stays O(1) and selection pays only O(log P) per popped entry.
+//
+// The comparator is a strict total order (hash tiebreak), so the pop
+// sequence is identical regardless of the heap's internal layout; heap
+// order never influences consensus-visible ordering.
+type txHeap struct {
+	items []*types.Transaction
+}
+
+func (h *txHeap) len() int { return len(h.items) }
+
+func (h *txHeap) push(tx *types.Transaction) {
+	h.items = append(h.items, tx)
+	h.siftUp(len(h.items) - 1)
+}
+
+// pop removes and returns the first transaction in selection order.
+func (h *txHeap) pop() *types.Transaction {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// reset rebuilds the heap from the given transactions in O(len(txs)),
+// discarding every current entry. The slice is adopted, not copied.
+func (h *txHeap) reset(txs []*types.Transaction) {
+	h.items = txs
+	for i := len(txs)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *txHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !feeLess(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *txHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		first := i
+		if l := 2*i + 1; l < n && feeLess(h.items[l], h.items[first]) {
+			first = l
+		}
+		if r := 2*i + 2; r < n && feeLess(h.items[r], h.items[first]) {
+			first = r
+		}
+		if first == i {
+			return
+		}
+		h.items[i], h.items[first] = h.items[first], h.items[i]
+		i = first
+	}
+}

@@ -44,6 +44,13 @@ type Pool struct {
 	// forever.
 	byBurn  map[types.Hash]types.Hash
 	maxSize int
+	// ordered is the maintained selection heap over the live transactions,
+	// plus up to `stale` lazily-deleted entries (removed or replaced
+	// transactions that have not yet surfaced at the root). A heap entry is
+	// live iff byHash still maps its hash to the same pointer. When stale
+	// entries outnumber live ones the heap is rebuilt from byHash.
+	ordered txHeap
+	stale   int
 }
 
 type slot struct {
@@ -103,12 +110,15 @@ func (p *Pool) add(tx *types.Transaction) (replaced bool, err error) {
 		bh := tx.Mint.Burn.Hash()
 		if prevHash, ok := p.byBurn[bh]; ok {
 			delete(p.byHash, prevHash)
+			p.stale++
 			replaced = true
 		} else if len(p.byHash) >= p.maxSize {
 			return false, ErrPoolFull
 		}
 		p.byHash[h] = tx
 		p.byBurn[bh] = h
+		p.ordered.push(tx)
+		p.maybeRebuildLocked()
 		return replaced, nil
 	}
 	sl := slot{from: tx.From, nonce: tx.Nonce}
@@ -118,12 +128,15 @@ func (p *Pool) add(tx *types.Transaction) (replaced bool, err error) {
 			return false, fmt.Errorf("%w: %d <= %d", ErrUnderpriced, tx.Fee, prev.Fee)
 		}
 		delete(p.byHash, prevHash)
+		p.stale++
 		replaced = true
 	} else if len(p.byHash) >= p.maxSize {
 		return false, ErrPoolFull
 	}
 	p.byHash[h] = tx
 	p.bySlot[sl] = h
+	p.ordered.push(tx)
+	p.maybeRebuildLocked()
 	return replaced, nil
 }
 
@@ -167,6 +180,23 @@ func (p *Pool) removeLocked(h types.Hash) {
 		}
 	}
 	delete(p.byHash, h)
+	p.stale++
+}
+
+// maybeRebuildLocked sweeps the heap once stale entries outnumber live
+// transactions, bounding the heap at 2× the pool and keeping pop cost
+// amortized O(log P). The rebuild itself is O(P) and therefore amortized
+// free: it runs only after at least P removals.
+func (p *Pool) maybeRebuildLocked() {
+	if p.stale <= len(p.byHash) || p.stale < 64 {
+		return
+	}
+	live := make([]*types.Transaction, 0, len(p.byHash))
+	for _, tx := range p.byHash { //shardlint:ordered — heapify; pop order is fixed by the total order, not insertion order
+		live = append(live, tx)
+	}
+	p.ordered.reset(live)
+	p.stale = 0
 }
 
 // RemoveTxs deletes the given transactions by hash. A confirmed mint
@@ -227,13 +257,65 @@ func (p *Pool) Pending() []*types.Transaction {
 }
 
 // TakeTop returns up to n highest-fee transactions without removing them —
-// the default greedy selection every miner shares.
+// the default greedy selection every miner shares. Unlike Pending it does
+// not sort the whole pool: it pops n entries off the maintained heap and
+// pushes them back, costing O((n + stale) log P) instead of O(P log P).
 func (p *Pool) TakeTop(n int) []*types.Transaction {
-	txs := p.Pending()
-	if len(txs) > n {
-		txs = txs[:n]
+	return p.takeTop(n, nil)
+}
+
+// FilterTop returns up to n highest-fee transactions accepted by keep, in
+// selection order. It scans the heap from the top and stops as soon as n
+// matches are found, so a mostly-matching predicate (the common own-shard
+// restriction) costs O((n + stale) log P) rather than a full-pool sort.
+func (p *Pool) FilterTop(n int, keep func(*types.Transaction) bool) []*types.Transaction {
+	return p.takeTop(n, keep)
+}
+
+func (p *Pool) takeTop(n int, keep func(*types.Transaction) bool) []*types.Transaction {
+	if n <= 0 {
+		return nil
 	}
-	return txs
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	max := n
+	if len(p.byHash) < max {
+		max = len(p.byHash)
+	}
+	out := make([]*types.Transaction, 0, max)
+	// popped collects every live entry taken off the heap — matches and
+	// non-matches — so they can all be pushed back afterwards.
+	var popped []*types.Transaction
+	seen := make(map[types.Hash]struct{}, max)
+	for len(out) < n && p.ordered.len() > 0 {
+		tx := p.ordered.pop()
+		h := tx.Hash()
+		if p.byHash[h] != tx {
+			// Lazily deleted: dropped here, not pushed back.
+			if p.stale > 0 {
+				p.stale--
+			}
+			continue
+		}
+		if _, dup := seen[h]; dup {
+			// A re-added pointer can appear twice in the heap; keep one entry.
+			// The removal that preceded the re-add bumped stale for an entry
+			// that is live again, so dropping the dup settles that count.
+			if p.stale > 0 {
+				p.stale--
+			}
+			continue
+		}
+		seen[h] = struct{}{}
+		popped = append(popped, tx)
+		if keep == nil || keep(tx) {
+			out = append(out, tx)
+		}
+	}
+	for _, tx := range popped {
+		p.ordered.push(tx)
+	}
+	return out
 }
 
 // TakeSet returns the pooled transactions among the given hashes, preserving

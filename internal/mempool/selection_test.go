@@ -1,0 +1,282 @@
+package mempool
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"contractshard/internal/types"
+)
+
+// referenceTop reimplements selection the pre-heap way — copy the whole pool,
+// run the full sort, truncate — as the oracle the maintained heap must match.
+func referenceTop(p *Pool, n int, keep func(*types.Transaction) bool) []*types.Transaction {
+	var txs []*types.Transaction
+	if keep == nil {
+		txs = p.Pending()
+	} else {
+		txs = p.Filter(keep)
+	}
+	if len(txs) > n {
+		txs = txs[:n]
+	}
+	return txs
+}
+
+// checkConsistent asserts the pool's three indexes and the selection heap
+// agree: every index entry resolves to a live transaction, every live
+// transaction is indexed, and the heap holds every live transaction.
+func checkConsistent(t *testing.T, p *Pool) {
+	t.Helper()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for sl, h := range p.bySlot {
+		tx, ok := p.byHash[h]
+		if !ok {
+			t.Fatalf("bySlot[%x/%d] -> %s not in byHash", sl.from, sl.nonce, h)
+		}
+		if tx.From != sl.from || tx.Nonce != sl.nonce {
+			t.Fatalf("bySlot entry mismatched: slot (%x,%d) holds tx (%x,%d)", sl.from, sl.nonce, tx.From, tx.Nonce)
+		}
+	}
+	for bh, h := range p.byBurn {
+		tx, ok := p.byHash[h]
+		if !ok {
+			t.Fatalf("byBurn[%s] -> %s not in byHash", bh, h)
+		}
+		if tx.Kind != types.TxXShardMint || tx.Mint == nil || tx.Mint.Burn.Hash() != bh {
+			t.Fatalf("byBurn entry does not redeem its burn")
+		}
+	}
+	inHeap := make(map[types.Hash]bool, len(p.ordered.items))
+	for _, tx := range p.ordered.items {
+		inHeap[tx.Hash()] = true
+	}
+	for h, tx := range p.byHash {
+		switch tx.Kind {
+		case types.TxXShardMint:
+			if p.byBurn[tx.Mint.Burn.Hash()] != h {
+				t.Fatalf("pooled mint %s missing from byBurn", h)
+			}
+		default:
+			if p.bySlot[slot{from: tx.From, nonce: tx.Nonce}] != h {
+				t.Fatalf("pooled tx %s missing from bySlot", h)
+			}
+		}
+		if !inHeap[h] {
+			t.Fatalf("live tx %s missing from selection heap", h)
+		}
+	}
+}
+
+func randomSigned(r *rand.Rand) *types.Transaction {
+	return &types.Transaction{
+		Nonce: uint64(r.Intn(4)),
+		From:  types.BytesToAddress([]byte{byte(r.Intn(24))}),
+		To:    types.BytesToAddress([]byte{0xEE}),
+		Fee:   uint64(r.Intn(8)),
+		Value: uint64(r.Intn(1000)),
+	}
+}
+
+// TestTakeTopDifferential drives a randomized add/replace/remove/mint
+// sequence against one pool and, after every step, checks TakeTop and
+// FilterTop against the full-sort oracle — the proof that the maintained
+// heap selects exactly what the old copy-and-sort selected.
+func TestTakeTopDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	p := New(64)
+	var pooled []*types.Transaction
+	evenFee := func(tx *types.Transaction) bool { return tx.Fee%2 == 0 }
+	for step := 0; step < 600; step++ {
+		switch op := r.Intn(10); {
+		case op < 5: // add (often an RBF attempt on an occupied slot)
+			tx := randomSigned(r)
+			if _, err := p.add(tx); err == nil {
+				pooled = append(pooled, tx)
+			} else if !errors.Is(err, ErrUnderpriced) && !errors.Is(err, ErrKnownTx) && !errors.Is(err, ErrPoolFull) {
+				t.Fatalf("step %d: unexpected add error %v", step, err)
+			}
+		case op < 7: // remove a random previously pooled tx (may be gone)
+			if len(pooled) > 0 {
+				p.Remove(pooled[r.Intn(len(pooled))].Hash())
+			}
+		case op < 8: // re-add a removed pointer (exercises duplicate heap entries)
+			if len(pooled) > 0 {
+				_ = p.Add(pooled[r.Intn(len(pooled))])
+			}
+		case op < 9: // pool a mint, sometimes a second variant of one burn
+			burn := burnTx(uint64(r.Intn(4)))
+			m := mintFor(burn, uint64(r.Intn(3)))
+			if err := p.Add(m); err == nil {
+				pooled = append(pooled, m)
+			}
+		default: // confirm a batch, evicting mint twins
+			if len(pooled) > 0 {
+				i := r.Intn(len(pooled))
+				p.RemoveTxs(pooled[i : i+1+r.Intn(min(3, len(pooled)-i))])
+			}
+		}
+		for _, n := range []int{1, 3, 10, p.Size(), p.Size() + 5} {
+			got, want := p.TakeTop(n), referenceTop(p, n, nil)
+			if len(got) != len(want) {
+				t.Fatalf("step %d TakeTop(%d): got %d txs, want %d", step, n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d TakeTop(%d)[%d]: got %s want %s", step, n, i, got[i].Hash(), want[i].Hash())
+				}
+			}
+			gotF, wantF := p.FilterTop(n, evenFee), referenceTop(p, n, evenFee)
+			if len(gotF) != len(wantF) {
+				t.Fatalf("step %d FilterTop(%d): got %d txs, want %d", step, n, len(gotF), len(wantF))
+			}
+			for i := range gotF {
+				if gotF[i] != wantF[i] {
+					t.Fatalf("step %d FilterTop(%d)[%d] diverges from oracle", step, n, i)
+				}
+			}
+		}
+		checkConsistent(t, p)
+	}
+}
+
+// TestTakeTopIdempotent: selection must not consume — two consecutive calls
+// return the same transactions, and the heap still covers the pool.
+func TestTakeTopIdempotent(t *testing.T) {
+	p := New(0)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		_ = p.Add(randomSigned(r))
+	}
+	a, b := p.TakeTop(7), p.TakeTop(7)
+	if len(a) != len(b) {
+		t.Fatalf("second TakeTop returned %d txs, first %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("TakeTop not idempotent at %d", i)
+		}
+	}
+	checkConsistent(t, p)
+}
+
+// TestFullPoolCannotEvictMint is the PR 8 capacity audit: a pool at capacity
+// holding a pending mint rejects new signed transactions outright — there is
+// no eviction rule that could sacrifice the mint (whose burn already
+// destroyed value on the source shard) for a merely-higher-fee signed tx —
+// while the two legitimate same-slot/same-burn replacement paths still work
+// and leave every index consistent.
+func TestFullPoolCannotEvictMint(t *testing.T) {
+	p := New(3)
+	burn := burnTx(0)
+	mint := mintFor(burn, 5)
+	if err := p.Add(mint); err != nil {
+		t.Fatal(err)
+	}
+	low := &types.Transaction{Nonce: 0, From: types.BytesToAddress([]byte{0x21}), Fee: 1}
+	hi := &types.Transaction{Nonce: 1, From: types.BytesToAddress([]byte{0x21}), Fee: 50}
+	if err := p.Add(low); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(hi); err != nil {
+		t.Fatal(err)
+	}
+	// Pool is now full. A fresh signed tx cannot enter no matter its fee, and
+	// in particular cannot displace the mint. The mint is fee 0 — under any
+	// fee-based eviction it would be the first casualty.
+	rich := &types.Transaction{Nonce: 0, From: types.BytesToAddress([]byte{0x99}), Fee: 1 << 40}
+	if err := p.Add(rich); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("full pool admitted a new signed tx: %v", err)
+	}
+	if !p.Contains(mint.Hash()) {
+		t.Fatal("pending mint evicted by a signed-tx add")
+	}
+	// A signed tx landing on the mint's (sender, nonce-0) slot must not touch
+	// the mint either: mints live outside the slot index.
+	slotTx := &types.Transaction{Nonce: 0, From: mint.From, Fee: 7}
+	if err := p.Add(slotTx); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("slot-colliding signed tx: %v", err)
+	}
+	if !p.Contains(mint.Hash()) {
+		t.Fatal("slot-colliding signed tx evicted the mint")
+	}
+	checkConsistent(t, p)
+
+	// Replace-by-fee on an existing slot is a swap, not growth: it succeeds
+	// at capacity and the pool stays full and consistent.
+	bump := &types.Transaction{Nonce: 0, From: types.BytesToAddress([]byte{0x21}), Fee: 2}
+	if err := p.Add(bump); err != nil {
+		t.Fatalf("RBF at capacity: %v", err)
+	}
+	if p.Size() != 3 || p.Contains(low.Hash()) || !p.Contains(bump.Hash()) {
+		t.Fatal("RBF at capacity did not swap cleanly")
+	}
+	// Same for a new proof variant of the pooled mint's burn.
+	variant := mintFor(burn, 6)
+	if err := p.Add(variant); err != nil {
+		t.Fatalf("mint variant at capacity: %v", err)
+	}
+	if p.Size() != 3 || p.Contains(mint.Hash()) || !p.Contains(variant.Hash()) {
+		t.Fatal("mint variant at capacity did not swap cleanly")
+	}
+	// Failed adds leave no residue: the underpriced and full-pool rejections
+	// above must not have registered slots, burns, or heap entries.
+	under := &types.Transaction{Nonce: 0, From: types.BytesToAddress([]byte{0x21}), Fee: 1}
+	if err := p.Add(under); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("underpriced replacement: %v", err)
+	}
+	checkConsistent(t, p)
+	if got := p.TakeTop(10); len(got) != 3 {
+		t.Fatalf("selection sees %d txs in a full pool of 3", len(got))
+	}
+}
+
+// BenchmarkMempoolTakeTop pins the new selection complexity: taking the top
+// 40 of a 100k-transaction pool must stay O(n log P) — popping and restoring
+// a bounded prefix — rather than re-sorting all 100k entries per call.
+func BenchmarkMempoolTakeTop(b *testing.B) {
+	p := New(200_000)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		t := &types.Transaction{
+			Nonce: uint64(i),
+			From:  types.BytesToAddress([]byte{byte(i), byte(i >> 8), byte(i >> 16)}),
+			Fee:   uint64(r.Intn(1 << 20)),
+		}
+		if err := p.Add(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.TakeTop(40); len(got) != 40 {
+			b.Fatalf("got %d", len(got))
+		}
+	}
+}
+
+// BenchmarkMempoolPending is the contrast baseline: the full-pool sort that
+// TakeTop used to pay on every mining attempt.
+func BenchmarkMempoolPending(b *testing.B) {
+	p := New(200_000)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		t := &types.Transaction{
+			Nonce: uint64(i),
+			From:  types.BytesToAddress([]byte{byte(i), byte(i >> 8), byte(i >> 16)}),
+			Fee:   uint64(r.Intn(1 << 20)),
+		}
+		if err := p.Add(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.Pending(); len(got) != 100_000 {
+			b.Fatalf("got %d", len(got))
+		}
+	}
+}

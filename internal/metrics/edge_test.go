@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPercentileEdges pins the contract at the boundaries: empty input,
+// single element, clamped p, and NaN poisoning of either p or the samples.
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+	if got := Percentile([]float64{42}, 0); got != 42 {
+		t.Fatalf("single element p=0: %v", got)
+	}
+	if got := Percentile([]float64{42}, 1); got != 42 {
+		t.Fatalf("single element p=1: %v", got)
+	}
+	if got := Percentile([]float64{42}, 0.73); got != 42 {
+		t.Fatalf("single element interior p: %v", got)
+	}
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Fatalf("p<0 must clamp to min: %v", got)
+	}
+	if got := Percentile(xs, 7); got != 3 {
+		t.Fatalf("p>1 must clamp to max: %v", got)
+	}
+	if got := Percentile(xs, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("NaN p must propagate, got %v", got)
+	}
+	if got := Percentile([]float64{1, math.NaN(), 3}, 0.5); !math.IsNaN(got) {
+		t.Fatalf("NaN sample must propagate, got %v", got)
+	}
+	// Inf samples are legal and sort to the edges.
+	if got := Percentile([]float64{math.Inf(1), 0, math.Inf(-1)}, 1); !math.IsInf(got, 1) {
+		t.Fatalf("p=1 over +Inf: %v", got)
+	}
+	// The input slice must not be reordered by the internal sort.
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+// TestStddevEdges: degenerate sample counts return 0, NaN poisons.
+func TestStddevEdges(t *testing.T) {
+	if got := Stddev(nil); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := Stddev([]float64{9}); got != 0 {
+		t.Fatalf("single element: %v", got)
+	}
+	if got := Stddev([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("constant samples: %v", got)
+	}
+	if got := Stddev([]float64{1, math.NaN()}); !math.IsNaN(got) {
+		t.Fatalf("NaN sample must propagate, got %v", got)
+	}
+	if got := Mean([]float64{math.NaN(), 2}); !math.IsNaN(got) {
+		t.Fatalf("Mean NaN must propagate, got %v", got)
+	}
+}
+
+// TestTableIrregularShapes: tables with no headers, rows wider than the
+// header line, and rows narrower than it all render without panicking and
+// keep every cell aligned.
+func TestTableIrregularShapes(t *testing.T) {
+	headerless := &Table{}
+	headerless.AddRow("a", "bb", "ccc")
+	headerless.AddRow("dddd", "e")
+	out := headerless.String()
+	if !strings.Contains(out, "dddd") || !strings.Contains(out, "ccc") {
+		t.Fatalf("headerless table lost cells:\n%s", out)
+	}
+
+	wide := &Table{Headers: []string{"h1"}}
+	wide.AddRow("x", "overflow-cell")
+	out = wide.String()
+	if !strings.Contains(out, "overflow-cell") {
+		t.Fatalf("row wider than headers lost cells:\n%s", out)
+	}
+
+	narrow := &Table{Headers: []string{"one", "two", "three"}}
+	narrow.AddRow("only")
+	out = narrow.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header+rule+row, got %d lines:\n%s", len(lines), out)
+	}
+
+	empty := &Table{Title: "empty"}
+	if got := empty.String(); !strings.HasPrefix(got, "empty") {
+		t.Fatalf("empty table: %q", got)
+	}
+}

@@ -35,10 +35,22 @@ func Stddev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)-1))
 }
 
-// Percentile returns the p-quantile (0..1) by linear interpolation.
+// Percentile returns the p-quantile (0..1) by linear interpolation. p below
+// 0 clamps to the minimum and above 1 to the maximum; a NaN p, or any NaN
+// sample, yields NaN — sorting is meaningless once a NaN is involved, and a
+// poisoned result must stay visibly poisoned instead of masquerading as a
+// quantile.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -73,13 +85,20 @@ func (t *Table) String() string {
 	if t.Title != "" {
 		fmt.Fprintf(&b, "%s\n", t.Title)
 	}
-	widths := make([]int, len(t.Headers))
+	// Width the columns over headers and rows alike, so a row wider than the
+	// header line (or a header-less table) renders aligned instead of
+	// indexing past the width slice.
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		cols = max(cols, len(row))
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -89,7 +108,7 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
 		}
 		b.WriteByte('\n')
 	}
@@ -175,11 +194,4 @@ func trimFloat(v float64) string {
 		return fmt.Sprintf("%.3g", v)
 	}
 	return fmt.Sprintf("%.3f", v)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -297,7 +297,7 @@ func (m *Miner) admissible(tx *types.Transaction) error {
 	if tx.Kind == types.TxXShardMint {
 		return xshard.CheckMint(tx)
 	}
-	return crypto.VerifyTx(tx)
+	return crypto.VerifyTxCached(tx)
 }
 
 // handleBlock performs the two verifications of Sec. III-C on a gossiped
@@ -469,7 +469,12 @@ func (m *Miner) Mine() (*types.Block, error) {
 	m.clock += 1000
 	now := m.clock
 
-	candidates := m.pool.Pending()
+	// Greedy selection only consumes a MaxBlockTxs-deep prefix of the
+	// fee-sorted pool, so pull a bounded top slice instead of sorting the
+	// whole pool; fall back to the full sort only when the truncated prefix
+	// left the block short (inapplicable candidates beyond the budget).
+	budget := 4 * m.chain.Config().MaxBlockTxs
+	candidates := m.pool.TakeTop(budget)
 	if m.cfg.Selection != nil {
 		assigned, err := m.assignedTxs()
 		if err != nil {
@@ -482,6 +487,12 @@ func (m *Miner) Mine() (*types.Block, error) {
 	if err != nil {
 		m.mu.Unlock()
 		return nil, err
+	}
+	if m.cfg.Selection == nil && len(block.Txs) < m.chain.Config().MaxBlockTxs && len(candidates) == budget {
+		if block, _, err = m.chain.BuildBlockWithProof(m.Address(), m.cfg.Key.Public, m.pool.Pending(), now); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
 	}
 	if err := m.chain.AddBlock(block); err != nil {
 		m.mu.Unlock()

@@ -45,9 +45,14 @@ func meetsTarget(digest types.Hash, difficulty uint64) bool {
 // it into h.PowNonce. maxIter bounds the search; use a multiple of the
 // difficulty for a high success probability.
 func Seal(h *types.Header, maxIter uint64) error {
-	seal := h.SealHash()
+	// The digest preimage is constant except for its trailing nonce item, so
+	// the search encodes the prefix once and rewrites only the nonce bytes
+	// per iteration instead of re-encoding the whole preimage.
+	buf := sealPreimage(h.SealHash(), 0)
+	nonceBytes := buf[len(buf)-8:]
 	for n := uint64(0); n < maxIter; n++ {
-		if meetsTarget(sealDigest(seal, n), h.Difficulty) {
+		binary.BigEndian.PutUint64(nonceBytes, n)
+		if meetsTarget(sha256.Sum256(buf), h.Difficulty) {
 			h.PowNonce = n
 			return nil
 		}
@@ -64,11 +69,18 @@ func Verify(h *types.Header) bool {
 }
 
 func sealDigest(seal types.Hash, nonce uint64) types.Hash {
-	e := types.NewEncoder()
+	return sha256.Sum256(sealPreimage(seal, nonce))
+}
+
+// sealPreimage encodes the seal-digest preimage; the nonce occupies the
+// final 8 bytes.
+func sealPreimage(seal types.Hash, nonce uint64) []byte {
+	e := types.GetEncoder()
+	defer types.PutEncoder(e)
 	e.WriteBytes([]byte("pow/seal/v1"))
 	e.WriteHash(seal)
 	e.WriteUint64(nonce)
-	return sha256.Sum256(e.Bytes())
+	return e.CopyBytes()
 }
 
 // Retarget computes the next block's difficulty from the parent difficulty

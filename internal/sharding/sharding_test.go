@@ -233,24 +233,24 @@ func TestVerifyMembership(t *testing.T) {
 	}
 
 	// Cheater claims the other shard.
-	lying := *h
+	lying := h.Clone()
 	lying.ShardID = 1 - shard
-	if err := VerifyMembership(&lying, rnd, fr); err == nil {
+	if err := VerifyMembership(lying, rnd, fr); err == nil {
 		t.Fatal("shard lie accepted")
 	}
 
 	// Proof key not matching coinbase.
 	other := crypto.KeypairFromSeed("other")
-	stolen := *h
+	stolen := h.Clone()
 	stolen.MinerProof = other.Public
-	if err := VerifyMembership(&stolen, rnd, fr); err == nil {
+	if err := VerifyMembership(stolen, rnd, fr); err == nil {
 		t.Fatal("stolen identity accepted")
 	}
 
 	// Malformed proof.
-	malformed := *h
+	malformed := h.Clone()
 	malformed.MinerProof = []byte{1, 2, 3}
-	if err := VerifyMembership(&malformed, rnd, fr); err == nil {
+	if err := VerifyMembership(malformed, rnd, fr); err == nil {
 		t.Fatal("malformed proof accepted")
 	}
 }

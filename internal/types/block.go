@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Header is a block header. Compared with go-Ethereum, the one addition the
@@ -23,6 +24,37 @@ type Header struct {
 	GasUsed    uint64  // gas actually consumed
 	PowNonce   uint64  // PoW solution
 	MinerProof []byte  // proof of shard membership (Sec. III-B), may be nil
+
+	// cachedHash memoizes Hash(): header hashes are recomputed constantly —
+	// fork choice, canonicity checks, the parent links of every child, mint
+	// descendant verification — and each recomputation is an encode plus a
+	// sha256. A header must not be mutated after its hash has been requested;
+	// derive altered headers with Clone (the atomic pointer also makes plain
+	// struct copies a vet error, catching stale-cache copies at build time).
+	cachedHash atomic.Pointer[Hash]
+}
+
+// Clone returns a mutable copy of the header with an empty hash cache. Use it
+// to derive a modified header (tests forging variants, retarget helpers)
+// instead of copying the struct, which would carry the memoized hash along.
+func (h *Header) Clone() *Header {
+	c := &Header{
+		ParentHash: h.ParentHash,
+		Number:     h.Number,
+		Time:       h.Time,
+		Difficulty: h.Difficulty,
+		Coinbase:   h.Coinbase,
+		StateRoot:  h.StateRoot,
+		TxRoot:     h.TxRoot,
+		ShardID:    h.ShardID,
+		GasLimit:   h.GasLimit,
+		GasUsed:    h.GasUsed,
+		PowNonce:   h.PowNonce,
+	}
+	if h.MinerProof != nil {
+		c.MinerProof = append([]byte(nil), h.MinerProof...)
+	}
+	return c
 }
 
 var headerDomain = []byte("contractshard/header/v1")
@@ -30,19 +62,29 @@ var headerDomain = []byte("contractshard/header/v1")
 // SealHash returns the digest the PoW seal commits to: every header field
 // except the PoW nonce itself.
 func (h *Header) SealHash() Hash {
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
 	e.WriteBytes(headerDomain)
 	h.encodeCommon(e)
 	return sha256.Sum256(e.Bytes())
 }
 
-// Hash returns the block hash, which covers the seal.
+// Hash returns the block hash, which covers the seal. The result is
+// memoized: a header must not be mutated after its hash has been requested
+// (derive variants with Clone). Memoization is publication-safe — concurrent
+// first calls race only toward storing the identical digest.
 func (h *Header) Hash() Hash {
-	e := NewEncoder()
+	if p := h.cachedHash.Load(); p != nil {
+		return *p
+	}
+	e := GetEncoder()
 	e.WriteBytes(headerDomain)
 	h.encodeCommon(e)
 	e.WriteUint64(h.PowNonce)
-	return sha256.Sum256(e.Bytes())
+	sum := Hash(sha256.Sum256(e.Bytes()))
+	PutEncoder(e)
+	h.cachedHash.Store(&sum)
+	return sum
 }
 
 func (h *Header) encodeCommon(e *Encoder) {
@@ -165,28 +207,32 @@ func TxRoot(txs []*Transaction) Hash {
 		}
 		layer = next
 	}
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
 	e.WriteUint64(uint64(len(txs)))
 	e.WriteHash(layer[0])
 	return sha256.Sum256(e.Bytes())
 }
 
 func hashPair(a, b Hash) Hash {
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
 	e.WriteHash(a)
 	e.WriteHash(b)
 	return sha256.Sum256(e.Bytes())
 }
 
-// Encode serializes the block.
+// Encode serializes the block. The returned buffer is freshly allocated at
+// its exact size; the working buffer comes from the encoder pool.
 func (b *Block) Encode() []byte {
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
 	b.Header.Encode(e)
 	e.BeginList(len(b.Txs))
 	for _, tx := range b.Txs {
 		tx.Encode(e)
 	}
-	return e.Bytes()
+	return e.CopyBytes()
 }
 
 // DecodeBlock parses a block written by Encode and verifies that the body

@@ -3,6 +3,7 @@ package types
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // The canonical encoding is a minimal deterministic binary format used for
@@ -31,6 +32,32 @@ type Encoder struct {
 
 // NewEncoder returns an empty Encoder.
 func NewEncoder() *Encoder { return &Encoder{buf: make([]byte, 0, 256)} }
+
+// encoderPool recycles encoder buffers across the hashing and serialization
+// hot paths (header/transaction hashes, tx roots, block encoding): every
+// digest used to pay one fresh buffer allocation plus its growth
+// reallocations, which dominated the allocation profile of a sustained soak.
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 1024)} },
+}
+
+// GetEncoder returns an empty encoder from the pool. Callers must not retain
+// the encoder or any slice aliasing its buffer after PutEncoder; hash-style
+// users digest e.Bytes() and release, serializers copy the buffer out.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// PutEncoder returns an encoder to the pool.
+func PutEncoder(e *Encoder) { encoderPool.Put(e) }
+
+// CopyBytes returns a copy of the encoded buffer sized exactly to its
+// content, for serializers that release a pooled encoder afterwards.
+func (e *Encoder) CopyBytes() []byte {
+	return append(make([]byte, 0, len(e.buf)), e.buf...)
+}
 
 // Bytes returns the encoded buffer. The returned slice aliases the encoder's
 // internal buffer and must not be modified while the encoder is in use.
@@ -66,6 +93,12 @@ func (e *Encoder) BeginList(n int) {
 type Decoder struct {
 	buf []byte
 	off int
+	// scratch is the tail of the decoder's current allocation arena:
+	// ReadBytes carves field copies out of it instead of paying one heap
+	// allocation per field, which matters when a block body decodes hundreds
+	// of pubkey/signature/data slices. Carved slices have exact capacity, so
+	// appends never bleed into a neighbour.
+	scratch []byte
 }
 
 // NewDecoder returns a Decoder over b.
@@ -106,10 +139,32 @@ func (d *Decoder) ReadBytes() ([]byte, error) {
 	if uint64(d.Remaining()) < n {
 		return nil, fmt.Errorf("%w: byte string of %d exceeds remaining %d", ErrBadEncoding, n, d.Remaining())
 	}
-	out := make([]byte, n)
+	out := d.alloc(int(n))
 	copy(out, d.buf[d.off:d.off+int(n)])
 	d.off += int(n)
 	return out, nil
+}
+
+// alloc carves an n-byte slice (cap n) from the decoder's arena, growing the
+// arena in input-bounded chunks. The arena never aliases d.buf, so decoded
+// structures stay valid however the caller reuses the input buffer.
+func (d *Decoder) alloc(n int) []byte {
+	if n == 0 {
+		return []byte{}
+	}
+	if n > len(d.scratch) {
+		chunk := d.Remaining()
+		if chunk < 512 {
+			chunk = 512
+		}
+		if chunk < n {
+			chunk = n
+		}
+		d.scratch = make([]byte, chunk)
+	}
+	out := d.scratch[:n:n]
+	d.scratch = d.scratch[n:]
+	return out
 }
 
 // ReadUint64 reads an unsigned integer item.

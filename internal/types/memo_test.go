@@ -1,0 +1,248 @@
+package types
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sync"
+	"testing"
+)
+
+// hashHeaderReference recomputes the header hash from scratch with a fresh,
+// unpooled encoder — the exact pre-memoization code path. The differential
+// tests below pin the memoized Hash against it.
+func hashHeaderReference(h *Header) Hash {
+	e := NewEncoder()
+	e.WriteBytes(headerDomain)
+	h.encodeCommon(e)
+	e.WriteUint64(h.PowNonce)
+	return sha256.Sum256(e.Bytes())
+}
+
+// hashTxReference recomputes the transaction hash from scratch, bypassing the
+// memo and the encoder pool.
+func hashTxReference(tx *Transaction) Hash {
+	e := NewEncoder()
+	e.WriteHash(tx.SigHash())
+	e.WriteBytes(tx.PubKey)
+	e.WriteBytes(tx.Sig)
+	return sha256.Sum256(e.Bytes())
+}
+
+// TestHeaderHashMemoDifferential: the memoized Hash equals the from-scratch
+// recomputation, on first call and on repeated calls, across a spread of
+// header shapes including the zero header and a nil MinerProof.
+func TestHeaderHashMemoDifferential(t *testing.T) {
+	headers := []*Header{
+		{},
+		sampleHeader(),
+		func() *Header { h := sampleHeader(); h.MinerProof = nil; return h }(),
+		func() *Header { h := sampleHeader(); h.PowNonce = 0; return h }(),
+		func() *Header { h := sampleHeader(); h.Number = 1 << 40; return h }(),
+	}
+	for i, h := range headers {
+		want := hashHeaderReference(h)
+		if got := h.Hash(); got != want {
+			t.Fatalf("header %d: first Hash() = %s, reference %s", i, got, want)
+		}
+		if got := h.Hash(); got != want {
+			t.Fatalf("header %d: memoized Hash() = %s, reference %s", i, got, want)
+		}
+	}
+}
+
+// TestHeaderCloneFreshCache: a clone is field-identical (same hash value) but
+// carries no stale memo — mutating the clone changes its hash while the
+// original's stays pinned.
+func TestHeaderCloneFreshCache(t *testing.T) {
+	h := sampleHeader()
+	orig := h.Hash() // populate the memo before cloning
+	c := h.Clone()
+	if c.Hash() != orig {
+		t.Fatalf("clone hash %s != original %s", c.Hash(), orig)
+	}
+	c2 := h.Clone()
+	c2.PowNonce++
+	if got, want := c2.Hash(), hashHeaderReference(c2); got != want {
+		t.Fatalf("mutated clone hash %s, reference %s", got, want)
+	}
+	if c2.Hash() == orig {
+		t.Fatal("mutated clone kept the original's memoized hash")
+	}
+	if h.Hash() != orig {
+		t.Fatal("original hash changed after clone mutation")
+	}
+	// Clone must deep-copy MinerProof so mutating one cannot corrupt the other.
+	c3 := h.Clone()
+	if len(c3.MinerProof) > 0 {
+		c3.MinerProof[0] ^= 0xFF
+		if bytes.Equal(c3.MinerProof, h.MinerProof) {
+			t.Fatal("clone shares MinerProof backing array")
+		}
+	}
+}
+
+// TestHeaderHashMemoConcurrent: concurrent first calls all observe the same
+// digest (run under -race this also proves publication safety).
+func TestHeaderHashMemoConcurrent(t *testing.T) {
+	h := sampleHeader()
+	want := hashHeaderReference(h)
+	var wg sync.WaitGroup
+	errs := make(chan Hash, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := h.Hash(); got != want {
+				errs <- got
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for got := range errs {
+		t.Fatalf("concurrent Hash() = %s, want %s", got, want)
+	}
+}
+
+// TestTransactionHashMemoDifferential pins the memoized transaction hash
+// against the from-scratch recomputation, including a mint-carrying tx.
+func TestTransactionHashMemoDifferential(t *testing.T) {
+	txs := []*Transaction{
+		{},
+		sampleTx(),
+		func() *Transaction { tx := sampleTx(); tx.Data = nil; return tx }(),
+		func() *Transaction {
+			tx := sampleTx()
+			tx.Kind = TxXShardBurn
+			tx.SrcShard, tx.DstShard = 1, 2
+			return tx
+		}(),
+	}
+	for i, tx := range txs {
+		want := hashTxReference(tx)
+		if got := tx.Hash(); got != want {
+			t.Fatalf("tx %d: first Hash() = %s, reference %s", i, got, want)
+		}
+		if got := tx.Hash(); got != want {
+			t.Fatalf("tx %d: memoized Hash() = %s, reference %s", i, got, want)
+		}
+	}
+}
+
+// TestPooledEncodeDifferential: pooled-encoder serialization is byte-identical
+// to a fresh-encoder run, interleaved so pooled buffers are actually reused.
+func TestPooledEncodeDifferential(t *testing.T) {
+	mk := func(i byte) *Block {
+		h := sampleHeader()
+		h.Number = uint64(i)
+		txs := []*Transaction{sampleTx()}
+		txs[0].Nonce = uint64(i)
+		return NewBlock(h, txs)
+	}
+	for i := byte(0); i < 8; i++ {
+		b := mk(i)
+		want := func() []byte {
+			e := NewEncoder()
+			b.Header.Encode(e)
+			e.BeginList(len(b.Txs))
+			for _, tx := range b.Txs {
+				tx.Encode(e)
+			}
+			return e.Bytes()
+		}()
+		got := b.Encode()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d: pooled encode differs from fresh encode", i)
+		}
+		// Round-trip through the arena-backed decoder must reproduce the block.
+		back, err := DecodeBlock(got)
+		if err != nil {
+			t.Fatalf("block %d: decode: %v", i, err)
+		}
+		if back.Hash() != b.Hash() || TxRoot(back.Txs) != TxRoot(b.Txs) {
+			t.Fatalf("block %d: round-trip mismatch", i)
+		}
+	}
+}
+
+// TestDecoderArenaNoAliasing: slices handed out by the decoder must not alias
+// the input buffer (the caller may recycle it) and must have exact capacity so
+// appends cannot bleed into a neighbouring field.
+func TestDecoderArenaNoAliasing(t *testing.T) {
+	b := NewBlock(sampleHeader(), []*Transaction{sampleTx(), sampleTx()})
+	raw := b.Encode()
+	got, err := DecodeBlock(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof := append([]byte(nil), got.Header.MinerProof...)
+	data := append([]byte(nil), got.Txs[0].Data...)
+	for i := range raw {
+		raw[i] = 0xAA
+	}
+	if !bytes.Equal(got.Header.MinerProof, proof) {
+		t.Fatal("decoded MinerProof aliases the input buffer")
+	}
+	if !bytes.Equal(got.Txs[0].Data, data) {
+		t.Fatal("decoded tx Data aliases the input buffer")
+	}
+	if cap(got.Header.MinerProof) != len(got.Header.MinerProof) {
+		t.Fatalf("arena slice cap %d != len %d", cap(got.Header.MinerProof), len(got.Header.MinerProof))
+	}
+	got.Txs[0].Data = append(got.Txs[0].Data, 0xFF)
+	if !bytes.Equal(got.Txs[0].PubKey, b.Txs[0].PubKey) {
+		t.Fatal("append to one arena slice corrupted a neighbour")
+	}
+}
+
+func BenchmarkHeaderHashMemoized(b *testing.B) {
+	h := sampleHeader()
+	h.Hash()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Hash()
+	}
+}
+
+func BenchmarkHeaderHashCold(b *testing.B) {
+	h := sampleHeader()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.cachedHash.Store(nil)
+		_ = h.Hash()
+	}
+}
+
+func BenchmarkBlockEncode(b *testing.B) {
+	txs := make([]*Transaction, 64)
+	for i := range txs {
+		tx := sampleTx()
+		tx.Nonce = uint64(i)
+		txs[i] = tx
+	}
+	blk := NewBlock(sampleHeader(), txs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = blk.Encode()
+	}
+}
+
+func BenchmarkBlockDecode(b *testing.B) {
+	txs := make([]*Transaction, 64)
+	for i := range txs {
+		tx := sampleTx()
+		tx.Nonce = uint64(i)
+		txs[i] = tx
+	}
+	raw := NewBlock(sampleHeader(), txs).Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBlock(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

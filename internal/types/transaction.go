@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Transaction is an account-model transaction. Following the paper's setting
@@ -50,8 +51,36 @@ type Transaction struct {
 	PubKey []byte
 	Sig    []byte
 
-	cachedHash Hash
-	hashed     bool
+	// cachedHash memoizes Hash(). Atomic because transactions are hashed
+	// concurrently (parallel execution workers, the verify cache); the
+	// noCopy inside makes stale-cache struct copies a vet error.
+	cachedHash atomic.Pointer[Hash]
+}
+
+// Clone returns a mutable copy of the transaction with an empty hash cache.
+// Byte fields are deep-copied; the Mint proof pointer is shared, since mint
+// proofs are immutable once built. Use Clone to derive altered transactions
+// instead of copying the struct, which vet rejects (stale-cache protection).
+func (tx *Transaction) Clone() *Transaction {
+	c := &Transaction{
+		Nonce: tx.Nonce, From: tx.From, To: tx.To,
+		Value: tx.Value, Fee: tx.Fee, Gas: tx.Gas,
+		Kind: tx.Kind, SrcShard: tx.SrcShard, DstShard: tx.DstShard,
+		Mint: tx.Mint,
+	}
+	if tx.Data != nil {
+		c.Data = append([]byte(nil), tx.Data...)
+	}
+	if tx.Inputs != nil {
+		c.Inputs = append([]Address(nil), tx.Inputs...)
+	}
+	if tx.PubKey != nil {
+		c.PubKey = append([]byte(nil), tx.PubKey...)
+	}
+	if tx.Sig != nil {
+		c.Sig = append([]byte(nil), tx.Sig...)
+	}
+	return c
 }
 
 // txDomain domain-separates transaction digests from every other digest in
@@ -65,7 +94,8 @@ var txDomain = []byte("contractshard/tx/v1")
 // proofs for the same receipt have distinct hashes and cannot mask each
 // other in a pool.
 func (tx *Transaction) SigHash() Hash {
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
 	e.WriteBytes(txDomain)
 	e.WriteUint64(tx.Nonce)
 	e.WriteAddress(tx.From)
@@ -94,16 +124,17 @@ func (tx *Transaction) SigHash() Hash {
 // The result is cached; a transaction must not be mutated after its hash has
 // been requested.
 func (tx *Transaction) Hash() Hash {
-	if tx.hashed {
-		return tx.cachedHash
+	if p := tx.cachedHash.Load(); p != nil {
+		return *p
 	}
-	e := NewEncoder()
+	e := GetEncoder()
 	e.WriteHash(tx.SigHash())
 	e.WriteBytes(tx.PubKey)
 	e.WriteBytes(tx.Sig)
-	tx.cachedHash = sha256.Sum256(e.Bytes())
-	tx.hashed = true
-	return tx.cachedHash
+	sum := Hash(sha256.Sum256(e.Bytes()))
+	PutEncoder(e)
+	tx.cachedHash.Store(&sum)
+	return sum
 }
 
 // IsContractCall reports whether the transaction invokes a contract, which
@@ -226,12 +257,13 @@ func decodeTransactionDepth(d *Decoder, depth int) (*Transaction, error) {
 
 // EncodeTransactions encodes a slice of transactions as a list.
 func EncodeTransactions(txs []*Transaction) []byte {
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
 	e.BeginList(len(txs))
 	for _, tx := range txs {
 		tx.Encode(e)
 	}
-	return e.Bytes()
+	return e.CopyBytes()
 }
 
 // DecodeTransactions decodes a slice written by EncodeTransactions.

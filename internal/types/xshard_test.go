@@ -160,8 +160,7 @@ func TestUnknownKindRejected(t *testing.T) {
 	tx.Encode(e)
 	raw := e.Bytes()
 	// Corrupt by re-encoding with an out-of-range kind.
-	bad := &Transaction{}
-	*bad = *tx
+	bad := tx.Clone()
 	bad.Kind = TxKind(200)
 	e2 := NewEncoder()
 	bad.Encode(e2)

@@ -41,8 +41,14 @@ func LoadCSVTrace(r io.Reader) ([]TraceEvent, error) {
 			return nil, fmt.Errorf("workload: csv line %d: %w", line+1, err)
 		}
 		line++
-		if line == 1 && isHeader(rec) {
-			continue
+		if line == 1 {
+			// A UTF-8 byte-order mark glued to the first field (Excel and
+			// BigQuery exports both emit one) would otherwise defeat the
+			// header match and then fail address parsing.
+			rec[0] = strings.TrimPrefix(rec[0], "\ufeff")
+			if isHeader(rec) {
+				continue
+			}
 		}
 		sender, err := types.ParseAddress(pad40(rec[0]))
 		if err != nil {

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestLoadCSVTraceRobustness is the satellite audit table: the "header
+// optional" promise must survive quoted fields, CRLF endings, BOMs and odd
+// whitespace, and malformed rows must produce an error — never a panic and
+// never a silently skipped event.
+func TestLoadCSVTraceRobustness(t *testing.T) {
+	cases := []struct {
+		name   string
+		input  string
+		events int
+		wantOK bool
+	}{
+		{"crlf with header", "sender,to,is_contract,fee\r\n0x01,0xc1,1,10\r\n0x02,0x03,0,5\r\n", 2, true},
+		{"crlf without header", "0x01,0xc1,1,10\r\n", 1, true},
+		{"quoted fields", `"0x01","0xc1","1","10"` + "\n", 1, true},
+		{"quoted header", `"sender","to","is_contract","fee"` + "\n0x01,0xc1,1,10\n", 1, true},
+		{"bom on header", "\ufeffsender,to,is_contract,fee\n0x01,0xc1,1,10\n", 1, true},
+		{"bom on data row", "\ufeff0x01,0xc1,1,10\n", 1, true},
+		{"uppercase header", "SENDER,TO,IS_CONTRACT,FEE\n0x01,0xc1,1,10\n", 1, true},
+		{"from-style header", "from,to,is_contract,fee\n0x01,0xc1,1,10\n", 1, true},
+		{"leading spaces", " 0x01, 0xc1, 1, 10\n", 1, true},
+		{"blank lines skipped by reader", "0x01,0xc1,1,10\n\n0x02,0x03,0,5\n", 2, true},
+		{"empty input", "", 0, true},
+		{"header only", "sender,to,is_contract,fee\n", 0, true},
+		{"boolean spellings", "0x01,0xc1,true,1\n0x02,0xc2,FALSE,2\n0x03,0xc3,Yes,3\n0x04,0xc4,no,4\n", 4, true},
+
+		{"short row", "0x01,0xc1,1\n", 0, false},
+		{"long row", "0x01,0xc1,1,10,extra\n", 0, false},
+		{"short row after good row", "0x01,0xc1,1,10\n0x02,0xc2\n", 0, false},
+		{"unterminated quote", `"0x01,0xc1,1,10` + "\n", 0, false},
+		{"bare quote mid-field", "0x\"01,0xc1,1,10\n", 0, false},
+		{"overlong address", "0x" + strings.Repeat("ab", 21) + ",0xc1,1,10\n", 0, false},
+		{"negative fee", "0x01,0xc1,1,-3\n", 0, false},
+		{"float fee", "0x01,0xc1,1,1.5\n", 0, false},
+		{"header not on first line", "0x01,0xc1,1,10\nsender,to,is_contract,fee\n", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			events, err := LoadCSVTrace(strings.NewReader(tc.input))
+			if tc.wantOK {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				if len(events) != tc.events {
+					t.Fatalf("got %d events, want %d", len(events), tc.events)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted %d events from malformed input", len(events))
+			}
+		})
+	}
+}
+
+// FuzzLoadCSVTrace: arbitrary input must either parse cleanly or error —
+// never panic — and on success every non-header, non-blank line must have
+// become exactly one event (no silent skips).
+func FuzzLoadCSVTrace(f *testing.F) {
+	f.Add("sender,to,is_contract,fee\n0x01,0xc1,1,10\n")
+	f.Add("0x01,0xc1,1,10\r\n0x02,0x03,0,5\r\n")
+	f.Add(`"0x01","0xc1","1","10"` + "\n")
+	f.Add("\ufeffsender,to,is_contract,fee\n")
+	f.Add("0x01,0xc1,1\n")
+	f.Add("\"unterminated")
+	f.Add(",,,\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := LoadCSVTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Count the lines the csv layer actually yields (quoting can fold
+		// newlines into fields, so count records, not raw '\n').
+		lines := 0
+		for _, ln := range strings.Split(strings.ReplaceAll(input, "\r\n", "\n"), "\n") {
+			if strings.TrimSpace(ln) != "" {
+				lines++
+			}
+		}
+		// Events can be fewer than physical lines only through the single
+		// optional header and quoted embedded newlines; they can never exceed
+		// the line count.
+		if len(events) > lines {
+			t.Fatalf("%d events out of %d non-blank lines", len(events), lines)
+		}
+	})
+}
+
+// TestZipfIndices: deterministic for a fixed seed, bounded by n, and skewed —
+// the hottest index must dominate a uniform draw's share.
+func TestZipfIndices(t *testing.T) {
+	if _, err := ZipfIndices(rand.New(rand.NewSource(1)), 0, 1.2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	const n, draws = 1000, 20000
+	next, err := ZipfIndices(rand.New(rand.NewSource(7)), n, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _ := ZipfIndices(rand.New(rand.NewSource(7)), n, 1.2)
+	zero := 0
+	for i := 0; i < draws; i++ {
+		a, b := next(), again()
+		if a != b {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, a, b)
+		}
+		if a < 0 || a >= n {
+			t.Fatalf("index %d out of [0,%d)", a, n)
+		}
+		if a == 0 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / draws; frac < 0.05 {
+		t.Fatalf("hottest index drew only %.3f of traffic; distribution is not skewed", frac)
+	}
+}

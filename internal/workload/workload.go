@@ -142,6 +142,23 @@ func MultiInputTxs(rng *rand.Rand, n, inputs int, feeMax int) []MultiInputTx {
 	return out
 }
 
+// ZipfIndices returns a deterministic generator of account indices in
+// [0, n): index 0 is the hottest, with popularity falling off as a Zipf law
+// of skew s (s <= 1 selects the 1.2 default used by Trace). Soak drivers use
+// it to draw senders from a large pre-funded account set with realistic
+// hot-account contention, without materializing per-account addresses the
+// way Trace does.
+func ZipfIndices(rng *rand.Rand, n int, s float64) (func() int, error) {
+	if n <= 0 {
+		return nil, errors.New("workload: zipf needs a positive account count")
+	}
+	if s <= 1 {
+		s = 1.2
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }, nil
+}
+
 // TraceEvent is one transaction of the trace-like workload.
 type TraceEvent struct {
 	Sender   types.Address

@@ -106,7 +106,7 @@ func CheckMint(tx *types.Transaction) error {
 	if burn.SrcShard == burn.DstShard {
 		return fmt.Errorf("%w: burn source equals destination shard", ErrBadBurn)
 	}
-	if err := crypto.VerifyTx(burn); err != nil {
+	if err := crypto.VerifyTxCached(burn); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadBurn, err)
 	}
 	// The burn must have been mined on its own source shard: the carried

@@ -92,10 +92,17 @@ func TestCheckMintAdversarial(t *testing.T) {
 		{"nonzero fee", func(m *types.Transaction) { m.Fee = 1 }, ErrMintShape},
 		{"signed mint", func(m *types.Transaction) { m.Sig = []byte{1} }, ErrMintShape},
 		{"burn is a transfer", func(m *types.Transaction) {
-			m.Mint.Burn.Kind = types.TxTransfer
-			m.Mint.Burn.Sig = nil // hash cache not set yet; kind change breaks sig anyway
+			// Clone: a wire-decoded adversarial burn carries no memoized hash.
+			bad := m.Mint.Burn.Clone()
+			bad.Kind = types.TxTransfer
+			bad.Sig = nil
+			m.Mint.Burn = bad
 		}, ErrBadBurn},
-		{"tampered burn signature", func(m *types.Transaction) { m.Mint.Burn.Sig[0] ^= 0xFF }, ErrBadBurn},
+		{"tampered burn signature", func(m *types.Transaction) {
+			bad := m.Mint.Burn.Clone()
+			bad.Sig[0] ^= 0xFF
+			m.Mint.Burn = bad
+		}, ErrBadBurn},
 		{"wrong-shard header", func(m *types.Transaction) { m.Mint.Header.ShardID = 9 }, ErrLaneMismatch},
 		{"amount mismatch", func(m *types.Transaction) { m.Value++ }, ErrLaneMismatch},
 		{"redirected recipient", func(m *types.Transaction) {
@@ -256,12 +263,12 @@ func TestHeaderBookVerifies(t *testing.T) {
 		t.Fatalf("re-add: err=%v len=%d", err, book.Len())
 	}
 	// Broken seal.
-	bad := *h
+	bad := h.Clone()
 	bad.PowNonce++
-	if pow.Verify(&bad) {
+	if pow.Verify(bad) {
 		t.Skip("nonce collision; fixture needs a different height")
 	}
-	if err := book.Add(&bad); !errors.Is(err, ErrBadHeaderSeal) {
+	if err := book.Add(bad); !errors.Is(err, ErrBadHeaderSeal) {
 		t.Fatalf("broken seal: got %v", err)
 	}
 	// Difficulty zero is never valid.
@@ -342,7 +349,7 @@ func TestHeaderBookPersistence(t *testing.T) {
 	}
 
 	// Corrupt one persisted header: Attach must fail loudly.
-	bad := *h1
+	bad := h1.Clone()
 	bad.Difficulty = 0
 	e := types.NewEncoder()
 	bad.Encode(e)

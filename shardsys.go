@@ -213,7 +213,7 @@ func (s *System) Submit(tx *Transaction) (ShardID, error) {
 	if tx == nil {
 		return 0, ErrNilTransaction
 	}
-	if err := crypto.VerifyTx(tx); err != nil {
+	if err := crypto.VerifyTxCached(tx); err != nil {
 		return 0, err
 	}
 	s.mu.Lock()
