@@ -1,8 +1,10 @@
 // Command shardlint runs the repo's determinism and lock-discipline
 // analyzers (internal/lint) over the given packages and fails on any
 // unwaived diagnostic. It is a hard CI gate: consensus code that iterates a
-// map unsorted, reads the wall clock, self-deadlocks on its own mutex, or
-// drops an error does not merge.
+// map unsorted, reads the wall clock, self-deadlocks on its own mutex,
+// drops an error, leaks state mutations past a failure return, wraps a
+// uint64 money quantity, grows a long-lived map without bound, or creates
+// a cross-package lock-order cycle does not merge.
 //
 // Usage:
 //
@@ -10,8 +12,9 @@
 //	go run ./cmd/shardlint -json ./...      # machine-readable diagnostics
 //	go run ./cmd/shardlint -waivers ./...   # audit every //shardlint: waiver
 //
-// Exit status: 0 clean, 1 diagnostics found (or, with -waivers, a waiver
-// with an empty reason), 2 operational failure.
+// Exit status: 0 clean, 1 diagnostics found (or, with -waivers, a
+// malformed waiver — empty reason or unknown key — or a stale waiver that
+// suppressed nothing this run), 2 operational failure.
 package main
 
 import (
@@ -28,7 +31,7 @@ func main() {
 	waivers := flag.Bool("waivers", false, "list every //shardlint: waiver with its reason instead of linting")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: shardlint [-json] [-waivers] [packages]\n\n")
-		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers: detrange, detsource, locksafe, errdrop (see DESIGN.md \"Determinism discipline\").\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers: detrange, detsource, locksafe, errdrop, statesafe, ovflow, growbound, lockorder\n(see DESIGN.md \"Determinism discipline\").\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,31 +50,39 @@ func main() {
 	}
 
 	if *waivers {
-		// Audit mode: the full waiver inventory, plus any malformed
-		// waivers (empty reason, unknown key), which stay fatal.
-		bad := 0
-		if *jsonOut {
-			malformed := []lint.Diagnostic{}
-			for _, d := range res.Diagnostics {
-				if d.Analyzer == "waiver" {
-					malformed = append(malformed, d)
-				}
+		// Audit mode: the full waiver inventory. Fatal findings are
+		// malformed waivers (empty reason, unknown key — the analyzer key
+		// must exist) and stale waivers: a well-formed waiver that
+		// suppressed zero diagnostics in this run excuses nothing and must
+		// be deleted, or it rots into cover for a future regression.
+		malformed := []lint.Diagnostic{}
+		for _, d := range res.Diagnostics {
+			if d.Analyzer == "waiver" {
+				malformed = append(malformed, d)
 			}
-			bad = len(malformed)
-			emitJSON(map[string]any{"waivers": res.Waivers, "malformed": malformed})
+		}
+		stale := []lint.Waiver{}
+		for _, w := range res.Waivers {
+			if !w.Used {
+				stale = append(stale, w)
+			}
+		}
+		if *jsonOut {
+			emitJSON(map[string]any{"waivers": res.Waivers, "malformed": malformed, "stale": stale})
 		} else {
 			for _, w := range res.Waivers {
-				fmt.Printf("%s:%d: [%s] %s\n", w.File, w.Line, w.Key, w.Reason)
-			}
-			for _, d := range res.Diagnostics {
-				if d.Analyzer == "waiver" {
-					fmt.Println(d)
-					bad++
+				mark := ""
+				if !w.Used {
+					mark = " STALE(suppresses nothing)"
 				}
+				fmt.Printf("%s:%d: [%s]%s %s\n", w.File, w.Line, w.Key, mark, w.Reason)
 			}
-			fmt.Printf("%d waiver(s), %d malformed\n", len(res.Waivers), bad)
+			for _, d := range malformed {
+				fmt.Println(d)
+			}
+			fmt.Printf("%d waiver(s), %d malformed, %d stale\n", len(res.Waivers), len(malformed), len(stale))
 		}
-		if bad > 0 {
+		if len(malformed) > 0 || len(stale) > 0 {
 			os.Exit(1)
 		}
 		return

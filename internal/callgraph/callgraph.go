@@ -59,29 +59,57 @@ type Classification struct {
 // inside a single contract shard.
 func (c Classification) Shardable() bool { return c.Kind == KindSingleContract }
 
+// DefaultMaxTrackedSenders caps how many distinct senders a Graph tracks.
+// The graph lives for the whole node process and is fed by every observed
+// transaction, so without a cap an adversary minting throwaway sender keys
+// grows it without bound. Senders observed past the cap simply stay
+// KindUnknown, which routes them conservatively (like a first-time sender).
+const DefaultMaxTrackedSenders = 1 << 20
+
 // Graph tracks user↔contract participation. It is safe for concurrent use.
 type Graph struct {
 	mu sync.RWMutex
+	// maxSenders bounds len(contracts)+len(direct); see
+	// DefaultMaxTrackedSenders.
+	maxSenders int
 	// contracts[user] is the set of contracts the user has invoked.
 	contracts map[types.Address]map[types.Address]struct{}
 	// direct[user] marks users who have sent a direct (non-contract) transfer.
 	direct map[types.Address]struct{}
 }
 
-// New creates an empty graph.
+// New creates an empty graph with the default sender cap.
 func New() *Graph {
+	return NewWithLimit(DefaultMaxTrackedSenders)
+}
+
+// NewWithLimit creates an empty graph tracking at most maxSenders distinct
+// senders.
+func NewWithLimit(maxSenders int) *Graph {
 	return &Graph{
-		contracts: make(map[types.Address]map[types.Address]struct{}),
-		direct:    make(map[types.Address]struct{}),
+		maxSenders: maxSenders,
+		contracts:  make(map[types.Address]map[types.Address]struct{}),
+		direct:     make(map[types.Address]struct{}),
 	}
 }
 
-// ObserveContractCall records that sender invoked the contract.
+// atCapacityLocked reports whether the graph already tracks the maximum
+// number of distinct senders (callers must hold g.mu).
+func (g *Graph) atCapacityLocked() bool {
+	return len(g.contracts)+len(g.direct) >= g.maxSenders
+}
+
+// ObserveContractCall records that sender invoked the contract. At the
+// sender cap, previously-unseen senders are dropped (they classify as
+// KindUnknown, the conservative routing).
 func (g *Graph) ObserveContractCall(sender, contract types.Address) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	set, ok := g.contracts[sender]
 	if !ok {
+		if g.atCapacityLocked() {
+			return
+		}
 		set = make(map[types.Address]struct{})
 		g.contracts[sender] = set
 	}
@@ -89,9 +117,17 @@ func (g *Graph) ObserveContractCall(sender, contract types.Address) {
 }
 
 // ObserveDirectTransfer records that sender transacted with a user directly.
+// A sender already tracked via contract calls is always reclassified —
+// direct activity dominates and missing it would wrongly shard the sender —
+// but previously-unseen senders are dropped at the cap.
 func (g *Graph) ObserveDirectTransfer(sender types.Address) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if _, ok := g.direct[sender]; !ok && g.atCapacityLocked() {
+		if _, tracked := g.contracts[sender]; !tracked {
+			return
+		}
+	}
 	g.direct[sender] = struct{}{}
 }
 
@@ -164,7 +200,7 @@ func (g *Graph) Users() int {
 func (g *Graph) Snapshot() *Graph {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := New()
+	out := NewWithLimit(g.maxSenders)
 	//shardlint:ordered map-to-map deep copy; per-key writes commute
 	for u, set := range g.contracts {
 		ns := make(map[types.Address]struct{}, len(set))

@@ -147,3 +147,52 @@ func TestConcurrentObserve(t *testing.T) {
 		}
 	}
 }
+
+// TestSenderCapBoundsTracking: the graph is process-lifetime state fed by
+// every observed transaction, so distinct senders are capped. Over-cap
+// senders stay KindUnknown (conservative routing); tracked senders keep
+// updating, and direct activity still dominates for them.
+func TestSenderCapBoundsTracking(t *testing.T) {
+	g := NewWithLimit(2)
+	g.ObserveContractCall(a(1), a(0xA1))
+	g.ObserveDirectTransfer(a(2))
+
+	// A third distinct sender is dropped at the cap.
+	g.ObserveContractCall(a(3), a(0xA1))
+	if c := g.Classify(a(3)); c.Kind != KindUnknown {
+		t.Fatalf("over-cap sender classified %v, want unknown", c.Kind)
+	}
+	if g.Users() != 2 {
+		t.Fatalf("tracked users %d, want 2", g.Users())
+	}
+
+	// Already-tracked senders keep accumulating contracts...
+	g.ObserveContractCall(a(1), a(0xA2))
+	if c := g.Classify(a(1)); c.Kind != KindMultiContract {
+		t.Fatalf("tracked sender lost updates: %v", c.Kind)
+	}
+	// ...and are still reclassified by direct activity, which dominates.
+	g.ObserveDirectTransfer(a(1))
+	if c := g.Classify(a(1)); c.Kind != KindDirect {
+		t.Fatalf("tracked sender not reclassified direct: %v", c.Kind)
+	}
+
+	// An untracked sender's direct transfer is dropped at the cap too.
+	g.ObserveDirectTransfer(a(4))
+	if c := g.Classify(a(4)); c.Kind != KindUnknown {
+		t.Fatalf("over-cap direct sender classified %v", c.Kind)
+	}
+}
+
+// TestSenderCapDefault: the zero-config constructor carries the default cap
+// and Snapshot preserves it.
+func TestSenderCapDefault(t *testing.T) {
+	if g := New(); g.maxSenders != DefaultMaxTrackedSenders {
+		t.Fatalf("default cap %d, want %d", g.maxSenders, DefaultMaxTrackedSenders)
+	}
+	g := NewWithLimit(7)
+	g.ObserveContractCall(a(1), a(0xA1))
+	if snap := g.Snapshot(); snap.maxSenders != 7 {
+		t.Fatalf("snapshot cap %d, want 7", snap.maxSenders)
+	}
+}

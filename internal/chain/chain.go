@@ -14,6 +14,7 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -46,7 +47,21 @@ var (
 	ErrBadNonce         = errors.New("chain: bad transaction nonce")
 	ErrInsufficient     = errors.New("chain: insufficient balance for value plus fee")
 	ErrNonMonotonicTime = errors.New("chain: block time before parent")
+	ErrTDOverflow       = errors.New("chain: total difficulty overflows uint64")
+	ErrGasOverflow      = errors.New("chain: block gas total overflows uint64")
 )
+
+// addTD extends a parent's total difficulty by one block's difficulty,
+// rejecting uint64 wraparound: a wrapped TD would make an adversarial
+// heavy chain compare as lighter than the honest head and corrupt fork
+// choice silently.
+func addTD(parentTD, difficulty uint64) (uint64, error) {
+	sum, carry := bits.Add64(parentTD, difficulty, 0)
+	if carry != 0 {
+		return 0, fmt.Errorf("%w: %d + %d", ErrTDOverflow, parentTD, difficulty)
+	}
+	return sum, nil
+}
 
 // Config fixes a shard chain's consensus parameters. The defaults mirror the
 // paper's testbed: gas limit 0x300000 holding at most ten transactions per
@@ -198,6 +213,7 @@ type Chain struct {
 	// byNumber lists every stored block hash (canonical and forks) at each
 	// height, feeding state eviction and fork pruning without full-map
 	// walks.
+	//shardlint:growbound per-height index of the block store itself: pruneForksLocked trims each slot to the canonical hash, so size tracks stored blocks, not history
 	byNumber map[uint64][]types.Hash
 
 	// evictFloor and pruneFloor are watermarks: heights below them have
@@ -574,7 +590,11 @@ func (c *Chain) executeBody(b *types.Block, parent *blockEntry, pstate *state.St
 		r.BlockHash = h
 		r.BlockNum = b.Number()
 	}
-	return &blockEntry{block: b, state: st, td: parent.td + b.Header.Difficulty, receipts: receipts}, nil
+	td, err := addTD(parent.td, b.Header.Difficulty)
+	if err != nil {
+		return nil, err
+	}
+	return &blockEntry{block: b, state: st, td: td, receipts: receipts}, nil
 }
 
 // link runs stage 3: the only exclusive section of AddBlock. It re-checks
@@ -697,17 +717,27 @@ func (c *Chain) process(st *state.State, txs []*types.Transaction, coinbase type
 	}
 	receipts := make([]*types.Receipt, 0, len(txs))
 	var gasUsed uint64
+	gasOverflow := false
 	err := exec.Run(st, txs, coinbase, exec.Workers(c.cfg.ExecWorkers),
 		func(s exec.TxState, tx *types.Transaction) *types.Receipt {
 			return c.applyTransaction(s, tx, coinbase)
 		},
 		func(i int, r *types.Receipt) exec.Decision {
-			gasUsed += r.GasUsed
+			sum, carry := bits.Add64(gasUsed, r.GasUsed, 0)
+			if carry != 0 {
+				gasOverflow = true
+				return exec.Stop
+			}
+			gasUsed = sum
 			receipts = append(receipts, r)
 			return exec.Commit
 		})
 	if err != nil {
+		//shardlint:statesafe process validates a throwaway st copy; every caller discards it when an error is returned
 		return nil, 0, err
+	}
+	if gasOverflow {
+		return nil, 0, fmt.Errorf("%w: %d receipts", ErrGasOverflow, len(receipts))
 	}
 	return receipts, gasUsed, nil
 }
@@ -861,10 +891,11 @@ func (c *Chain) BuildBlockWithProof(coinbase types.Address, proof []byte, txs []
 			if r.Status == types.ReceiptInvalid {
 				return exec.Skip
 			}
-			if gasUsed+r.GasUsed > c.cfg.GasLimit {
+			sum, carry := bits.Add64(gasUsed, r.GasUsed, 0)
+			if carry != 0 || sum > c.cfg.GasLimit {
 				return exec.Stop
 			}
-			gasUsed += r.GasUsed
+			gasUsed = sum
 			included = append(included, txs[i])
 			receipts = append(receipts, r)
 			return exec.Commit

@@ -1,0 +1,25 @@
+package chain
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestAddTDChecked: total difficulty accumulation rejects uint64
+// wraparound instead of silently producing a tiny TD that corrupts fork
+// choice, and keeps the exact-fit boundary inclusive.
+func TestAddTDChecked(t *testing.T) {
+	if td, err := addTD(10, 32); err != nil || td != 42 {
+		t.Fatalf("addTD(10,32) = %d, %v", td, err)
+	}
+	if td, err := addTD(math.MaxUint64-1, 1); err != nil || td != math.MaxUint64 {
+		t.Fatalf("exact fit rejected: %d, %v", td, err)
+	}
+	if _, err := addTD(math.MaxUint64, 1); !errors.Is(err, ErrTDOverflow) {
+		t.Fatalf("want ErrTDOverflow, got %v", err)
+	}
+	if _, err := addTD(1, math.MaxUint64); !errors.Is(err, ErrTDOverflow) {
+		t.Fatalf("want ErrTDOverflow, got %v", err)
+	}
+}

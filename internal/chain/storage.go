@@ -144,9 +144,13 @@ func (c *Chain) addRecovered(b *types.Block) error {
 	if err := c.validateStateless(b, parent.block.Header); err != nil {
 		return err
 	}
+	td, err := addTD(parent.td, b.Header.Difficulty)
+	if err != nil {
+		return err
+	}
 	// Recovery replay never fires OnReorg (link suppresses collection under
 	// c.recovering), so the dropped list is always empty here.
-	_, err := c.link(h, &blockEntry{block: b, td: parent.td + b.Header.Difficulty})
+	_, err = c.link(h, &blockEntry{block: b, td: td})
 	return err
 }
 

@@ -206,6 +206,7 @@ func Execute(ctx *Context, code []byte) (*Result, error) {
 		return a, b, nil
 	}
 	done := func(err error) (*Result, error) {
+		//shardlint:ovflow gas starts at ctx.Gas and only decreases (every charge is bounds-checked by use), so the spent difference cannot underflow
 		res.GasUsed = ctx.Gas - gas
 		return res, err
 	}

@@ -149,6 +149,7 @@ func Run(st *state.State, txs []*types.Transaction, coinbase types.Address, work
 			if err := rec.CommitTo(st); err != nil {
 				// Unreachable: CanCommitTo was checked against the state the
 				// commit lands on. Surface it rather than diverging.
+				//shardlint:statesafe the caller owns st and discards it whenever Run errors; a partial commit is never observed
 				return err
 			}
 			rec.MarkWrites(written)

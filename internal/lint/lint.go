@@ -18,10 +18,28 @@
 //     mechanized form of DESIGN.md "Chain lock discipline".
 //   - errdrop: discarded error returns in non-test code.
 //
+// Four dataflow analyzers mechanize the consensus bug classes fixed by
+// hand in earlier reviews (see each analyzer's file for the full
+// can/cannot-prove contract):
+//
+//   - statesafe: snapshot-before-mutate / revert-on-failure discipline for
+//     state.State / exec.TxState consumers (the invalid-receipt leakage
+//     class).
+//   - ovflow: unchecked uint64 +, -, * on money-named consensus
+//     quantities outside guard idioms and math/bits helpers (the
+//     value+fee solvency wraparound class).
+//   - growbound: map/slice fields of long-lived mutex-guarded structs
+//     with insert sites but no delete/reset/capacity path (the unbounded
+//     HeaderBook class).
+//   - lockorder: module-wide lock-acquisition graph cycles — cross-package
+//     deadlocks locksafe's same-receiver walk cannot see.
+//
 // Diagnostics print as `file:line: [analyzer] message` and are suppressed
 // by a `//shardlint:<key> <reason>` comment on the flagged line or the line
-// directly above it. A waiver with an empty reason is itself a diagnostic:
-// waivers are audited (shardlint -waivers), not free passes.
+// directly above it. A waiver with an empty reason is itself a diagnostic,
+// and every suppression is recorded on the waiver inventory: waivers are
+// audited (shardlint -waivers fails on malformed, unknown-key and stale
+// waivers), not free passes.
 package lint
 
 import (
@@ -73,6 +91,11 @@ type Waiver struct {
 	Line   int    `json:"line"`
 	Key    string `json:"key"`
 	Reason string `json:"reason"`
+	// Used reports whether the waiver suppressed at least one diagnostic in
+	// this run. A well-formed waiver that suppresses nothing is stale — the
+	// code it excused has moved or been fixed — and fails the -waivers
+	// audit so the inventory cannot rot.
+	Used bool `json:"used"`
 }
 
 // Config controls which packages count as consensus-critical and which
@@ -84,7 +107,8 @@ type Config struct {
 	// at testdata packages.
 	ConsensusPackages []string
 	// Disabled names analyzers to skip ("detrange", "detsource",
-	// "locksafe", "errdrop").
+	// "locksafe", "errdrop", "statesafe", "ovflow", "growbound",
+	// "lockorder").
 	Disabled []string
 	// LockUnsafeCallees overrides the packages locksafe treats as blocking
 	// publication targets (default internal/p2p and internal/chainsync),
@@ -127,10 +151,15 @@ var waiverKeys = map[string]string{
 	"detsource": "detsource",
 	"locksafe":  "locksafe",
 	"errdrop":   "errdrop",
+	"statesafe": "statesafe",
+	"ovflow":    "ovflow",
+	"growbound": "growbound",
+	"lockorder": "lockorder",
 }
 
 var validWaiverKeys = map[string]bool{
 	"ordered": true, "detsource": true, "locksafe": true, "errdrop": true,
+	"statesafe": true, "ovflow": true, "growbound": true, "lockorder": true,
 }
 
 // Result is the outcome of a Run: surviving diagnostics plus the complete
@@ -168,6 +197,18 @@ func RunPackages(loader *Loader, pkgs []*Package, cfg Config) *Result {
 	}
 	if cfg.enabled("errdrop") {
 		diags = append(diags, errdrop(loader, pkgs, cfg)...)
+	}
+	if cfg.enabled("statesafe") {
+		diags = append(diags, statesafe(loader, pkgs, cfg)...)
+	}
+	if cfg.enabled("ovflow") {
+		diags = append(diags, ovflow(loader, pkgs, cfg)...)
+	}
+	if cfg.enabled("growbound") {
+		diags = append(diags, growbound(loader, pkgs, cfg)...)
+	}
+	if cfg.enabled("lockorder") {
+		diags = append(diags, lockorder(loader, pkgs, cfg)...)
 	}
 
 	waivers, waiverDiags := collectWaivers(loader, pkgs)
@@ -219,7 +260,7 @@ func collectWaivers(loader *Loader, pkgs []*Package) ([]Waiver, []Diagnostic) {
 						diags = append(diags, Diagnostic{
 							File: name, Line: pos.Line, Col: pos.Column,
 							Analyzer: "waiver",
-							Message:  fmt.Sprintf("unknown shardlint waiver key %q (want ordered, detsource, locksafe or errdrop)", key),
+							Message:  fmt.Sprintf("unknown shardlint waiver key %q (want ordered, detsource, locksafe, errdrop, statesafe, ovflow, growbound or lockorder)", key),
 						})
 						continue
 					}
@@ -240,22 +281,29 @@ func collectWaivers(loader *Loader, pkgs []*Package) ([]Waiver, []Diagnostic) {
 }
 
 // suppress drops diagnostics covered by a well-formed waiver on the same
-// line or the line immediately above.
+// line or the line immediately above, and marks the covering waiver used.
 func suppress(diags []Diagnostic, waivers []Waiver) []Diagnostic {
 	type at struct {
 		file string
 		line int
 		key  string
 	}
-	index := map[at]bool{}
-	for _, w := range waivers {
-		index[at{w.File, w.Line, w.Key}] = true
+	index := map[at]int{}
+	for i, w := range waivers {
+		index[at{w.File, w.Line, w.Key}] = i + 1 // 1-based; 0 means absent
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		key := waiverKeys[d.Analyzer]
-		if key != "" && (index[at{d.File, d.Line, key}] || index[at{d.File, d.Line - 1, key}]) {
-			continue
+		if key != "" {
+			if i := index[at{d.File, d.Line, key}]; i > 0 {
+				waivers[i-1].Used = true
+				continue
+			}
+			if i := index[at{d.File, d.Line - 1, key}]; i > 0 {
+				waivers[i-1].Used = true
+				continue
+			}
 		}
 		kept = append(kept, d)
 	}

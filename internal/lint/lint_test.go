@@ -62,7 +62,10 @@ func checkGolden(t *testing.T, name string, res *Result) {
 
 // only is a config running a single analyzer against fixture packages.
 func only(analyzer string, consensus ...string) Config {
-	all := []string{"detrange", "detsource", "locksafe", "errdrop"}
+	all := []string{
+		"detrange", "detsource", "locksafe", "errdrop",
+		"statesafe", "ovflow", "growbound", "lockorder",
+	}
 	var disabled []string
 	for _, a := range all {
 		if a != analyzer {
@@ -100,6 +103,48 @@ func TestErrdropFixture(t *testing.T) {
 	checkGolden(t, "errdrop", res)
 }
 
+// TestStatesafeFixture: the firing cases reproduce the pre-fix
+// applyTransaction leakage (mutations surviving an invalid-receipt or
+// error return); the legal cases are the shipped snapshot+reverter shapes.
+func TestStatesafeFixture(t *testing.T) {
+	_, res := runFixture(t, only("statesafe", "statesafe"), "statesafe")
+	checkGolden(t, "statesafe", res)
+	for _, want := range []string{"failure return leaks mutations", "mutates the state before any Snapshot"} {
+		found := false
+		for _, d := range res.Diagnostics {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected a diagnostic mentioning %q", want)
+		}
+	}
+}
+
+func TestOvflowFixture(t *testing.T) {
+	_, res := runFixture(t, only("ovflow", "ovflow"), "ovflow")
+	checkGolden(t, "ovflow", res)
+}
+
+// TestGrowboundFixture: FiresBook reproduces the unbounded-HeaderBook
+// shape from the PR 7 review; the bounded idioms stay clean.
+func TestGrowboundFixture(t *testing.T) {
+	_, res := runFixture(t, only("growbound", "growbound"), "growbound")
+	checkGolden(t, "growbound", res)
+}
+
+func TestLockorderFixture(t *testing.T) {
+	_, res := runFixture(t, only("lockorder"), "lockorderpeer", "lockorder")
+	checkGolden(t, "lockorder", res)
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("want exactly one cycle diagnostic, got %d: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+	if !strings.Contains(res.Diagnostics[0].Message, "lock-order cycle") {
+		t.Errorf("unexpected message: %s", res.Diagnostics[0].Message)
+	}
+}
+
 // TestWaiverInventory checks the -waivers plumbing: every well-formed
 // waiver in the fixtures is listed with its reason, and the reasonless one
 // is rejected as a diagnostic instead.
@@ -128,6 +173,47 @@ func TestWaiverInventory(t *testing.T) {
 	}
 	if malformed != 1 {
 		t.Errorf("want exactly 1 reasonless-waiver diagnostic, got %d", malformed)
+	}
+}
+
+// TestWaiverUsedTracking: a waiver that suppresses a diagnostic is marked
+// Used; one that suppresses nothing is not — the -waivers audit fails on
+// the latter so the inventory cannot rot.
+func TestWaiverUsedTracking(t *testing.T) {
+	_, res := runFixture(t, only("detrange", "detrange"), "detrange")
+	var used *Waiver
+	for i, w := range res.Waivers {
+		if strings.Contains(w.Reason, "order cannot affect a count") {
+			used = &res.Waivers[i]
+		}
+	}
+	if used == nil {
+		t.Fatal("expected the suppressing waiver in the inventory")
+	}
+	if !used.Used {
+		t.Errorf("suppressing waiver not marked used: %+v", *used)
+	}
+}
+
+func TestStaleWaiver(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A well-formed waiver on code that trips nothing: stale.
+	src := "package scratch\n\n//shardlint:ordered nothing here ranges a map\nfunc F() int { return 1 }\n"
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dir, []string{"./..."}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Waivers) != 1 {
+		t.Fatalf("want 1 waiver, got %+v", res.Waivers)
+	}
+	if res.Waivers[0].Used {
+		t.Errorf("waiver suppressing nothing marked used: %+v", res.Waivers[0])
 	}
 }
 

@@ -1,14 +1,18 @@
 package lint
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -159,19 +163,34 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, fmt.Errorf("lint: %w", err)
 	}
 	var names []string
+	testOnly, excluded := 0, 0
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
 		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			testOnly++
+			continue
+		}
+		if skip, err := buildExcluded(filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", name, err)
+		} else if skip {
+			excluded++
 			continue
 		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		switch {
+		case excluded > 0:
+			return nil, fmt.Errorf("lint: all %d Go file(s) in %s are excluded by build constraints for %s/%s: %w", excluded, dir, runtime.GOOS, runtime.GOARCH, errNoAnalyzableFiles)
+		case testOnly > 0:
+			return nil, fmt.Errorf("lint: %s contains only _test.go files; shardlint analyzes shipped (non-test) code: %w", dir, errNoAnalyzableFiles)
+		default:
+			return nil, fmt.Errorf("lint: no Go files in %s: %w", dir, errNoAnalyzableFiles)
+		}
 	}
 
 	pkg := &Package{Path: path, Dir: dir}
@@ -264,11 +283,82 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 	for _, d := range sorted {
 		pkg, err := l.LoadDir(d)
 		if err != nil {
+			// Mirror `go build ./...`: directories with nothing analyzable
+			// (test-only, or fully excluded by build constraints) are
+			// skipped, not fatal — real parse/IO failures still abort.
+			if errors.Is(err, errNoAnalyzableFiles) {
+				continue
+			}
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// errNoAnalyzableFiles marks a directory with Go files but nothing for the
+// analyzers to load; LoadPatterns skips such directories, direct LoadDir
+// calls surface the wrapping description.
+var errNoAnalyzableFiles = errors.New("no analyzable Go files")
+
+// buildExcluded reports whether a file's build constraints exclude it from
+// the current GOOS/GOARCH. Constraints must precede the package clause, so
+// only the leading run of blank and // lines is scanned; a //go:build line
+// wins over legacy // +build lines (which AND across lines). Version tags
+// (go1.N) are treated as satisfied — the module is built with the same
+// toolchain that lints it.
+func buildExcluded(path string) (bool, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+
+	var goBuild constraint.Expr
+	var plusBuild []constraint.Expr
+	for _, raw := range bytes.Split(src, []byte("\n")) {
+		line := string(bytes.TrimSpace(raw))
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "//") {
+			break // package clause (or block comment): constraints are over
+		}
+		switch {
+		case constraint.IsGoBuild(line):
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return false, fmt.Errorf("invalid //go:build line: %w", err)
+			}
+			goBuild = expr
+		case constraint.IsPlusBuild(line):
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return false, fmt.Errorf("invalid // +build line: %w", err)
+			}
+			plusBuild = append(plusBuild, expr)
+		}
+	}
+	ok := func(tag string) bool {
+		switch tag {
+		case runtime.GOOS, runtime.GOARCH, "gc", "cgo":
+			return true
+		case "unix":
+			switch runtime.GOOS {
+			case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+				return true
+			}
+		}
+		return strings.HasPrefix(tag, "go1.")
+	}
+	if goBuild != nil {
+		return !goBuild.Eval(ok), nil
+	}
+	for _, expr := range plusBuild {
+		if !expr.Eval(ok) {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 func hasGoFiles(dir string) bool {

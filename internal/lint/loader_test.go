@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for loader tests and returns its
+// root directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	all := map[string]string{"go.mod": "module scratch\n\ngo 1.22\n"}
+	for name, src := range files {
+		all[name] = src
+	}
+	for name, src := range all {
+		full := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoaderTestOnlyPackage: a directory holding only _test.go files is a
+// descriptive error from LoadDir and a silent skip from LoadPatterns — the
+// go tool's ./... semantics.
+func TestLoaderTestOnlyPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"keep/keep.go":        "package keep\n\nfunc K() {}\n",
+		"onlytests/x_test.go": "package onlytests\n",
+	})
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDir("onlytests")
+	if err == nil {
+		t.Fatal("LoadDir on a test-only package should error")
+	}
+	if !errors.Is(err, errNoAnalyzableFiles) {
+		t.Errorf("error not marked errNoAnalyzableFiles: %v", err)
+	}
+	if !strings.Contains(err.Error(), "_test.go") {
+		t.Errorf("error should explain the test-only cause: %v", err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns should skip the test-only dir: %v", err)
+	}
+	for _, p := range pkgs {
+		if p.RelPath == "onlytests" {
+			t.Errorf("test-only package leaked into the pattern load")
+		}
+	}
+	if len(pkgs) != 1 || pkgs[0].RelPath != "keep" {
+		t.Errorf("want only the keep package, got %+v", pkgs)
+	}
+}
+
+// TestLoaderBuildTagExcluded: files excluded by //go:build (and legacy
+// // +build) constraints for the current GOOS/GOARCH are not parsed; a
+// directory losing every file to constraints errors descriptively from
+// LoadDir and is skipped by LoadPatterns.
+func TestLoaderBuildTagExcluded(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"mixed/portable.go": "package mixed\n\nfunc P() {}\n",
+		"mixed/exotic.go":   "//go:build someexoticplatform\n\npackage mixed\n\nfunc Q() {}\n",
+		"gone/gone.go":      "//go:build someexoticplatform\n\npackage gone\n\nfunc G() {}\n",
+		"legacy/legacy.go":  "// +build someexoticplatform\n\npackage legacy\n\nfunc L() {}\n",
+	})
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := loader.LoadDir("mixed")
+	if err != nil {
+		t.Fatalf("a package keeping one portable file must load: %v", err)
+	}
+	if len(mixed.Files) != 1 || !strings.HasSuffix(mixed.FileNames[0], "portable.go") {
+		t.Errorf("want only portable.go, got %v", mixed.FileNames)
+	}
+	for _, bad := range []string{"gone", "legacy"} {
+		_, err := loader.LoadDir(bad)
+		if err == nil {
+			t.Fatalf("LoadDir(%s) should error when every file is excluded", bad)
+		}
+		if !errors.Is(err, errNoAnalyzableFiles) {
+			t.Errorf("%s: error not marked errNoAnalyzableFiles: %v", bad, err)
+		}
+		if !strings.Contains(err.Error(), "build constraints") {
+			t.Errorf("%s: error should name build constraints: %v", bad, err)
+		}
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns should skip fully-excluded dirs: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].RelPath != "mixed" {
+		t.Errorf("want only the mixed package, got %+v", pkgs)
+	}
+}
+
+// TestLoaderBuildTagIncluded: a constraint satisfied by the current
+// platform keeps the file (go:build wins over a contradictory legacy
+// line).
+func TestLoaderBuildTagIncluded(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p/here.go": "//go:build " + runtime.GOOS + "\n\npackage p\n\nfunc H() {}\n",
+		"p/both.go": "//go:build " + runtime.GOARCH + "\n// +build someexoticplatform\n\npackage p\n\nfunc B() {}\n",
+	})
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Errorf("want both files kept, got %v", pkg.FileNames)
+	}
+}
+
+// TestLoaderMalformedConstraint: an unparsable //go:build line is a
+// diagnostic-quality error naming the file, not a panic.
+func TestLoaderMalformedConstraint(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad/bad.go": "//go:build ((\n\npackage bad\n\nfunc B() {}\n",
+	})
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDir("bad")
+	if err == nil {
+		t.Fatal("malformed constraint should error")
+	}
+	if !strings.Contains(err.Error(), "bad.go") || !strings.Contains(err.Error(), "go:build") {
+		t.Errorf("error should name the file and the constraint: %v", err)
+	}
+}
+
+// TestLoaderTypeCheckFailure: a package that does not type-check still
+// loads — analysis degrades gracefully on partial type information — with
+// the problems recorded, not panicking and not aborting the run.
+func TestLoaderTypeCheckFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc B() doesNotExist { return nil }\n",
+	})
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("broken")
+	if err != nil {
+		t.Fatalf("type-check failure must not abort the load: %v", err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Error("expected recorded type errors")
+	}
+	if pkg.Types == nil {
+		t.Error("partial types package missing")
+	}
+	// The suite runs to completion over the partial package.
+	res := RunPackages(loader, []*Package{pkg}, Config{})
+	if res == nil {
+		t.Fatal("RunPackages returned nil")
+	}
+}
+
+// TestLoaderEmptyDir: a directory with no Go files at all.
+func TestLoaderEmptyDir(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"empty/README.md": "nothing to lint\n",
+	})
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDir("empty")
+	if err == nil {
+		t.Fatal("LoadDir on a Go-less dir should error")
+	}
+	if !errors.Is(err, errNoAnalyzableFiles) || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("want a descriptive no-Go-files error, got: %v", err)
+	}
+}

@@ -1,0 +1,504 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder lifts locksafe's per-package, same-receiver analysis to a
+// module-wide lock-acquisition graph. Nodes are (package, receiver type,
+// mutex field); an edge A→B is recorded whenever code acquires B — directly
+// or transitively through any resolvable module-internal call — while A is
+// held. A cycle in this graph is a potential deadlock that locksafe cannot
+// see: the node layer locking Miner.mu and then calling chain.AddBlock
+// (which takes Chain.mu) is fine on its own, but becomes a deadlock the
+// moment any chain path calls back into the node layer and takes Miner.mu
+// — two goroutines entering from opposite ends block forever.
+//
+// The walk is the same branch-aware held-set discipline as locksafe (defer
+// keeps a lock held; goroutines and function literals run with their own
+// context and are excluded). Callee acquisition sets are closed to a
+// fixpoint over the whole module, so helper chains across packages are
+// followed. One diagnostic is reported per strongly connected component,
+// at the earliest witness site of its lexicographically first edge, so a
+// single `//shardlint:lockorder` waiver covers the cycle; the reason must
+// explain why the opposing orders can never run concurrently.
+//
+// What it cannot prove: acquisition through interface dispatch or stored
+// function values (the callee cannot be resolved), locks reached only from
+// spawned goroutines, and conditional exclusion (a cycle whose arms are
+// mutually exclusive by construction still shows up — that is what the
+// waiver bar is for).
+
+// loLock identifies one mutex field of a named type, module-wide.
+type loLock struct {
+	pkg   string // import path
+	typ   string // named type
+	field string
+}
+
+func (l loLock) String() string {
+	p := l.pkg
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		p = p[i+1:]
+	}
+	return p + "." + l.typ + "." + l.field
+}
+
+type loWitness struct {
+	pkg  *Package
+	pos  token.Pos
+	desc string
+}
+
+type loSummary struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	// direct lock acquisitions and resolvable module-internal callees.
+	acquires map[loLock]bool
+	callees  []*types.Func
+}
+
+func lockorder(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
+	w := &loWalker{
+		loader:    loader,
+		summaries: map[*types.Func]*loSummary{},
+		edges:     map[loLock]map[loLock]loWitness{},
+	}
+
+	// Pass 1: per-function summaries across every loaded package.
+	for _, pkg := range pkgs {
+		for _, fn := range funcBodies(pkg) {
+			w.summarize(pkg, fn.decl)
+		}
+	}
+
+	// Fixpoint: close acquisition sets over the module call graph.
+	keys := make([]*types.Func, 0, len(w.summaries))
+	for f := range w.summaries {
+		keys = append(keys, f)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].FullName() < keys[j].FullName() })
+	for changed := true; changed; {
+		changed = false
+		for _, f := range keys {
+			sum := w.summaries[f]
+			for _, callee := range sum.callees {
+				csum, ok := w.summaries[callee]
+				if !ok {
+					continue
+				}
+				for lk := range csum.acquires {
+					if !sum.acquires[lk] {
+						sum.acquires[lk] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: held-set walk recording cross-lock edges.
+	for _, f := range keys {
+		sum := w.summaries[f]
+		w.pkg = sum.pkg
+		w.walkStmts(sum.decl.Body.List, map[loLock]token.Pos{})
+	}
+
+	return w.reportCycles()
+}
+
+type loWalker struct {
+	loader    *Loader
+	pkg       *Package // package of the function being walked
+	summaries map[*types.Func]*loSummary
+	edges     map[loLock]map[loLock]loWitness
+}
+
+func (w *loWalker) summarize(pkg *Package, fd *ast.FuncDecl) {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sum := &loSummary{fn: fn, decl: fd, pkg: pkg, acquires: map[loLock]bool{}}
+	w.pkg = pkg
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if op, lk, ok := w.lockCall(n); ok {
+				if op == "Lock" || op == "RLock" {
+					sum.acquires[lk] = true
+				}
+				return true
+			}
+			if callee := w.calleeOf(n); callee != nil {
+				sum.callees = append(sum.callees, callee)
+			}
+		}
+		return true
+	})
+	w.summaries[fn] = sum
+}
+
+// lockCall recognizes expr.field.Lock()/RLock()/Unlock()/RUnlock() where
+// field is a sync.Mutex/RWMutex field of a module-internal named type.
+func (w *loWalker) lockCall(call *ast.CallExpr) (op string, lk loLock, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", loLock{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", loLock{}, false
+	}
+	fieldSel, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel || !isSyncMutex(w.pkg.Info.TypeOf(sel.X)) {
+		return "", loLock{}, false
+	}
+	owner := w.pkg.Info.TypeOf(fieldSel.X)
+	if owner == nil {
+		return "", loLock{}, false
+	}
+	if ptr, isPtr := owner.(*types.Pointer); isPtr {
+		owner = ptr.Elem()
+	}
+	named, isNamed := owner.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", loLock{}, false
+	}
+	path := named.Obj().Pkg().Path()
+	if path != w.loader.ModPath && !strings.HasPrefix(path, w.loader.ModPath+"/") {
+		return "", loLock{}, false
+	}
+	return sel.Sel.Name, loLock{pkg: path, typ: named.Obj().Name(), field: fieldSel.Sel.Name}, true
+}
+
+// calleeOf resolves a call to a module-internal declared function.
+func (w *loWalker) calleeOf(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, ok := w.pkg.Info.Uses[id].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return nil
+	}
+	path := f.Pkg().Path()
+	if path != w.loader.ModPath && !strings.HasPrefix(path, w.loader.ModPath+"/") {
+		return nil
+	}
+	return f
+}
+
+// --- held-set walk (the locksafe shape, with qualified locks) ------------
+
+func (w *loWalker) walkStmts(list []ast.Stmt, held map[loLock]token.Pos) {
+	for _, s := range list {
+		w.walkStmt(s, held)
+	}
+}
+
+func copyLoHeld(held map[loLock]token.Pos) map[loLock]token.Pos {
+	c := make(map[loLock]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *loWalker) walkStmt(s ast.Stmt, held map[loLock]token.Pos) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, held)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// defer mu.Unlock() keeps the lock held to the end, which the held
+		// set already models; goroutines do not inherit the caller's locks.
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.scanExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, copyLoHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyLoHeld(held))
+		}
+	case *ast.ForStmt:
+		inner := copyLoHeld(held)
+		w.walkStmt(s.Init, inner)
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, inner)
+		}
+		w.walkStmts(s.Body.List, inner)
+		w.walkStmt(s.Post, inner)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		w.walkStmts(s.Body.List, copyLoHeld(held))
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyLoHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkStmt(s.Assign, held)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyLoHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				inner := copyLoHeld(held)
+				w.walkStmt(cc.Comm, inner)
+				w.walkStmts(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	case *ast.DeclStmt:
+		w.scanExpr(s.Decl, held)
+	default:
+		w.scanExpr(s, held)
+	}
+}
+
+func (w *loWalker) scanExpr(n ast.Node, held map[loLock]token.Pos) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.checkCall(c, held)
+		}
+		return true
+	})
+}
+
+func (w *loWalker) checkCall(call *ast.CallExpr, held map[loLock]token.Pos) {
+	if op, lk, ok := w.lockCall(call); ok {
+		switch op {
+		case "Lock", "RLock":
+			for a := range held {
+				w.addEdge(a, lk, loWitness{pkg: w.pkg, pos: call.Pos(),
+					desc: fmt.Sprintf("%s acquired while holding %s", lk, a)})
+			}
+			if _, already := held[lk]; !already {
+				held[lk] = call.Pos()
+			}
+		case "Unlock", "RUnlock":
+			delete(held, lk)
+		}
+		return
+	}
+	callee := w.calleeOf(call)
+	if callee == nil || len(held) == 0 {
+		return
+	}
+	sum, ok := w.summaries[callee]
+	if !ok {
+		return
+	}
+	for b := range sum.acquires {
+		for a := range held {
+			if a == b {
+				continue // same-lock re-acquire is locksafe's domain
+			}
+			w.addEdge(a, b, loWitness{pkg: w.pkg, pos: call.Pos(),
+				desc: fmt.Sprintf("call to %s acquires %s while holding %s", shortFuncName(callee), b, a)})
+		}
+	}
+}
+
+// addEdge records A→B, keeping the earliest witness for determinism.
+func (w *loWalker) addEdge(a, b loLock, wit loWitness) {
+	if a == b {
+		return
+	}
+	m := w.edges[a]
+	if m == nil {
+		m = map[loLock]loWitness{}
+		w.edges[a] = m
+	}
+	prev, ok := m[b]
+	if !ok || w.witnessLess(wit, prev) {
+		m[b] = wit
+	}
+}
+
+func (w *loWalker) witnessLess(a, b loWitness) bool {
+	pa := w.loader.Fset.Position(a.pos)
+	pb := w.loader.Fset.Position(b.pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Line < pb.Line
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports one diagnostic per cyclic component.
+func (w *loWalker) reportCycles() []Diagnostic {
+	nodes := map[loLock]bool{}
+	for a, m := range w.edges {
+		nodes[a] = true
+		for b := range m {
+			nodes[b] = true
+		}
+	}
+	sorted := make([]loLock, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].String() < sorted[j].String() })
+
+	succ := func(n loLock) []loLock {
+		var out []loLock
+		for b := range w.edges[n] {
+			out = append(out, b)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+		return out
+	}
+
+	// Iterative Tarjan SCC with deterministic ordering.
+	index := map[loLock]int{}
+	low := map[loLock]int{}
+	onStack := map[loLock]bool{}
+	var stack []loLock
+	var sccs [][]loLock
+	next := 0
+	type frame struct {
+		node  loLock
+		succs []loLock
+		i     int
+	}
+	for _, start := range sorted {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		frames := []frame{{node: start, succs: succ(start)}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				child := f.succs[f.i]
+				f.i++
+				if _, seen := index[child]; !seen {
+					index[child], low[child] = next, next
+					next++
+					stack = append(stack, child)
+					onStack[child] = true
+					frames = append(frames, frame{node: child, succs: succ(child)})
+				} else if onStack[child] && index[child] < low[f.node] {
+					low[f.node] = index[child]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[f.node] < low[parent.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+			if low[f.node] == index[f.node] {
+				var comp []loLock
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == f.node {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					sccs = append(sccs, comp)
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, comp := range sccs {
+		sort.Slice(comp, func(i, j int) bool { return comp[i].String() < comp[j].String() })
+		inComp := map[loLock]bool{}
+		names := make([]string, len(comp))
+		for i, n := range comp {
+			inComp[n] = true
+			names[i] = n.String()
+		}
+		// The witness: the lexicographically first in-component edge.
+		var wit *loWitness
+		for _, a := range comp {
+			for _, b := range succ(a) {
+				if !inComp[b] {
+					continue
+				}
+				witness := w.edges[a][b]
+				wit = &witness
+				break
+			}
+			if wit != nil {
+				break
+			}
+		}
+		if wit == nil {
+			continue
+		}
+		file, line, col := posOf(w.loader, wit.pkg, wit.pos)
+		diags = append(diags, Diagnostic{
+			File: file, Line: line, Col: col,
+			Analyzer: "lockorder",
+			Message: fmt.Sprintf("lock-order cycle {%s}: %s; opposite-order acquisition deadlocks — establish a single global order",
+				strings.Join(names, ", "), wit.desc),
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return diags
+}

@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ovflow flags unchecked uint64 arithmetic on consensus money quantities —
+// balances, fees, gas, values, rewards, difficulty/total-difficulty — the
+// PR 5 wraparound class: `tx.Value+tx.Fee` wraps under adversarial inputs
+// and an insolvent transaction passes solvency. Only `+`, `-` and `*` (and
+// their assignment forms) on uint64-typed expressions where at least one
+// operand carries a money-ish name are considered; int-typed lengths and
+// indexes never trip it.
+//
+// An operation is blessed — proven or idiomatically checked — when the
+// enclosing function carries one of the recognized guard shapes:
+//
+//   - wraparound idiom: the whole operation is compared against one of its
+//     own operands (`a.balance+amount < a.balance`), which also blesses
+//     later repetitions of the identical expression;
+//   - operand-split guard: some comparison puts one operand on each side
+//     (`bal < tx.Value` blesses `bal-tx.Value`; `difficulty > (1<<63)/margin`
+//     blesses `difficulty*margin` — the sealBudget shape);
+//   - checked-helper use: a math/bits.Add64/Sub64/Mul64 call whose
+//     arguments collectively mention the operands (the preferred fix: the
+//     helper has no raw arithmetic to flag at all).
+//
+// What it cannot prove: guards expressed through data-flow the textual
+// matcher cannot see (an invariant maintained elsewhere, like the
+// recorder's base+feeDelta bound) — those need a `//shardlint:ovflow`
+// waiver whose reason names the invariant. It also cannot tell a benign
+// local sum from a consensus quantity when the name matches; rename or
+// waive.
+
+// ovflowWords are the lower-case substrings that mark an identifier as a
+// consensus money quantity ("td" matches exactly: total difficulty).
+var ovflowWords = []string{"balance", "fee", "gas", "value", "amount", "reward", "supply", "difficulty"}
+
+func ovflowMoneyName(name string) bool {
+	lower := strings.ToLower(name)
+	if lower == "td" {
+		return true
+	}
+	for _, w := range ovflowWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func ovflow(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !cfg.isConsensus(pkg.RelPath) {
+			continue
+		}
+		for _, fn := range funcBodies(pkg) {
+			diags = append(diags, ovflowFunc(loader, pkg, fn.decl)...)
+		}
+	}
+	return diags
+}
+
+// ovflowOp is one maximal flagged arithmetic node.
+type ovflowOp struct {
+	pos    token.Pos
+	op     token.Token
+	text   string   // printed form of the whole operation
+	leaves []string // printed forms of the leaf operands
+}
+
+func ovflowFunc(loader *Loader, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	guards := collectOvflowGuards(loader, fd.Body)
+	ops := ovflowOps(loader, pkg, fd.Body)
+	var diags []Diagnostic
+	for _, op := range ops {
+		if guards.blesses(op) {
+			continue
+		}
+		file, line, col := posOf(loader, pkg, op.pos)
+		diags = append(diags, Diagnostic{
+			File: file, Line: line, Col: col,
+			Analyzer: "ovflow",
+			Message: fmt.Sprintf("unchecked uint64 %q on consensus quantity %q; guard the operands or use math/bits (Add64/Sub64/Mul64)",
+				op.op, op.text),
+		})
+	}
+	return diags
+}
+
+// ovflowGuards is the blessing evidence collected from one function body:
+// every comparison (as printed side pairs) and every math/bits checked-call
+// argument.
+type ovflowGuards struct {
+	compares [][2]guardSide
+	bitsArgs map[string]bool // rendered subexpressions of bits.Add64/... args
+}
+
+type guardSide struct {
+	text string
+	subs map[string]bool // rendered subexpressions
+}
+
+func collectOvflowGuards(loader *Loader, body *ast.BlockStmt) *ovflowGuards {
+	g := &ovflowGuards{bitsArgs: map[string]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				g.compares = append(g.compares, [2]guardSide{
+					{exprString(loader, n.X), subExprs(loader, n.X)},
+					{exprString(loader, n.Y), subExprs(loader, n.Y)},
+				})
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "bits" {
+					switch sel.Sel.Name {
+					case "Add64", "Sub64", "Mul64":
+						for _, arg := range n.Args {
+							for s := range subExprs(loader, arg) {
+								g.bitsArgs[s] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// subExprs renders every subexpression of e, for containment checks with
+// exact token boundaries (substring matching would conflate fee/feeDelta).
+func subExprs(loader *Loader, e ast.Expr) map[string]bool {
+	subs := map[string]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sub, ok := n.(ast.Expr); ok {
+			subs[exprString(loader, sub)] = true
+		}
+		return true
+	})
+	return subs
+}
+
+func (g *ovflowGuards) blesses(op ovflowOp) bool {
+	// Wraparound idiom: the whole op compared against one of its operands.
+	for _, c := range g.compares {
+		for i := 0; i < 2; i++ {
+			if c[i].text != op.text {
+				continue
+			}
+			other := c[1-i].text
+			for _, leaf := range op.leaves {
+				if other == leaf {
+					return true
+				}
+			}
+		}
+	}
+	// Operand-split guard: a comparison with distinct leaves on each side
+	// and neither side holding them all (that would just be the unchecked
+	// expression itself compared to a limit).
+	for _, c := range g.compares {
+		left, right, both := 0, 0, 0
+		for _, leaf := range op.leaves {
+			l, r := c[0].subs[leaf], c[1].subs[leaf]
+			switch {
+			case l && r:
+				both++
+			case l:
+				left++
+			case r:
+				right++
+			}
+		}
+		if left > 0 && right > 0 && both == 0 {
+			if !c[0].subs[op.text] && !c[1].subs[op.text] {
+				return true
+			}
+		}
+	}
+	// Checked-helper use: bits.Add64/Sub64/Mul64 args mention every money
+	// leaf of the operation.
+	if len(g.bitsArgs) > 0 {
+		covered := true
+		for _, leaf := range op.leaves {
+			if ovflowExprMoney(leaf) && !g.bitsArgs[leaf] {
+				covered = false
+			}
+		}
+		if covered {
+			return true
+		}
+	}
+	return false
+}
+
+// ovflowExprMoney reports whether a rendered leaf looks like a money name
+// (its final path component matches the word list).
+func ovflowExprMoney(text string) bool {
+	if i := strings.LastIndexByte(text, '.'); i >= 0 {
+		text = text[i+1:]
+	}
+	return ovflowMoneyName(text)
+}
+
+// ovflowOps collects the maximal flaggable arithmetic nodes of a body.
+func ovflowOps(loader *Loader, pkg *Package, body *ast.BlockStmt) []ovflowOp {
+	// Children of arithmetic nodes are folded into their parent.
+	inner := map[ast.Expr]bool{}
+	var ops []ovflowOp
+	arith := func(op token.Token) bool {
+		return op == token.ADD || op == token.SUB || op == token.MUL
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !arith(n.Op) {
+				return true
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if b, ok := side.(*ast.BinaryExpr); ok && arith(b.Op) {
+					inner[b] = true
+				}
+			}
+			if inner[n] {
+				return true
+			}
+			if !isUint64(pkg, n) || isConstExpr(pkg, n) {
+				return true
+			}
+			leaves := arithLeaves(loader, n)
+			if !anyMoneyLeaf(leaves) {
+				return true
+			}
+			ops = append(ops, ovflowOp{pos: n.Pos(), op: n.Op, text: exprString(loader, n), leaves: leaves})
+		case *ast.AssignStmt:
+			var bin token.Token
+			switch n.Tok {
+			case token.ADD_ASSIGN:
+				bin = token.ADD
+			case token.SUB_ASSIGN:
+				bin = token.SUB
+			case token.MUL_ASSIGN:
+				bin = token.MUL
+			default:
+				return true
+			}
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			if !isUint64(pkg, n.Lhs[0]) {
+				return true
+			}
+			lhs, rhs := exprString(loader, n.Lhs[0]), exprString(loader, n.Rhs[0])
+			leaves := append(arithLeaves(loader, n.Lhs[0]), arithLeaves(loader, n.Rhs[0])...)
+			if !anyMoneyLeaf(leaves) {
+				return true
+			}
+			ops = append(ops, ovflowOp{
+				pos: n.Pos(), op: bin,
+				// The composed text matches the printer's binary layout so
+				// `x += y` is blessed by an `x + y < x` guard.
+				text:   lhs + " " + bin.String() + " " + rhs,
+				leaves: leaves,
+			})
+		}
+		return true
+	})
+	return ops
+}
+
+// arithLeaves renders the non-arithmetic leaf operands of an expression
+// (descending through nested +, -, * and parens).
+func arithLeaves(loader *Loader, e ast.Expr) []string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return arithLeaves(loader, e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB || e.Op == token.MUL {
+			return append(arithLeaves(loader, e.X), arithLeaves(loader, e.Y)...)
+		}
+	}
+	return []string{exprString(loader, e)}
+}
+
+func anyMoneyLeaf(leaves []string) bool {
+	for _, l := range leaves {
+		if ovflowExprMoney(l) {
+			return true
+		}
+	}
+	return false
+}
+
+func isUint64(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint64
+}
+
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

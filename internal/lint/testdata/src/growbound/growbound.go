@@ -1,0 +1,106 @@
+// Package growbound is a shardlint fixture: firing and non-firing cases
+// for the unbounded-retention analyzer. The firing type models the PR 7
+// review's unbounded HeaderBook; the legal types are the shipped bounding
+// idioms (len-cap, delete-eviction, generation reset, slice trim).
+// Expected diagnostics in golden.txt.
+package growbound
+
+import "sync"
+
+type header struct {
+	num uint64
+}
+
+// FiresBook is the pre-review HeaderBook shape: a process-lifetime,
+// mutex-guarded index that every advertised header lands in and nothing
+// ever leaves.
+type FiresBook struct {
+	mu     sync.Mutex
+	byHash map[string]*header
+	order  []string
+}
+
+func (b *FiresBook) Add(h string, hdr *header) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.byHash[h] = hdr
+	b.order = append(b.order, h)
+}
+
+// OKPool caps inserts with an explicit capacity check (the orphan-pool
+// shape).
+type OKPool struct {
+	mu      sync.Mutex
+	entries map[string]*header
+}
+
+func (p *OKPool) Add(h string, hdr *header) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.entries) >= 128 {
+		return
+	}
+	p.entries[h] = hdr
+}
+
+// OKEvict pairs every insert path with a delete path.
+type OKEvict struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func (e *OKEvict) Add(h string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seen[h] = true
+}
+
+func (e *OKEvict) Forget(h string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.seen, h)
+}
+
+// OKGenerations bounds by wholesale reset (the verify-cache rotation
+// shape): the field is reassigned, not only appended to.
+type OKGenerations struct {
+	mu  sync.Mutex
+	cur map[string]bool
+}
+
+func (g *OKGenerations) Add(h string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cur[h] = true
+}
+
+func (g *OKGenerations) Rotate() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cur = make(map[string]bool)
+}
+
+// OKSliceTrim appends but trims back under the same cap check.
+type OKSliceTrim struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (s *OKSliceTrim) Add(h string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, h)
+	if len(s.log) > 64 {
+		s.log = s.log[1:]
+	}
+}
+
+// perCall has no mutex: it is a per-call value, not long-lived shared
+// state, so its map may grow freely for the call's duration.
+type perCall struct {
+	items map[string]bool
+}
+
+func (c *perCall) add(h string) {
+	c.items[h] = true
+}

@@ -1,0 +1,61 @@
+// Package lockorder is a shardlint fixture: a cross-package lock-order
+// cycle (the Miner.mu / Chain.mu deadlock class) plus a legal
+// single-global-order pair. Expected diagnostics in golden.txt.
+package lockorder
+
+import (
+	"sync"
+
+	"contractshard/internal/lint/testdata/src/lockorderpeer"
+)
+
+// Miner holds its own lock while publishing into the peer's book.
+type Miner struct {
+	mu     sync.Mutex
+	sealed int
+}
+
+// Publish acquires Miner.mu, then (through the peer's helper) Book.Mu:
+// the edge Miner.mu -> Book.Mu.
+func (m *Miner) Publish(b *lockorderpeer.Book) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sealed++
+	lockorderpeer.Record(b)
+}
+
+// Audit acquires Book.Mu first and then Miner.mu: the opposite edge
+// Book.Mu -> Miner.mu, closing the cycle. Two goroutines entering Publish
+// and Audit concurrently deadlock.
+func (m *Miner) Audit(b *lockorderpeer.Book) int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sealed
+}
+
+// Tracker is the legal half of the fixture: every path orders its own lock
+// before the peer pair, and the peer pair keeps Registry.Mu before
+// Index.Mu, so the acquisition graph is acyclic.
+type Tracker struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Track acquires Tracker.mu then the peer pair in the global order.
+func (t *Tracker) Track(r *lockorderpeer.Registry, ix *lockorderpeer.Index, name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	lockorderpeer.Register(r, ix, name, t.count)
+}
+
+// Direct repeats the same order without the helper: still acyclic.
+func (t *Tracker) Direct(r *lockorderpeer.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	t.count++
+}

@@ -1,0 +1,51 @@
+// Package lockorderpeer is a shardlint fixture dependency: it owns a
+// mutex-guarded type whose lock the lockorder fixture acquires in both
+// orders relative to its own.
+package lockorderpeer
+
+import "sync"
+
+// Book is the peer's shared structure. The mutex is exported so the other
+// fixture package can also acquire it directly.
+type Book struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Record acquires the book's lock; callers holding their own lock create a
+// cross-package edge onto Book.Mu.
+func Record(b *Book) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.n++
+}
+
+// Size is a read helper with the same acquisition.
+func Size(b *Book) int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.n
+}
+
+// Registry is part of the acyclic (legal) pair: everyone orders
+// Registry.Mu before Index.Mu.
+type Registry struct {
+	Mu sync.Mutex
+	m  map[string]int
+}
+
+// Index is the second element of the acyclic pair.
+type Index struct {
+	Mu sync.Mutex
+	m  map[int]string
+}
+
+// Register takes Registry.Mu then Index.Mu — the single global order.
+func Register(r *Registry, ix *Index, name string, id int) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	ix.Mu.Lock()
+	defer ix.Mu.Unlock()
+	r.m[name] = id
+	ix.m[id] = name
+}

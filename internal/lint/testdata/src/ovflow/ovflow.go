@@ -1,0 +1,94 @@
+// Package ovflow is a shardlint fixture: firing and non-firing cases for
+// the unchecked money-arithmetic analyzer. The firing cases model the PR 5
+// solvency wraparound (value+fee); the legal cases are the three blessed
+// guard idioms. Expected diagnostics in golden.txt.
+package ovflow
+
+import (
+	"errors"
+	"math/bits"
+)
+
+type account struct {
+	balance uint64
+}
+
+// FiresSum is the PR 5 bug shape: value+fee wraps under adversarial inputs
+// and an insolvent transaction passes the comparison built on the sum.
+func FiresSum(value, fee uint64) uint64 {
+	return value + fee
+}
+
+// FiresSub subtracts with no guard relating the operands.
+func FiresSub(balance, amount uint64) uint64 {
+	return balance - amount
+}
+
+// FiresMulAssign scales a reward with no bound check.
+func FiresMulAssign(reward uint64) uint64 {
+	reward *= 3
+	return reward
+}
+
+// FiresFieldAdd credits a balance field with no overflow check.
+func FiresFieldAdd(a *account, amount uint64) {
+	a.balance += amount
+}
+
+// OKWraparound uses the canonical wraparound guard: the sum is compared
+// against one of its own operands, which blesses the repeated expression.
+func OKWraparound(a *account, amount uint64) error {
+	if a.balance+amount < a.balance {
+		return errors.New("balance overflow")
+	}
+	a.balance += amount
+	return nil
+}
+
+// OKSplitGuard is the shipped solvency shape: the comparison keeps one
+// operand on each side, so no unchecked sum is ever formed and the
+// in-comparison subtraction cannot underflow.
+func OKSplitGuard(balance, value, fee uint64) bool {
+	if balance < value || balance-value < fee {
+		return false
+	}
+	return true
+}
+
+// OKBitsChecked has no raw arithmetic at all: math/bits returns the carry.
+func OKBitsChecked(balance, amount uint64) (uint64, error) {
+	sum, carry := bits.Add64(balance, amount, 0)
+	if carry != 0 {
+		return 0, errors.New("balance overflow")
+	}
+	return sum, nil
+}
+
+// OKBitsAccrue mixes a checked probe with a raw accumulate: the bits calls
+// cover every money operand of the later +=, blessing it (the recorder's
+// coinbase-delta shape).
+func OKBitsAccrue(base, feeDelta, amount uint64) (uint64, error) {
+	accrued, c1 := bits.Add64(base, feeDelta, 0)
+	_, c2 := bits.Add64(accrued, amount, 0)
+	if c1|c2 != 0 {
+		return 0, errors.New("delta overflow")
+	}
+	feeDelta += amount
+	return feeDelta, nil
+}
+
+// OKNonMoney adds names the word list does not match; counters and indexes
+// stay legal.
+func OKNonMoney(count, offset uint64) uint64 {
+	return count + offset
+}
+
+// OKNotUint64 operates on int: lengths and loop arithmetic never trip the
+// analyzer even under money-ish names.
+func OKNotUint64(fees []int) int {
+	total := 0
+	for _, fee := range fees {
+		total += fee
+	}
+	return total
+}

@@ -1,0 +1,162 @@
+// Package statesafe is a shardlint fixture: firing and non-firing cases
+// for the snapshot/revert discipline analyzer. The firing cases model the
+// pre-fix applyTransaction bug (mutations leaking past an invalid-receipt
+// return); the legal cases model the shipped fix (entry snapshot plus a
+// reverting `invalid` closure). Expected diagnostics in golden.txt.
+package statesafe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Receipt mirrors the consensus receipt: stamping a failure status marks
+// the path as a failure path.
+type Receipt struct {
+	Status int
+	Err    string
+}
+
+// Receipt statuses. The analyzer matches these identifier names.
+const (
+	ReceiptSuccess = iota
+	ReceiptReverted
+	ReceiptInvalid
+)
+
+// State is the fixture's state-like type: it carries Snapshot and
+// RevertToSnapshot, so parameters of this type are tracked. Methods on
+// State itself are the implementation layer and are skipped.
+type State struct {
+	nonces   map[string]uint64
+	balances map[string]uint64
+}
+
+func (s *State) Snapshot() int                  { return 0 }
+func (s *State) RevertToSnapshot(id int) error  { return nil }
+func (s *State) GetBalance(addr string) uint64  { return s.balances[addr] }
+func (s *State) SetNonce(addr string, n uint64) { s.nonces[addr] = n }
+func (s *State) AddBalance(addr string, v uint64) error {
+	s.balances[addr] += v
+	return nil
+}
+func (s *State) SubBalance(addr string, v uint64) error {
+	s.balances[addr] -= v
+	return nil
+}
+
+// FiresInvalidLeak is the pre-fix applyTransaction shape: the nonce bump
+// and fee debit survive the ReceiptInvalid return because nothing reverts
+// them.
+func FiresInvalidLeak(st *State, from string, fee uint64) *Receipt {
+	r := &Receipt{}
+	st.SetNonce(from, 1)
+	_ = st.SubBalance(from, fee)
+	if st.GetBalance(from) == 0 {
+		r.Status = ReceiptInvalid
+		r.Err = "insolvent"
+		return r
+	}
+	r.Status = ReceiptSuccess
+	return r
+}
+
+// FiresErrorLeak mutates and then reports failure through a plain error
+// with no revert.
+func FiresErrorLeak(st *State, from string) error {
+	st.SetNonce(from, 7)
+	if st.GetBalance(from) == 0 {
+		return errors.New("broke")
+	}
+	return nil
+}
+
+// FiresLateSnapshot participates in the revert discipline but mutates
+// before taking the snapshot, so the revert cannot restore the entry state.
+func FiresLateSnapshot(st *State, from string) error {
+	st.SetNonce(from, 1)
+	snap := st.Snapshot()
+	if st.GetBalance(from) == 0 {
+		if err := st.RevertToSnapshot(snap); err != nil {
+			return err
+		}
+		return errors.New("reverted")
+	}
+	return nil
+}
+
+// FiresPassthroughLeak hands the tracked state to another function (which
+// may mutate it) and then fails without reverting.
+func FiresPassthroughLeak(st *State, from string) error {
+	touch(st, from)
+	if from == "" {
+		return fmt.Errorf("bad sender %q", from)
+	}
+	return nil
+}
+
+func touch(st *State, from string) { st.SetNonce(from, 9) }
+
+// OKSnapshotRevert takes the snapshot first and reverts on the failure arm.
+func OKSnapshotRevert(st *State, from string, fee uint64) error {
+	snap := st.Snapshot()
+	st.SetNonce(from, 1)
+	if err := st.SubBalance(from, fee); err != nil {
+		_ = st.RevertToSnapshot(snap)
+		return err
+	}
+	if st.GetBalance(from) == 0 {
+		_ = st.RevertToSnapshot(snap)
+		return errors.New("insolvent")
+	}
+	return nil
+}
+
+// OKReverterClosure is the shipped applyTransaction shape: every invalid
+// path funnels through a closure that reverts to the entry snapshot before
+// stamping the failure status.
+func OKReverterClosure(st *State, from string, fee uint64) *Receipt {
+	r := &Receipt{}
+	entry := st.Snapshot()
+	invalid := func(err error) *Receipt {
+		_ = st.RevertToSnapshot(entry)
+		r.Status = ReceiptInvalid
+		r.Err = err.Error()
+		return r
+	}
+	st.SetNonce(from, 1)
+	if err := st.SubBalance(from, fee); err != nil {
+		return invalid(err)
+	}
+	if st.GetBalance(from) == 0 {
+		return invalid(errors.New("insolvent"))
+	}
+	r.Status = ReceiptSuccess
+	return r
+}
+
+// OKAtomicGuard checks a single atomic mutator: a failed AddBalance
+// changes nothing, so the error arm carries no mutation to revert.
+func OKAtomicGuard(st *State, to string, v uint64) error {
+	if err := st.AddBalance(to, v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// OKLocalState mutates a state it created itself: partial mutations die
+// with the call frame, nothing leaks to a caller.
+func OKLocalState(from string) error {
+	st := &State{nonces: map[string]uint64{}, balances: map[string]uint64{}}
+	st.SetNonce(from, 1)
+	return errors.New("always fails, harmlessly")
+}
+
+// OKReadOnly only reads the tracked state; failing without reverting is
+// fine when nothing was mutated.
+func OKReadOnly(st *State, from string) error {
+	if st.GetBalance(from) == 0 {
+		return errors.New("insolvent")
+	}
+	return nil
+}

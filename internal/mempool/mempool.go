@@ -192,7 +192,7 @@ func (p *Pool) maybeRebuildLocked() {
 		return
 	}
 	live := make([]*types.Transaction, 0, len(p.byHash))
-	for _, tx := range p.byHash { //shardlint:ordered — heapify; pop order is fixed by the total order, not insertion order
+	for _, tx := range p.byHash { // heapify; pop order is fixed by the total order, not insertion order
 		live = append(live, tx)
 	}
 	p.ordered.reset(live)

@@ -29,10 +29,13 @@ import (
 // re-point to the newly formed shard, so subsequent transactions route
 // there; ApplyMerge performs that re-pointing.
 type Directory struct {
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	//shardlint:growbound the routing table itself: one entry per registered contract, bounded by the contract set the chain admits
 	shards map[types.Address]types.ShardID
-	byID   map[types.ShardID]types.Address
+	//shardlint:growbound inverse of shards; same one-entry-per-shard bound
+	byID map[types.ShardID]types.Address
 	// merged maps a retired shard id to the new shard that absorbed it.
+	//shardlint:growbound merge history: at most one entry per retired shard id, bounded by shards ever created
 	merged map[types.ShardID]types.ShardID
 	nextID types.ShardID
 }

@@ -2,7 +2,7 @@ package state
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 	"sort"
 
 	"contractshard/internal/types"
@@ -129,7 +129,8 @@ func (r *Recorder) GetBalance(addr types.Address) uint64 {
 	r.readKey(balanceKey(addr))
 	v := r.base.GetBalance(addr)
 	if addr == r.coinbase {
-		v += r.feeDelta // cannot overflow by the feeDelta invariant
+		//shardlint:ovflow AddBalance bounds base+feeDelta+amount below MaxUint64 before accruing, so folding the delta back in cannot wrap
+		v += r.feeDelta
 	}
 	return v
 }
@@ -157,7 +158,9 @@ func (r *Recorder) AddBalance(addr types.Address, amount uint64) error {
 	if addr == r.coinbase {
 		if _, ok := r.balances[addr]; !ok {
 			base := r.base.GetBalance(addr)
-			if amount > math.MaxUint64-base-r.feeDelta {
+			accrued, c1 := bits.Add64(base, r.feeDelta, 0)
+			_, c2 := bits.Add64(accrued, amount, 0)
+			if c1|c2 != 0 {
 				// The overflow verdict depends on the base value: record the
 				// read so an earlier coinbase writer forces serial
 				// re-execution rather than trusting this speculation.
@@ -330,7 +333,11 @@ func (r *Recorder) MarkWrites(written map[string]bool) {
 // cannot overflow. The speculative overflow check ran against the base
 // balance; by commit time earlier transactions may have raised it.
 func (r *Recorder) CanCommitTo(st *State) bool {
-	return r.feeDelta == 0 || st.GetBalance(r.coinbase) <= math.MaxUint64-r.feeDelta
+	if r.feeDelta == 0 {
+		return true
+	}
+	_, carry := bits.Add64(st.GetBalance(r.coinbase), r.feeDelta, 0)
+	return carry == 0
 }
 
 // CommitTo replays the overlay onto st in sorted key order (deterministic,

@@ -313,3 +313,39 @@ func TestRecorderInvalidLeavesOverlayEmpty(t *testing.T) {
 		t.Fatal("reverted execution's reads must stay in the read set")
 	}
 }
+
+// TestRecorderDeltaExactFit: the checked-add rewrite of the coinbase-delta
+// overflow guards must keep the boundary inclusive — a delta landing the
+// coinbase exactly on MaxUint64 is legal, one more unit is not.
+func TestRecorderDeltaExactFit(t *testing.T) {
+	base := New()
+	coinbase := raddr(0xC0)
+	if err := base.AddBalance(coinbase, math.MaxUint64-5); err != nil {
+		t.Fatal(err)
+	}
+	base.DiscardJournal()
+
+	rec := NewRecorder(base, coinbase)
+	if err := rec.AddBalance(coinbase, 5); err != nil {
+		t.Fatalf("exact-fit credit rejected: %v", err)
+	}
+	if got := rec.GetBalance(coinbase); got != math.MaxUint64 {
+		t.Fatalf("visible balance %d, want MaxUint64", got)
+	}
+	target := base.Copy()
+	if !rec.CanCommitTo(target) {
+		t.Fatal("exact-fit delta must pass the commit precheck")
+	}
+	if err := rec.CommitTo(target); err != nil {
+		t.Fatal(err)
+	}
+	if got := target.GetBalance(coinbase); got != math.MaxUint64 {
+		t.Fatalf("committed balance %d, want MaxUint64", got)
+	}
+
+	// One unit more is rejected speculatively.
+	rec2 := NewRecorder(base, coinbase)
+	if err := rec2.AddBalance(coinbase, 6); err == nil {
+		t.Fatal("overflowing credit accepted")
+	}
+}

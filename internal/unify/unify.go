@@ -267,6 +267,12 @@ type SizeReport struct {
 	Size  int
 }
 
+// maxTrackedShards caps how many distinct shard ids a Leader accumulates
+// reports for. The report topic is unauthenticated gossip, so without a cap
+// a peer spraying fabricated shard ids grows the table without bound; real
+// deployments have orders of magnitude fewer shards.
+const maxTrackedShards = 1 << 12
+
 // Leader is the verifiable leader's side of the protocol: it accumulates
 // size reports and broadcasts the unified parameters.
 type Leader struct {
@@ -282,7 +288,11 @@ func NewLeader(node *p2p.Node) *Leader {
 	node.Subscribe(TopicReport, func(m p2p.Message) {
 		if r, ok := m.Payload.(SizeReport); ok {
 			l.mu.Lock()
-			l.reports[r.Shard] = r.Size
+			// Updates to known shards always land; new shard ids are
+			// dropped once the table is full.
+			if _, known := l.reports[r.Shard]; known || len(l.reports) < maxTrackedShards {
+				l.reports[r.Shard] = r.Size
+			}
 			l.mu.Unlock()
 		}
 	})

@@ -326,3 +326,35 @@ func TestDigestCoversIdentityFields(t *testing.T) {
 		t.Fatal("digest ignores MinerSet")
 	}
 }
+
+// TestLeaderReportTableCapped: the report topic is unauthenticated gossip,
+// so the leader's table rejects new shard ids at the cap while updates to
+// tracked shards still land.
+func TestLeaderReportTableCapped(t *testing.T) {
+	net := p2p.NewNetwork()
+	leaderNode := net.MustJoin("leader")
+	leader := NewLeader(leaderNode)
+	repNode := net.MustJoin("rep")
+
+	for i := 0; i < maxTrackedShards+16; i++ {
+		if err := repNode.Send("leader", TopicReport, SizeReport{Shard: types.ShardID(i + 1), Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(leader.Reports()); got != maxTrackedShards {
+		t.Fatalf("tracked shards %d, want cap %d", got, maxTrackedShards)
+	}
+	// An update to an already-tracked shard is not a new key and lands.
+	if err := repNode.Send("leader", TopicReport, SizeReport{Shard: 1, Size: 99}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range leader.Reports() {
+		if s.ID == 1 {
+			if s.Size != 99 {
+				t.Fatalf("tracked shard size %d, want 99", s.Size)
+			}
+			return
+		}
+	}
+	t.Fatal("shard 1 missing from reports")
+}
